@@ -1,0 +1,54 @@
+// Ablation: sensitivity to the inter-site communication delay alpha. The
+// paper neglected alpha on its lightly loaded Ethernet; this bench sweeps it
+// (including values computed by the Ethernet contention model) to show when
+// that simplification stops being safe.
+
+#include <iostream>
+
+#include "qn/ethernet.h"
+#include "repro_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace carat;
+  std::cout << "Ablation - communication delay alpha (MB4, n=8)\n";
+
+  // Alpha from the Ethernet model at increasing background loads, for a
+  // 1000-byte message on 10 Mb/s.
+  qn::EthernetParams eth;
+  const double frame_bits = 8000.0;
+  util::TextTable table;
+  table.SetHeader({"alpha (ms)", "source", "sim XPUT", "model XPUT",
+                   "sim DRO resp (ms)"});
+  struct Case {
+    double alpha;
+    std::string source;
+  };
+  std::vector<Case> cases = {{0.0, "paper (neglected)"}};
+  for (const double load : {0.05, 0.5, 0.95}) {
+    cases.push_back({qn::EthernetMeanDelayMs(eth, frame_bits,
+                                             load / (frame_bits /
+                                                     eth.bandwidth_bits_per_ms)),
+                     "ethernet model @" + util::TextTable::Num(load, 2)});
+  }
+  cases.push_back({20.0, "slow WAN"});
+  cases.push_back({100.0, "very slow WAN"});
+
+  for (const Case& c : cases) {
+    workload::WorkloadSpec wl = workload::MakeMB4(8);
+    wl.comm_delay_ms = c.alpha;
+    const model::ModelInput input = wl.ToModelInput();
+    const model::ModelSolution m = model::CaratModel(input).Solve();
+    TestbedOptions opts;
+    opts.warmup_ms = 100'000;
+    opts.measure_ms = 1'000'000;
+    const TestbedResult s = RunTestbed(input, opts);
+    table.AddRow({util::TextTable::Num(c.alpha, 3), c.source,
+                  util::TextTable::Num(s.TotalTxnPerSec()),
+                  util::TextTable::Num(m.TotalTxnPerSec()),
+                  util::TextTable::Num(
+                      s.nodes[0].Type(model::TxnType::kDROC).response_ms, 0)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

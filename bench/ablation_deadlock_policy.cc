@@ -1,0 +1,50 @@
+// Ablation: deadlock victim selection policy. The testbed (and the model's
+// LW -> TA transition) victimizes the blocked requester; this bench compares
+// that against youngest-victim and oldest-victim policies on a contended
+// update-heavy workload.
+
+#include <iostream>
+
+#include "repro_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace carat;
+  std::cout << "Ablation - deadlock victim policy (MB8)\n";
+  util::TextTable table;
+  table.SetHeader({"n", "policy", "XPUT", "aborts/commit", "local dl",
+                   "global dl"});
+  const struct {
+    lock::VictimPolicy policy;
+    const char* label;
+  } kPolicies[] = {{lock::VictimPolicy::kRequester, "requester"},
+                   {lock::VictimPolicy::kYoungest, "youngest"},
+                   {lock::VictimPolicy::kOldest, "oldest"}};
+  for (const int n : {8, 12, 16, 20}) {
+    for (const auto& [policy, label] : kPolicies) {
+      const model::ModelInput input = workload::MakeMB8(n).ToModelInput();
+      TestbedOptions opts;
+      opts.warmup_ms = 100'000;
+      opts.measure_ms = 1'500'000;
+      opts.victim_policy = policy;
+      const TestbedResult r = RunTestbed(input, opts);
+      std::uint64_t aborts = 0, commits = 0, local = 0;
+      for (const NodeResult& node : r.nodes) {
+        local += node.local_deadlocks;
+        for (const TypeResult& t : node.types) {
+          aborts += t.aborts;
+          commits += t.commits;
+        }
+      }
+      table.AddRow({std::to_string(n), label,
+                    util::TextTable::Num(r.TotalTxnPerSec()),
+                    util::TextTable::Num(
+                        commits ? static_cast<double>(aborts) / commits : 0.0, 3),
+                    std::to_string(local),
+                    std::to_string(r.global_deadlocks)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: exact MVA vs the Schweitzer-Bard approximation inside the model
+// solver, and the solver's sensitivity to its damping factor.
+
+#include <iostream>
+
+#include "model/solver.h"
+#include "util/table.h"
+#include "workload/spec.h"
+
+int main() {
+  using namespace carat;
+  std::cout << "Ablation - exact MVA vs Schweitzer-Bard in the model (MB8)\n";
+  util::TextTable table;
+  table.SetHeader({"n", "solver", "XPUT", "CPU(A)", "DIO(A)", "iterations"});
+  for (const int n : {4, 8, 12, 16, 20}) {
+    const model::ModelInput input = workload::MakeMB8(n).ToModelInput();
+    for (const bool exact : {true, false}) {
+      model::SolverOptions opts;
+      opts.use_exact_mva = exact;
+      const model::ModelSolution sol =
+          model::CaratModel(input).Solve(opts);
+      table.AddRow({std::to_string(n), exact ? "exact" : "schweitzer",
+                    util::TextTable::Num(sol.TotalTxnPerSec()),
+                    util::TextTable::Num(sol.sites[0].cpu_utilization),
+                    util::TextTable::Num(sol.sites[0].dio_per_s, 1),
+                    std::to_string(sol.iterations)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+
+  std::cout << "Damping sensitivity (MB8 n=12)\n";
+  util::TextTable t2;
+  t2.SetHeader({"damping", "XPUT", "iterations", "converged"});
+  const model::ModelInput input = workload::MakeMB8(12).ToModelInput();
+  for (const double damping : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    model::SolverOptions opts;
+    opts.damping = damping;
+    const model::ModelSolution sol = model::CaratModel(input).Solve(opts);
+    t2.AddRow({util::TextTable::Num(damping, 1),
+               util::TextTable::Num(sol.TotalTxnPerSec()),
+               std::to_string(sol.iterations),
+               sol.converged ? "yes" : "no"});
+  }
+  t2.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 5 of the paper: LB8 workload, normalized record throughput at
+// Node B versus transaction size n, model vs measurement.
+
+#include "repro_common.h"
+
+int main() {
+  using namespace carat;
+  const auto points = bench::RunSweep(
+      [](int n) { return workload::MakeLB8(n); });
+  bench::PrintFigure(
+      "Figure 5 - LB8 Workload: Record Throughput (Node B)",
+      "recs/s", points, /*node_index=*/1,
+      [](const NodeResult& n) { return n.records_per_s; },
+      [](const model::SiteSolution& s) { return s.records_per_s; });
+  return 0;
+}

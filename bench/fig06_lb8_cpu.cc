@@ -1,0 +1,16 @@
+// Figure 6 of the paper: LB8 workload, total CPU utilization at Node B
+// versus transaction size n, model vs measurement.
+
+#include "repro_common.h"
+
+int main() {
+  using namespace carat;
+  const auto points = bench::RunSweep(
+      [](int n) { return workload::MakeLB8(n); });
+  bench::PrintFigure(
+      "Figure 6 - LB8 Workload: CPU Utilization (Node B)",
+      "cpu", points, /*node_index=*/1,
+      [](const NodeResult& n) { return n.cpu_utilization; },
+      [](const model::SiteSolution& s) { return s.cpu_utilization; });
+  return 0;
+}

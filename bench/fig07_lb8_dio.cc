@@ -1,0 +1,16 @@
+// Figure 7 of the paper: LB8 workload, disk I/O rate at Node B versus
+// transaction size n, model vs measurement.
+
+#include "repro_common.h"
+
+int main() {
+  using namespace carat;
+  const auto points = bench::RunSweep(
+      [](int n) { return workload::MakeLB8(n); });
+  bench::PrintFigure(
+      "Figure 7 - LB8 Workload: Disk I/O Rate (Node B)",
+      "dio/s", points, /*node_index=*/1,
+      [](const NodeResult& n) { return n.dio_per_s; },
+      [](const model::SiteSolution& s) { return s.dio_per_s; });
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 8 of the paper: MB4 workload, normalized record throughput at both
+// nodes versus transaction size n, model vs measurement.
+
+#include "repro_common.h"
+
+int main() {
+  using namespace carat;
+  const auto points = bench::RunSweep(
+      [](int n) { return workload::MakeMB4(n); });
+  bench::PrintFigure(
+      "Figure 8 - MB4 Workload: Record Throughput",
+      "recs/s", points, /*node_index=*/-1,
+      [](const NodeResult& n) { return n.records_per_s; },
+      [](const model::SiteSolution& s) { return s.records_per_s; });
+  return 0;
+}

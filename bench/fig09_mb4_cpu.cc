@@ -1,0 +1,16 @@
+// Figure 9 of the paper: MB4 workload, CPU utilization at both nodes versus
+// transaction size n, model vs measurement.
+
+#include "repro_common.h"
+
+int main() {
+  using namespace carat;
+  const auto points = bench::RunSweep(
+      [](int n) { return workload::MakeMB4(n); });
+  bench::PrintFigure(
+      "Figure 9 - MB4 Workload: CPU Utilization",
+      "cpu", points, /*node_index=*/-1,
+      [](const NodeResult& n) { return n.cpu_utilization; },
+      [](const model::SiteSolution& s) { return s.cpu_utilization; });
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 10 of the paper: MB4 workload, disk I/O rate at both nodes versus
+// transaction size n, model vs measurement.
+
+#include "repro_common.h"
+
+int main() {
+  using namespace carat;
+  const auto points = bench::RunSweep(
+      [](int n) { return workload::MakeMB4(n); });
+  bench::PrintFigure(
+      "Figure 10 - MB4 Workload: Disk I/O Rate",
+      "dio/s", points, /*node_index=*/-1,
+      [](const NodeResult& n) { return n.dio_per_s; },
+      [](const model::SiteSolution& s) { return s.dio_per_s; });
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared harness for the paper-reproduction benches (Figures 5-10 and
+// Tables 3-5). Each bench sweeps the transaction size n, runs both the
+// analytical model ("Model") and the simulated testbed ("Measurement"), and
+// prints rows in the style of the paper.
+
+#ifndef CARAT_BENCH_REPRO_COMMON_H_
+#define CARAT_BENCH_REPRO_COMMON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "carat/testbed.h"
+#include "model/solver.h"
+#include "workload/spec.h"
+
+namespace carat::bench {
+
+/// Transaction sizes used throughout the paper's evaluation.
+inline const std::vector<int> kPaperSweep = {4, 8, 12, 16, 20};
+
+struct SweepPoint {
+  int n = 0;
+  model::ModelSolution model;
+  TestbedResult sim;
+};
+
+/// Runs model + testbed for each n. `make` builds the workload for a given
+/// transaction size.
+std::vector<SweepPoint> RunSweep(
+    const std::function<workload::WorkloadSpec(int)>& make,
+    const std::vector<int>& sizes = kPaperSweep,
+    double measure_ms = 2'000'000, std::uint64_t seed = 1);
+
+/// Per-(point, node) metric extractor for figure-style series.
+using SimMetric = std::function<double(const NodeResult&)>;
+using ModelMetric = std::function<double(const model::SiteSolution&)>;
+
+/// Prints a figure-style series: one row per n with Measurement and Model
+/// columns for the selected nodes (node_index = -1 means every node).
+void PrintFigure(const std::string& title, const std::string& metric_name,
+                 const std::vector<SweepPoint>& points, int node_index,
+                 const SimMetric& sim_metric, const ModelMetric& model_metric);
+
+/// A published reference row of Tables 3/4: measurement and model triplets
+/// (TR-XPUT, Total-CPU, Total-DIO) for one (n, node).
+struct PaperRow {
+  int n;
+  int node;  // 0 = A, 1 = B
+  double meas_xput, meas_cpu, meas_dio;
+  double model_xput, model_cpu, model_dio;
+};
+
+/// Prints a Table 3/4-style comparison: our measurement and model columns
+/// next to the paper's published values.
+void PrintSummaryTable(const std::string& title,
+                       const std::vector<SweepPoint>& points,
+                       const std::vector<PaperRow>& paper);
+
+}  // namespace carat::bench
+
+#endif  // CARAT_BENCH_REPRO_COMMON_H_

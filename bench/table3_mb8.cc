@@ -1,0 +1,28 @@
+// Table 3 of the paper: MB8 workload, model vs measurement for TR-XPUT,
+// Total-CPU and Total-DIO at both nodes over the n sweep, with the paper's
+// published values as reference columns.
+
+#include "repro_common.h"
+
+int main() {
+  using namespace carat;
+  using bench::PaperRow;
+  // Paper Table 3 (MB8): measurement and model triplets per (n, node).
+  const std::vector<PaperRow> paper = {
+      {4, 0, 0.94, 0.45, 28.9, 1.11, 0.55, 35.1},
+      {4, 1, 0.72, 0.36, 21.9, 0.79, 0.42, 25.0},
+      {8, 0, 0.45, 0.36, 28.1, 0.54, 0.45, 32.8},
+      {8, 1, 0.39, 0.32, 23.2, 0.41, 0.36, 24.6},
+      {12, 0, 0.23, 0.31, 26.3, 0.27, 0.33, 27.5},
+      {12, 1, 0.21, 0.27, 22.5, 0.23, 0.29, 22.6},
+      {16, 0, 0.15, 0.26, 23.4, 0.14, 0.26, 25.6},
+      {16, 1, 0.12, 0.25, 23.0, 0.13, 0.23, 21.4},
+      {20, 0, 0.09, 0.27, 23.9, 0.09, 0.27, 30.8},
+      {20, 1, 0.08, 0.26, 23.8, 0.08, 0.22, 23.6},
+  };
+  const auto points = bench::RunSweep(
+      [](int n) { return workload::MakeMB8(n); });
+  bench::PrintSummaryTable(
+      "Table 3 - Model vs Measurement Results (MB8)", points, paper);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Table 4 of the paper: UB6 workload, model vs measurement for TR-XPUT,
+// Total-CPU and Total-DIO at both nodes over the n sweep, with the paper's
+// published values as reference columns.
+
+#include "repro_common.h"
+
+int main() {
+  using namespace carat;
+  using bench::PaperRow;
+  // Paper Table 4 (UB6).
+  const std::vector<PaperRow> paper = {
+      {4, 0, 0.99, 0.44, 29.6, 1.13, 0.51, 35.1},
+      {4, 1, 0.70, 0.33, 20.9, 0.81, 0.39, 24.9},
+      {8, 0, 0.53, 0.38, 30.9, 0.56, 0.44, 33.7},
+      {8, 1, 0.39, 0.30, 23.2, 0.42, 0.34, 24.6},
+      {12, 0, 0.27, 0.31, 28.2, 0.32, 0.35, 30.2},
+      {12, 1, 0.21, 0.25, 22.7, 0.24, 0.28, 23.1},
+      {16, 0, 0.15, 0.27, 27.0, 0.17, 0.28, 27.9},
+      {16, 1, 0.14, 0.23, 22.0, 0.14, 0.23, 21.8},
+      {20, 0, 0.10, 0.25, 24.9, 0.10, 0.26, 30.2},
+      {20, 1, 0.08, 0.22, 21.3, 0.08, 0.21, 22.8},
+  };
+  const auto points = bench::RunSweep(
+      [](int n) { return workload::MakeUB6(n); });
+  bench::PrintSummaryTable(
+      "Table 4 - Model vs Measurement Results (UB6)", points, paper);
+  return 0;
+}

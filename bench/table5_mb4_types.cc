@@ -1,0 +1,72 @@
+// Table 5 of the paper: MB4 workload, per-transaction-type throughput at
+// each node, model vs measurement, with the paper's published values.
+
+#include <iostream>
+
+#include "repro_common.h"
+#include "util/table.h"
+
+namespace {
+
+struct PaperTypeRow {
+  int n;
+  const char* type;
+  double meas_a, meas_b, model_a, model_b;
+};
+
+// Paper Table 5 (MB4 per-type throughput, transactions/second).
+const PaperTypeRow kPaper[] = {
+    {4, "LRO", 0.39, 0.25, 0.46, 0.29},  {4, "LU", 0.19, 0.11, 0.21, 0.12},
+    {4, "DRO", 0.22, 0.22, 0.25, 0.25},  {4, "DU", 0.11, 0.11, 0.11, 0.11},
+    {8, "LRO", 0.20, 0.13, 0.22, 0.14},  {8, "LU", 0.10, 0.07, 0.11, 0.06},
+    {8, "DRO", 0.14, 0.14, 0.14, 0.14},  {8, "DU", 0.07, 0.06, 0.06, 0.06},
+    {12, "LRO", 0.11, 0.08, 0.12, 0.08}, {12, "LU", 0.06, 0.04, 0.06, 0.04},
+    {12, "DRO", 0.09, 0.08, 0.09, 0.09}, {12, "DU", 0.04, 0.03, 0.04, 0.04},
+    {16, "LRO", 0.07, 0.05, 0.07, 0.05}, {16, "LU", 0.04, 0.03, 0.03, 0.02},
+    {16, "DRO", 0.05, 0.07, 0.06, 0.06}, {16, "DU", 0.03, 0.02, 0.03, 0.03},
+    {20, "LRO", 0.05, 0.04, 0.04, 0.03}, {20, "LU", 0.02, 0.02, 0.01, 0.01},
+    {20, "DRO", 0.04, 0.04, 0.04, 0.04}, {20, "DU", 0.02, 0.01, 0.02, 0.02},
+};
+
+}  // namespace
+
+int main() {
+  using namespace carat;
+  const auto points = bench::RunSweep(
+      [](int n) { return workload::MakeMB4(n); });
+
+  std::cout << "Table 5 - Model vs Measurement Throughput per TR Type (MB4)\n";
+  util::TextTable table;
+  table.SetHeader({"n", "Type", "ours meas A", "ours meas B", "ours model A",
+                   "ours model B", "paper meas A", "paper meas B",
+                   "paper model A", "paper model B"});
+  const struct {
+    model::TxnType t;
+    const char* label;
+  } kTypes[] = {{model::TxnType::kLRO, "LRO"},
+                {model::TxnType::kLU, "LU"},
+                {model::TxnType::kDROC, "DRO"},
+                {model::TxnType::kDUC, "DU"}};
+  for (const auto& p : points) {
+    for (const auto& [t, label] : kTypes) {
+      std::vector<std::string> row = {
+          std::to_string(p.n), label,
+          util::TextTable::Num(p.sim.nodes[0].Type(t).throughput_per_s),
+          util::TextTable::Num(p.sim.nodes[1].Type(t).throughput_per_s),
+          util::TextTable::Num(p.model.sites[0].Class(t).throughput_per_s),
+          util::TextTable::Num(p.model.sites[1].Class(t).throughput_per_s)};
+      for (const PaperTypeRow& pr : kPaper) {
+        if (pr.n == p.n && std::string(pr.type) == label) {
+          row.push_back(util::TextTable::Num(pr.meas_a));
+          row.push_back(util::TextTable::Num(pr.meas_b));
+          row.push_back(util::TextTable::Num(pr.model_a));
+          row.push_back(util::TextTable::Num(pr.model_b));
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  return 0;
+}

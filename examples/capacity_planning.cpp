@@ -1,0 +1,90 @@
+// Capacity planning with the analytical model.
+//
+// The point of a validated queueing model is cheap what-if analysis: here we
+// size a two-node order-processing system. Each added terminal runs a mix of
+// local reads and distributed updates; we sweep the terminal count with the
+// (instant) analytical model to find where response time degrades, then spot
+// check the knee with the full testbed simulation.
+
+#include <iostream>
+
+#include "carat/carat.h"
+#include "util/table.h"
+
+namespace {
+
+carat::workload::WorkloadSpec MakeOrderEntry(int terminals_per_node) {
+  using namespace carat::workload;
+  WorkloadSpec wl = MakeMB4(/*requests_per_txn=*/6);
+  wl.name = "order-entry";
+  // Per node: 2/3 of terminals run local reads (catalog lookups), 1/3 run
+  // distributed updates (cross-site order placement).
+  for (NodeMix& node : wl.nodes) {
+    node.lro = (2 * terminals_per_node + 2) / 3;
+    node.lu = 0;
+    node.dro = 0;
+    node.du = terminals_per_node - node.lro;
+  }
+  // Modern-ish disks: 10 ms per block on both nodes.
+  wl.block_io_ms = {10.0, 10.0};
+  // Think time: operators pause 2 s between orders.
+  wl.think_time_ms = 2'000.0;
+  return wl;
+}
+
+}  // namespace
+
+int main() {
+  using namespace carat;
+  std::cout << "Capacity planning: order-entry on two nodes "
+               "(2/3 local reads, 1/3 distributed updates, 2 s think)\n\n";
+
+  util::TextTable table;
+  table.SetHeader({"terminals/node", "txn/s", "LRO resp (ms)", "DU resp (ms)",
+                   "disk util", "deadlock prob (DU)"});
+  int knee = -1;
+  double base_du_resp = 0.0;
+  for (int terminals = 3; terminals <= 36; terminals += 3) {
+    const workload::WorkloadSpec wl = MakeOrderEntry(terminals);
+    const model::ModelSolution sol =
+        model::CaratModel(wl.ToModelInput()).Solve();
+    if (!sol.ok) {
+      std::cerr << "model failed: " << sol.error << "\n";
+      return 1;
+    }
+    const auto& site = sol.sites[0];
+    const double du_resp =
+        site.Class(model::TxnType::kDUC).response_ms;
+    if (terminals == 3) base_du_resp = du_resp;
+    if (knee < 0 && du_resp > 2.0 * base_du_resp) knee = terminals;
+    table.AddRow({std::to_string(terminals),
+                  util::TextTable::Num(sol.TotalTxnPerSec(), 1),
+                  util::TextTable::Num(
+                      site.Class(model::TxnType::kLRO).response_ms, 0),
+                  util::TextTable::Num(du_resp, 0),
+                  util::TextTable::Num(site.db_disk_utilization),
+                  util::TextTable::Num(site.Class(model::TxnType::kDUC).pa, 3)});
+  }
+  table.Print(std::cout);
+
+  if (knee < 0) knee = 36;
+  std::cout << "\nModel knee (distributed-update response doubled): "
+            << knee << " terminals/node.\nSpot-checking with the testbed...\n";
+
+  const workload::WorkloadSpec wl = MakeOrderEntry(knee);
+  TestbedOptions opts;
+  opts.measure_ms = 2'000'000;
+  const TestbedResult sim = RunTestbed(wl.ToModelInput(), opts);
+  const model::ModelSolution sol = model::CaratModel(wl.ToModelInput()).Solve();
+  std::cout << "  at " << knee << " terminals/node: model "
+            << util::TextTable::Num(sol.TotalTxnPerSec(), 1)
+            << " txn/s vs testbed "
+            << util::TextTable::Num(sim.TotalTxnPerSec(), 1) << " txn/s, DU resp "
+            << util::TextTable::Num(
+                   sol.sites[0].Class(model::TxnType::kDUC).response_ms, 0)
+            << " ms vs "
+            << util::TextTable::Num(
+                   sim.nodes[0].Type(model::TxnType::kDUC).response_ms, 0)
+            << " ms\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Crash recovery with before-image journaling.
+//
+// The paper's recovery protocol journals the before image of every block a
+// transaction updates, so that "the effects of the transactions can be
+// correctly recovered from system failures in which the volatile memory is
+// lost". This example drives the WAL substrate directly through a bank
+// scenario: some transfers commit, one aborts, one is cut off by a crash -
+// recovery must keep exactly the committed transfers and conserve money.
+
+#include <iostream>
+
+#include "db/database.h"
+#include "wal/log.h"
+
+namespace {
+
+using carat::db::Database;
+using carat::db::GranuleId;
+using carat::db::RecordId;
+using carat::wal::Log;
+using carat::wal::TxnId;
+
+// Moves `amount` from one account record to another under txn `txn`,
+// journaling each touched granule first (the write-ahead rule).
+void Transfer(Database& db, Log& log, TxnId txn, RecordId from, RecordId to,
+              long long amount) {
+  const GranuleId gfrom = db.GranuleOf(from);
+  const GranuleId gto = db.GranuleOf(to);
+  log.LogBeforeImage(txn, gfrom, db.ReadGranule(gfrom));
+  db.Write(from, db.Read(from) - amount);
+  log.LogBeforeImage(txn, gto, db.ReadGranule(gto));
+  db.Write(to, db.Read(to) + amount);
+}
+
+long long TotalMoney(const Database& db) {
+  long long total = 0;
+  for (RecordId r = 0; r < db.num_records(); ++r) total += db.Read(r);
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  Database db(/*num_granules=*/50, /*records_per_granule=*/6);
+  Log log;
+
+  // Open 300 accounts with 100 units each.
+  for (RecordId r = 0; r < db.num_records(); ++r) db.Write(r, 100);
+  const long long initial_money = TotalMoney(db);
+  std::cout << "bank opened: " << db.num_records() << " accounts, "
+            << initial_money << " units total\n";
+
+  // Txn 1 commits: 0 -> 7, 30 units.
+  Transfer(db, log, 1, 0, 7, 30);
+  log.LogCommit(1);
+
+  // Txn 2 aborts at run time (e.g. deadlock victim): rolled back on the
+  // spot by restoring its before images.
+  Transfer(db, log, 2, 10, 20, 55);
+  log.Rollback(2, &db);
+
+  // Txn 3 is in flight when the system crashes.
+  Transfer(db, log, 3, 40, 50, 99);
+
+  std::cout << "before crash: acct0=" << db.Read(0) << " acct7=" << db.Read(7)
+            << " acct10=" << db.Read(10) << " acct40=" << db.Read(40)
+            << " acct50=" << db.Read(50) << "\n";
+
+  // --- crash: volatile state is lost; the journal survives ------------------
+  log.Recover(&db);
+
+  std::cout << "after recovery:\n";
+  std::cout << "  txn1 (committed): acct0=" << db.Read(0)
+            << " acct7=" << db.Read(7) << "   (expected 70 / 130)\n";
+  std::cout << "  txn2 (aborted):   acct10=" << db.Read(10)
+            << " acct20=" << db.Read(20) << " (expected 100 / 100)\n";
+  std::cout << "  txn3 (in-flight): acct40=" << db.Read(40)
+            << " acct50=" << db.Read(50) << " (expected 100 / 100)\n";
+
+  const long long final_money = TotalMoney(db);
+  std::cout << "money conserved: " << final_money << " / " << initial_money
+            << (final_money == initial_money ? "  OK" : "  LOST!") << "\n";
+
+  const bool ok = db.Read(0) == 70 && db.Read(7) == 130 &&
+                  db.Read(10) == 100 && db.Read(20) == 100 &&
+                  db.Read(40) == 100 && db.Read(50) == 100 &&
+                  final_money == initial_money;
+  std::cout << (ok ? "recovery correct\n" : "RECOVERY BROKEN\n");
+  return ok ? 0 : 1;
+}

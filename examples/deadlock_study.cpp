@@ -1,0 +1,68 @@
+// Deadlock study: how data contention grows with transaction size.
+//
+// Reproduces the paper's central qualitative finding - that normalized
+// throughput collapses beyond n ~ 8 because the deadlock probability grows
+// rapidly with transaction size - and inspects the lock submodel quantities
+// (Pb, Pd, P_a, blocking ratio) against testbed counters.
+
+#include <iostream>
+
+#include "carat/carat.h"
+#include "model/lock_model.h"
+#include "util/table.h"
+
+int main() {
+  using namespace carat;
+  std::cout << "Deadlock study: MB8 workload, transaction size sweep\n\n";
+
+  util::TextTable table;
+  table.SetHeader({"n", "model Pb(LU)", "model Pd(LU)", "model Pa(LU)",
+                   "sim Pa(LU)", "sim blocks/req", "local dl/s", "global dl/s",
+                   "recs/s model", "recs/s sim"});
+  for (const int n : {4, 8, 12, 16, 20}) {
+    const workload::WorkloadSpec wl = workload::MakeMB8(n);
+    const model::ModelInput input = wl.ToModelInput();
+    const model::ModelSolution m = model::CaratModel(input).Solve();
+    TestbedOptions opts;
+    opts.measure_ms = 2'000'000;
+    const TestbedResult s = RunTestbed(input, opts);
+    if (!m.ok || !s.ok) {
+      std::cerr << "failed\n";
+      return 1;
+    }
+    const auto& site = m.sites[0];
+    const auto& node = s.nodes[0];
+    const double window_s = s.measured_ms / 1000.0;
+    std::uint64_t local_dl = 0;
+    for (const auto& nr : s.nodes) local_dl += nr.local_deadlocks;
+    table.AddRow(
+        {std::to_string(n),
+         util::TextTable::Num(site.Class(model::TxnType::kLU).pb, 4),
+         util::TextTable::Num(site.Class(model::TxnType::kLU).pd, 4),
+         util::TextTable::Num(site.Class(model::TxnType::kLU).pa, 3),
+         util::TextTable::Num(node.Type(model::TxnType::kLU).abort_prob, 3),
+         util::TextTable::Num(
+             node.lock_requests
+                 ? static_cast<double>(node.lock_blocks) / node.lock_requests
+                 : 0.0,
+             4),
+         util::TextTable::Num(local_dl / window_s, 3),
+         util::TextTable::Num(s.global_deadlocks / window_s, 3),
+         util::TextTable::Num(m.TotalRecordsPerSec(), 1),
+         util::TextTable::Num(s.TotalRecordsPerSec(), 1)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nBlocking ratio BR(t) = (2 N_lk + 1) / (6 N_lk) "
+               "(paper: ~1/3, measured 0.23-0.41):\n";
+  for (const int n : {4, 20}) {
+    const double nlk = 4.0 * n;  // ~4 locks per request
+    std::cout << "  n = " << n
+              << ": BR = " << util::TextTable::Num(model::BlockingRatio(nlk), 3)
+              << "\n";
+  }
+  std::cout << "\nNote the paper's conclusion: normalized throughput peaks "
+               "near n = 8,\nthen falls as deadlock-induced rollback work "
+               "grows superlinearly.\n";
+  return 0;
+}

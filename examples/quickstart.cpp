@@ -1,0 +1,63 @@
+// Quickstart: predict a distributed transaction workload analytically, then
+// validate the prediction on the simulated CARAT testbed.
+//
+//   $ ./quickstart
+//
+// Builds the paper's MB4 workload (one LRO, LU, DRO and DU user per node),
+// solves the queueing network model, runs the testbed, and prints both.
+
+#include <iostream>
+
+#include "carat/carat.h"
+#include "util/table.h"
+
+int main() {
+  using namespace carat;
+
+  // 1. Describe the workload: the paper's MB4 mix with 8 requests/txn.
+  const workload::WorkloadSpec wl = workload::MakeMB4(/*requests_per_txn=*/8);
+  const model::ModelInput input = wl.ToModelInput();
+
+  // 2. Analytical prediction: the two-level queueing network model.
+  const model::ModelSolution prediction = model::CaratModel(input).Solve();
+  if (!prediction.ok) {
+    std::cerr << "model failed: " << prediction.error << "\n";
+    return 1;
+  }
+
+  // 3. "Measurement": run the same workload on the simulated testbed.
+  TestbedOptions opts;
+  opts.seed = 42;
+  opts.measure_ms = 1'000'000;  // 1000 seconds of simulated time
+  const TestbedResult measurement = RunTestbed(input, opts);
+  if (!measurement.ok) {
+    std::cerr << "testbed failed: " << measurement.error << "\n";
+    return 1;
+  }
+
+  // 4. Compare.
+  std::cout << "MB4 workload, n = 8 requests/transaction\n\n";
+  util::TextTable table;
+  table.SetHeader({"Node", "metric", "model", "testbed"});
+  for (std::size_t i = 0; i < input.sites.size(); ++i) {
+    const auto& m = prediction.sites[i];
+    const auto& s = measurement.nodes[i];
+    table.AddRow({m.name, "throughput (txn/s)", util::TextTable::Num(m.txn_per_s),
+                  util::TextTable::Num(s.txn_per_s)});
+    table.AddRow({m.name, "records/s", util::TextTable::Num(m.records_per_s, 1),
+                  util::TextTable::Num(s.records_per_s, 1)});
+    table.AddRow({m.name, "CPU utilization",
+                  util::TextTable::Num(m.cpu_utilization),
+                  util::TextTable::Num(s.cpu_utilization)});
+    table.AddRow({m.name, "disk I/O per s", util::TextTable::Num(m.dio_per_s, 1),
+                  util::TextTable::Num(s.dio_per_s, 1)});
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nTestbed protocol counters: " << measurement.network_messages
+            << " messages, " << measurement.global_deadlocks
+            << " global deadlocks, database consistent: "
+            << (measurement.database_consistent ? "yes" : "NO") << "\n";
+  return 0;
+}

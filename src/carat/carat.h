@@ -1,0 +1,25 @@
+// Umbrella header: the public API of the CARAT queueing-network-model
+// reproduction. Typical use:
+//
+//   carat::workload::WorkloadSpec wl = carat::workload::MakeMB4(/*n=*/8);
+//   carat::model::ModelInput input = wl.ToModelInput();
+//
+//   // Analytical prediction (the paper's contribution):
+//   carat::model::ModelSolution pred = carat::model::CaratModel(input).Solve();
+//
+//   // "Measurement" on the simulated testbed:
+//   carat::TestbedResult meas = carat::RunTestbed(input, {.seed = 1});
+//
+//   pred.sites[0].records_per_s;   // model
+//   meas.nodes[0].records_per_s;   // testbed
+
+#ifndef CARAT_CARAT_CARAT_H_
+#define CARAT_CARAT_CARAT_H_
+
+#include "carat/testbed.h"     // IWYU pragma: export
+#include "model/solver.h"      // IWYU pragma: export
+#include "qn/ethernet.h"       // IWYU pragma: export
+#include "qn/mva.h"            // IWYU pragma: export
+#include "workload/spec.h"     // IWYU pragma: export
+
+#endif  // CARAT_CARAT_CARAT_H_

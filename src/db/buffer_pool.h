@@ -1,0 +1,60 @@
+// Shared database buffer (LRU over granules).
+//
+// The paper's testbed had no shared buffer - its model assumption list says
+// "a shared database buffer is not used to reduce database I/O" - and lists
+// database buffering as future work. This pool implements that extension
+// for the testbed; the analytical side uses a working-set hit approximation
+// (model/solver.cc). Content always lives in db::Database; the pool only
+// tracks residency, so a rollback's in-place restore never goes stale.
+
+#ifndef CARAT_DB_BUFFER_POOL_H_
+#define CARAT_DB_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "db/database.h"
+
+namespace carat::db {
+
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t capacity_blocks)
+      : capacity_(capacity_blocks) {}
+
+  /// Records an access to `granule`. Returns true on a hit; on a miss the
+  /// granule becomes resident, evicting the least recently used block if
+  /// the pool is full.
+  bool Touch(GranuleId granule);
+
+  bool Resident(GranuleId granule) const { return map_.contains(granule); }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return map_.size(); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double HitRatio() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+
+  /// Forgets the counters (not the residency state - a warm cache stays
+  /// warm across a measurement-window reset).
+  void ResetStats() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<GranuleId> lru_;  // front = most recent
+  std::unordered_map<GranuleId, std::list<GranuleId>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace carat::db
+
+#endif  // CARAT_DB_BUFFER_POOL_H_

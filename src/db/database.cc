@@ -1,0 +1,31 @@
+#include "db/database.h"
+
+#include <cassert>
+
+namespace carat::db {
+
+Database::Database(GranuleId num_granules, int records_per_granule)
+    : num_granules_(num_granules),
+      records_per_granule_(records_per_granule),
+      values_(static_cast<std::size_t>(num_granules * records_per_granule),
+              0) {
+  assert(num_granules > 0 && records_per_granule > 0);
+}
+
+std::vector<RecordValue> Database::ReadGranule(GranuleId granule) const {
+  const std::size_t begin =
+      static_cast<std::size_t>(granule) * records_per_granule_;
+  return std::vector<RecordValue>(values_.begin() + begin,
+                                  values_.begin() + begin +
+                                      records_per_granule_);
+}
+
+void Database::WriteGranule(GranuleId granule,
+                            const std::vector<RecordValue>& image) {
+  assert(static_cast<int>(image.size()) == records_per_granule_);
+  const std::size_t begin =
+      static_cast<std::size_t>(granule) * records_per_granule_;
+  for (int i = 0; i < records_per_granule_; ++i) values_[begin + i] = image[i];
+}
+
+}  // namespace carat::db

@@ -1,0 +1,64 @@
+// Block-granule database store for the testbed.
+//
+// Mirrors the paper's test database: N_g granules (512-byte disk blocks) of
+// N_b records each per node. Records hold integer values so tests can verify
+// transactional atomicity: committed updates persist, rolled-back updates
+// vanish. Physical I/O *timing* is charged separately through the node's
+// disk resource; this class only tracks logical state and access counts.
+
+#ifndef CARAT_DB_DATABASE_H_
+#define CARAT_DB_DATABASE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace carat::db {
+
+using RecordId = std::int64_t;
+using GranuleId = std::int64_t;
+using RecordValue = std::int64_t;
+
+/// One node's partition of the database.
+class Database {
+ public:
+  /// Creates `num_granules` granules of `records_per_granule` records, all
+  /// initialized to zero.
+  Database(GranuleId num_granules, int records_per_granule);
+
+  GranuleId num_granules() const { return num_granules_; }
+  int records_per_granule() const { return records_per_granule_; }
+  RecordId num_records() const {
+    return num_granules_ * records_per_granule_;
+  }
+
+  /// Granule containing a record.
+  GranuleId GranuleOf(RecordId record) const {
+    return record / records_per_granule_;
+  }
+
+  RecordValue Read(RecordId record) const { return values_[record]; }
+
+  /// Overwrites a record (used by transactions and by rollback).
+  void Write(RecordId record, RecordValue value) { values_[record] = value; }
+
+  /// Snapshot of a whole granule's record values (the "before image" unit —
+  /// journaling works at block granularity, like the testbed).
+  std::vector<RecordValue> ReadGranule(GranuleId granule) const;
+
+  /// Restores a granule from a before image.
+  void WriteGranule(GranuleId granule, const std::vector<RecordValue>& image);
+
+  /// Full content equality (used by recovery tests).
+  bool ContentEquals(const Database& other) const {
+    return values_ == other.values_;
+  }
+
+ private:
+  GranuleId num_granules_;
+  int records_per_granule_;
+  std::vector<RecordValue> values_;
+};
+
+}  // namespace carat::db
+
+#endif  // CARAT_DB_DATABASE_H_

@@ -1,0 +1,164 @@
+// Two-phase-locking lock manager with local deadlock detection.
+//
+// Matches the testbed: shared/exclusive locks at database-block (granule)
+// granularity, FIFO wait queues, and local deadlock detection by cycle
+// search over the transaction-wait-for graph, run when a request blocks.
+// Waits are cancellable so that a transaction chosen as a (local or global)
+// deadlock victim while queued resumes with LockOutcome::kAborted.
+//
+// Lock-table operations are pure bookkeeping (the testbed keeps the lock
+// table in main memory); the LR-phase CPU cost is charged by the caller.
+
+#ifndef CARAT_LOCK_LOCK_MANAGER_H_
+#define CARAT_LOCK_LOCK_MANAGER_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "sim/simulation.h"
+
+namespace carat::lock {
+
+using TxnId = std::uint64_t;
+
+enum class LockMode { kShared, kExclusive };
+
+enum class LockOutcome {
+  kGranted,
+  kAborted,  ///< chosen as deadlock victim (or cancelled by a global abort)
+};
+
+/// Which transaction dies when a local wait-for cycle is found.
+enum class VictimPolicy {
+  kRequester,  ///< the blocking requester (the testbed's behaviour)
+  kYoungest,   ///< cycle member with the latest start time
+  kOldest,     ///< cycle member with the earliest start time
+};
+
+class LockManager {
+ public:
+  explicit LockManager(sim::Simulation& sim) : sim_(sim) {}
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Registers a transaction (start time feeds age-based victim policies).
+  void StartTxn(TxnId txn);
+
+  /// Forgets a finished transaction. Its locks must already be released.
+  void EndTxn(TxnId txn);
+
+  struct AcquireAwaiter;
+
+  /// co_await Acquire(...) returns a LockOutcome. kGranted means the lock is
+  /// held until ReleaseAll; kAborted means the requester was chosen as a
+  /// deadlock victim (no lock acquired) and must roll back.
+  AcquireAwaiter Acquire(TxnId txn, db::GranuleId granule, LockMode mode);
+
+  /// Releases every lock held by `txn` and grants eligible waiters.
+  void ReleaseAll(TxnId txn);
+
+  /// Cancels `txn`'s pending lock wait, resuming it with kAborted. Returns
+  /// false if the transaction was not waiting.
+  bool CancelWait(TxnId txn);
+
+  /// True if `txn` is queued for some lock.
+  bool IsWaiting(TxnId txn) const { return waiting_on_.contains(txn); }
+
+  /// Transactions that `txn` currently waits for: conflicting holders plus
+  /// conflicting earlier waiters on the same granule. Empty if not waiting.
+  std::vector<TxnId> WaitingFor(TxnId txn) const;
+
+  /// True if `txn` holds `granule` with at least `mode` strength.
+  bool Holds(TxnId txn, db::GranuleId granule, LockMode mode) const;
+
+  /// Number of locks held by `txn`.
+  std::size_t HeldCount(TxnId txn) const;
+
+  /// Total locks held across all transactions.
+  std::size_t TotalHeld() const { return total_held_; }
+
+  VictimPolicy victim_policy() const { return victim_policy_; }
+  void set_victim_policy(VictimPolicy policy) { victim_policy_ = policy; }
+
+  /// Invoked whenever a request blocks, after the local deadlock check ruled
+  /// out a local cycle; used to launch global deadlock probes.
+  std::function<void(TxnId waiter, const std::vector<TxnId>& holders)> on_block;
+
+  /// Invoked when a blocked request leaves the wait queue (granted or
+  /// cancelled); used to keep the distributed wait registry current.
+  std::function<void(TxnId waiter)> on_unblock;
+
+  // --- statistics -----------------------------------------------------------
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t blocks() const { return blocks_; }
+  std::uint64_t local_deadlocks() const { return local_deadlocks_; }
+  std::uint64_t cancelled_waits() const { return cancelled_waits_; }
+  void ResetStats();
+
+  struct AcquireAwaiter {
+    LockManager& lm;
+    TxnId txn;
+    db::GranuleId granule;
+    LockMode mode;
+    LockOutcome outcome = LockOutcome::kGranted;
+
+    bool await_ready();
+    bool await_suspend(std::coroutine_handle<> h);
+    LockOutcome await_resume() const { return outcome; }
+  };
+
+ private:
+  struct Holder {
+    TxnId txn;
+    LockMode mode;
+  };
+  struct Waiter {
+    TxnId txn;
+    LockMode mode;
+    std::coroutine_handle<> handle;
+    LockOutcome* outcome;
+  };
+  struct GranuleLock {
+    std::vector<Holder> holders;
+    std::deque<Waiter> queue;
+  };
+
+  // True if `txn` may be granted `mode` right now (ignoring queue fairness).
+  bool CompatibleWithHolders(const GranuleLock& gl, TxnId txn,
+                             LockMode mode) const;
+  // Immediate-grant check including FIFO fairness and re-entrant holds.
+  // Mutates the table on success.
+  bool TryGrantNow(TxnId txn, db::GranuleId granule, LockMode mode);
+  // Grants queued waiters that have become eligible (strict FIFO).
+  void ProcessQueue(db::GranuleId granule);
+  // Conflicting predecessors of a hypothetical/queued request.
+  std::vector<TxnId> ConflictsOf(const GranuleLock& gl, TxnId txn,
+                                 LockMode mode, std::size_t queue_limit) const;
+  // DFS over the wait-for graph; returns the cycle through `start` (empty if
+  // none), where `start` is about to wait for `first_hops`.
+  std::vector<TxnId> FindCycle(TxnId start,
+                               const std::vector<TxnId>& first_hops) const;
+  TxnId ChooseVictim(TxnId requester, const std::vector<TxnId>& cycle) const;
+
+  sim::Simulation& sim_;
+  VictimPolicy victim_policy_ = VictimPolicy::kRequester;
+  std::unordered_map<db::GranuleId, GranuleLock> table_;
+  std::unordered_map<TxnId, std::unordered_map<db::GranuleId, LockMode>> held_;
+  std::unordered_map<TxnId, db::GranuleId> waiting_on_;
+  std::unordered_map<TxnId, double> birth_;
+  std::size_t total_held_ = 0;
+
+  std::uint64_t requests_ = 0;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t local_deadlocks_ = 0;
+  std::uint64_t cancelled_waits_ = 0;
+};
+
+}  // namespace carat::lock
+
+#endif  // CARAT_LOCK_LOCK_MANAGER_H_

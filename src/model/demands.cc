@@ -1,0 +1,73 @@
+#include "model/demands.h"
+
+#include "model/phases.h"
+
+namespace carat::model {
+
+ClassDemands ComputeDemands(const SiteParams& site, TxnType t,
+                            const VisitCounts& visits, double ns, double sigma,
+                            double nlk, const PhaseDelays& delays,
+                            double buffer_hit_prob) {
+  const ClassParams& c = site.Class(t);
+  auto v = [&visits](Phase p) { return visits[Index(p)]; };
+
+  // Granules already updated when an abort strikes: locks are acquired
+  // uniformly, so sigma * N_lk granules were touched (all of them updated,
+  // for update types).
+  const double undo_granules = sigma * nlk;
+
+  ClassDemands d;
+
+  // --- CPU (Eq. 5) ----------------------------------------------------------
+  double cpu = 0.0;
+  cpu += v(Phase::kINIT) * c.init_cpu_ms;
+  cpu += v(Phase::kU) * c.u_cpu_ms;
+  cpu += v(Phase::kTM) * c.tm_cpu_ms;
+  cpu += v(Phase::kDM) * c.dm_cpu_ms;
+  cpu += v(Phase::kLR) * c.lr_cpu_ms;
+  cpu += v(Phase::kDMIO) * c.dmio_cpu_ms;
+  cpu += v(Phase::kTC) * c.tc_cpu_ms;
+  cpu += v(Phase::kTA) * c.ta_fixed_cpu_ms;
+  cpu += v(Phase::kTAIO) * c.ta_cpu_per_granule_ms * undo_granules;
+  // Unlock: committed executions release all N_lk locks, aborted executions
+  // the sigma * N_lk held at the abort. V_TCIO and V_TAIO are exactly the
+  // per-execution commit and abort probabilities.
+  cpu += c.unlock_cpu_per_lock_ms *
+         (v(Phase::kTCIO) * nlk + v(Phase::kTAIO) * undo_granules);
+  d.cpu_ms = ns * cpu;
+
+  // --- Disk (Eq. 6) ---------------------------------------------------------
+  // With a buffer, the read portion of each granule access hits with
+  // probability buffer_hit_prob; journal and database writes always go to
+  // disk (write-through, as required by before-image journaling).
+  const double dmio_per_visit =
+      site.buffer_blocks > 0
+          ? ((1.0 - buffer_hit_prob) * c.dmio_read_ios + c.dmio_write_ios) *
+                site.block_io_ms
+          : c.dmio_disk_ms;
+  const double db_io = ns * v(Phase::kDMIO) * dmio_per_visit;
+  const double commit_io =
+      ns * v(Phase::kTCIO) * c.tcio_force_writes * site.block_io_ms;
+  // Rollback I/O: taio_ios_per_granule I/Os per updated granule (journal
+  // read + database write), applied to the granules updated before the abort.
+  const double abort_io = ns * v(Phase::kTAIO) * c.taio_ios_per_granule *
+                          undo_granules * site.block_io_ms;
+  if (site.separate_log_disk) {
+    d.db_disk_ms = db_io + 0.5 * abort_io;  // database-side writes
+    d.log_disk_ms = commit_io + 0.5 * abort_io;  // journal-side reads/writes
+  } else {
+    d.db_disk_ms = db_io + commit_io + abort_io;
+    d.log_disk_ms = 0.0;
+  }
+
+  // --- Synchronization delay centers (Eqs. 7-10) -----------------------------
+  d.lw_ms = ns * v(Phase::kLW) * delays.r_lw_ms;
+  d.rw_ms = ns * v(Phase::kRW) * delays.r_rw_ms;
+  d.cw_ms = ns * (v(Phase::kCWC) * delays.r_cwc_ms +
+                  v(Phase::kCWA) * delays.r_cwa_ms);
+  d.ut_ms = (ns - 1.0) * site.think_time_ms;
+
+  return d;
+}
+
+}  // namespace carat::model

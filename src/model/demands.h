@@ -1,0 +1,52 @@
+// Service-demand assembly (Eqs. 2 and 5-10 of the paper): converts visit
+// counts and per-phase costs into per-commit demands at every service center
+// of the Site Processing Model.
+
+#ifndef CARAT_MODEL_DEMANDS_H_
+#define CARAT_MODEL_DEMANDS_H_
+
+#include "model/params.h"
+#include "model/transition.h"
+#include "model/types.h"
+
+namespace carat::model {
+
+/// Current iteration estimates of the per-visit delays at the synchronization
+/// delay centers (the quantities solved for by the fixed point, Section 6).
+struct PhaseDelays {
+  double r_lw_ms = 0.0;   ///< per LW visit
+  double r_rw_ms = 0.0;   ///< per RW visit
+  double r_cwc_ms = 0.0;  ///< per CWC visit
+  double r_cwa_ms = 0.0;  ///< per CWA visit
+};
+
+/// Per-commit service demands of one chain at one site (Eqs. 5-10).
+struct ClassDemands {
+  double cpu_ms = 0.0;
+  double db_disk_ms = 0.0;
+  double log_disk_ms = 0.0;  ///< 0 unless the site has a separate log disk
+  double lw_ms = 0.0;        ///< D_LW
+  double rw_ms = 0.0;        ///< D_RW
+  double cw_ms = 0.0;        ///< D_CW (commit + abort paths combined)
+  double ut_ms = 0.0;        ///< D_UT = (N_s - 1) R_UT (Eq. 10)
+
+  double Total() const {
+    return cpu_ms + db_disk_ms + log_disk_ms + lw_ms + rw_ms + cw_ms + ut_ms;
+  }
+};
+
+/// Assembles the demands for type `t` at `site`.
+/// `visits` are per-execution visit counts (Eq. 1 output); `ns` is the mean
+/// submissions per commit N_s (Eq. 4); `sigma` the mean abort progress
+/// fraction (used for rollback and unlock cost, which depend on how many
+/// granules were touched when the abort struck); `nlk` the lock requests per
+/// execution; `buffer_hit_prob` lets buffered reads skip their block I/O
+/// (0 under the paper's no-buffer assumption).
+ClassDemands ComputeDemands(const SiteParams& site, TxnType t,
+                            const VisitCounts& visits, double ns, double sigma,
+                            double nlk, const PhaseDelays& delays,
+                            double buffer_hit_prob = 0.0);
+
+}  // namespace carat::model
+
+#endif  // CARAT_MODEL_DEMANDS_H_

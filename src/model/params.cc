@@ -1,0 +1,64 @@
+#include "model/params.h"
+
+namespace carat::model {
+
+void ClassParams::DeriveDefaults(TxnType type) {
+  init_cpu_ms = 2.0 * tm_cpu_ms + dm_cpu_ms;
+  tc_cpu_ms = IsCoordinator(type) ? 2.0 * tm_cpu_ms : tm_cpu_ms;
+  tcio_force_writes = IsSlave(type) ? 2.0 : 1.0;
+  ta_fixed_cpu_ms = tm_cpu_ms;
+  if (IsUpdate(type)) {
+    ta_cpu_per_granule_ms = dmio_cpu_ms;
+    taio_ios_per_granule = 2.0;
+  } else {
+    ta_cpu_per_granule_ms = 0.0;
+    taio_ios_per_granule = 0.0;
+  }
+}
+
+bool ModelInput::Validate(std::string* error) const {
+  auto fail = [error](const char* msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (sites.empty()) return fail("no sites");
+  if (comm_delay_ms < 0) return fail("negative communication delay");
+  for (const SiteParams& site : sites) {
+    if (site.num_granules <= 0) return fail("num_granules must be positive");
+    if (site.records_per_granule <= 0)
+      return fail("records_per_granule must be positive");
+    if (site.block_io_ms < 0) return fail("negative block I/O time");
+    if (site.think_time_ms < 0) return fail("negative think time");
+    for (TxnType t : kAllTxnTypes) {
+      const ClassParams& c = site.Class(t);
+      if (c.population < 0) return fail("negative population");
+      if (c.population == 0) continue;
+      if (c.local_requests < 0 || c.remote_requests < 0)
+        return fail("negative request count");
+      if (IsLocal(t) && c.remote_requests != 0)
+        return fail("local type with remote requests");
+      if (IsSlave(t) && c.remote_requests != 0)
+        return fail("slave chain with remote requests");
+      if (IsCoordinator(t) && c.remote_requests == 0)
+        return fail("coordinator with no remote requests");
+      if (c.total_requests() <= 0) return fail("class with no requests");
+      if (c.records_per_request <= 0)
+        return fail("records_per_request must be positive");
+    }
+  }
+  // Slave populations must have matching coordinators somewhere else.
+  for (std::size_t j = 0; j < sites.size(); ++j) {
+    for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
+      if (sites[j].Class(s).population == 0) continue;
+      int coordinators = 0;
+      for (std::size_t i = 0; i < sites.size(); ++i) {
+        if (i == j) continue;
+        coordinators += sites[i].Class(CoordinatorOf(s)).population;
+      }
+      if (coordinators == 0) return fail("slave chain without any coordinator");
+    }
+  }
+  return true;
+}
+
+}  // namespace carat::model

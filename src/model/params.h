@@ -1,0 +1,153 @@
+// Input parameter structures for the CARAT queueing network model.
+//
+// The "basic parameters" follow Table 2 of the paper: per transaction type
+// and site, the per-visit CPU costs of the U, TM, DM, LR and DMIO phases and
+// the per-visit disk cost of the DMIO phase (all in milliseconds). The
+// remaining phase costs (INIT, TC, TCIO, TA, TAIO, UL) were derived from
+// measurements in [JENQ86], which is not available; DeriveDefaults() below
+// reconstructs them from the basic parameters with documented rules (see
+// DESIGN.md section 4).
+
+#ifndef CARAT_MODEL_PARAMS_H_
+#define CARAT_MODEL_PARAMS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "model/types.h"
+
+namespace carat::model {
+
+/// Per-(type, site) workload and cost parameters.
+struct ClassParams {
+  /// Number of transactions of this type resident at this site, N(t,i).
+  int population = 0;
+
+  /// Local requests per execution, l(t). For slave chains this is the number
+  /// of remote requests they serve on behalf of their coordinator.
+  int local_requests = 0;
+
+  /// Remote requests per execution, r(t); zero except for coordinators.
+  int remote_requests = 0;
+
+  /// Database records accessed per request (4 in all paper experiments).
+  int records_per_request = 4;
+
+  // --- Table 2 basic parameters (ms per phase visit) -----------------------
+  double u_cpu_ms = 0.0;     ///< R_U^(cpu)
+  double tm_cpu_ms = 0.0;    ///< R_TM^(cpu)
+  double dm_cpu_ms = 0.0;    ///< R_DM^(cpu)
+  double lr_cpu_ms = 0.0;    ///< R_LR^(cpu)
+  double dmio_cpu_ms = 0.0;  ///< R_DMIO^(cpu)
+  double dmio_disk_ms = 0.0; ///< R_DMIO^(disk) (3x block time for updates)
+
+  /// Breakdown of the DMIO block transfers per granule access: one read
+  /// (skippable on a buffer hit) plus, for updates, the journal and
+  /// database writes. dmio_disk_ms must equal (reads + writes) * block time
+  /// when no buffer is configured.
+  double dmio_read_ios = 1.0;
+  double dmio_write_ios = 0.0;
+
+  // --- Reconstructed phase costs (see DeriveDefaults) ----------------------
+  double init_cpu_ms = 0.0;          ///< INIT phase CPU
+  double tc_cpu_ms = 0.0;            ///< commit processing CPU
+  double tcio_force_writes = 1.0;    ///< log force-writes in TCIO
+  double ta_fixed_cpu_ms = 0.0;      ///< abort handling CPU, fixed part
+  double ta_cpu_per_granule_ms = 0.0;///< undo CPU per updated granule
+  double taio_ios_per_granule = 0.0; ///< undo I/Os per updated granule
+  double unlock_cpu_per_lock_ms = 0.3;
+
+  /// Total requests per execution, n(t).
+  int total_requests() const { return local_requests + remote_requests; }
+
+  /// Records accessed per execution at this chain's site(s).
+  int records_accessed() const {
+    return total_requests() * records_per_request;
+  }
+
+  /// Fills the reconstructed phase costs from the basic parameters:
+  ///   INIT = 2*TM + DM (TBEGIN and DBOPEN round trips);
+  ///   TC   = TM for locals and slaves, 2*TM for coordinators (two commit
+  ///          rounds of message processing);
+  ///   TCIO = 1 force-write for locals and coordinators, 2 for slaves
+  ///          (prepare force + commit write);
+  ///   TA   = TM fixed + DMIO-CPU per updated granule;
+  ///   TAIO = 2 I/Os per updated granule (journal read + database write),
+  ///          0 for read-only types.
+  void DeriveDefaults(TxnType type);
+};
+
+/// Per-site parameters.
+struct SiteParams {
+  std::string name;
+
+  /// Number of lockable granules (database disk blocks), N_g.
+  int num_granules = 3000;
+
+  /// Database records per granule, N_b.
+  int records_per_granule = 6;
+
+  /// Service time of one block I/O on this site's database disk (ms):
+  /// 28 for the paper's Node A (DEC RM05), 40 for Node B (DEC RP06).
+  double block_io_ms = 28.0;
+
+  /// When true, commit-log force writes (TCIO) and rollback I/O (TAIO) go to
+  /// a separate log disk instead of sharing the database disk. The paper's
+  /// testbed was forced to share one disk; this switch enables the ablation
+  /// the paper says "would not be done in practice".
+  bool separate_log_disk = false;
+
+  /// Mean user think time between transactions, R_UT (0 in all experiments).
+  double think_time_ms = 0.0;
+
+  /// Access skew (extension; the paper assumes uniform random access):
+  /// `hot_data_fraction` of the granules receive `hot_access_fraction` of
+  /// the accesses. Zero values mean uniform.
+  double hot_data_fraction = 0.0;
+  double hot_access_fraction = 0.0;
+
+  /// Shared database buffer in blocks (extension; the paper's assumption
+  /// list rules a buffer out, so 0 = no buffer reproduces the paper).
+  /// The testbed uses a real LRU pool; the model uses a working-set hit
+  /// approximation (see BufferHitProbability in solver.cc).
+  int buffer_blocks = 0;
+
+  /// Size of the DM server pool ("fixed and determined at system start-up
+  /// time" in CARAT). A DM server is held by a transaction for its lifetime
+  /// at the node. 0 = unlimited (the paper's experiments sized the pool so
+  /// that it never throttled). Testbed-only: like the paper, the analytical
+  /// model assumes an adequate pool. Caution: pools smaller than the number
+  /// of distributed transactions can themselves deadlock (a real hazard of
+  /// the architecture); the testbed's probes do not chase DM-pool waits.
+  int dm_pool_size = 0;
+
+  /// Per-transaction-type parameters, indexed by Index(TxnType).
+  std::array<ClassParams, kNumTxnTypes> classes;
+
+  ClassParams& Class(TxnType t) { return classes[Index(t)]; }
+  const ClassParams& Class(TxnType t) const { return classes[Index(t)]; }
+
+  /// Total records stored at the site.
+  long long total_records() const {
+    return static_cast<long long>(num_granules) * records_per_granule;
+  }
+};
+
+/// Full model input: the set of interacting Site Processing Models plus the
+/// communication delay from the Communication Network Model.
+struct ModelInput {
+  std::vector<SiteParams> sites;
+
+  /// Mean one-way inter-site message delay alpha (ms). Negligible on the
+  /// paper's two-node Ethernet; see qn/ethernet.h for a model that computes
+  /// it under contention.
+  double comm_delay_ms = 0.0;
+
+  /// Sanity checks; returns false and sets *error on malformed input.
+  bool Validate(std::string* error = nullptr) const;
+};
+
+}  // namespace carat::model
+
+#endif  // CARAT_MODEL_PARAMS_H_

@@ -1,0 +1,68 @@
+// Transaction execution phases (Section 4.1 of the paper).
+
+#ifndef CARAT_MODEL_PHASES_H_
+#define CARAT_MODEL_PHASES_H_
+
+#include <array>
+#include <string_view>
+
+namespace carat::model {
+
+/// The phases a transaction passes through during one execution. A phase is
+/// a state of the Site Processing Model's embedded Markov chain; Table 1 of
+/// the paper gives the transition probabilities.
+enum class Phase : int {
+  kUT = 0,    ///< user think wait between executions
+  kINIT = 1,  ///< transaction initialization (TBEGIN / DBOPEN processing)
+  kU = 2,     ///< user application processing
+  kTM = 3,    ///< TM server processing of a message
+  kDM = 4,    ///< DM server processing between lock requests
+  kLR = 5,    ///< lock request processing (incl. local deadlock detection)
+  kDMIO = 6,  ///< database disk I/O burst
+  kLW = 7,    ///< blocked on a lock
+  kRW = 8,    ///< waiting for a remote request / response
+  kTC = 9,    ///< commit processing (2PC CPU)
+  kTA = 10,   ///< abort/rollback processing (CPU)
+  kTCIO = 11, ///< commit log force-write I/O
+  kTAIO = 12, ///< rollback I/O (restore before-images)
+  kCWC = 13,  ///< two-phase-commit wait, commit path
+  kCWA = 14,  ///< two-phase-commit wait, abort path
+  kUL = 15,   ///< unlock processing (release all locks)
+};
+
+inline constexpr int kNumPhases = 16;
+
+inline constexpr int Index(Phase p) { return static_cast<int>(p); }
+
+inline constexpr std::array<Phase, kNumPhases> kAllPhases = {
+    Phase::kUT,   Phase::kINIT, Phase::kU,    Phase::kTM,
+    Phase::kDM,   Phase::kLR,   Phase::kDMIO, Phase::kLW,
+    Phase::kRW,   Phase::kTC,   Phase::kTA,   Phase::kTCIO,
+    Phase::kTAIO, Phase::kCWC,  Phase::kCWA,  Phase::kUL,
+};
+
+inline constexpr std::string_view Name(Phase p) {
+  switch (p) {
+    case Phase::kUT: return "UT";
+    case Phase::kINIT: return "INIT";
+    case Phase::kU: return "U";
+    case Phase::kTM: return "TM";
+    case Phase::kDM: return "DM";
+    case Phase::kLR: return "LR";
+    case Phase::kDMIO: return "DMIO";
+    case Phase::kLW: return "LW";
+    case Phase::kRW: return "RW";
+    case Phase::kTC: return "TC";
+    case Phase::kTA: return "TA";
+    case Phase::kTCIO: return "TCIO";
+    case Phase::kTAIO: return "TAIO";
+    case Phase::kCWC: return "CWC";
+    case Phase::kCWA: return "CWA";
+    case Phase::kUL: return "UL";
+  }
+  return "?";
+}
+
+}  // namespace carat::model
+
+#endif  // CARAT_MODEL_PHASES_H_

@@ -1,0 +1,550 @@
+#include "model/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/demands.h"
+#include "model/lock_model.h"
+#include "model/phases.h"
+#include "model/transition.h"
+#include "model/yao.h"
+#include "qn/mva.h"
+
+namespace carat::model {
+
+namespace {
+
+// Mutable per-(site, type) iteration state.
+struct ClassState {
+  bool present = false;
+  double q = 0.0;        // granule accesses (I/O bursts) per request
+  double lock_ratio = 1.0;  // distinct locks / total accesses (re-access
+                            // never blocks, so Pb applies to this share)
+  double nlk = 0.0;    // lock requests per execution (Eq. 2)
+  double pb = 0.0;     // blocking probability per lock request
+  double pd = 0.0;     // deadlock-victim probability per block
+  double pra = 0.0;    // abort probability per remote-wait visit
+  double sigma = 1.0;  // abort progress fraction
+  double pa = 0.0;     // per-submission abort probability
+  double ns = 1.0;     // submissions per commit
+  double plw = 0.0;    // blocks at least once per execution
+  double lh = 0.0;     // time-average locks held
+  double rs = 0.0;     // successful-execution duration
+  double rexec = 0.0;  // mean execution duration (success/abort mix)
+  PhaseDelays delays;  // r_lw / r_rw / r_cwc / r_cwa
+  VisitCounts visits{};
+  ClassDemands demands;
+  double x = 0.0;      // throughput, commits per ms
+  double r = 0.0;      // per-commit response (excl. Z), ms
+};
+
+struct SiteState {
+  std::array<ClassState, kNumTxnTypes> cls;
+  double cpu_util = 0.0;
+  double db_util = 0.0;
+  double log_util = 0.0;
+  // Mean queue lengths from the site MVA, used to approximate the queueing
+  // experienced by commit/abort message processing (arrival theorem).
+  double cpu_q = 0.0;
+  double db_q = 0.0;
+  double log_q = 0.0;
+};
+
+double Damp(double old_value, double new_value, double damping) {
+  return (1.0 - damping) * old_value + damping * new_value;
+}
+
+AccessSkew SkewOf(const SiteParams& site) {
+  if (site.hot_data_fraction > 0.0 && site.hot_data_fraction < 1.0 &&
+      site.hot_access_fraction > 0.0) {
+    return AccessSkew{site.hot_data_fraction,
+                      std::min(site.hot_access_fraction, 1.0)};
+  }
+  return AccessSkew{1.0, 1.0};  // uniform
+}
+
+// Working-set approximation of the LRU buffer hit probability: the hot set
+// is cached first, the remainder of the buffer covers the cold set.
+double BufferHitProbability(const SiteParams& site) {
+  if (site.buffer_blocks <= 0) return 0.0;
+  const double b = site.buffer_blocks;
+  const double ng = site.num_granules;
+  const AccessSkew skew = SkewOf(site);
+  if (skew.IsUniform()) return std::min(1.0, b / ng);
+  const double hot_blocks = skew.hot_data_fraction * ng;
+  const double a = skew.hot_access_fraction;
+  if (b <= hot_blocks) return a * b / hot_blocks;
+  const double cold_blocks = ng - hot_blocks;
+  return a + (1.0 - a) * std::min(1.0, (b - hot_blocks) / cold_blocks);
+}
+
+// Commit processing time (CPU + forced log writes) of type t at `site`,
+// used by the CW-delay estimates (Section 5.7). The commit messages queue
+// behind regular work at the site's CPU and log disk; by the arrival
+// theorem a visit in a closed network sees roughly the mean queue, so each
+// service time is inflated by (1 + Q) with Q from the site MVA.
+double CommitProcessingMs(const SiteParams& site, TxnType t, double cpu_q,
+                          double log_disk_q) {
+  const ClassParams& c = site.Class(t);
+  return c.tc_cpu_ms * (1.0 + cpu_q) +
+         c.tcio_force_writes * site.block_io_ms * (1.0 + log_disk_q);
+}
+
+// Abort processing time of type t at `site` given its current sigma/nlk,
+// with the same queueing inflation.
+double AbortProcessingMs(const SiteParams& site, TxnType t, double sigma,
+                         double nlk, double cpu_q, double disk_q) {
+  const ClassParams& c = site.Class(t);
+  const double undo = sigma * nlk;
+  return (c.ta_fixed_cpu_ms + undo * c.ta_cpu_per_granule_ms) * (1.0 + cpu_q) +
+         undo * c.taio_ios_per_granule * site.block_io_ms * (1.0 + disk_q);
+}
+
+}  // namespace
+
+double ModelSolution::TotalTxnPerSec() const {
+  double total = 0.0;
+  for (const SiteSolution& s : sites) total += s.txn_per_s;
+  return total;
+}
+
+double ModelSolution::TotalRecordsPerSec() const {
+  double total = 0.0;
+  for (const SiteSolution& s : sites) total += s.records_per_s;
+  return total;
+}
+
+CaratModel::CaratModel(ModelInput input) : input_(std::move(input)) {}
+
+ModelSolution CaratModel::Solve(const SolverOptions& options) const {
+  ModelSolution out;
+  if (!input_.Validate(&out.error)) return out;
+  out.ok = true;
+
+  const std::size_t num_sites = input_.sites.size();
+  // Alpha is fixed input unless the Ethernet model is enabled, in which
+  // case it is re-derived from the model's own message rate each iteration
+  // (the two-level coupling of Section 3).
+  double alpha = input_.comm_delay_ms;
+  std::vector<SiteState> st(num_sites);
+
+  // ---- Workload-independent quantities: q(t) (Yao) and N_lk(t) (Eq. 2). ----
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    const SiteParams& site = input_.sites[i];
+    for (TxnType t : kAllTxnTypes) {
+      const ClassParams& c = site.Class(t);
+      ClassState& cs = st[i].cls[Index(t)];
+      cs.present = c.population > 0;
+      if (!cs.present) continue;
+      // Local requests drive the I/O and locking at this site; a
+      // coordinator's remote requests are handled by its slave chains.
+      // Every record access is a granule I/O (q), but only the first touch
+      // of a granule is a fresh lock: N_lk counts distinct granules (Yao,
+      // skew-aware) and lock_ratio rescales the per-LR blocking chance.
+      if (c.local_requests > 0) {
+        cs.q = c.records_per_request;
+        cs.nlk = YaoExpectedBlocksSkewed(
+            site.total_records(), site.num_granules,
+            static_cast<long long>(c.local_requests) * c.records_per_request,
+            SkewOf(site));
+        const double accesses =
+            static_cast<double>(c.local_requests) * c.records_per_request;
+        cs.lock_ratio = accesses > 0 ? cs.nlk / accesses : 1.0;
+      }
+    }
+  }
+
+  // Number of slave sites serving a coordinator chain at site i (for the
+  // request-fraction f(t,i,j); requests are split evenly).
+  auto slave_sites_of = [&](std::size_t i, TxnType coord) {
+    std::vector<std::size_t> sites_out;
+    const TxnType s = SlaveOf(coord);
+    for (std::size_t j = 0; j < num_sites; ++j) {
+      if (j == i) continue;
+      if (input_.sites[j].Class(s).population > 0) sites_out.push_back(j);
+    }
+    return sites_out;
+  };
+  auto coordinator_sites_of = [&](std::size_t j, TxnType slave) {
+    std::vector<std::size_t> sites_out;
+    const TxnType c = CoordinatorOf(slave);
+    for (std::size_t i = 0; i < num_sites; ++i) {
+      if (i == j) continue;
+      if (input_.sites[i].Class(c).population > 0) sites_out.push_back(i);
+    }
+    return sites_out;
+  };
+
+  // ---- Fixed-point iteration (Section 6). ----------------------------------
+  std::vector<double> prev_x(num_sites * kNumTxnTypes, 0.0);
+  bool converged = false;
+  int iteration = 0;
+  // High-contention inputs can make the plain damped iteration oscillate;
+  // shrinking the damping factor over time restores convergence.
+  double damping = options.damping;
+
+  for (iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    if (iteration % 100 == 0) damping = std::max(damping * 0.5, 0.02);
+    // (1) Visit counts with the current Pb / Pd / Pra.
+    for (std::size_t i = 0; i < num_sites; ++i) {
+      const SiteParams& site = input_.sites[i];
+      for (TxnType t : kAllTxnTypes) {
+        ClassState& cs = st[i].cls[Index(t)];
+        if (!cs.present) continue;
+        const ClassParams& c = site.Class(t);
+        TransitionInputs in;
+        in.local_requests = c.local_requests;
+        in.remote_requests = c.remote_requests;
+        in.io_per_request = cs.q;
+        in.pb = cs.pb * cs.lock_ratio;
+        in.pd = cs.pd;
+        in.pra = cs.pra;
+        const TransitionMatrix p = BuildTransitionMatrix(t, in);
+        if (!SolveVisitCounts(p, &cs.visits)) {
+          out.error = "visit-count system singular";
+          out.ok = false;
+          return out;
+        }
+      }
+    }
+
+    // (2) sigma, P_a, N_s. Locals and coordinators first (Eq. 3); slaves
+    // inherit their coordinators' abort/submission behaviour.
+    for (std::size_t i = 0; i < num_sites; ++i) {
+      for (TxnType t : kAllTxnTypes) {
+        ClassState& cs = st[i].cls[Index(t)];
+        if (!cs.present || IsSlave(t)) continue;
+        const double pbpd = cs.pb * cs.pd;
+        cs.sigma = SigmaFraction(pbpd, cs.nlk);
+        double pa = 1.0 - std::pow(1.0 - pbpd, cs.nlk);
+        if (IsCoordinator(t)) {
+          const int r = input_.sites[i].Class(t).remote_requests;
+          pa = 1.0 - (1.0 - pa) * std::pow(1.0 - cs.pra, r);
+        }
+        cs.pa = std::min(pa, options.max_abort_prob);
+        cs.ns = 1.0 / (1.0 - cs.pa);
+      }
+    }
+    for (std::size_t j = 0; j < num_sites; ++j) {
+      for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
+        ClassState& cs = st[j].cls[Index(s)];
+        if (!cs.present) continue;
+        cs.sigma = SigmaFraction(cs.pb * cs.pd, cs.nlk);
+        // The slave resubmits whenever its global transaction does, so its
+        // N_s matches the (population-weighted) coordinators'.
+        double pa = 0.0, weight = 0.0;
+        for (std::size_t i : coordinator_sites_of(j, s)) {
+          const ClassState& cc = st[i].cls[Index(CoordinatorOf(s))];
+          const double w = input_.sites[i].Class(CoordinatorOf(s)).population;
+          pa += w * cc.pa;
+          weight += w;
+        }
+        cs.pa = weight > 0.0 ? std::min(pa / weight, options.max_abort_prob)
+                             : 0.0;
+        cs.ns = 1.0 / (1.0 - cs.pa);
+      }
+    }
+
+    // (3) Demands (Eqs. 5-10) and per-site MVA solve.
+    for (std::size_t i = 0; i < num_sites; ++i) {
+      const SiteParams& site = input_.sites[i];
+      qn::ClosedNetwork net;
+      const std::size_t cpu = net.AddCenter("CPU", qn::CenterKind::kQueueing);
+      const std::size_t disk = net.AddCenter("DISK", qn::CenterKind::kQueueing);
+      std::size_t log_disk = 0;
+      if (site.separate_log_disk)
+        log_disk = net.AddCenter("LOG", qn::CenterKind::kQueueing);
+      const std::size_t lw = net.AddCenter("LW", qn::CenterKind::kDelay);
+      const std::size_t rw = net.AddCenter("RW", qn::CenterKind::kDelay);
+      const std::size_t cw = net.AddCenter("CW", qn::CenterKind::kDelay);
+      const std::size_t ut = net.AddCenter("UT", qn::CenterKind::kDelay);
+
+      std::vector<TxnType> chain_types;
+      for (TxnType t : kAllTxnTypes) {
+        ClassState& cs = st[i].cls[Index(t)];
+        if (!cs.present) continue;
+        cs.demands = ComputeDemands(site, t, cs.visits, cs.ns, cs.sigma,
+                                    cs.nlk, cs.delays,
+                                    BufferHitProbability(site));
+        const std::size_t k = net.AddChain(
+            std::string(Name(t)), site.Class(t).population, site.think_time_ms);
+        net.chains[k].demands[cpu] = cs.demands.cpu_ms;
+        net.chains[k].demands[disk] = cs.demands.db_disk_ms;
+        if (site.separate_log_disk)
+          net.chains[k].demands[log_disk] = cs.demands.log_disk_ms;
+        net.chains[k].demands[lw] = cs.demands.lw_ms;
+        net.chains[k].demands[rw] = cs.demands.rw_ms;
+        net.chains[k].demands[cw] = cs.demands.cw_ms;
+        net.chains[k].demands[ut] = cs.demands.ut_ms;
+        chain_types.push_back(t);
+      }
+
+      qn::MvaResult mva = options.use_exact_mva ? qn::SolveMva(net)
+                                                : qn::SchweitzerMva(net);
+      if (!mva.ok) {
+        out.error = "MVA failed: " + mva.error;
+        out.ok = false;
+        return out;
+      }
+      for (std::size_t k = 0; k < chain_types.size(); ++k) {
+        ClassState& cs = st[i].cls[Index(chain_types[k])];
+        cs.x = mva.solution.throughput[k];
+        cs.r = mva.solution.response_time[k];
+      }
+      st[i].cpu_util = mva.solution.utilization[cpu];
+      st[i].db_util = mva.solution.utilization[disk];
+      st[i].log_util = site.separate_log_disk
+                           ? mva.solution.utilization[log_disk]
+                           : 0.0;
+      st[i].cpu_q = mva.solution.queue_length[cpu];
+      st[i].db_q = mva.solution.queue_length[disk];
+      st[i].log_q = site.separate_log_disk
+                        ? mva.solution.queue_length[log_disk]
+                        : st[i].db_q;
+    }
+
+    // (4) Execution durations and locks held (Fig. 3 / Eq. 14).
+    for (std::size_t i = 0; i < num_sites; ++i) {
+      const SiteParams& site = input_.sites[i];
+      for (TxnType t : kAllTxnTypes) {
+        ClassState& cs = st[i].cls[Index(t)];
+        if (!cs.present) continue;
+        // R from MVA covers one commit cycle: (N_s - 1) aborted executions
+        // plus intermediate thinks plus the successful execution. Undo the
+        // cycle structure to recover R_s (DESIGN.md section 4).
+        const double active = std::max(cs.r - cs.demands.ut_ms, 0.0);
+        const double denom = 1.0 + (cs.ns - 1.0) * cs.sigma;
+        cs.rs = denom > 0.0 ? active / denom : active;
+        // Blocking-time basis (Eq. 18): the blocker's execution time
+        // *excluding its own lock waits*. Using the full response here makes
+        // the LW fixed point non-contractive at high contention (waits
+        // inflating waits); the paper's derivation assumes rare blocking, so
+        // the active time is the consistent first-order basis (DESIGN.md §4).
+        const double busy = std::max(
+            cs.r - cs.demands.ut_ms -
+                (1.0 - options.blocker_wait_fraction) * cs.demands.lw_ms,
+            0.0);
+        const double rs_busy = denom > 0.0 ? busy / denom : busy;
+        cs.rexec = cs.pa * cs.sigma * rs_busy + (1.0 - cs.pa) * rs_busy;
+        cs.lh = AverageLocksHeld(cs.nlk, cs.sigma, cs.pa, cs.rs,
+                                 site.think_time_ms);
+      }
+    }
+
+    // (5) Blocking and deadlock quantities (Eqs. 15-20), damped.
+    for (std::size_t i = 0; i < num_sites; ++i) {
+      SiteLockInputs li;
+      li.num_granules = input_.sites[i].num_granules;
+      li.contention_factor = SkewOf(input_.sites[i]).ContentionFactor();
+      for (TxnType t : kAllTxnTypes) {
+        const ClassState& cs = st[i].cls[Index(t)];
+        li.population[Index(t)] = input_.sites[i].Class(t).population;
+        li.locks_held[Index(t)] = cs.lh;
+        li.lock_requests[Index(t)] = cs.nlk;
+      }
+      // First pass: new Pb and per-execution blocking probabilities.
+      std::array<double, kNumTxnTypes> pb_new{}, plw_new{}, rlt{};
+      for (TxnType t : kAllTxnTypes) {
+        const ClassState& cs = st[i].cls[Index(t)];
+        if (!cs.present) continue;
+        pb_new[Index(t)] = BlockingProbability(li, t);
+        plw_new[Index(t)] =
+            BlockAtLeastOnceProbability(pb_new[Index(t)], cs.nlk);
+        rlt[Index(t)] = MeanBlockingTime(cs.nlk, cs.rexec);
+      }
+      li.block_prob_per_execution = plw_new;
+      // Second pass: Pd and R_LW from the new blocking state.
+      for (TxnType t : kAllTxnTypes) {
+        ClassState& cs = st[i].cls[Index(t)];
+        if (!cs.present) continue;
+        const double pd_new = DeadlockVictimProbability(li, t);
+        const double rlw_new = LockWaitDelay(li, t, rlt);
+        cs.pb = Damp(cs.pb, pb_new[Index(t)], damping);
+        cs.pd = Damp(cs.pd, pd_new, damping);
+        cs.plw = plw_new[Index(t)];
+        cs.delays.r_lw_ms = Damp(cs.delays.r_lw_ms, rlw_new, damping);
+      }
+    }
+
+    // (5b) Communication Network Model: derive alpha from the current
+    // message rate. Each remote request is a message pair; each commit adds
+    // two rounds (PREPARE/vote, COMMIT/ack) per slave site.
+    if (options.ethernet.has_value()) {
+      double messages_per_ms = 0.0;
+      for (std::size_t i = 0; i < num_sites; ++i) {
+        for (TxnType t : {TxnType::kDROC, TxnType::kDUC}) {
+          const ClassState& cs = st[i].cls[Index(t)];
+          if (!cs.present) continue;
+          const int r = input_.sites[i].Class(t).remote_requests;
+          const double slaves =
+              static_cast<double>(slave_sites_of(i, t).size());
+          const double per_commit = cs.ns * 2.0 * r + 4.0 * slaves;
+          messages_per_ms += input_.sites[i].Class(t).population > 0
+                                 ? cs.x * per_commit
+                                 : 0.0;
+        }
+      }
+      const double alpha_new = qn::EthernetMeanDelayMs(
+          *options.ethernet, options.message_bits, messages_per_ms);
+      alpha = Damp(alpha, alpha_new, damping);
+    }
+
+    // (6) Remote-wait and 2PC-wait coupling across sites (Eqs. 21-24, §5.7).
+    for (std::size_t i = 0; i < num_sites; ++i) {
+      const SiteParams& site = input_.sites[i];
+      // Coordinators.
+      for (TxnType t : {TxnType::kDROC, TxnType::kDUC}) {
+        ClassState& cs = st[i].cls[Index(t)];
+        if (!cs.present) continue;
+        const TxnType s = SlaveOf(t);
+        const std::vector<std::size_t> slaves = slave_sites_of(i, t);
+        const int r = site.Class(t).remote_requests;
+
+        double slave_busy_sum = 0.0;   // Eq. 21/22 numerator
+        double pra_sum = 0.0;
+        double cwc_max = 0.0, cwa_max = 0.0;
+        for (std::size_t j : slaves) {
+          const ClassState& ss = st[j].cls[Index(s)];
+          slave_busy_sum += std::max(
+              ss.r - ss.demands.rw_ms - ss.demands.ut_ms, 0.0);
+          // Per-remote-request abort probability at the slave: the slave
+          // acquires nlk/l locks per request, each fatal with Pb*Pd.
+          const int ls = input_.sites[j].Class(s).local_requests;
+          if (ls > 0) {
+            pra_sum += 1.0 - std::pow(1.0 - ss.pb * ss.pd, ss.nlk / ls);
+          }
+          cwc_max = std::max(
+              cwc_max, CommitProcessingMs(input_.sites[j], s, st[j].cpu_q,
+                                          st[j].log_q));
+          cwa_max = std::max(
+              cwa_max, AbortProcessingMs(input_.sites[j], s, ss.sigma, ss.nlk,
+                                         st[j].cpu_q, st[j].db_q));
+        }
+        const double rrw_new =
+            slaves.empty() || r <= 0
+                ? 0.0
+                : 2.0 * alpha + slave_busy_sum / (cs.ns * r);
+        const double pra_new =
+            slaves.empty() ? 0.0 : pra_sum / static_cast<double>(slaves.size());
+        // Two round trips for PREPARE/COMMIT plus the slowest slave's commit
+        // processing; one round trip plus rollback on the abort path.
+        const double cwc_new = 4.0 * alpha + cwc_max;
+        const double cwa_new = 2.0 * alpha + cwa_max;
+        cs.delays.r_rw_ms = Damp(cs.delays.r_rw_ms, rrw_new, damping);
+        cs.pra = Damp(cs.pra, pra_new, damping);
+        cs.delays.r_cwc_ms = Damp(cs.delays.r_cwc_ms, cwc_new, damping);
+        cs.delays.r_cwa_ms = Damp(cs.delays.r_cwa_ms, cwa_new, damping);
+      }
+      // Slaves.
+      for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
+        ClassState& cs = st[i].cls[Index(s)];
+        if (!cs.present) continue;
+        const TxnType t = CoordinatorOf(s);
+        const std::vector<std::size_t> coords = coordinator_sites_of(i, s);
+        const int ls = site.Class(s).local_requests;
+
+        double rrw_sum = 0.0, pra_sum = 0.0, cwc_sum = 0.0, weight = 0.0;
+        for (std::size_t ci : coords) {
+          const ClassState& cc = st[ci].cls[Index(t)];
+          const double w = input_.sites[ci].Class(t).population;
+          const double f =
+              1.0 / std::max<std::size_t>(slave_sites_of(ci, t).size(), 1);
+          // Eq. 23/24: coordinator response minus the remote waits it spends
+          // on this slave site and its think time, spread over the requests.
+          const double avail = std::max(
+              cc.r - cc.demands.rw_ms * f - cc.demands.ut_ms, 0.0);
+          if (ls > 0 && cs.ns > 0.0)
+            rrw_sum += w * avail / (cs.ns * ls);
+          // Abort signals reaching the slave stem from coordinator-side
+          // deadlocks, spread over the slave's l+1 remote waits.
+          const double pa_coord_local =
+              1.0 - std::pow(1.0 - cc.pb * cc.pd, cc.nlk);
+          pra_sum += w * (1.0 - std::pow(1.0 - pa_coord_local,
+                                         1.0 / (ls + 1.0)));
+          cwc_sum += w * CommitProcessingMs(input_.sites[ci], t,
+                                            st[ci].cpu_q, st[ci].log_q);
+          weight += w;
+        }
+        const double rrw_new = weight > 0.0 ? rrw_sum / weight : 0.0;
+        const double pra_new = weight > 0.0 ? pra_sum / weight : 0.0;
+        // Slave CWC: waiting for the coordinator's commit decision (one
+        // round trip plus the coordinator's commit force-write).
+        const double cwc_new =
+            weight > 0.0 ? 2.0 * alpha + cwc_sum / weight : 0.0;
+        cs.delays.r_rw_ms = Damp(cs.delays.r_rw_ms, rrw_new, damping);
+        cs.pra = Damp(cs.pra, pra_new, damping);
+        cs.delays.r_cwc_ms = Damp(cs.delays.r_cwc_ms, cwc_new, damping);
+        cs.delays.r_cwa_ms = Damp(cs.delays.r_cwa_ms, 2.0 * alpha,
+                                  damping);
+      }
+    }
+
+    // (7) Convergence test on throughputs.
+    double max_rel_delta = 0.0;
+    for (std::size_t i = 0; i < num_sites; ++i) {
+      for (TxnType t : kAllTxnTypes) {
+        const ClassState& cs = st[i].cls[Index(t)];
+        const std::size_t idx = i * kNumTxnTypes + Index(t);
+        const double denom = std::max(std::fabs(cs.x), 1e-12);
+        max_rel_delta =
+            std::max(max_rel_delta, std::fabs(cs.x - prev_x[idx]) / denom);
+        prev_x[idx] = cs.x;
+      }
+    }
+    if (iteration > 2 && max_rel_delta < options.tolerance) {
+      converged = true;
+      break;
+    }
+  }
+
+  // ---- Assemble the solution. ----------------------------------------------
+  out.converged = converged;
+  out.iterations = std::min(iteration, options.max_iterations);
+  out.comm_delay_ms = alpha;
+  out.sites.resize(num_sites);
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    const SiteParams& site = input_.sites[i];
+    SiteSolution& ss = out.sites[i];
+    ss.name = site.name;
+    ss.cpu_utilization = st[i].cpu_util;
+    ss.db_disk_utilization = st[i].db_util;
+    ss.log_disk_utilization = st[i].log_util;
+    // Every disk operation transfers one block at block_io_ms, so the I/O
+    // rate follows from utilization (the paper derives its modeled DIO the
+    // same way).
+    ss.dio_per_s =
+        (st[i].db_util + st[i].log_util) / site.block_io_ms * 1000.0;
+    for (TxnType t : kAllTxnTypes) {
+      const ClassState& cs = st[i].cls[Index(t)];
+      ClassSolution& c = ss.classes[Index(t)];
+      c.present = cs.present;
+      if (!cs.present) continue;
+      c.throughput_per_s = cs.x * 1000.0;
+      c.response_ms = cs.r;
+      c.pa = cs.pa;
+      c.ns = cs.ns;
+      c.pb = cs.pb;
+      c.pd = cs.pd;
+      c.plw = cs.plw;
+      c.lh = cs.lh;
+      c.nlk = cs.nlk;
+      c.sigma = cs.sigma;
+      c.io_per_request = cs.q;
+      c.r_lw_ms = cs.delays.r_lw_ms;
+      c.r_rw_ms = cs.delays.r_rw_ms;
+      c.r_cw_ms = cs.delays.r_cwc_ms;
+      c.d_lw_ms = cs.demands.lw_ms;
+      c.d_rw_ms = cs.demands.rw_ms;
+      c.d_cw_ms = cs.demands.cw_ms;
+      if (!IsSlave(t)) {
+        const ClassParams& cp = site.Class(t);
+        ss.txn_per_s += c.throughput_per_s;
+        ss.records_per_s += c.throughput_per_s *
+                            cp.total_requests() * cp.records_per_request;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace carat::model

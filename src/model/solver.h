@@ -1,0 +1,121 @@
+// The CARAT queueing network model solver (Section 6 of the paper).
+//
+// The model is a set of interacting per-site closed queueing networks. The
+// synchronization delays (lock wait LW, remote wait RW, two-phase-commit
+// wait CW) and the deadlock probabilities depend on the networks' own
+// performance measures, so the solver iterates: solve each Site Processing
+// Model by MVA, recompute the lock/remote/commit submodel quantities from
+// the solutions, damp, and repeat to a fixed point.
+
+#ifndef CARAT_MODEL_SOLVER_H_
+#define CARAT_MODEL_SOLVER_H_
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/params.h"
+#include "model/types.h"
+#include "qn/ethernet.h"
+
+namespace carat::model {
+
+/// Converged per-(type, site) quantities.
+struct ClassSolution {
+  bool present = false;         ///< population > 0
+  double throughput_per_s = 0;  ///< commits per second, X(t,i)
+  double response_ms = 0;       ///< per-commit cycle time R(t,i) (excl. Z)
+  double pa = 0;                ///< per-submission abort probability (Eq. 3)
+  double ns = 1;                ///< mean submissions per commit (Eq. 4)
+  double pb = 0;                ///< per-lock-request blocking prob (Eq. 15)
+  double pd = 0;                ///< deadlock-victim prob per block
+  double plw = 0;               ///< blocks at least once per execution (Eq.16)
+  double lh = 0;                ///< time-average locks held (Eq. 14)
+  double nlk = 0;               ///< lock requests per execution (Eq. 2)
+  double sigma = 1;             ///< abort progress fraction E[Y]/N_lk
+  double io_per_request = 0;    ///< q(t), from Yao's formula
+  double r_lw_ms = 0;           ///< per-visit lock wait delay (Eq. 20)
+  double r_rw_ms = 0;           ///< per-visit remote wait delay (Eqs. 21-24)
+  double r_cw_ms = 0;           ///< per-visit 2PC wait delay, commit path
+  double d_lw_ms = 0;           ///< per-commit LW demand, D_LW (Eq. 7)
+  double d_rw_ms = 0;           ///< per-commit RW demand, D_RW (Eq. 8)
+  double d_cw_ms = 0;           ///< per-commit CW demand, D_CW (Eq. 9)
+};
+
+/// Converged per-site quantities.
+struct SiteSolution {
+  std::string name;
+  double cpu_utilization = 0;
+  double db_disk_utilization = 0;
+  double log_disk_utilization = 0;  ///< 0 unless separate_log_disk
+  double dio_per_s = 0;             ///< block I/Os per second (all disks)
+  double txn_per_s = 0;             ///< commits/s of locally-homed txns
+  double records_per_s = 0;         ///< normalized record throughput
+  std::array<ClassSolution, kNumTxnTypes> classes;
+
+  const ClassSolution& Class(TxnType t) const { return classes[Index(t)]; }
+};
+
+struct ModelSolution {
+  bool ok = false;
+  bool converged = false;
+  int iterations = 0;
+  std::string error;
+  std::vector<SiteSolution> sites;
+
+  /// The inter-site delay used at convergence: ModelInput::comm_delay_ms,
+  /// or the Ethernet model's output when SolverOptions::ethernet is set.
+  double comm_delay_ms = 0.0;
+
+  /// System-wide commits per second (locals + coordinators).
+  double TotalTxnPerSec() const;
+  /// System-wide normalized record throughput.
+  double TotalRecordsPerSec() const;
+};
+
+/// Solver options.
+struct SolverOptions {
+  int max_iterations = 500;
+  double tolerance = 1e-9;   ///< relative change threshold on throughputs
+  double damping = 0.5;      ///< weight of the newly computed estimates
+  double max_abort_prob = 0.95;  ///< clamp on P_a to keep N_s finite
+  bool use_exact_mva = true; ///< false forces Schweitzer-Bard at every site
+
+  /// Fraction of a blocker's own lock-wait time counted in the blocking time
+  /// RLT (Eq. 18). The paper's derivation effectively uses the full response
+  /// time (fraction 1), but that makes the LW fixed point non-contractive at
+  /// high contention; 0 uses only active execution time. The default models
+  /// convoys partially while keeping the iteration stable (DESIGN.md §4).
+  double blocker_wait_fraction = 0.5;
+
+  /// Communication Network Model (Section 3): when set, the solver derives
+  /// the inter-site delay alpha from the model's own message rate through
+  /// the Ethernet contention model each iteration (instead of using the
+  /// fixed ModelInput::comm_delay_ms), closing the low-level/high-level
+  /// loop the paper describes.
+  std::optional<qn::EthernetParams> ethernet;
+  /// Mean message size in bits for the Ethernet model (CARAT requests fit
+  /// one message; 1000 bytes is a generous envelope).
+  double message_bits = 8000.0;
+};
+
+/// The model. Construct with a validated ModelInput and call Solve().
+class CaratModel {
+ public:
+  explicit CaratModel(ModelInput input);
+
+  /// Runs the fixed-point iteration. On input validation failure returns
+  /// ok = false with an error message; otherwise ok = true and `converged`
+  /// reports whether the tolerance was met within max_iterations.
+  ModelSolution Solve(const SolverOptions& options = {}) const;
+
+  const ModelInput& input() const { return input_; }
+
+ private:
+  ModelInput input_;
+};
+
+}  // namespace carat::model
+
+#endif  // CARAT_MODEL_SOLVER_H_

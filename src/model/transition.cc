@@ -1,0 +1,116 @@
+#include "model/transition.h"
+
+#include <cstddef>
+
+namespace carat::model {
+
+namespace {
+
+TransitionMatrix Zero() {
+  TransitionMatrix m{};
+  for (auto& row : m) row.fill(0.0);
+  return m;
+}
+
+double& At(TransitionMatrix& m, Phase from, Phase to) {
+  return m[Index(from)][Index(to)];
+}
+
+// Transitions shared by every chain variant: the DM/LR/DMIO loop, the abort
+// and commit tails, and the return to user think.
+void FillCommonTail(const TransitionInputs& in, TransitionMatrix* m) {
+  const double q = in.io_per_request;
+  At(*m, Phase::kDM, Phase::kTM) = 1.0 / (q + 1.0);
+  At(*m, Phase::kDM, Phase::kLR) = q / (q + 1.0);
+  At(*m, Phase::kLR, Phase::kDMIO) = 1.0 - in.pb;
+  At(*m, Phase::kLR, Phase::kLW) = in.pb;
+  At(*m, Phase::kDMIO, Phase::kDM) = 1.0;
+  At(*m, Phase::kLW, Phase::kDMIO) = 1.0 - in.pd;
+  At(*m, Phase::kLW, Phase::kTA) = in.pd;
+  At(*m, Phase::kTC, Phase::kCWC) = 1.0;
+  At(*m, Phase::kTA, Phase::kCWA) = 1.0;
+  At(*m, Phase::kCWC, Phase::kTCIO) = 1.0;
+  At(*m, Phase::kCWA, Phase::kTAIO) = 1.0;
+  At(*m, Phase::kTCIO, Phase::kUL) = 1.0;
+  At(*m, Phase::kTAIO, Phase::kUL) = 1.0;
+  At(*m, Phase::kUL, Phase::kUT) = 1.0;
+}
+
+}  // namespace
+
+TransitionMatrix BuildLocalOrCoordinatorMatrix(const TransitionInputs& in) {
+  TransitionMatrix m = Zero();
+  const double n = in.local_requests + in.remote_requests;
+  const double c = 2.0 * n + 1.0;  // C(t) = 2 n(t) + 1
+
+  At(m, Phase::kUT, Phase::kINIT) = 1.0;
+  At(m, Phase::kINIT, Phase::kU) = 1.0;
+  At(m, Phase::kU, Phase::kTM) = 1.0;
+  At(m, Phase::kTM, Phase::kU) = n / c;
+  At(m, Phase::kTM, Phase::kDM) = in.local_requests / c;
+  At(m, Phase::kTM, Phase::kRW) = in.remote_requests / c;
+  At(m, Phase::kTM, Phase::kTC) = 1.0 / c;
+  At(m, Phase::kRW, Phase::kTM) = 1.0 - in.pra;
+  At(m, Phase::kRW, Phase::kTA) = in.pra;
+  FillCommonTail(in, &m);
+  return m;
+}
+
+TransitionMatrix BuildSlaveMatrix(const TransitionInputs& in) {
+  TransitionMatrix m = Zero();
+  const double l = in.local_requests;
+  const double c = 2.0 * l + 1.0;
+
+  // A slave lies dormant in UT until the first REMDO of the next global
+  // transaction arrives, which is TM work.
+  At(m, Phase::kUT, Phase::kTM) = 1.0;
+  At(m, Phase::kTM, Phase::kDM) = l / c;
+  At(m, Phase::kTM, Phase::kRW) = l / c;
+  At(m, Phase::kTM, Phase::kTC) = 1.0 / c;
+  At(m, Phase::kRW, Phase::kTM) = 1.0 - in.pra;
+  At(m, Phase::kRW, Phase::kTA) = in.pra;
+  FillCommonTail(in, &m);
+  return m;
+}
+
+TransitionMatrix BuildTransitionMatrix(TxnType type, const TransitionInputs& in) {
+  return IsSlave(type) ? BuildSlaveMatrix(in)
+                       : BuildLocalOrCoordinatorMatrix(in);
+}
+
+bool SolveVisitCounts(const TransitionMatrix& p, VisitCounts* v) {
+  // Unknowns: V_c for the 15 phases other than UT; V_UT is fixed at 1.
+  // Equations: V_c = sum_e V_e * p[e][c]  for c != UT.
+  constexpr int kUt = Index(Phase::kUT);
+  constexpr std::size_t n = kNumPhases - 1;
+
+  // Map phase index -> unknown index (skip UT).
+  auto unknown = [](int phase) { return phase < kUt ? phase : phase - 1; };
+
+  util::Matrix a(n, n, 0.0);
+  std::vector<double> b(n, 0.0);
+  for (int c = 0; c < kNumPhases; ++c) {
+    if (c == kUt) continue;
+    const std::size_t row = unknown(c);
+    a(row, unknown(c)) += 1.0;
+    for (int e = 0; e < kNumPhases; ++e) {
+      if (e == kUt) {
+        b[row] += p[e][c];  // V_UT = 1 contributes to the constant term
+      } else {
+        a(row, unknown(e)) -= p[e][c];
+      }
+    }
+  }
+
+  std::vector<double> x;
+  if (!util::SolveLinearSystem(std::move(a), std::move(b), &x)) return false;
+
+  (*v)[kUt] = 1.0;
+  for (int c = 0; c < kNumPhases; ++c) {
+    if (c == kUt) continue;
+    (*v)[c] = x[unknown(c)];
+  }
+  return true;
+}
+
+}  // namespace carat::model

@@ -1,0 +1,54 @@
+// Phase-transition probabilities (Table 1 of the paper) and the visit-count
+// solver (Eq. 1).
+
+#ifndef CARAT_MODEL_TRANSITION_H_
+#define CARAT_MODEL_TRANSITION_H_
+
+#include <array>
+
+#include "model/phases.h"
+#include "model/types.h"
+#include "util/linear.h"
+
+namespace carat::model {
+
+/// Probabilistic quantities a transaction's transition matrix depends on.
+struct TransitionInputs {
+  int local_requests = 0;   ///< l(t)
+  int remote_requests = 0;  ///< r(t); 0 for local and slave chains
+  double io_per_request = 4.0;  ///< q(t), mean granule I/Os per request
+  double pb = 0.0;          ///< Pb(t,i), lock request blocked
+  double pd = 0.0;          ///< Pd(t,i), blocked request chosen deadlock victim
+  double pra = 0.0;         ///< Pra(t,i), abort while in remote wait
+};
+
+/// Row-stochastic 16x16 phase-transition matrix; entry (from, to).
+using TransitionMatrix = std::array<std::array<double, kNumPhases>, kNumPhases>;
+
+/// Builds the transition matrix for a local or coordinator chain, exactly per
+/// Table 1 of the paper. C(t) = 2 n(t) + 1 transitions leave the TM phase:
+/// n back to the user process, l to a local DM server, r to a remote site,
+/// and one into commit processing.
+TransitionMatrix BuildLocalOrCoordinatorMatrix(const TransitionInputs& in);
+
+/// Builds the matrix for a slave chain (the paper states the slave
+/// expressions are "similar"; DESIGN.md section 4 gives our derivation).
+/// A slave has no U phase: it wakes from UT into TM on the first REMDO,
+/// returns to RW after each served request, and enters TC when the PREPARE
+/// arrives, giving C = 2 l + 1 TM transitions split l:l:1 over DM, RW and TC.
+TransitionMatrix BuildSlaveMatrix(const TransitionInputs& in);
+
+/// Dispatches on the chain type.
+TransitionMatrix BuildTransitionMatrix(TxnType type, const TransitionInputs& in);
+
+/// Mean visits to each phase per execution (committed or aborted), V_c,
+/// obtained by solving V = V . P with V_UT = 1 (Eq. 1).
+using VisitCounts = std::array<double, kNumPhases>;
+
+/// Solves Eq. 1. Returns false if the linear system is singular (malformed
+/// matrix).
+bool SolveVisitCounts(const TransitionMatrix& p, VisitCounts* v);
+
+}  // namespace carat::model
+
+#endif  // CARAT_MODEL_TRANSITION_H_

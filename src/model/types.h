@@ -1,0 +1,80 @@
+// Transaction types of the CARAT model (Section 4.2 of the paper).
+//
+// The workload has four user-visible types (LRO, LU, DRO, DU); the model
+// decomposes each distributed transaction into a coordinator chain at its
+// home site and a slave chain at each participating site, giving the six
+// model types T = {LRO, LU, DROC, DUC, DROS, DUS}.
+
+#ifndef CARAT_MODEL_TYPES_H_
+#define CARAT_MODEL_TYPES_H_
+
+#include <array>
+#include <string_view>
+
+namespace carat::model {
+
+enum class TxnType : int {
+  kLRO = 0,   ///< local read-only
+  kLU = 1,    ///< local update
+  kDROC = 2,  ///< distributed read-only, coordinator chain
+  kDUC = 3,   ///< distributed update, coordinator chain
+  kDROS = 4,  ///< distributed read-only, slave chain
+  kDUS = 5,   ///< distributed update, slave chain
+};
+
+inline constexpr int kNumTxnTypes = 6;
+
+inline constexpr std::array<TxnType, kNumTxnTypes> kAllTxnTypes = {
+    TxnType::kLRO,  TxnType::kLU,   TxnType::kDROC,
+    TxnType::kDUC,  TxnType::kDROS, TxnType::kDUS,
+};
+
+inline constexpr int Index(TxnType t) { return static_cast<int>(t); }
+
+/// True for types that take exclusive locks (update transactions).
+inline constexpr bool IsUpdate(TxnType t) {
+  return t == TxnType::kLU || t == TxnType::kDUC || t == TxnType::kDUS;
+}
+
+inline constexpr bool IsReadOnly(TxnType t) { return !IsUpdate(t); }
+
+/// True for coordinator chains of distributed transactions.
+inline constexpr bool IsCoordinator(TxnType t) {
+  return t == TxnType::kDROC || t == TxnType::kDUC;
+}
+
+/// True for slave chains of distributed transactions.
+inline constexpr bool IsSlave(TxnType t) {
+  return t == TxnType::kDROS || t == TxnType::kDUS;
+}
+
+/// True for purely local transaction types.
+inline constexpr bool IsLocal(TxnType t) {
+  return t == TxnType::kLRO || t == TxnType::kLU;
+}
+
+/// The slave chain type matching a coordinator chain type.
+inline constexpr TxnType SlaveOf(TxnType coordinator) {
+  return coordinator == TxnType::kDROC ? TxnType::kDROS : TxnType::kDUS;
+}
+
+/// The coordinator chain type matching a slave chain type.
+inline constexpr TxnType CoordinatorOf(TxnType slave) {
+  return slave == TxnType::kDROS ? TxnType::kDROC : TxnType::kDUC;
+}
+
+inline constexpr std::string_view Name(TxnType t) {
+  switch (t) {
+    case TxnType::kLRO: return "LRO";
+    case TxnType::kLU: return "LU";
+    case TxnType::kDROC: return "DROC";
+    case TxnType::kDUC: return "DUC";
+    case TxnType::kDROS: return "DROS";
+    case TxnType::kDUS: return "DUS";
+  }
+  return "?";
+}
+
+}  // namespace carat::model
+
+#endif  // CARAT_MODEL_TYPES_H_

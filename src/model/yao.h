@@ -1,0 +1,54 @@
+// Yao's formula [YAO77]: expected number of distinct blocks touched when k
+// records are selected without replacement from n records stored uniformly
+// in m blocks of n/m records each. Used to estimate g(t), the mean granules
+// accessed per transaction (Section 5.2 of the paper), from which the mean
+// disk I/Os per request q(t) = g(t)/n(t) follows.
+
+#ifndef CARAT_MODEL_YAO_H_
+#define CARAT_MODEL_YAO_H_
+
+namespace carat::model {
+
+/// Expected distinct blocks accessed. `total_records` = n, `total_blocks` =
+/// m (records per block = n/m), `selected_records` = k. Returns m when
+/// k >= n - n/m + 1 (every block certainly touched) and handles k = 0.
+double YaoExpectedBlocks(long long total_records, long long total_blocks,
+                         long long selected_records);
+
+/// Mean disk I/Os per request for a transaction issuing `requests` requests
+/// of `records_per_request` records each: q = g / requests.
+double MeanIosPerRequest(long long total_records, long long total_blocks,
+                         int requests, int records_per_request);
+
+/// Real-valued Yao: expected distinct blocks for non-integer `selected`
+/// (needed when a selection count is itself an expectation, e.g. the hot
+/// and cold shares of a skewed access stream). Computed with lgamma:
+///   P[block untouched] = C(n - d, k) / C(n, k).
+double YaoExpectedBlocksReal(double total_records, double total_blocks,
+                             double selected_records);
+
+/// Hot/cold access skew: `hot_data_fraction` of the blocks receive
+/// `hot_access_fraction` of the accesses (uniform within each region).
+struct AccessSkew {
+  double hot_data_fraction = 1.0;    ///< s; 1 (or <=0) means uniform
+  double hot_access_fraction = 1.0;  ///< a; accesses landing in the hot set
+
+  bool IsUniform() const {
+    return hot_data_fraction <= 0.0 || hot_data_fraction >= 1.0 ||
+           hot_access_fraction <= 0.0;
+  }
+
+  /// Lock-collision inflation factor relative to uniform access:
+  /// f = a^2/s + (1-a)^2/(1-s); 1 for uniform (a = s).
+  double ContentionFactor() const;
+};
+
+/// Expected distinct blocks touched by `selected` accesses under skew: the
+/// two regions are sampled independently with their expected shares.
+double YaoExpectedBlocksSkewed(long long total_records, long long total_blocks,
+                               long long selected_records,
+                               const AccessSkew& skew);
+
+}  // namespace carat::model
+
+#endif  // CARAT_MODEL_YAO_H_

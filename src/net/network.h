@@ -1,0 +1,51 @@
+// Inter-node message network for the testbed.
+//
+// The two-node experiments ran on a lightly loaded 10 Mb/s Ethernet, so the
+// paper treats the per-message delay alpha as a small constant (and in fact
+// neglects it). The network here charges a fixed one-way delay per message
+// hop and counts traffic; qn/ethernet.h can supply a contention-aware alpha
+// for sensitivity studies.
+
+#ifndef CARAT_NET_NETWORK_H_
+#define CARAT_NET_NETWORK_H_
+
+#include <cstdint>
+
+#include "sim/simulation.h"
+
+namespace carat::net {
+
+/// Message-hop accounting and delay.
+class Network {
+ public:
+  Network(sim::Simulation& sim, double one_way_delay_ms)
+      : sim_(sim), delay_ms_(one_way_delay_ms) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// One message hop between two nodes: counts the message and delays the
+  /// caller by alpha. Usage: co_await net.Hop();
+  sim::Delay Hop() {
+    ++messages_;
+    return sim::Delay{sim_, delay_ms_};
+  }
+
+  /// Round trip (request + reply), counting two messages.
+  sim::Delay RoundTrip() {
+    messages_ += 2;
+    return sim::Delay{sim_, 2.0 * delay_ms_};
+  }
+
+  double one_way_delay_ms() const { return delay_ms_; }
+  std::uint64_t messages() const { return messages_; }
+  void ResetStats() { messages_ = 0; }
+
+ private:
+  sim::Simulation& sim_;
+  double delay_ms_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace carat::net
+
+#endif  // CARAT_NET_NETWORK_H_

@@ -1,0 +1,36 @@
+#include "qn/bounds.h"
+
+#include <algorithm>
+
+namespace carat::qn {
+
+std::vector<ChainBounds> AsymptoticBounds(const ClosedNetwork& net) {
+  std::vector<ChainBounds> bounds;
+  bounds.reserve(net.chains.size());
+  for (const Chain& chain : net.chains) {
+    ChainBounds b;
+    for (std::size_t m = 0; m < net.centers.size(); ++m) {
+      const double d = chain.demands[m];
+      b.total_demand += d;
+      if (net.centers[m].kind == CenterKind::kQueueing) {
+        b.bottleneck_demand = std::max(b.bottleneck_demand, d);
+      }
+    }
+    const double n = chain.population;
+    const double dz = b.total_demand + chain.think_time;
+    if (n <= 0.0) {
+      bounds.push_back(b);
+      continue;
+    }
+    b.max_throughput = dz > 0.0 ? n / dz : 0.0;
+    if (b.bottleneck_demand > 0.0) {
+      b.max_throughput = std::min(b.max_throughput, 1.0 / b.bottleneck_demand);
+    }
+    b.min_response = std::max(b.total_demand,
+                              n * b.bottleneck_demand - chain.think_time);
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+}  // namespace carat::qn

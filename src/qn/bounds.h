@@ -1,0 +1,36 @@
+// Asymptotic (operational) bounds for closed queueing networks.
+//
+// The classic companion to MVA: without solving the network, each chain's
+// throughput is bounded by its bottleneck demand and by the no-queueing
+// optimum,
+//     X_k(N) <= min( 1 / D_k,max , N_k / (D_k + Z_k) ),
+// and its response time by R_k >= max(D_k, N_k * D_k,max - Z_k).
+// The solver's exact results must respect these bounds (checked in tests),
+// and capacity planning can use them for instant feasibility screens.
+
+#ifndef CARAT_QN_BOUNDS_H_
+#define CARAT_QN_BOUNDS_H_
+
+#include <vector>
+
+#include "qn/network.h"
+
+namespace carat::qn {
+
+/// Per-chain asymptotic bounds.
+struct ChainBounds {
+  double max_throughput = 0.0;   ///< min(1/D_max, N/(D+Z))
+  double min_response = 0.0;     ///< max(D, N * D_max - Z)
+  double bottleneck_demand = 0.0;///< D_max at queueing centers
+  double total_demand = 0.0;     ///< D (all centers)
+};
+
+/// Computes bounds for every chain. Queueing centers bound the service
+/// rate; delay centers only add to the total demand. The single-chain bound
+/// is applied per chain with the other chains absent, so it is an upper
+/// bound on each chain's throughput in the multi-chain network too.
+std::vector<ChainBounds> AsymptoticBounds(const ClosedNetwork& net);
+
+}  // namespace carat::qn
+
+#endif  // CARAT_QN_BOUNDS_H_

@@ -1,0 +1,29 @@
+#include "qn/ethernet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace carat::qn {
+
+double EthernetMeanDelayMs(const EthernetParams& params, double frame_bits,
+                           double frames_per_ms) {
+  const double transmit = frame_bits / params.bandwidth_bits_per_ms;
+  const double rho_raw = frames_per_ms * transmit;
+
+  // Expected contention overhead per successful channel acquisition: with
+  // many stations the probability a contention slot resolves is 1/e, so the
+  // mean number of wasted slots is (e - 1); scale by the raw load so an idle
+  // channel pays nothing.
+  constexpr double kE = 2.718281828459045;
+  const double contention =
+      (kE - 1.0) * params.slot_time_ms * std::min(rho_raw, 1.0);
+
+  const double service = transmit + contention;
+  const double rho = std::min(frames_per_ms * service, 0.999);
+
+  // M/D/1 waiting time (P-K with Cv^2 = 0): W = rho * s / (2 (1 - rho)).
+  const double wait = rho * service / (2.0 * (1.0 - rho));
+  return service + wait + params.propagation_ms;
+}
+
+}  // namespace carat::qn

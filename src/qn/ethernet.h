@@ -1,0 +1,36 @@
+// Communication Network Model: mean inter-site message delay.
+//
+// The paper's low-level model supplies the mean communication delay alpha to
+// the site models; for an Ethernet under contention it cites the
+// Almes-Lazowska model [ALME79]. For the two-node experiments the measured
+// alpha was "relatively small and therefore could be neglected", so the CARAT
+// solver defaults to alpha = 0, but the model below is provided for
+// sensitivity studies and larger configurations.
+//
+// We use an M/G/1-style approximation in the Almes-Lazowska spirit: the
+// effective service time of a frame is its transmission time plus the
+// expected collision-resolution overhead (about (e - 1) slot times per
+// successful acquisition under load), and queueing delay follows from the
+// Pollaczek-Khinchine formula for deterministic service.
+
+#ifndef CARAT_QN_ETHERNET_H_
+#define CARAT_QN_ETHERNET_H_
+
+namespace carat::qn {
+
+/// Parameters of a CSMA/CD (Ethernet-like) channel.
+struct EthernetParams {
+  double bandwidth_bits_per_ms = 10e6 / 1000.0;  ///< 10 Mb/s in bits per ms
+  double slot_time_ms = 0.0512;                  ///< 51.2 us contention slot
+  double propagation_ms = 0.01;                  ///< end-to-end propagation
+};
+
+/// Mean delay (ms) experienced by a frame of `frame_bits` when the channel
+/// carries `frames_per_ms` frames per millisecond in aggregate. Returns a
+/// large-but-finite penalty when the channel saturates.
+double EthernetMeanDelayMs(const EthernetParams& params, double frame_bits,
+                           double frames_per_ms);
+
+}  // namespace carat::qn
+
+#endif  // CARAT_QN_ETHERNET_H_

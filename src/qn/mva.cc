@@ -1,0 +1,226 @@
+#include "qn/mva.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace carat::qn {
+
+namespace {
+
+// Fills the non-queue-length parts of `sol` from per-chain throughputs and
+// residence times at the full population.
+void FinishSolution(const ClosedNetwork& net, const std::vector<double>& x,
+                    const std::vector<std::vector<double>>& residence,
+                    Solution* sol) {
+  const std::size_t num_chains = net.chains.size();
+  const std::size_t num_centers = net.centers.size();
+  sol->throughput = x;
+  sol->residence = residence;
+  sol->response_time.assign(num_chains, 0.0);
+  for (std::size_t k = 0; k < num_chains; ++k) {
+    sol->response_time[k] =
+        std::accumulate(residence[k].begin(), residence[k].end(), 0.0);
+  }
+  sol->queue_length.assign(num_centers, 0.0);
+  sol->utilization.assign(num_centers, 0.0);
+  for (std::size_t m = 0; m < num_centers; ++m) {
+    for (std::size_t k = 0; k < num_chains; ++k) {
+      sol->queue_length[m] += x[k] * residence[k][m];
+      sol->utilization[m] += x[k] * net.chains[k].demands[m];
+    }
+  }
+}
+
+}  // namespace
+
+MvaResult ExactMva(const ClosedNetwork& net, std::size_t max_states) {
+  MvaResult result;
+  if (!net.Validate(&result.error)) return result;
+
+  const std::size_t num_chains = net.chains.size();
+  const std::size_t num_centers = net.centers.size();
+
+  // Mixed-radix layout of the joint population lattice.
+  std::vector<std::size_t> dims(num_chains), strides(num_chains);
+  std::size_t num_states = 1;
+  for (std::size_t k = 0; k < num_chains; ++k) {
+    dims[k] = static_cast<std::size_t>(net.chains[k].population) + 1;
+    strides[k] = num_states;
+    if (dims[k] != 0 && num_states > max_states / dims[k]) {
+      result.error = "joint population lattice exceeds max_states";
+      return result;
+    }
+    num_states *= dims[k];
+  }
+
+  // Q[state * num_centers + m] = mean queue length at center m for the
+  // population vector encoded by `state`. Lexicographic enumeration visits
+  // n - e_k before n, so one pass suffices.
+  std::vector<double> q(num_states * num_centers, 0.0);
+  std::vector<std::size_t> n(num_chains, 0);
+  std::vector<double> x(num_chains, 0.0);
+  std::vector<std::vector<double>> residence(num_chains,
+                                             std::vector<double>(num_centers, 0.0));
+
+  for (std::size_t state = 1; state < num_states; ++state) {
+    // Increment the mixed-radix counter.
+    for (std::size_t k = 0; k < num_chains; ++k) {
+      if (++n[k] < dims[k]) break;
+      n[k] = 0;
+    }
+
+    for (std::size_t k = 0; k < num_chains; ++k) x[k] = 0.0;
+
+    for (std::size_t k = 0; k < num_chains; ++k) {
+      if (n[k] == 0) continue;
+      const Chain& chain = net.chains[k];
+      const std::size_t prev = state - strides[k];
+      double total = 0.0;
+      for (std::size_t m = 0; m < num_centers; ++m) {
+        const double d = chain.demands[m];
+        double r = d;
+        if (net.centers[m].kind == CenterKind::kQueueing) {
+          r = d * (1.0 + q[prev * num_centers + m]);
+        }
+        residence[k][m] = r;
+        total += r;
+      }
+      const double denom = chain.think_time + total;
+      x[k] = denom > 0.0 ? static_cast<double>(n[k]) / denom : 0.0;
+      // Chains with zero total demand and zero think contribute nothing.
+      if (denom <= 0.0) x[k] = 0.0;
+    }
+
+    for (std::size_t m = 0; m < num_centers; ++m) {
+      double qm = 0.0;
+      for (std::size_t k = 0; k < num_chains; ++k) {
+        if (n[k] == 0) continue;
+        qm += x[k] * residence[k][m];
+      }
+      q[state * num_centers + m] = qm;
+    }
+  }
+
+  // Recompute residence at the full population (the loop leaves residence[k]
+  // from the last state visited, which is the full population when
+  // num_states > 1; handle the trivial empty network explicitly).
+  if (num_states == 1) {
+    for (std::size_t k = 0; k < num_chains; ++k) {
+      x[k] = 0.0;
+      residence[k].assign(num_centers, 0.0);
+    }
+  } else {
+    for (std::size_t k = 0; k < num_chains; ++k) {
+      const Chain& chain = net.chains[k];
+      if (chain.population == 0) {
+        x[k] = 0.0;
+        residence[k].assign(num_centers, 0.0);
+        continue;
+      }
+      const std::size_t full = num_states - 1;
+      const std::size_t prev = full - strides[k];
+      double total = 0.0;
+      for (std::size_t m = 0; m < num_centers; ++m) {
+        const double d = chain.demands[m];
+        double r = d;
+        if (net.centers[m].kind == CenterKind::kQueueing) {
+          r = d * (1.0 + q[prev * num_centers + m]);
+        }
+        residence[k][m] = r;
+        total += r;
+      }
+      const double denom = chain.think_time + total;
+      x[k] = denom > 0.0 ? chain.population / denom : 0.0;
+    }
+  }
+
+  FinishSolution(net, x, residence, &result.solution);
+  result.ok = true;
+  return result;
+}
+
+MvaResult SchweitzerMva(const ClosedNetwork& net, double tolerance,
+                        int max_iterations) {
+  MvaResult result;
+  if (!net.Validate(&result.error)) return result;
+
+  const std::size_t num_chains = net.chains.size();
+  const std::size_t num_centers = net.centers.size();
+
+  // Per-chain queue length at each center, initialized to an even spread of
+  // each chain's population over the queueing centers it visits.
+  std::vector<std::vector<double>> qkm(num_chains,
+                                       std::vector<double>(num_centers, 0.0));
+  for (std::size_t k = 0; k < num_chains; ++k) {
+    const Chain& chain = net.chains[k];
+    std::size_t visited = 0;
+    for (std::size_t m = 0; m < num_centers; ++m)
+      if (chain.demands[m] > 0.0) ++visited;
+    if (visited == 0) continue;
+    for (std::size_t m = 0; m < num_centers; ++m)
+      if (chain.demands[m] > 0.0)
+        qkm[k][m] = static_cast<double>(chain.population) / visited;
+  }
+
+  std::vector<double> x(num_chains, 0.0);
+  std::vector<std::vector<double>> residence(num_chains,
+                                             std::vector<double>(num_centers, 0.0));
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t k = 0; k < num_chains; ++k) {
+      const Chain& chain = net.chains[k];
+      if (chain.population == 0) {
+        x[k] = 0.0;
+        continue;
+      }
+      const double nk = chain.population;
+      double total = 0.0;
+      for (std::size_t m = 0; m < num_centers; ++m) {
+        const double d = chain.demands[m];
+        double r = d;
+        if (net.centers[m].kind == CenterKind::kQueueing) {
+          // Schweitzer estimate of the queue seen on arrival by chain k.
+          double seen = 0.0;
+          for (std::size_t j = 0; j < num_chains; ++j)
+            seen += (j == k) ? qkm[j][m] * (nk - 1.0) / nk : qkm[j][m];
+          r = d * (1.0 + seen);
+        }
+        residence[k][m] = r;
+        total += r;
+      }
+      const double denom = chain.think_time + total;
+      x[k] = denom > 0.0 ? nk / denom : 0.0;
+    }
+    for (std::size_t k = 0; k < num_chains; ++k) {
+      for (std::size_t m = 0; m < num_centers; ++m) {
+        const double next = x[k] * residence[k][m];
+        max_delta = std::max(max_delta, std::fabs(next - qkm[k][m]));
+        qkm[k][m] = next;
+      }
+    }
+    if (max_delta < tolerance) break;
+  }
+
+  FinishSolution(net, x, residence, &result.solution);
+  result.ok = true;
+  return result;
+}
+
+MvaResult SolveMva(const ClosedNetwork& net, std::size_t exact_state_limit) {
+  std::size_t states = 1;
+  bool overflow = false;
+  for (const Chain& chain : net.chains) {
+    const std::size_t d = static_cast<std::size_t>(chain.population) + 1;
+    if (states > exact_state_limit / d) {
+      overflow = true;
+      break;
+    }
+    states *= d;
+  }
+  if (!overflow) return ExactMva(net, exact_state_limit);
+  return SchweitzerMva(net);
+}
+
+}  // namespace carat::qn

@@ -1,0 +1,43 @@
+// Mean Value Analysis solvers for closed multi-chain product-form networks.
+//
+// ExactMva implements the multi-chain exact MVA recursion over the full joint
+// population lattice (Reiser & Lavenberg). Its cost is
+// O(M * prod_k (N_k + 1)); the CARAT site models have at most six chains with
+// populations <= 4, so this is tiny. SchweitzerMva implements the
+// Schweitzer-Bard fixed-point approximation for larger populations; the model
+// solver falls back to it automatically above a state-count threshold.
+
+#ifndef CARAT_QN_MVA_H_
+#define CARAT_QN_MVA_H_
+
+#include <cstddef>
+
+#include "qn/network.h"
+
+namespace carat::qn {
+
+/// Result wrapper: `ok` is false when the network failed validation or the
+/// solver could not proceed (e.g. state space too large for exact MVA).
+struct MvaResult {
+  bool ok = false;
+  std::string error;
+  Solution solution;
+};
+
+/// Exact multi-chain MVA.
+/// `max_states` bounds the joint population lattice size; exceeding it fails
+/// (callers may then use SchweitzerMva).
+MvaResult ExactMva(const ClosedNetwork& net, std::size_t max_states = 1u << 22);
+
+/// Schweitzer-Bard approximate MVA (fixed point on per-chain queue lengths).
+MvaResult SchweitzerMva(const ClosedNetwork& net, double tolerance = 1e-9,
+                        int max_iterations = 10000);
+
+/// Convenience: exact if the lattice fits in `exact_state_limit` states,
+/// Schweitzer-Bard otherwise.
+MvaResult SolveMva(const ClosedNetwork& net,
+                   std::size_t exact_state_limit = 1u << 20);
+
+}  // namespace carat::qn
+
+#endif  // CARAT_QN_MVA_H_

@@ -1,0 +1,29 @@
+// Fire-and-forget coroutine processes for the simulation.
+//
+// A Process is a detached coroutine: it starts eagerly, owns its own frame,
+// and destroys itself when it finishes. Long-running testbed servers are
+// written as `Process Server::Run() { for (;;) { ... co_await ...; } }`.
+
+#ifndef CARAT_SIM_PROCESS_H_
+#define CARAT_SIM_PROCESS_H_
+
+#include <coroutine>
+#include <exception>
+
+namespace carat::sim {
+
+/// Detached simulation process. The returned object is just a tag; the
+/// coroutine keeps running on the event queue after it is discarded.
+struct Process {
+  struct promise_type {
+    Process get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+}  // namespace carat::sim
+
+#endif  // CARAT_SIM_PROCESS_H_

@@ -1,0 +1,41 @@
+#include "sim/resource.h"
+
+namespace carat::sim {
+
+void FcfsResource::Enqueue(std::coroutine_handle<> h, double service_ms) {
+  queue_.push_back(Waiter{h, service_ms});
+  if (!busy_) StartNext();
+}
+
+void FcfsResource::StartNext() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  serving_since_ = sim_.now();
+  const Waiter w = queue_.front();
+  queue_.pop_front();
+  sim_.Schedule(w.service_ms, [this, w]() {
+    busy_ms_ += sim_.now() - serving_since_;
+    ++completions_;
+    // Start the successor before resuming the finished job so the server
+    // never idles between back-to-back requests.
+    StartNext();
+    w.handle.resume();
+  });
+}
+
+double FcfsResource::BusyMs() const {
+  double total = busy_ms_;
+  if (busy_) total += sim_.now() - serving_since_;
+  return total;
+}
+
+void FcfsResource::ResetStats() {
+  busy_ms_ = 0.0;
+  completions_ = 0;
+  if (busy_) serving_since_ = sim_.now();
+}
+
+}  // namespace carat::sim

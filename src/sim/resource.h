@@ -1,0 +1,74 @@
+// FCFS single-server resources (CPU, disks) with utilization accounting.
+
+#ifndef CARAT_SIM_RESOURCE_H_
+#define CARAT_SIM_RESOURCE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/simulation.h"
+
+namespace carat::sim {
+
+/// A first-come-first-served single server. Processes call
+/// `co_await resource.Use(service_ms)` to queue for and hold the server for
+/// `service_ms` of simulated time.
+class FcfsResource {
+ public:
+  FcfsResource(Simulation& sim, std::string name)
+      : sim_(sim), name_(std::move(name)) {}
+  FcfsResource(const FcfsResource&) = delete;
+  FcfsResource& operator=(const FcfsResource&) = delete;
+
+  struct UseAwaiter {
+    FcfsResource& res;
+    double service_ms;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      res.Enqueue(h, service_ms);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Queue for the server and occupy it for `service_ms`.
+  UseAwaiter Use(double service_ms) { return UseAwaiter{*this, service_ms}; }
+
+  /// Completed service requests since the last ResetStats().
+  std::uint64_t completions() const { return completions_; }
+
+  /// Busy time since the last ResetStats(), including the in-progress
+  /// portion of the current service.
+  double BusyMs() const;
+
+  /// Queue length including the job in service.
+  std::size_t QueueLength() const { return queue_.size() + (busy_ ? 1 : 0); }
+
+  /// Forgets accumulated statistics (used to discard warm-up).
+  void ResetStats();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    double service_ms;
+  };
+
+  void Enqueue(std::coroutine_handle<> h, double service_ms);
+  void StartNext();
+
+  Simulation& sim_;
+  std::string name_;
+  std::deque<Waiter> queue_;
+  bool busy_ = false;
+  double serving_since_ = 0.0;
+  double busy_ms_ = 0.0;
+  std::uint64_t completions_ = 0;
+};
+
+}  // namespace carat::sim
+
+#endif  // CARAT_SIM_RESOURCE_H_

@@ -1,0 +1,29 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+#include <utility>
+
+namespace carat::sim {
+
+void Simulation::Schedule(double delay, std::function<void()> fn) {
+  assert(delay >= 0.0);
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) return false;
+  // Moving the callback out keeps it alive if the event schedules more work.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++events_executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulation::RunUntil(double until) {
+  while (!queue_.empty() && queue_.top().time <= until) Step();
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace carat::sim

@@ -1,0 +1,83 @@
+// Discrete-event simulation kernel.
+//
+// The testbed processes (user TRs, TM servers, DM servers, the commit and
+// deadlock machinery) are C++20 coroutines driven by a single event queue.
+// Events are arbitrary callbacks, so resources and channels can chain work
+// (complete one service, start the next) without helper coroutines.
+// Time is in milliseconds, matching the model.
+
+#ifndef CARAT_SIM_SIMULATION_H_
+#define CARAT_SIM_SIMULATION_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace carat::sim {
+
+/// The simulation clock and event queue. Ties break in schedule order, so
+/// runs are fully deterministic.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time (ms).
+  double now() const { return now_; }
+
+  /// Schedules `fn` to run after `delay` ms (>= 0).
+  void Schedule(double delay, std::function<void()> fn);
+
+  /// Schedules a coroutine resumption after `delay` ms.
+  void Schedule(double delay, std::coroutine_handle<> handle) {
+    Schedule(delay, [handle]() { handle.resume(); });
+  }
+
+  /// Runs events until the queue empties or the clock passes `until`.
+  /// Events scheduled beyond `until` remain pending.
+  void RunUntil(double until);
+
+  /// Executes the single next event. Returns false if the queue is empty.
+  bool Step();
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+/// Awaitable: suspend the current process for `delay` ms.
+///   co_await Delay{sim, 5.0};
+struct Delay {
+  Simulation& sim;
+  double delay_ms;
+
+  bool await_ready() const noexcept { return delay_ms <= 0.0; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    sim.Schedule(delay_ms, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace carat::sim
+
+#endif  // CARAT_SIM_SIMULATION_H_

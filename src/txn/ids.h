@@ -1,0 +1,25 @@
+// Global transaction identity for the distributed testbed.
+
+#ifndef CARAT_TXN_IDS_H_
+#define CARAT_TXN_IDS_H_
+
+#include <cstdint>
+
+#include "model/types.h"
+
+namespace carat::txn {
+
+/// Globally unique transaction id (also used as the lock-manager TxnId at
+/// every node the transaction touches).
+using GlobalTxnId = std::uint64_t;
+
+/// What the coordinator TM knows about a transaction.
+struct TxnDescriptor {
+  GlobalTxnId gid = 0;
+  model::TxnType user_type = model::TxnType::kLRO;  ///< LRO/LU/DROC/DUC
+  int home_node = 0;
+};
+
+}  // namespace carat::txn
+
+#endif  // CARAT_TXN_IDS_H_

@@ -1,0 +1,107 @@
+#include "txn/probes.h"
+
+#include "sim/task.h"
+
+namespace carat::txn {
+
+GlobalDeadlockDetector::GlobalDeadlockDetector(sim::Simulation& sim,
+                                               net::Network& network,
+                                               TxnRegistry& registry,
+                                               std::vector<Node*> nodes,
+                                               const Options& options)
+    : sim_(sim),
+      network_(network),
+      registry_(registry),
+      nodes_(std::move(nodes)),
+      options_(options) {}
+
+void GlobalDeadlockDetector::OnBlock(int node_index, GlobalTxnId waiter,
+                                     const std::vector<GlobalTxnId>& holders) {
+  // Local-only cycles are handled synchronously by the lock manager before
+  // the waiter is enqueued. Probes must chase *every* waiting holder, not
+  // just distributed ones: a global cycle may pass through a local
+  // transaction (local -> distributed -> remote -> ... -> local), and the
+  // unique-victim rule below needs the cycle's highest-id member to launch
+  // its own probe. Probes to holders that are not blocked die immediately.
+  for (const GlobalTxnId holder : holders) {
+    if (registry_.Find(holder) == nullptr) continue;
+    SendProbe(waiter, node_index, holder, node_index, 0,
+              std::max(waiter, holder));
+  }
+}
+
+void GlobalDeadlockDetector::SendProbe(GlobalTxnId initiator,
+                                       int initiator_node, GlobalTxnId target,
+                                       int from_node, int hops,
+                                       GlobalTxnId max_id) {
+  if (hops >= options_.max_hops) return;
+  const int target_node = registry_.WaitingNode(target);
+  if (target_node < 0) return;  // target is running, not blocked: no cycle
+  ++probes_sent_;
+  EvaluateProbe(initiator, initiator_node, target, from_node, target_node,
+                hops + 1, max_id);
+}
+
+sim::Process GlobalDeadlockDetector::EvaluateProbe(
+    GlobalTxnId initiator, int initiator_node, GlobalTxnId target,
+    int from_node, int node_index, int hops, GlobalTxnId max_id) {
+  // The probe travels as a message to the node where the target waits (no
+  // message if the chain continues locally) and is evaluated by that
+  // node's TM.
+  if (from_node != node_index) co_await network_.Hop();
+  co_await nodes_[node_index]->TmHandle(options_.probe_cpu_ms);
+
+  // Re-read the wait state after the delays: probes act on current truth.
+  lock::LockManager& lm = nodes_[node_index]->locks();
+  if (!lm.IsWaiting(target)) co_return;
+  for (const GlobalTxnId next : lm.WaitingFor(target)) {
+    if (next == initiator) {
+      // Cycle. Only the cycle's highest-id member declares the deadlock, so
+      // simultaneous probes around the same cycle agree on one victim; the
+      // suppressed probes rely on the winner (or the watchdog) acting.
+      if (initiator >= max_id) {
+        DeliverVictimAbort(initiator, initiator_node, node_index);
+      }
+      co_return;
+    }
+    const TxnDescriptor* desc = registry_.Find(next);
+    if (desc == nullptr) continue;
+    // Keep chasing: `next` may be blocked at this or another node. Purely
+    // local transactions can only continue the chain at this same node, and
+    // such segments were already covered by local detection - but a chain
+    // local -> distributed -> remote still needs the probe, so follow all.
+    SendProbe(initiator, initiator_node, next, node_index, hops,
+              std::max(max_id, next));
+  }
+}
+
+sim::Process GlobalDeadlockDetector::DeliverVictimAbort(GlobalTxnId initiator,
+                                                        int initiator_node,
+                                                        int from_node) {
+  if (from_node != initiator_node) co_await network_.Hop();
+  co_await nodes_[initiator_node]->TmHandle(options_.probe_cpu_ms);
+  // The victim may have been granted the lock or aborted in the meantime;
+  // CancelWait is a no-op then and the watchdog re-detects if needed.
+  if (nodes_[initiator_node]->locks().CancelWait(initiator)) {
+    ++global_deadlocks_;
+  }
+}
+
+sim::Process GlobalDeadlockDetector::Watchdog() {
+  for (;;) {
+    co_await sim::Delay{sim_, options_.reprobe_interval_ms};
+    for (Node* node : nodes_) {
+      lock::LockManager& lm = node->locks();
+      // Re-launch probes for every transaction still blocked at this node;
+      // stale probes die harmlessly, persistent global cycles are found.
+      for (const GlobalTxnId waiter : registry_.WaitersAt(node->index())) {
+        if (!lm.IsWaiting(waiter)) continue;
+        OnBlock(node->index(), waiter, lm.WaitingFor(waiter));
+      }
+    }
+  }
+}
+
+void GlobalDeadlockDetector::StartWatchdog() { Watchdog(); }
+
+}  // namespace carat::txn

@@ -1,0 +1,94 @@
+// Global deadlock detection by edge-chasing probes, after Chandy-Misra-Haas
+// (the variation used by the CARAT testbed).
+//
+// When a lock request blocks, the local detector first searches the local
+// wait-for graph (lock/lock_manager.h). If the blockers include distributed
+// transactions, probes are launched along the cross-site wait chain: a probe
+// for (initiator, target) travels to the node where `target` is itself
+// blocked; if the chain closes back on the initiator, a global deadlock
+// exists and the initiator is aborted (its lock wait is cancelled, and its
+// driver rolls the transaction back everywhere).
+//
+// Probes are simulated messages: every inter-node hop pays the network
+// delay, and the TM that relays a probe pays a small CPU cost. A watchdog
+// re-probes long-blocked transactions so that detection cannot be lost to
+// in-flight races (probes that raced with wait-graph changes).
+
+#ifndef CARAT_TXN_PROBES_H_
+#define CARAT_TXN_PROBES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+#include "txn/node.h"
+#include "txn/registry.h"
+
+namespace carat::txn {
+
+class GlobalDeadlockDetector {
+ public:
+  struct Options {
+    /// CPU charged at each node that relays or evaluates a probe.
+    double probe_cpu_ms = 1.0;
+    /// Watchdog period for re-probing long-blocked transactions. The
+    /// on-block probes catch cycles as their closing edge forms; the
+    /// watchdog only covers probe/edge races, so it can be lazy.
+    double reprobe_interval_ms = 200.0;
+    /// Hop budget per probe chain (bounds runaway chains; cycles in real
+    /// workloads are short — the paper restricts its *model* to 2-cycles).
+    int max_hops = 16;
+  };
+
+  GlobalDeadlockDetector(sim::Simulation& sim, net::Network& network,
+                         TxnRegistry& registry, std::vector<Node*> nodes,
+                         const Options& options);
+
+  /// Hook for LockManager::on_block at node `node_index`: the waiter just
+  /// blocked behind `holders`. Launches probes for distributed holders.
+  void OnBlock(int node_index, GlobalTxnId waiter,
+               const std::vector<GlobalTxnId>& holders);
+
+  /// Starts the re-probe watchdog (call once after wiring up the nodes).
+  void StartWatchdog();
+
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  std::uint64_t global_deadlocks() const { return global_deadlocks_; }
+  void ResetStats() {
+    probes_sent_ = 0;
+    global_deadlocks_ = 0;
+  }
+
+ private:
+  // Sends probe (initiator blocked at initiator_node) -> target, arriving at
+  // the node where `target` waits after a message hop. `max_id` is the
+  // largest transaction id seen along the chain: when a cycle closes, only
+  // the probe whose initiator *is* that maximum declares the deadlock, so
+  // concurrent probes around one cycle kill exactly one victim (the
+  // standard uniqueness convention for edge-chasing detectors).
+  void SendProbe(GlobalTxnId initiator, int initiator_node, GlobalTxnId target,
+                 int from_node, int hops, GlobalTxnId max_id);
+  // Evaluates an arrived probe at `node_index` (a network hop is paid only
+  // when the probe actually crossed nodes).
+  sim::Process EvaluateProbe(GlobalTxnId initiator, int initiator_node,
+                             GlobalTxnId target, int from_node, int node_index,
+                             int hops, GlobalTxnId max_id);
+  // Aborts the initiator by cancelling its lock wait (if still blocked).
+  sim::Process DeliverVictimAbort(GlobalTxnId initiator, int initiator_node,
+                                  int from_node);
+  sim::Process Watchdog();
+
+  sim::Simulation& sim_;
+  net::Network& network_;
+  TxnRegistry& registry_;
+  std::vector<Node*> nodes_;
+  Options options_;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t global_deadlocks_ = 0;
+};
+
+}  // namespace carat::txn
+
+#endif  // CARAT_TXN_PROBES_H_

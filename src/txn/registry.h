@@ -1,0 +1,67 @@
+// Distributed-transaction registry.
+//
+// In CARAT each coordinator TM knows where its transaction is currently
+// operating (there is at most one active request per transaction), and the
+// probe algorithm routes messages through the TMs using that knowledge. The
+// registry centralizes this bookkeeping for the simulated testbed; probe
+// *messages* still pay per-hop network delay (see probes.h).
+
+#ifndef CARAT_TXN_REGISTRY_H_
+#define CARAT_TXN_REGISTRY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "txn/ids.h"
+
+namespace carat::txn {
+
+class TxnRegistry {
+ public:
+  /// Allocates a fresh global transaction id.
+  GlobalTxnId NewTxn(model::TxnType user_type, int home_node) {
+    const GlobalTxnId gid = next_gid_++;
+    descriptors_.emplace(gid, TxnDescriptor{gid, user_type, home_node});
+    return gid;
+  }
+
+  void EndTxn(GlobalTxnId gid) {
+    descriptors_.erase(gid);
+    waiting_node_.erase(gid);
+  }
+
+  const TxnDescriptor* Find(GlobalTxnId gid) const {
+    const auto it = descriptors_.find(gid);
+    return it == descriptors_.end() ? nullptr : &it->second;
+  }
+
+  /// Marks `gid` as blocked on a lock at `node` (the coordinator TM's view).
+  void SetWaitingAt(GlobalTxnId gid, int node) { waiting_node_[gid] = node; }
+  void ClearWaiting(GlobalTxnId gid) { waiting_node_.erase(gid); }
+
+  /// Node where `gid` is currently lock-blocked, or -1.
+  int WaitingNode(GlobalTxnId gid) const {
+    const auto it = waiting_node_.find(gid);
+    return it == waiting_node_.end() ? -1 : it->second;
+  }
+
+  /// All transactions currently recorded as lock-blocked at `node`.
+  std::vector<GlobalTxnId> WaitersAt(int node) const {
+    std::vector<GlobalTxnId> out;
+    for (const auto& [gid, n] : waiting_node_) {
+      if (n == node) out.push_back(gid);
+    }
+    return out;
+  }
+
+  std::size_t active_transactions() const { return descriptors_.size(); }
+
+ private:
+  GlobalTxnId next_gid_ = 1;
+  std::unordered_map<GlobalTxnId, TxnDescriptor> descriptors_;
+  std::unordered_map<GlobalTxnId, int> waiting_node_;
+};
+
+}  // namespace carat::txn
+
+#endif  // CARAT_TXN_REGISTRY_H_

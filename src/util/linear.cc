@@ -1,0 +1,45 @@
+#include "util/linear.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace carat::util {
+
+bool SolveLinearSystem(Matrix a, std::vector<double> b, std::vector<double>* x) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) return false;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) return false;
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+
+  x->assign(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a(i, c) * (*x)[c];
+    (*x)[i] = acc / a(i, i);
+  }
+  return true;
+}
+
+}  // namespace carat::util

@@ -1,0 +1,38 @@
+// Small dense linear-algebra helpers. The model's visit-count computation
+// (Eq. 1 of the paper) reduces to solving a 15x15 linear system, so a simple
+// partially-pivoted LU is all we need.
+
+#ifndef CARAT_UTIL_LINEAR_H_
+#define CARAT_UTIL_LINEAR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace carat::util {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Returns false if the matrix is (numerically) singular.
+bool SolveLinearSystem(Matrix a, std::vector<double> b, std::vector<double>* x);
+
+}  // namespace carat::util
+
+#endif  // CARAT_UTIL_LINEAR_H_

@@ -1,0 +1,92 @@
+// Deterministic random-number utilities for the discrete-event testbed.
+// A seeded SplitMix64/xoshiro256** generator keeps runs reproducible across
+// platforms (std::mt19937_64 distributions are not portable across library
+// implementations, the raw engine below is).
+
+#ifndef CARAT_UTIL_RANDOM_H_
+#define CARAT_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace carat::util {
+
+/// xoshiro256** PRNG, seeded via SplitMix64. Satisfies
+/// UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four state words.
+    auto next = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& w : state_) w = next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform integer in [0, bound), bound > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Exponentially distributed sample with the given mean.
+  double NextExponential(double mean) {
+    double u;
+    do {
+      u = NextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Forks an independent stream (for per-process generators).
+  Rng Fork() { return Rng((*this)() ^ 0xA3C59AC2F1D0E9B4ULL); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace carat::util
+
+#endif  // CARAT_UTIL_RANDOM_H_

@@ -1,0 +1,75 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace carat::util {
+
+void StatAccumulator::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StatAccumulator::Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double StatAccumulator::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StatAccumulator::StdDev() const { return std::sqrt(Variance()); }
+
+double StatAccumulator::ConfidenceHalfWidth(double z) const {
+  if (count_ < 2) return 0.0;
+  return z * StdDev() / std::sqrt(static_cast<double>(count_));
+}
+
+void StatAccumulator::Merge(const StatAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void StatAccumulator::Reset() { *this = StatAccumulator(); }
+
+void TimeWeightedStat::Update(double now, double value) {
+  if (!started_) {
+    started_ = true;
+    start_time_ = now;
+    last_time_ = now;
+    value_ = value;
+    return;
+  }
+  weighted_sum_ += value_ * (now - last_time_);
+  last_time_ = now;
+  value_ = value;
+}
+
+double TimeWeightedStat::MeanAt(double now) const {
+  if (!started_ || now <= start_time_) return 0.0;
+  const double total = weighted_sum_ + value_ * (now - last_time_);
+  return total / (now - start_time_);
+}
+
+}  // namespace carat::util

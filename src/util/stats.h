@@ -1,0 +1,82 @@
+// Statistics accumulators used by both the analytical solver (convergence
+// tracking) and the discrete-event testbed (measurement collection).
+//
+// All times in the library are expressed in milliseconds unless a name says
+// otherwise.
+
+#ifndef CARAT_UTIL_STATS_H_
+#define CARAT_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace carat::util {
+
+/// Online mean/variance accumulator (Welford's algorithm).
+class StatAccumulator {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added so far.
+  std::size_t count() const { return count_; }
+
+  /// Sample mean; 0 if no observations.
+  double Mean() const;
+
+  /// Unbiased sample variance; 0 if fewer than two observations.
+  double Variance() const;
+
+  /// Sample standard deviation.
+  double StdDev() const;
+
+  /// Half-width of a normal-approximation confidence interval at the given
+  /// z value (1.96 for 95%). 0 if fewer than two observations.
+  double ConfidenceHalfWidth(double z = 1.96) const;
+
+  /// Sum of all observations.
+  double Sum() const { return sum_; }
+
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+  /// Merges another accumulator into this one.
+  void Merge(const StatAccumulator& other);
+
+  /// Resets to the empty state.
+  void Reset();
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. the number of
+/// busy servers or held locks over simulated time.
+class TimeWeightedStat {
+ public:
+  /// Records that the signal changed to `value` at time `now`. The previous
+  /// value is credited for the elapsed interval.
+  void Update(double now, double value);
+
+  /// Time-weighted mean over [start, last update]; `now` extends the final
+  /// segment.
+  double MeanAt(double now) const;
+
+  double last_value() const { return value_; }
+
+ private:
+  bool started_ = false;
+  double start_time_ = 0.0;
+  double last_time_ = 0.0;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+};
+
+}  // namespace carat::util
+
+#endif  // CARAT_UTIL_STATS_H_

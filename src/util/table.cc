@@ -1,0 +1,57 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace carat::util {
+
+void TextTable::SetHeader(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+}
+
+void TextTable::AddSeparator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::size_t ncols = header_.size();
+  for (const Row& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const Row& r : rows_) widen(r.cells);
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      os << c << std::string(widths[i] - c.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+
+  if (!header_.empty()) {
+    print_cells(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      os << std::string(total, '-') << '\n';
+    } else {
+      print_cells(r.cells);
+    }
+  }
+}
+
+}  // namespace carat::util

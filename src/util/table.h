@@ -1,0 +1,42 @@
+// Plain-text table printer used by the reproduction benches to emit rows in
+// the style of the paper's tables and figures.
+
+#ifndef CARAT_UTIL_TABLE_H_
+#define CARAT_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace carat::util {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> cells);
+
+  /// Appends a data row. Rows may be ragged; missing cells print empty.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table to `os` with two-space column gaps.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with the given precision (paper tables use 2).
+  static std::string Num(double v, int precision = 2);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace carat::util
+
+#endif  // CARAT_UTIL_TABLE_H_

@@ -1,0 +1,69 @@
+#include "wal/log.h"
+
+#include <algorithm>
+
+namespace carat::wal {
+
+void Log::LogBeforeImage(TxnId txn, db::GranuleId granule,
+                         std::vector<db::RecordValue> image) {
+  live_images_[txn].push_back(records_.size());
+  records_.push_back(
+      LogRecord{RecordKind::kBeforeImage, txn, granule, std::move(image)});
+}
+
+void Log::LogPrepare(TxnId txn) {
+  records_.push_back(LogRecord{RecordKind::kPrepare, txn, -1, {}});
+}
+
+void Log::LogCommit(TxnId txn) {
+  records_.push_back(LogRecord{RecordKind::kCommit, txn, -1, {}});
+  committed_.insert(txn);
+}
+
+void Log::LogAbort(TxnId txn) {
+  records_.push_back(LogRecord{RecordKind::kAbort, txn, -1, {}});
+  aborted_.insert(txn);
+}
+
+int Log::Rollback(TxnId txn, db::Database* db) {
+  auto it = live_images_.find(txn);
+  if (it == live_images_.end()) {
+    LogAbort(txn);
+    return 0;
+  }
+  // Restore newest-first. A transaction may have journaled the same granule
+  // twice (re-access); reverse order makes the oldest image win, restoring
+  // the pre-transaction state.
+  int restored = 0;
+  for (auto pos = it->second.rbegin(); pos != it->second.rend(); ++pos) {
+    const LogRecord& rec = records_[*pos];
+    db->WriteGranule(rec.granule, rec.before_image);
+    ++restored;
+  }
+  live_images_.erase(it);
+  LogAbort(txn);
+  return restored;
+}
+
+void Log::Recover(db::Database* db) const {
+  Recover(db, [](TxnId) { return false; });
+}
+
+void Log::Recover(db::Database* db,
+                  const std::function<bool(TxnId)>& globally_committed) const {
+  // Undo pass, newest record first: restore before images of every
+  // transaction that neither committed (locally or by global decision) nor
+  // was already rolled back at run time (an abort record marks a completed
+  // undo, like a CLR chain).
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->kind != RecordKind::kBeforeImage) continue;
+    if (committed_.contains(it->txn)) continue;
+    if (aborted_.contains(it->txn)) continue;
+    if (globally_committed(it->txn)) continue;
+    db->WriteGranule(it->granule, it->before_image);
+  }
+}
+
+void Log::Forget(TxnId txn) { live_images_.erase(txn); }
+
+}  // namespace carat::wal

@@ -1,0 +1,139 @@
+#include "workload/spec.h"
+
+#include <cassert>
+
+namespace carat::workload {
+
+namespace {
+
+using model::ClassParams;
+using model::TxnType;
+
+// Fills the Table 2 basic costs for one class.
+void FillCosts(const CostTable& costs, double block_io_ms, TxnType t,
+               ClassParams* c) {
+  const bool update = model::IsUpdate(t);
+  const bool distributed = !model::IsLocal(t);
+  c->u_cpu_ms = costs.u_cpu;
+  c->tm_cpu_ms = distributed ? costs.tm_cpu_distributed : costs.tm_cpu_local;
+  c->dm_cpu_ms = update ? costs.dm_cpu_update : costs.dm_cpu_read;
+  c->lr_cpu_ms = costs.lr_cpu;
+  c->dmio_cpu_ms = update ? costs.dmio_cpu_update : costs.dmio_cpu_read;
+  c->dmio_disk_ms = (update ? costs.ios_update : costs.ios_read) * block_io_ms;
+  c->dmio_read_ios = costs.ios_read;
+  c->dmio_write_ios = update ? costs.ios_update - costs.ios_read : 0.0;
+  c->DeriveDefaults(t);
+}
+
+WorkloadSpec MakeBase(std::string name, int requests_per_txn, int num_nodes) {
+  WorkloadSpec spec;
+  spec.name = std::move(name);
+  spec.requests_per_txn = requests_per_txn;
+  spec.nodes.resize(num_nodes);
+  return spec;
+}
+
+}  // namespace
+
+model::ModelInput WorkloadSpec::ToModelInput() const {
+  model::ModelInput input;
+  input.comm_delay_ms = comm_delay_ms;
+  const int num_nodes = static_cast<int>(nodes.size());
+  const int other_nodes = num_nodes > 1 ? num_nodes - 1 : 1;
+  const int l_dist = distributed_local_requests();
+  const int r_dist = distributed_remote_requests();
+
+  for (int i = 0; i < num_nodes; ++i) {
+    model::SiteParams site;
+    site.name = std::string("Node-") + static_cast<char>('A' + i);
+    site.num_granules = num_granules;
+    site.records_per_granule = records_per_granule;
+    site.block_io_ms = !block_io_ms.empty()
+                           ? block_io_ms[i % block_io_ms.size()]
+                           : (i % 2 == 0 ? 28.0 : 40.0);
+    site.separate_log_disk = separate_log_disk;
+    site.think_time_ms = think_time_ms;
+    site.hot_data_fraction = hot_data_fraction;
+    site.hot_access_fraction = hot_access_fraction;
+    site.buffer_blocks = buffer_blocks;
+    site.dm_pool_size = dm_pool_size;
+
+    // Local classes.
+    ClassParams& lro = site.Class(TxnType::kLRO);
+    lro.population = nodes[i].lro;
+    lro.local_requests = requests_per_txn;
+    lro.records_per_request = records_per_request;
+    FillCosts(costs, site.block_io_ms, TxnType::kLRO, &lro);
+
+    ClassParams& lu = site.Class(TxnType::kLU);
+    lu.population = nodes[i].lu;
+    lu.local_requests = requests_per_txn;
+    lu.records_per_request = records_per_request;
+    FillCosts(costs, site.block_io_ms, TxnType::kLU, &lu);
+
+    // Coordinator chains of this node's distributed users.
+    ClassParams& droc = site.Class(TxnType::kDROC);
+    droc.population = nodes[i].dro;
+    droc.local_requests = l_dist;
+    droc.remote_requests = r_dist;
+    droc.records_per_request = records_per_request;
+    FillCosts(costs, site.block_io_ms, TxnType::kDROC, &droc);
+
+    ClassParams& duc = site.Class(TxnType::kDUC);
+    duc.population = nodes[i].du;
+    duc.local_requests = l_dist;
+    duc.remote_requests = r_dist;
+    duc.records_per_request = records_per_request;
+    FillCosts(costs, site.block_io_ms, TxnType::kDUC, &duc);
+
+    // Slave chains serving the *other* nodes' distributed users. Each remote
+    // transaction keeps one slave per participating node; remote requests
+    // are split evenly over the other nodes.
+    int dro_elsewhere = 0, du_elsewhere = 0;
+    for (int j = 0; j < num_nodes; ++j) {
+      if (j == i) continue;
+      dro_elsewhere += nodes[j].dro;
+      du_elsewhere += nodes[j].du;
+    }
+    ClassParams& dros = site.Class(TxnType::kDROS);
+    dros.population = r_dist > 0 ? dro_elsewhere : 0;
+    dros.local_requests = r_dist > 0 ? std::max(r_dist / other_nodes, 1) : 0;
+    dros.records_per_request = records_per_request;
+    FillCosts(costs, site.block_io_ms, TxnType::kDROS, &dros);
+
+    ClassParams& dus = site.Class(TxnType::kDUS);
+    dus.population = r_dist > 0 ? du_elsewhere : 0;
+    dus.local_requests = r_dist > 0 ? std::max(r_dist / other_nodes, 1) : 0;
+    dus.records_per_request = records_per_request;
+    FillCosts(costs, site.block_io_ms, TxnType::kDUS, &dus);
+
+    input.sites.push_back(std::move(site));
+  }
+  return input;
+}
+
+WorkloadSpec MakeLB8(int requests_per_txn, int num_nodes) {
+  WorkloadSpec spec = MakeBase("LB8", requests_per_txn, num_nodes);
+  for (NodeMix& node : spec.nodes) node = NodeMix{4, 4, 0, 0};
+  return spec;
+}
+
+WorkloadSpec MakeMB4(int requests_per_txn, int num_nodes) {
+  WorkloadSpec spec = MakeBase("MB4", requests_per_txn, num_nodes);
+  for (NodeMix& node : spec.nodes) node = NodeMix{1, 1, 1, 1};
+  return spec;
+}
+
+WorkloadSpec MakeMB8(int requests_per_txn, int num_nodes) {
+  WorkloadSpec spec = MakeBase("MB8", requests_per_txn, num_nodes);
+  for (NodeMix& node : spec.nodes) node = NodeMix{2, 2, 2, 2};
+  return spec;
+}
+
+WorkloadSpec MakeUB6(int requests_per_txn, int num_nodes) {
+  WorkloadSpec spec = MakeBase("UB6", requests_per_txn, num_nodes);
+  for (NodeMix& node : spec.nodes) node = NodeMix{2, 2, 1, 1};
+  return spec;
+}
+
+}  // namespace carat::workload

@@ -1,0 +1,102 @@
+// The paper's synthetic transaction workloads (Section 2).
+//
+// Four user-visible transaction types — local read-only (LRO), local update
+// (LU), distributed read-only (DRO) and distributed update (DU) — are
+// parameterized by the number of requests per transaction n and the number
+// of records per request (4 in all experiments). The four standard two-node
+// workloads are LB8, MB4, MB8 and UB6.
+//
+// Cost parameters are the paper's Table 2 values for Node A (DEC RM05 disk,
+// 28 ms/block) and Node B (DEC RP06 disk, 40 ms/block).
+
+#ifndef CARAT_WORKLOAD_SPEC_H_
+#define CARAT_WORKLOAD_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "model/params.h"
+
+namespace carat::workload {
+
+/// Users of each type resident at one node. DRO/DU users issue distributed
+/// transactions coordinated at this node.
+struct NodeMix {
+  int lro = 0;
+  int lu = 0;
+  int dro = 0;
+  int du = 0;
+
+  int total() const { return lro + lu + dro + du; }
+};
+
+/// Table 2 basic parameter values (milliseconds).
+struct CostTable {
+  double u_cpu = 7.8;
+  double tm_cpu_local = 8.0;
+  double tm_cpu_distributed = 12.0;
+  double dm_cpu_read = 5.4;
+  double dm_cpu_update = 8.6;
+  double lr_cpu = 2.2;
+  double dmio_cpu_read = 1.5;
+  double dmio_cpu_update = 2.5;
+  /// Block I/Os per DMIO visit: one read for read-only access, three for an
+  /// update (database read + journal write + database write).
+  double ios_read = 1.0;
+  double ios_update = 3.0;
+};
+
+/// A complete workload specification, convertible to model input (and, via
+/// carat/testbed.h, to a testbed configuration).
+struct WorkloadSpec {
+  std::string name;
+  std::vector<NodeMix> nodes;
+
+  int requests_per_txn = 4;     ///< n, swept 4..20 in the paper
+  int records_per_request = 4;
+  int num_granules = 3000;      ///< N_g per node (512-byte blocks)
+  int records_per_granule = 6;  ///< N_b
+  double think_time_ms = 0.0;   ///< R_UT (zero in all experiments)
+  double comm_delay_ms = 0.0;   ///< alpha (negligible on the test Ethernet)
+  bool separate_log_disk = false;
+
+  /// Extensions beyond the paper's assumptions (0 = paper behaviour):
+  /// hot/cold access skew and a shared LRU database buffer per node.
+  double hot_data_fraction = 0.0;
+  double hot_access_fraction = 0.0;
+  int buffer_blocks = 0;
+  int dm_pool_size = 0;  ///< 0 = unlimited DM servers per node
+
+  /// Per-node block I/O times; defaults to {28, 40, 28, 40, ...}.
+  std::vector<double> block_io_ms;
+
+  CostTable costs;
+
+  /// Local requests of a distributed transaction; the remainder are remote,
+  /// split evenly over the other nodes. The paper does not state the split;
+  /// we use half local / half remote (see DESIGN.md).
+  int distributed_local_requests() const { return (requests_per_txn + 1) / 2; }
+  int distributed_remote_requests() const {
+    return requests_per_txn - distributed_local_requests();
+  }
+
+  /// Builds the analytical model input, decomposing DRO/DU users into
+  /// coordinator chains at their home node and slave chains at the others.
+  model::ModelInput ToModelInput() const;
+};
+
+/// LB8: local-only, eight users per node (4 LRO + 4 LU).
+WorkloadSpec MakeLB8(int requests_per_txn, int num_nodes = 2);
+
+/// MB4: one user of each type per node.
+WorkloadSpec MakeMB4(int requests_per_txn, int num_nodes = 2);
+
+/// MB8: two users of each type per node.
+WorkloadSpec MakeMB8(int requests_per_txn, int num_nodes = 2);
+
+/// UB6: local-intensive distributed mix (2 LRO, 2 LU, 1 DRO, 1 DU per node).
+WorkloadSpec MakeUB6(int requests_per_txn, int num_nodes = 2);
+
+}  // namespace carat::workload
+
+#endif  // CARAT_WORKLOAD_SPEC_H_

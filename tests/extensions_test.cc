@@ -1,0 +1,206 @@
+// Tests for the beyond-the-paper extensions (listed as future work in the
+// paper's conclusions): nonuniform access (hot spots) and database
+// buffering, in both the analytical model and the testbed.
+
+#include <gtest/gtest.h>
+
+#include "carat/testbed.h"
+#include "db/buffer_pool.h"
+#include "model/solver.h"
+#include "model/yao.h"
+#include "workload/spec.h"
+
+namespace carat {
+namespace {
+
+// ------------------------------------------------------------- buffer pool -
+
+TEST(BufferPool, MissThenHit) {
+  db::BufferPool pool(2);
+  EXPECT_FALSE(pool.Touch(1));
+  EXPECT_TRUE(pool.Touch(1));
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(BufferPool, EvictsLeastRecentlyUsed) {
+  db::BufferPool pool(2);
+  pool.Touch(1);
+  pool.Touch(2);
+  pool.Touch(1);  // 1 is now most recent
+  pool.Touch(3);  // evicts 2
+  EXPECT_TRUE(pool.Resident(1));
+  EXPECT_FALSE(pool.Resident(2));
+  EXPECT_TRUE(pool.Resident(3));
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(BufferPool, ZeroCapacityNeverHits) {
+  db::BufferPool pool(0);
+  pool.Touch(1);
+  EXPECT_FALSE(pool.Touch(1));
+  EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST(BufferPool, HitRatioTracksStream) {
+  db::BufferPool pool(10);
+  for (int round = 0; round < 10; ++round) {
+    for (db::GranuleId g = 0; g < 10; ++g) pool.Touch(g);
+  }
+  // 10 cold misses, 90 hits.
+  EXPECT_NEAR(pool.HitRatio(), 0.9, 1e-12);
+  pool.ResetStats();
+  EXPECT_DOUBLE_EQ(pool.HitRatio(), 0.0);
+  EXPECT_TRUE(pool.Resident(5));  // residency survives a stats reset
+}
+
+// ----------------------------------------------------------------- skew ----
+
+TEST(AccessSkew, UniformHasFactorOne) {
+  model::AccessSkew uniform{1.0, 1.0};
+  EXPECT_TRUE(uniform.IsUniform());
+  EXPECT_DOUBLE_EQ(uniform.ContentionFactor(), 1.0);
+  // a == s is uniform-equivalent even with a formal hot set.
+  model::AccessSkew balanced{0.3, 0.3};
+  EXPECT_NEAR(balanced.ContentionFactor(), 1.0, 1e-12);
+}
+
+TEST(AccessSkew, HotSpotInflatesContention) {
+  // 80% of accesses on 10% of data: f = .64/.1 + .04/.9 = 6.444...
+  model::AccessSkew skew{0.1, 0.8};
+  EXPECT_NEAR(skew.ContentionFactor(), 0.64 / 0.1 + 0.04 / 0.9, 1e-12);
+  EXPECT_GT(skew.ContentionFactor(), 6.0);
+}
+
+TEST(YaoReal, MatchesIntegerYaoOnIntegers) {
+  for (const long long k : {1, 16, 80, 500}) {
+    EXPECT_NEAR(model::YaoExpectedBlocksReal(18000, 3000, k),
+                model::YaoExpectedBlocks(18000, 3000, k), 1e-6)
+        << "k=" << k;
+  }
+}
+
+TEST(YaoSkewed, UniformSkewMatchesPlainYao) {
+  const model::AccessSkew uniform{1.0, 1.0};
+  EXPECT_NEAR(model::YaoExpectedBlocksSkewed(18000, 3000, 32, uniform),
+              model::YaoExpectedBlocks(18000, 3000, 32), 1e-9);
+}
+
+TEST(YaoSkewed, SkewReducesDistinctBlocks) {
+  const model::AccessSkew skew{0.05, 0.9};
+  const double skewed = model::YaoExpectedBlocksSkewed(18000, 3000, 200, skew);
+  const double uniform = model::YaoExpectedBlocks(18000, 3000, 200);
+  EXPECT_LT(skewed, uniform);
+  EXPECT_GT(skewed, 0.0);
+}
+
+// ----------------------------------------------- model with the extensions -
+
+TEST(ModelExtensions, SkewRaisesBlockingAndLowersThroughput) {
+  workload::WorkloadSpec uniform = workload::MakeMB8(8);
+  workload::WorkloadSpec hot = uniform;
+  hot.hot_data_fraction = 0.1;
+  hot.hot_access_fraction = 0.8;
+  const auto base = model::CaratModel(uniform.ToModelInput()).Solve();
+  const auto skewed = model::CaratModel(hot.ToModelInput()).Solve();
+  ASSERT_TRUE(base.ok);
+  ASSERT_TRUE(skewed.ok);
+  EXPECT_GT(skewed.sites[0].Class(model::TxnType::kLU).pb,
+            base.sites[0].Class(model::TxnType::kLU).pb * 3.0);
+  EXPECT_LT(skewed.TotalTxnPerSec(), base.TotalTxnPerSec());
+}
+
+TEST(ModelExtensions, BufferRaisesThroughputMonotonically) {
+  double prev = 0.0;
+  for (const int blocks : {0, 500, 1500, 3000}) {
+    workload::WorkloadSpec wl = workload::MakeMB8(8);
+    wl.buffer_blocks = blocks;
+    const auto sol = model::CaratModel(wl.ToModelInput()).Solve();
+    ASSERT_TRUE(sol.ok);
+    EXPECT_GE(sol.TotalTxnPerSec(), prev) << blocks;
+    prev = sol.TotalTxnPerSec();
+  }
+}
+
+// --------------------------------------------- testbed with the extensions -
+
+TestbedOptions FastOptions() {
+  TestbedOptions opts;
+  opts.warmup_ms = 50'000;
+  opts.measure_ms = 400'000;
+  return opts;
+}
+
+TEST(TestbedExtensions, SkewIncreasesConflictsAndStaysConsistent) {
+  workload::WorkloadSpec uniform = workload::MakeMB8(8);
+  workload::WorkloadSpec hot = uniform;
+  hot.hot_data_fraction = 0.1;
+  hot.hot_access_fraction = 0.8;
+  const TestbedResult base = RunTestbed(uniform.ToModelInput(), FastOptions());
+  const TestbedResult skewed = RunTestbed(hot.ToModelInput(), FastOptions());
+  ASSERT_TRUE(base.ok);
+  ASSERT_TRUE(skewed.ok);
+  EXPECT_TRUE(skewed.database_consistent);
+  EXPECT_GT(skewed.nodes[0].lock_blocks, base.nodes[0].lock_blocks);
+  EXPECT_LT(skewed.TotalTxnPerSec(), base.TotalTxnPerSec());
+}
+
+TEST(TestbedExtensions, BufferHitsReduceDiskLoad) {
+  workload::WorkloadSpec nobuf = workload::MakeMB8(8);
+  workload::WorkloadSpec buf = nobuf;
+  buf.buffer_blocks = 3000;  // whole database fits
+  const TestbedResult a = RunTestbed(nobuf.ToModelInput(), FastOptions());
+  const TestbedResult b = RunTestbed(buf.ToModelInput(), FastOptions());
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_TRUE(b.database_consistent);
+  EXPECT_GT(b.nodes[0].buffer_hit_ratio, 0.7);
+  EXPECT_DOUBLE_EQ(a.nodes[0].buffer_hit_ratio, 0.0);
+  EXPECT_GT(b.TotalTxnPerSec(), a.TotalTxnPerSec());
+  EXPECT_LT(b.nodes[0].dio_per_s, a.nodes[0].dio_per_s);
+}
+
+TEST(TestbedExtensions, SkewedBufferBeatsUnskewedBuffer) {
+  // A small buffer is far more effective when accesses concentrate on a
+  // hot set that fits in it.
+  workload::WorkloadSpec cold = workload::MakeLB8(8);
+  cold.buffer_blocks = 300;
+  workload::WorkloadSpec hot = cold;
+  hot.hot_data_fraction = 0.05;  // 150 blocks, fits in the buffer
+  hot.hot_access_fraction = 0.9;
+  const TestbedResult a = RunTestbed(cold.ToModelInput(), FastOptions());
+  const TestbedResult b = RunTestbed(hot.ToModelInput(), FastOptions());
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_GT(b.nodes[0].buffer_hit_ratio, a.nodes[0].buffer_hit_ratio + 0.3);
+}
+
+TEST(TestbedExtensions, ModelTracksSimUnderModerateSkew) {
+  workload::WorkloadSpec wl = workload::MakeMB4(8);
+  wl.hot_data_fraction = 0.2;
+  wl.hot_access_fraction = 0.5;
+  const auto input = wl.ToModelInput();
+  const auto m = model::CaratModel(input).Solve();
+  const TestbedResult s = RunTestbed(input, FastOptions());
+  ASSERT_TRUE(m.ok);
+  ASSERT_TRUE(s.ok);
+  const double rel =
+      std::abs(m.TotalTxnPerSec() - s.TotalTxnPerSec()) / s.TotalTxnPerSec();
+  EXPECT_LT(rel, 0.3);
+}
+
+TEST(TestbedExtensions, ModelTracksSimWithBuffer) {
+  workload::WorkloadSpec wl = workload::MakeMB4(8);
+  wl.buffer_blocks = 1500;
+  const auto input = wl.ToModelInput();
+  const auto m = model::CaratModel(input).Solve();
+  const TestbedResult s = RunTestbed(input, FastOptions());
+  ASSERT_TRUE(m.ok);
+  ASSERT_TRUE(s.ok);
+  const double rel =
+      std::abs(m.TotalTxnPerSec() - s.TotalTxnPerSec()) / s.TotalTxnPerSec();
+  EXPECT_LT(rel, 0.35);
+}
+
+}  // namespace
+}  // namespace carat

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/linear.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace carat::util {
+namespace {
+
+TEST(StatAccumulator, EmptyIsZero) {
+  StatAccumulator s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ConfidenceHalfWidth(), 0.0);
+}
+
+TEST(StatAccumulator, MeanAndVariance) {
+  StatAccumulator s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+}
+
+TEST(StatAccumulator, MergeMatchesCombinedStream) {
+  StatAccumulator a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-12);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-9);
+}
+
+TEST(StatAccumulator, SingleObservationHasZeroCi) {
+  StatAccumulator s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.ConfidenceHalfWidth(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+}
+
+TEST(TimeWeightedStat, PiecewiseConstantSignal) {
+  TimeWeightedStat tw;
+  tw.Update(0.0, 2.0);   // value 2 on [0, 10)
+  tw.Update(10.0, 4.0);  // value 4 on [10, 30)
+  EXPECT_NEAR(tw.MeanAt(30.0), (2.0 * 10 + 4.0 * 20) / 30.0, 1e-12);
+}
+
+TEST(TimeWeightedStat, BeforeFirstUpdateIsZero) {
+  TimeWeightedStat tw;
+  EXPECT_DOUBLE_EQ(tw.MeanAt(5.0), 0.0);
+}
+
+TEST(LinearSolve, Identity) {
+  Matrix a(3, 3);
+  for (int i = 0; i < 3; ++i) a(i, i) = 1.0;
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem(a, {1.0, 2.0, 3.0}, &x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(LinearSolve, RequiresPivoting) {
+  // First pivot is zero; solvable only with row exchange.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem(a, {3.0, 5.0}, &x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinearSolve, SingularFails) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  std::vector<double> x;
+  EXPECT_FALSE(SolveLinearSystem(a, {1.0, 2.0}, &x));
+}
+
+TEST(LinearSolve, RandomSystemRoundTrips) {
+  Rng rng(7);
+  const std::size_t n = 12;
+  Matrix a(n, n);
+  std::vector<double> truth(n), b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    truth[i] = rng.NextDouble() * 10 - 5;
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.NextDouble() * 2 - 1;
+    a(i, i) += 5.0;  // diagonally dominant => well conditioned
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * truth[j];
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem(a, b, &x));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], truth[i], 1e-9);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a(), b());
+  Rng a2(42);
+  EXPECT_NE(a2(), c());
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BoundedCoversRangeUniformly) {
+  Rng rng(2);
+  int counts[10] = {};
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(3);
+  StatAccumulator s;
+  for (int i = 0; i < 200000; ++i) s.Add(rng.NextExponential(5.0));
+  EXPECT_NEAR(s.Mean(), 5.0, 0.05);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"a", "long-header"});
+  t.AddRow({"xx", "1"});
+  t.AddSeparator();
+  t.AddRow({"y", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("xx"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::Num(0.945, 2), "0.94");
+  EXPECT_EQ(TextTable::Num(12.5, 1), "12.5");
+}
+
+}  // namespace
+}  // namespace carat::util

@@ -1,0 +1,254 @@
+// Model-vs-testbed validation, mirroring Section 6 of the paper: the
+// analytical predictions must track the simulated measurements for every
+// workload, and both must show the paper's qualitative shapes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "carat/testbed.h"
+#include "model/solver.h"
+#include "workload/spec.h"
+
+namespace carat {
+namespace {
+
+using model::TxnType;
+
+struct Pair {
+  model::ModelSolution model;
+  TestbedResult sim;
+};
+
+Pair Solve(const workload::WorkloadSpec& wl, std::uint64_t seed = 1) {
+  const model::ModelInput input = wl.ToModelInput();
+  Pair p;
+  p.model = model::CaratModel(input).Solve();
+  TestbedOptions opts;
+  opts.seed = seed;
+  opts.warmup_ms = 50'000;
+  opts.measure_ms = 800'000;
+  p.sim = RunTestbed(input, opts);
+  return p;
+}
+
+// Relative deviation |a-b| / max(a, b).
+double RelDev(double a, double b) {
+  const double m = std::max(std::fabs(a), std::fabs(b));
+  return m > 0 ? std::fabs(a - b) / m : 0.0;
+}
+
+class ValidationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValidationTest, ModelTracksTestbedAtModerateContention) {
+  const int which = GetParam();
+  workload::WorkloadSpec wl;
+  switch (which) {
+    case 0: wl = workload::MakeLB8(8); break;
+    case 1: wl = workload::MakeMB4(8); break;
+    case 2: wl = workload::MakeMB8(8); break;
+    default: wl = workload::MakeUB6(8); break;
+  }
+  const Pair p = Solve(wl);
+  ASSERT_TRUE(p.model.ok) << p.model.error;
+  ASSERT_TRUE(p.sim.ok) << p.sim.error;
+  ASSERT_TRUE(p.sim.database_consistent);
+  for (std::size_t i = 0; i < p.sim.nodes.size(); ++i) {
+    const auto& m = p.model.sites[i];
+    const auto& s = p.sim.nodes[i];
+    // The paper reports agreement within roughly 10-25%; we allow 25% for
+    // throughput and utilizations at the moderate-contention design point.
+    EXPECT_LT(RelDev(m.txn_per_s, s.txn_per_s), 0.25)
+        << wl.name << " node " << i << " XPUT model=" << m.txn_per_s
+        << " sim=" << s.txn_per_s;
+    EXPECT_LT(RelDev(m.cpu_utilization, s.cpu_utilization), 0.25)
+        << wl.name << " node " << i;
+    EXPECT_LT(RelDev(m.dio_per_s, s.dio_per_s), 0.25)
+        << wl.name << " node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ValidationTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Validation, NormalizedThroughputPeaksThenDeclines) {
+  // Figure 5/8 shape: records/s rises to a peak near n = 8 and declines by
+  // n = 20 (deadlock-induced rollback), in both model and testbed.
+  double model_peak = 0, model_tail = 0, sim_peak = 0, sim_tail = 0;
+  for (const int n : {8, 20}) {
+    const Pair p = Solve(workload::MakeLB8(n));
+    ASSERT_TRUE(p.model.ok);
+    ASSERT_TRUE(p.sim.ok);
+    if (n == 8) {
+      model_peak = p.model.TotalRecordsPerSec();
+      sim_peak = p.sim.TotalRecordsPerSec();
+    } else {
+      model_tail = p.model.TotalRecordsPerSec();
+      sim_tail = p.sim.TotalRecordsPerSec();
+    }
+  }
+  EXPECT_GT(model_peak, model_tail);
+  EXPECT_GT(sim_peak, sim_tail);
+}
+
+TEST(Validation, AbortProbabilityGrowsWithTransactionSize) {
+  double prev_sim = -1.0;
+  for (const int n : {4, 12, 20}) {
+    const Pair p = Solve(workload::MakeMB8(n));
+    ASSERT_TRUE(p.sim.ok);
+    double aborts = 0, submissions = 0;
+    for (const auto& node : p.sim.nodes) {
+      for (const auto& t : node.types) {
+        aborts += t.aborts;
+        submissions += t.submissions;
+      }
+    }
+    const double pa = submissions > 0 ? aborts / submissions : 0.0;
+    EXPECT_GT(pa, prev_sim) << "n=" << n;
+    prev_sim = pa;
+  }
+  EXPECT_GT(prev_sim, 0.01);  // clearly nonzero at n=20
+}
+
+TEST(Validation, NodeAOutperformsNodeBEverywhere) {
+  for (const int n : {4, 12}) {
+    const Pair p = Solve(workload::MakeMB4(n));
+    ASSERT_TRUE(p.model.ok);
+    ASSERT_TRUE(p.sim.ok);
+    EXPECT_GT(p.model.sites[0].txn_per_s, p.model.sites[1].txn_per_s);
+    EXPECT_GT(p.sim.nodes[0].txn_per_s, p.sim.nodes[1].txn_per_s);
+  }
+}
+
+TEST(Validation, PerTypeThroughputOrderingMatchesTable5) {
+  // Table 5: LRO > DRO > LU > DU at each node (read-only beats update;
+  // local beats distributed within a class).
+  const Pair p = Solve(workload::MakeMB4(8));
+  ASSERT_TRUE(p.sim.ok);
+  for (const auto& node : p.sim.nodes) {
+    // Read-only beats update within each locality class, at every node.
+    EXPECT_GT(node.Type(TxnType::kLRO).throughput_per_s,
+              node.Type(TxnType::kLU).throughput_per_s);
+    EXPECT_GT(node.Type(TxnType::kDROC).throughput_per_s,
+              node.Type(TxnType::kDUC).throughput_per_s);
+  }
+  // Local beats distributed at the fast node (Table 5, Node A). At Node B a
+  // distributed transaction offloads half its work to A's faster disk, so
+  // the ordering is not guaranteed there.
+  const auto& a = p.sim.nodes[0];
+  EXPECT_GT(a.Type(TxnType::kLRO).throughput_per_s,
+            a.Type(TxnType::kDROC).throughput_per_s);
+  EXPECT_GT(a.Type(TxnType::kLU).throughput_per_s,
+            a.Type(TxnType::kDUC).throughput_per_s);
+  // And the model agrees on the ordering.
+  for (const auto& site : p.model.sites) {
+    EXPECT_GT(site.Class(TxnType::kLRO).throughput_per_s,
+              site.Class(TxnType::kLU).throughput_per_s);
+    EXPECT_GT(site.Class(TxnType::kDROC).throughput_per_s,
+              site.Class(TxnType::kDUC).throughput_per_s);
+  }
+}
+
+TEST(Validation, ThreeNodeClusterAgreesToo) {
+  // The paper validates on two nodes; the framework must hold beyond that.
+  workload::WorkloadSpec wl = workload::MakeMB4(8, /*num_nodes=*/3);
+  wl.block_io_ms = {15.0, 30.0, 40.0};
+  const Pair p = Solve(wl);
+  ASSERT_TRUE(p.model.ok) << p.model.error;
+  ASSERT_TRUE(p.sim.ok) << p.sim.error;
+  ASSERT_TRUE(p.sim.database_consistent);
+  ASSERT_EQ(p.sim.nodes.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LT(RelDev(p.model.sites[i].txn_per_s, p.sim.nodes[i].txn_per_s),
+              0.25)
+        << "node " << i;
+    EXPECT_LT(RelDev(p.model.sites[i].dio_per_s, p.sim.nodes[i].dio_per_s),
+              0.25)
+        << "node " << i;
+  }
+  // Faster disks, more throughput: strict ordering across the three nodes.
+  EXPECT_GT(p.sim.nodes[0].txn_per_s, p.sim.nodes[1].txn_per_s);
+  EXPECT_GT(p.sim.nodes[1].txn_per_s, p.sim.nodes[2].txn_per_s);
+}
+
+TEST(Validation, DiskRemainsTheBottleneckResource) {
+  // Table 2 parameterization makes the single shared disk the bottleneck:
+  // disk utilization exceeds CPU utilization at every point we test.
+  for (const int n : {4, 12}) {
+    const Pair p = Solve(workload::MakeMB8(n));
+    ASSERT_TRUE(p.sim.ok);
+    for (const auto& node : p.sim.nodes) {
+      EXPECT_GT(node.db_disk_utilization, node.cpu_utilization);
+    }
+  }
+}
+
+TEST(Validation, ResponseTimesTrackPerType) {
+  // Per-commit response times (including retries) should agree between
+  // model and testbed at the moderate design point.
+  const Pair p = Solve(workload::MakeMB4(8));
+  ASSERT_TRUE(p.model.ok);
+  ASSERT_TRUE(p.sim.ok);
+  for (std::size_t i = 0; i < p.sim.nodes.size(); ++i) {
+    for (const TxnType t : {TxnType::kLRO, TxnType::kLU, TxnType::kDROC,
+                            TxnType::kDUC}) {
+      const double model_r = p.model.sites[i].Class(t).response_ms;
+      const double sim_r = p.sim.nodes[i].Type(t).response_ms;
+      ASSERT_GT(sim_r, 0.0) << Name(t);
+      EXPECT_LT(RelDev(model_r, sim_r), 0.30)
+          << Name(t) << " node " << i << " model=" << model_r
+          << " sim=" << sim_r;
+    }
+  }
+}
+
+TEST(Validation, DelayCenterDecompositionTracksMeasuredWaits) {
+  // The model's per-commit delay-center demands (D_LW, D_RW, D_CW) should
+  // match the testbed's measured synchronization times, not just totals.
+  const Pair p = Solve(workload::MakeMB4(8));
+  ASSERT_TRUE(p.model.ok);
+  ASSERT_TRUE(p.sim.ok);
+  for (std::size_t i = 0; i < p.sim.nodes.size(); ++i) {
+    // Remote wait: coordinators spend seconds per commit shipping requests.
+    const auto& m_duc = p.model.sites[i].Class(TxnType::kDUC);
+    const auto& s_duc = p.sim.nodes[i].Type(TxnType::kDUC);
+    EXPECT_GT(s_duc.remote_wait_ms, 0.0);
+    EXPECT_LT(RelDev(m_duc.d_rw_ms, s_duc.remote_wait_ms), 0.35)
+        << "node " << i << " D_RW model=" << m_duc.d_rw_ms
+        << " sim=" << s_duc.remote_wait_ms;
+    // Commit wait: one 2PC synchronization per commit, order of the slave
+    // commit processing (~2 forced writes).
+    EXPECT_GT(s_duc.commit_wait_ms, 0.0);
+    EXPECT_LT(RelDev(m_duc.d_cw_ms, s_duc.commit_wait_ms), 0.6)
+        << "node " << i << " D_CW model=" << m_duc.d_cw_ms
+        << " sim=" << s_duc.commit_wait_ms;
+    // Local transactions never wait remotely or for commit rounds.
+    const auto& s_lro = p.sim.nodes[i].Type(TxnType::kLRO);
+    EXPECT_DOUBLE_EQ(s_lro.remote_wait_ms, 0.0);
+    EXPECT_DOUBLE_EQ(s_lro.commit_wait_ms, 0.0);
+  }
+}
+
+TEST(Validation, ModelLockQuantitiesMatchSimCounters) {
+  // The model's blocking probability should be the same order as the
+  // testbed's measured blocks/requests ratio.
+  const Pair p = Solve(workload::MakeLB8(12));
+  ASSERT_TRUE(p.model.ok);
+  ASSERT_TRUE(p.sim.ok);
+  for (std::size_t i = 0; i < p.sim.nodes.size(); ++i) {
+    const auto& s = p.sim.nodes[i];
+    const double measured_pb =
+        s.lock_requests > 0
+            ? static_cast<double>(s.lock_blocks) / s.lock_requests
+            : 0.0;
+    const double model_pb = p.model.sites[i].Class(TxnType::kLU).pb;
+    EXPECT_GT(measured_pb, 0.0);
+    EXPECT_GT(model_pb, 0.0);
+    EXPECT_LT(RelDev(measured_pb, model_pb), 0.75)
+        << "node " << i << " measured=" << measured_pb
+        << " model=" << model_pb;
+  }
+}
+
+}  // namespace
+}  // namespace carat

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "wal/log.h"
+
+namespace carat::wal {
+namespace {
+
+TEST(Database, GranuleMapping) {
+  db::Database d(10, 6);
+  EXPECT_EQ(d.num_records(), 60);
+  EXPECT_EQ(d.GranuleOf(0), 0);
+  EXPECT_EQ(d.GranuleOf(5), 0);
+  EXPECT_EQ(d.GranuleOf(6), 1);
+  EXPECT_EQ(d.GranuleOf(59), 9);
+}
+
+TEST(Database, ReadWriteRoundTrip) {
+  db::Database d(3, 4);
+  d.Write(5, 42);
+  EXPECT_EQ(d.Read(5), 42);
+  EXPECT_EQ(d.Read(4), 0);
+}
+
+TEST(Database, GranuleImageRoundTrip) {
+  db::Database d(3, 4);
+  d.Write(4, 1);
+  d.Write(5, 2);
+  const auto image = d.ReadGranule(1);
+  d.Write(4, 99);
+  d.WriteGranule(1, image);
+  EXPECT_EQ(d.Read(4), 1);
+  EXPECT_EQ(d.Read(5), 2);
+}
+
+TEST(Wal, RollbackRestoresBeforeImages) {
+  db::Database d(4, 2);
+  Log log;
+  d.Write(0, 10);
+  log.LogBeforeImage(1, 0, d.ReadGranule(0));
+  d.Write(0, 11);
+  d.Write(1, 12);
+  const int restored = log.Rollback(1, &d);
+  EXPECT_EQ(restored, 1);
+  EXPECT_EQ(d.Read(0), 10);
+  EXPECT_EQ(d.Read(1), 0);  // same granule: restored from the image
+  EXPECT_TRUE(log.IsAborted(1));
+}
+
+TEST(Wal, OldestImageWinsOnDoubleUpdate) {
+  db::Database d(4, 2);
+  Log log;
+  log.LogBeforeImage(7, 2, d.ReadGranule(2));  // image: zeros
+  d.Write(4, 1);
+  log.LogBeforeImage(7, 2, d.ReadGranule(2));  // image: {1, 0}
+  d.Write(4, 2);
+  log.Rollback(7, &d);
+  EXPECT_EQ(d.Read(4), 0);  // fully undone, not the intermediate value
+}
+
+TEST(Wal, CommitMakesEffectsDurableThroughRecovery) {
+  db::Database d(4, 2);
+  Log log;
+  log.LogBeforeImage(1, 0, d.ReadGranule(0));
+  d.Write(0, 5);
+  log.LogCommit(1);
+  db::Database copy = d;
+  log.Recover(&copy);
+  EXPECT_EQ(copy.Read(0), 5);
+  EXPECT_TRUE(log.IsCommitted(1));
+}
+
+TEST(Wal, RecoveryUndoesUnfinishedTransactions) {
+  db::Database d(4, 2);
+  Log log;
+  // Txn 1 commits, txn 2 is in flight at "crash" time.
+  log.LogBeforeImage(1, 0, d.ReadGranule(0));
+  d.Write(0, 5);
+  log.LogCommit(1);
+  log.LogBeforeImage(2, 0, d.ReadGranule(0));
+  d.Write(0, 99);
+  log.LogBeforeImage(2, 1, d.ReadGranule(1));
+  d.Write(2, 77);
+
+  log.Recover(&d);
+  EXPECT_EQ(d.Read(0), 5);   // committed effect preserved
+  EXPECT_EQ(d.Read(2), 0);   // in-flight effect undone
+}
+
+TEST(Wal, RecoveryDoesNotReundoRuntimeAborts) {
+  // Regression: a transaction rolled back at run time must not have its
+  // stale before image re-applied at recovery, or it would clobber later
+  // committed writes to the same granule.
+  db::Database d(4, 2);
+  Log log;
+  log.LogBeforeImage(1, 0, d.ReadGranule(0));  // image: zeros
+  d.Write(0, 9);
+  log.Rollback(1, &d);  // undone at run time; granule back to zeros
+
+  log.LogBeforeImage(2, 0, d.ReadGranule(0));
+  d.Write(0, 5);
+  log.LogCommit(2);
+
+  db::Database copy = d;
+  log.Recover(&copy);
+  EXPECT_EQ(copy.Read(0), 5);  // txn 2's committed write survives
+}
+
+TEST(Wal, PrepareRecordsAreJournaled) {
+  Log log;
+  log.LogPrepare(3);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.records()[0].kind, RecordKind::kPrepare);
+  EXPECT_EQ(log.records()[0].txn, 3u);
+}
+
+TEST(Wal, RollbackOfUnknownTxnIsEmpty) {
+  db::Database d(2, 2);
+  Log log;
+  EXPECT_EQ(log.Rollback(42, &d), 0);
+}
+
+TEST(Wal, InterleavedTransactionsRecoverIndependently) {
+  db::Database d(8, 2);
+  Log log;
+  // Three transactions touch disjoint granules; one commits, one aborts at
+  // run time, one crashes mid-flight.
+  log.LogBeforeImage(1, 0, d.ReadGranule(0));
+  d.Write(0, 1);
+  log.LogBeforeImage(2, 1, d.ReadGranule(1));
+  d.Write(2, 2);
+  log.LogBeforeImage(3, 2, d.ReadGranule(2));
+  d.Write(4, 3);
+  log.LogCommit(1);
+  log.Rollback(2, &d);
+
+  log.Recover(&d);
+  EXPECT_EQ(d.Read(0), 1);  // committed
+  EXPECT_EQ(d.Read(2), 0);  // aborted at run time
+  EXPECT_EQ(d.Read(4), 0);  // crashed, undone by recovery
+}
+
+}  // namespace
+}  // namespace carat::wal

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "workload/spec.h"
+
+namespace carat::workload {
+namespace {
+
+using model::TxnType;
+
+TEST(Workloads, Lb8IsLocalOnlyEightUsersPerNode) {
+  const WorkloadSpec wl = MakeLB8(8);
+  ASSERT_EQ(wl.nodes.size(), 2u);
+  for (const NodeMix& node : wl.nodes) {
+    EXPECT_EQ(node.lro, 4);
+    EXPECT_EQ(node.lu, 4);
+    EXPECT_EQ(node.dro, 0);
+    EXPECT_EQ(node.du, 0);
+    EXPECT_EQ(node.total(), 8);
+  }
+}
+
+TEST(Workloads, StandardMixesMatchThePaper) {
+  EXPECT_EQ(MakeMB4(8).nodes[0].total(), 4);
+  EXPECT_EQ(MakeMB8(8).nodes[0].total(), 8);
+  EXPECT_EQ(MakeUB6(8).nodes[0].total(), 6);
+  const WorkloadSpec ub6 = MakeUB6(8);
+  EXPECT_EQ(ub6.nodes[0].lro, 2);
+  EXPECT_EQ(ub6.nodes[0].lu, 2);
+  EXPECT_EQ(ub6.nodes[0].dro, 1);
+  EXPECT_EQ(ub6.nodes[0].du, 1);
+}
+
+TEST(Workloads, DistributedSplitIsHalfAndHalf) {
+  for (const int n : {4, 5, 8, 20}) {
+    const WorkloadSpec wl = MakeMB4(n);
+    EXPECT_EQ(wl.distributed_local_requests() +
+                  wl.distributed_remote_requests(),
+              n);
+    EXPECT_GE(wl.distributed_local_requests(),
+              wl.distributed_remote_requests());
+    EXPECT_LE(wl.distributed_local_requests() -
+                  wl.distributed_remote_requests(),
+              1);
+  }
+}
+
+TEST(Workloads, ModelInputValidatesForAllStandardWorkloads) {
+  for (const int n : {4, 8, 12, 16, 20}) {
+    for (const WorkloadSpec& wl :
+         {MakeLB8(n), MakeMB4(n), MakeMB8(n), MakeUB6(n)}) {
+      std::string error;
+      EXPECT_TRUE(wl.ToModelInput().Validate(&error))
+          << wl.name << " n=" << n << ": " << error;
+    }
+  }
+}
+
+TEST(Workloads, Table2CostsAreApplied) {
+  const model::ModelInput input = MakeMB4(8).ToModelInput();
+  const model::SiteParams& a = input.sites[0];
+  const model::SiteParams& b = input.sites[1];
+  // Node A: RM05, 28 ms/block; Node B: RP06, 40 ms/block.
+  EXPECT_DOUBLE_EQ(a.block_io_ms, 28.0);
+  EXPECT_DOUBLE_EQ(b.block_io_ms, 40.0);
+  // LRO: one read per access; LU: read + journal + write.
+  EXPECT_DOUBLE_EQ(a.Class(TxnType::kLRO).dmio_disk_ms, 28.0);
+  EXPECT_DOUBLE_EQ(a.Class(TxnType::kLU).dmio_disk_ms, 84.0);
+  EXPECT_DOUBLE_EQ(b.Class(TxnType::kLRO).dmio_disk_ms, 40.0);
+  EXPECT_DOUBLE_EQ(b.Class(TxnType::kLU).dmio_disk_ms, 120.0);
+  // TM processing: 8 ms local, 12 ms distributed.
+  EXPECT_DOUBLE_EQ(a.Class(TxnType::kLRO).tm_cpu_ms, 8.0);
+  EXPECT_DOUBLE_EQ(a.Class(TxnType::kDROC).tm_cpu_ms, 12.0);
+  EXPECT_DOUBLE_EQ(a.Class(TxnType::kDROS).tm_cpu_ms, 12.0);
+  // User and lock-request processing are type-independent.
+  EXPECT_DOUBLE_EQ(a.Class(TxnType::kLU).u_cpu_ms, 7.8);
+  EXPECT_DOUBLE_EQ(a.Class(TxnType::kLU).lr_cpu_ms, 2.2);
+}
+
+TEST(Workloads, SlaveChainsMirrorRemoteCoordinators) {
+  const model::ModelInput input = MakeMB8(8).ToModelInput();
+  for (int i = 0; i < 2; ++i) {
+    const model::SiteParams& site = input.sites[i];
+    // Each node hosts slaves for the other node's 2 DRO + 2 DU users.
+    EXPECT_EQ(site.Class(TxnType::kDROS).population, 2);
+    EXPECT_EQ(site.Class(TxnType::kDUS).population, 2);
+    // Slave local work = the coordinator's remote requests.
+    EXPECT_EQ(site.Class(TxnType::kDROS).local_requests,
+              input.sites[1 - i].Class(TxnType::kDROC).remote_requests);
+    EXPECT_EQ(site.Class(TxnType::kDROS).remote_requests, 0);
+  }
+}
+
+TEST(Workloads, LocalOnlyWorkloadHasNoSlaveChains) {
+  const model::ModelInput input = MakeLB8(8).ToModelInput();
+  for (const model::SiteParams& site : input.sites) {
+    EXPECT_EQ(site.Class(TxnType::kDROS).population, 0);
+    EXPECT_EQ(site.Class(TxnType::kDUS).population, 0);
+    EXPECT_EQ(site.Class(TxnType::kDROC).population, 0);
+  }
+}
+
+TEST(Workloads, ThreeNodeSplitSpreadsRemoteWork) {
+  const WorkloadSpec wl = MakeMB4(8, /*num_nodes=*/3);
+  const model::ModelInput input = wl.ToModelInput();
+  ASSERT_EQ(input.sites.size(), 3u);
+  std::string error;
+  EXPECT_TRUE(input.Validate(&error)) << error;
+  // Each node hosts slaves for the other two nodes' distributed users.
+  EXPECT_EQ(input.sites[0].Class(TxnType::kDROS).population, 2);
+  // Remote requests divide over two slave sites.
+  const int r = wl.distributed_remote_requests();
+  EXPECT_EQ(input.sites[0].Class(TxnType::kDROS).local_requests,
+            std::max(r / 2, 1));
+}
+
+TEST(Workloads, DerivedPhaseCostsFollowTheRules) {
+  const model::ModelInput input = MakeMB4(8).ToModelInput();
+  const model::ClassParams& lro = input.sites[0].Class(TxnType::kLRO);
+  const model::ClassParams& duc = input.sites[0].Class(TxnType::kDUC);
+  const model::ClassParams& dus = input.sites[0].Class(TxnType::kDUS);
+  EXPECT_DOUBLE_EQ(lro.init_cpu_ms, 2 * 8.0 + 5.4);
+  EXPECT_DOUBLE_EQ(lro.tc_cpu_ms, 8.0);          // local: one TM visit
+  EXPECT_DOUBLE_EQ(duc.tc_cpu_ms, 2 * 12.0);     // coordinator: two rounds
+  EXPECT_DOUBLE_EQ(lro.tcio_force_writes, 1.0);
+  EXPECT_DOUBLE_EQ(dus.tcio_force_writes, 2.0);  // prepare force + commit
+  EXPECT_DOUBLE_EQ(lro.taio_ios_per_granule, 0.0);  // nothing to undo
+  EXPECT_DOUBLE_EQ(duc.taio_ios_per_granule, 2.0);
+}
+
+TEST(Workloads, ExtensionKnobsPropagate) {
+  WorkloadSpec wl = MakeLB8(8);
+  wl.hot_data_fraction = 0.1;
+  wl.hot_access_fraction = 0.8;
+  wl.buffer_blocks = 500;
+  wl.dm_pool_size = 3;
+  wl.separate_log_disk = true;
+  const model::ModelInput input = wl.ToModelInput();
+  for (const model::SiteParams& site : input.sites) {
+    EXPECT_DOUBLE_EQ(site.hot_data_fraction, 0.1);
+    EXPECT_DOUBLE_EQ(site.hot_access_fraction, 0.8);
+    EXPECT_EQ(site.buffer_blocks, 500);
+    EXPECT_EQ(site.dm_pool_size, 3);
+    EXPECT_TRUE(site.separate_log_disk);
+  }
+}
+
+TEST(Workloads, ValidationCatchesBadInputs) {
+  model::ModelInput input = MakeMB4(8).ToModelInput();
+  input.sites[0].num_granules = 0;
+  std::string error;
+  EXPECT_FALSE(input.Validate(&error));
+
+  input = MakeMB4(8).ToModelInput();
+  input.comm_delay_ms = -1;
+  EXPECT_FALSE(input.Validate(&error));
+
+  input = MakeMB4(8).ToModelInput();
+  // Slave population without any coordinator anywhere else.
+  input.sites[0].Class(TxnType::kDROC).population = 0;
+  input.sites[1].Class(TxnType::kDROC).population = 0;
+  EXPECT_FALSE(input.Validate(&error));
+}
+
+}  // namespace
+}  // namespace carat::workload

@@ -1,0 +1,114 @@
+// carat_sweep - emit CSV for the paper's figures (or any custom sweep) so
+// the curves can be plotted directly:
+//
+//   carat_sweep --workload lb8 > lb8.csv
+//   carat_sweep --workload mb4 --sizes 2,4,6,8,10,12 --seed 7 > mb4.csv
+//
+// Columns: workload,n,node,source,xput_tps,records_ps,cpu_util,dio_ps,
+//          pa_lu,lockwait_ms,remotewait_ms,commitwait_ms
+// with source in {model, testbed}.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "carat/carat.h"
+
+namespace {
+
+std::vector<int> ParseSizes(const char* arg) {
+  std::vector<int> sizes;
+  std::string token;
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) sizes.push_back(std::atoi(token.c_str()));
+      token.clear();
+      if (*p == '\0') break;
+    } else {
+      token += *p;
+    }
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace carat;
+  std::string workload = "lb8";
+  std::vector<int> sizes = {4, 8, 12, 16, 20};
+  std::uint64_t seed = 1;
+  double measure_s = 2000.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--workload" && i + 1 < argc) {
+      workload = argv[++i];
+    } else if (arg == "--sizes" && i + 1 < argc) {
+      sizes = ParseSizes(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--measure-s" && i + 1 < argc) {
+      measure_s = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: carat_sweep [--workload lb8|mb4|mb8|ub6] "
+                   "[--sizes 4,8,...] [--seed N] [--measure-s S]\n");
+      return 2;
+    }
+  }
+
+  std::printf(
+      "workload,n,node,source,xput_tps,records_ps,cpu_util,dio_ps,"
+      "pa_lu,lockwait_ms,remotewait_ms,commitwait_ms\n");
+
+  for (const int n : sizes) {
+    workload::WorkloadSpec wl;
+    if (workload == "lb8") {
+      wl = workload::MakeLB8(n);
+    } else if (workload == "mb4") {
+      wl = workload::MakeMB4(n);
+    } else if (workload == "mb8") {
+      wl = workload::MakeMB8(n);
+    } else if (workload == "ub6") {
+      wl = workload::MakeUB6(n);
+    } else {
+      std::fprintf(stderr, "unknown workload %s\n", workload.c_str());
+      return 2;
+    }
+    const model::ModelInput input = wl.ToModelInput();
+    const model::ModelSolution m = model::CaratModel(input).Solve();
+    TestbedOptions opts;
+    opts.seed = seed;
+    opts.warmup_ms = 100'000;
+    opts.measure_ms = measure_s * 1000.0;
+    const TestbedResult s = RunTestbed(input, opts);
+    if (!m.ok || !s.ok) {
+      std::fprintf(stderr, "solve failed at n=%d: %s%s\n", n,
+                   m.error.c_str(), s.error.c_str());
+      return 1;
+    }
+    for (std::size_t i = 0; i < input.sites.size(); ++i) {
+      const auto& ms = m.sites[i];
+      const auto& lu = ms.Class(model::TxnType::kLRO).present
+                           ? ms.Class(model::TxnType::kLU)
+                           : ms.Class(model::TxnType::kDUC);
+      std::printf("%s,%d,%s,model,%.4f,%.2f,%.4f,%.2f,%.4f,%.1f,%.1f,%.1f\n",
+                  wl.name.c_str(), n, input.sites[i].name.c_str(),
+                  ms.txn_per_s, ms.records_per_s, ms.cpu_utilization,
+                  ms.dio_per_s, lu.pa, lu.d_lw_ms, lu.d_rw_ms, lu.d_cw_ms);
+      const auto& ns = s.nodes[i];
+      const auto& slu = ns.Type(model::TxnType::kLU).present
+                            ? ns.Type(model::TxnType::kLU)
+                            : ns.Type(model::TxnType::kDUC);
+      std::printf(
+          "%s,%d,%s,testbed,%.4f,%.2f,%.4f,%.2f,%.4f,%.1f,%.1f,%.1f\n",
+          wl.name.c_str(), n, input.sites[i].name.c_str(), ns.txn_per_s,
+          ns.records_per_s, ns.cpu_utilization, ns.dio_per_s, slu.abort_prob,
+          slu.lock_wait_ms, slu.remote_wait_ms, slu.commit_wait_ms);
+    }
+  }
+  return 0;
+}
