@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_comm_delay.dir/ablation_comm_delay.cc.o"
+  "CMakeFiles/ablation_comm_delay.dir/ablation_comm_delay.cc.o.d"
+  "ablation_comm_delay"
+  "ablation_comm_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_comm_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

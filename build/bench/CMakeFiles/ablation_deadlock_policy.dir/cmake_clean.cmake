@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deadlock_policy.dir/ablation_deadlock_policy.cc.o"
+  "CMakeFiles/ablation_deadlock_policy.dir/ablation_deadlock_policy.cc.o.d"
+  "ablation_deadlock_policy"
+  "ablation_deadlock_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deadlock_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dm_pool.dir/ablation_dm_pool.cc.o"
+  "CMakeFiles/ablation_dm_pool.dir/ablation_dm_pool.cc.o.d"
+  "ablation_dm_pool"
+  "ablation_dm_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dm_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_log_disk.dir/ablation_log_disk.cc.o"
+  "CMakeFiles/ablation_log_disk.dir/ablation_log_disk.cc.o.d"
+  "ablation_log_disk"
+  "ablation_log_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_log_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mva.dir/ablation_mva.cc.o"
+  "CMakeFiles/ablation_mva.dir/ablation_mva.cc.o.d"
+  "ablation_mva"
+  "ablation_mva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

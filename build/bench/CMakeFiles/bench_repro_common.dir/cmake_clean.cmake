@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repro_common.dir/repro_common.cc.o"
+  "CMakeFiles/bench_repro_common.dir/repro_common.cc.o.d"
+  "libbench_repro_common.a"
+  "libbench_repro_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

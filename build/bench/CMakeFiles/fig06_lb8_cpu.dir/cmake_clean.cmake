@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_lb8_cpu.dir/fig06_lb8_cpu.cc.o"
+  "CMakeFiles/fig06_lb8_cpu.dir/fig06_lb8_cpu.cc.o.d"
+  "fig06_lb8_cpu"
+  "fig06_lb8_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_lb8_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

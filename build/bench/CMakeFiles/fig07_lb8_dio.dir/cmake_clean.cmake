@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_lb8_dio.dir/fig07_lb8_dio.cc.o"
+  "CMakeFiles/fig07_lb8_dio.dir/fig07_lb8_dio.cc.o.d"
+  "fig07_lb8_dio"
+  "fig07_lb8_dio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_lb8_dio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mb4_dio.dir/fig10_mb4_dio.cc.o"
+  "CMakeFiles/fig10_mb4_dio.dir/fig10_mb4_dio.cc.o.d"
+  "fig10_mb4_dio"
+  "fig10_mb4_dio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mb4_dio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

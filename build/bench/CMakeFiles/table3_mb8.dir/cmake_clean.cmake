@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_mb8.dir/table3_mb8.cc.o"
+  "CMakeFiles/table3_mb8.dir/table3_mb8.cc.o.d"
+  "table3_mb8"
+  "table3_mb8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_mb8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ub6.dir/table4_ub6.cc.o"
+  "CMakeFiles/table4_ub6.dir/table4_ub6.cc.o.d"
+  "table4_ub6"
+  "table4_ub6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ub6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

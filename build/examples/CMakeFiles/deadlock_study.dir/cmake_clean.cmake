@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_study.dir/deadlock_study.cpp.o"
+  "CMakeFiles/deadlock_study.dir/deadlock_study.cpp.o.d"
+  "deadlock_study"
+  "deadlock_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

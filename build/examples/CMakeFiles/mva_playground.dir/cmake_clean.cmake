@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mva_playground.dir/mva_playground.cpp.o"
+  "CMakeFiles/mva_playground.dir/mva_playground.cpp.o.d"
+  "mva_playground"
+  "mva_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mva_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

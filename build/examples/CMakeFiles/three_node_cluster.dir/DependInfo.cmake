@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/three_node_cluster.cpp" "examples/CMakeFiles/three_node_cluster.dir/three_node_cluster.cpp.o" "gcc" "examples/CMakeFiles/three_node_cluster.dir/three_node_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/carat/CMakeFiles/carat_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/carat_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/carat_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/carat_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/carat_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/carat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/carat_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/carat_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/qn/CMakeFiles/carat_qn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/carat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_node_cluster.dir/three_node_cluster.cpp.o"
+  "CMakeFiles/three_node_cluster.dir/three_node_cluster.cpp.o.d"
+  "three_node_cluster"
+  "three_node_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_node_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carat_testbed.dir/testbed.cc.o"
+  "CMakeFiles/carat_testbed.dir/testbed.cc.o.d"
+  "libcarat_testbed.a"
+  "libcarat_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carat_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

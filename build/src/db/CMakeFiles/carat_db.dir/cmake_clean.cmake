@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carat_db.dir/buffer_pool.cc.o"
+  "CMakeFiles/carat_db.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/carat_db.dir/database.cc.o"
+  "CMakeFiles/carat_db.dir/database.cc.o.d"
+  "libcarat_db.a"
+  "libcarat_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carat_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

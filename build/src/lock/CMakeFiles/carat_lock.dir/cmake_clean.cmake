@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carat_lock.dir/lock_manager.cc.o"
+  "CMakeFiles/carat_lock.dir/lock_manager.cc.o.d"
+  "libcarat_lock.a"
+  "libcarat_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carat_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

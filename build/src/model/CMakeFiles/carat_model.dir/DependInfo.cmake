@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/demands.cc" "src/model/CMakeFiles/carat_model.dir/demands.cc.o" "gcc" "src/model/CMakeFiles/carat_model.dir/demands.cc.o.d"
+  "/root/repo/src/model/lock_model.cc" "src/model/CMakeFiles/carat_model.dir/lock_model.cc.o" "gcc" "src/model/CMakeFiles/carat_model.dir/lock_model.cc.o.d"
+  "/root/repo/src/model/params.cc" "src/model/CMakeFiles/carat_model.dir/params.cc.o" "gcc" "src/model/CMakeFiles/carat_model.dir/params.cc.o.d"
+  "/root/repo/src/model/solver.cc" "src/model/CMakeFiles/carat_model.dir/solver.cc.o" "gcc" "src/model/CMakeFiles/carat_model.dir/solver.cc.o.d"
+  "/root/repo/src/model/transition.cc" "src/model/CMakeFiles/carat_model.dir/transition.cc.o" "gcc" "src/model/CMakeFiles/carat_model.dir/transition.cc.o.d"
+  "/root/repo/src/model/yao.cc" "src/model/CMakeFiles/carat_model.dir/yao.cc.o" "gcc" "src/model/CMakeFiles/carat_model.dir/yao.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qn/CMakeFiles/carat_qn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/carat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

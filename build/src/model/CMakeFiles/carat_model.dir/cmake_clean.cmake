@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carat_model.dir/demands.cc.o"
+  "CMakeFiles/carat_model.dir/demands.cc.o.d"
+  "CMakeFiles/carat_model.dir/lock_model.cc.o"
+  "CMakeFiles/carat_model.dir/lock_model.cc.o.d"
+  "CMakeFiles/carat_model.dir/params.cc.o"
+  "CMakeFiles/carat_model.dir/params.cc.o.d"
+  "CMakeFiles/carat_model.dir/solver.cc.o"
+  "CMakeFiles/carat_model.dir/solver.cc.o.d"
+  "CMakeFiles/carat_model.dir/transition.cc.o"
+  "CMakeFiles/carat_model.dir/transition.cc.o.d"
+  "CMakeFiles/carat_model.dir/yao.cc.o"
+  "CMakeFiles/carat_model.dir/yao.cc.o.d"
+  "libcarat_model.a"
+  "libcarat_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carat_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qn/bounds.cc" "src/qn/CMakeFiles/carat_qn.dir/bounds.cc.o" "gcc" "src/qn/CMakeFiles/carat_qn.dir/bounds.cc.o.d"
+  "/root/repo/src/qn/ethernet.cc" "src/qn/CMakeFiles/carat_qn.dir/ethernet.cc.o" "gcc" "src/qn/CMakeFiles/carat_qn.dir/ethernet.cc.o.d"
+  "/root/repo/src/qn/mva.cc" "src/qn/CMakeFiles/carat_qn.dir/mva.cc.o" "gcc" "src/qn/CMakeFiles/carat_qn.dir/mva.cc.o.d"
+  "/root/repo/src/qn/network.cc" "src/qn/CMakeFiles/carat_qn.dir/network.cc.o" "gcc" "src/qn/CMakeFiles/carat_qn.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/carat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

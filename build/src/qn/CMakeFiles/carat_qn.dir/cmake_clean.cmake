@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carat_qn.dir/bounds.cc.o"
+  "CMakeFiles/carat_qn.dir/bounds.cc.o.d"
+  "CMakeFiles/carat_qn.dir/ethernet.cc.o"
+  "CMakeFiles/carat_qn.dir/ethernet.cc.o.d"
+  "CMakeFiles/carat_qn.dir/mva.cc.o"
+  "CMakeFiles/carat_qn.dir/mva.cc.o.d"
+  "CMakeFiles/carat_qn.dir/network.cc.o"
+  "CMakeFiles/carat_qn.dir/network.cc.o.d"
+  "libcarat_qn.a"
+  "libcarat_qn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carat_qn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carat_sim.dir/resource.cc.o"
+  "CMakeFiles/carat_sim.dir/resource.cc.o.d"
+  "CMakeFiles/carat_sim.dir/simulation.cc.o"
+  "CMakeFiles/carat_sim.dir/simulation.cc.o.d"
+  "libcarat_sim.a"
+  "libcarat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/node.cc" "src/txn/CMakeFiles/carat_txn.dir/node.cc.o" "gcc" "src/txn/CMakeFiles/carat_txn.dir/node.cc.o.d"
+  "/root/repo/src/txn/probes.cc" "src/txn/CMakeFiles/carat_txn.dir/probes.cc.o" "gcc" "src/txn/CMakeFiles/carat_txn.dir/probes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/carat_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/carat_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/carat_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/carat_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/carat_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/qn/CMakeFiles/carat_qn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/carat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carat_txn.dir/node.cc.o"
+  "CMakeFiles/carat_txn.dir/node.cc.o.d"
+  "CMakeFiles/carat_txn.dir/probes.cc.o"
+  "CMakeFiles/carat_txn.dir/probes.cc.o.d"
+  "libcarat_txn.a"
+  "libcarat_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carat_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

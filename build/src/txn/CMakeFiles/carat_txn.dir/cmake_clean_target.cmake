@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcarat_txn.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carat_util.dir/linear.cc.o"
+  "CMakeFiles/carat_util.dir/linear.cc.o.d"
+  "CMakeFiles/carat_util.dir/stats.cc.o"
+  "CMakeFiles/carat_util.dir/stats.cc.o.d"
+  "CMakeFiles/carat_util.dir/table.cc.o"
+  "CMakeFiles/carat_util.dir/table.cc.o.d"
+  "libcarat_util.a"
+  "libcarat_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carat_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

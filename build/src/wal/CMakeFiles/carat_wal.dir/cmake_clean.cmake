@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carat_wal.dir/log.cc.o"
+  "CMakeFiles/carat_wal.dir/log.cc.o.d"
+  "libcarat_wal.a"
+  "libcarat_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carat_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carat_workload.dir/spec.cc.o"
+  "CMakeFiles/carat_workload.dir/spec.cc.o.d"
+  "libcarat_workload.a"
+  "libcarat_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carat_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

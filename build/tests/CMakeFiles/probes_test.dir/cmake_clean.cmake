@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probes_test.dir/probes_test.cc.o"
+  "CMakeFiles/probes_test.dir/probes_test.cc.o.d"
+  "probes_test"
+  "probes_test.pdb"
+  "probes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carat_cli.dir/carat_cli.cc.o"
+  "CMakeFiles/carat_cli.dir/carat_cli.cc.o.d"
+  "carat_cli"
+  "carat_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carat_sweep.dir/carat_sweep.cc.o"
+  "CMakeFiles/carat_sweep.dir/carat_sweep.cc.o.d"
+  "carat_sweep"
+  "carat_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carat_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
