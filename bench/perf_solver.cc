@@ -1,0 +1,268 @@
+// perf_solver - establishes the repo's solver perf trajectory. Times
+//
+//   1. an end-to-end model sweep (8 MPL points x 4 paper workloads) run
+//      serially vs. on the exec::ThreadPool, asserting the parallel run is
+//      numerically identical to the serial one, and
+//   2. the exact / Schweitzer MVA hot path with a reused MvaWorkspace,
+//      counting heap allocations per call via a global operator-new hook
+//      (must be zero once the workspace is warm).
+//
+// Results land in BENCH_solver.json (cwd) so successive PRs can track the
+// numbers. Usage: perf_solver [--jobs N] [--out FILE]
+//
+// Note: speedup is bounded by the host's core count; the acceptance target
+// (>= 3x at --jobs 8) presumes >= 8 hardware threads.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "model/solver.h"
+#include "qn/mva.h"
+#include "workload/spec.h"
+
+// ---- Global allocation counter ---------------------------------------------
+// Counts every operator-new in the process; the MVA micro-benchmark reads
+// the delta around the solve calls.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct SweepCase {
+  const char* workload;
+  carat::workload::WorkloadSpec (*make)(int);
+  int n;
+};
+
+// 8 MPL points x 4 paper workloads, solved with the analytical model only
+// (the testbed runs are benchmarked elsewhere; the solver is this PR's hot
+// path).
+std::vector<SweepCase> MakeSweepCases() {
+  using carat::workload::WorkloadSpec;
+  struct Factory {
+    const char* name;
+    WorkloadSpec (*make)(int);
+  };
+  const Factory factories[] = {
+      {"lb8", [](int n) { return carat::workload::MakeLB8(n); }},
+      {"mb4", [](int n) { return carat::workload::MakeMB4(n); }},
+      {"mb8", [](int n) { return carat::workload::MakeMB8(n); }},
+      {"ub6", [](int n) { return carat::workload::MakeUB6(n); }},
+  };
+  const int sizes[] = {4, 6, 8, 10, 12, 14, 16, 20};
+  std::vector<SweepCase> cases;
+  for (const Factory& f : factories)
+    for (int n : sizes) cases.push_back({f.name, f.make, n});
+  return cases;
+}
+
+// Solves every case, fanning points out over `pool` (null: serial). The
+// per-site MVA parallelism inside Solve() stays off so the measurement
+// isolates sweep-level parallelism.
+std::vector<double> SolveAll(const std::vector<SweepCase>& cases,
+                             carat::exec::ThreadPool* pool, double* elapsed_ms) {
+  std::vector<double> xput(cases.size(), 0.0);
+  const Clock::time_point start = Clock::now();
+  carat::exec::ParallelFor(pool, 0, cases.size(), [&](std::size_t i) {
+    const carat::model::ModelInput input = cases[i].make(cases[i].n).ToModelInput();
+    const carat::model::ModelSolution sol =
+        carat::model::CaratModel(input).Solve();
+    xput[i] = sol.ok ? sol.TotalTxnPerSec() : -1.0;
+  });
+  *elapsed_ms = ElapsedMs(start);
+  return xput;
+}
+
+// Representative site network: CPU + 2 disks (queueing), 4 delay centers,
+// 4 chains.
+carat::qn::ClosedNetwork MakeSiteNetwork(int population) {
+  using namespace carat::qn;
+  ClosedNetwork net;
+  net.AddCenter("CPU", CenterKind::kQueueing);
+  net.AddCenter("DISK", CenterKind::kQueueing);
+  net.AddCenter("LOG", CenterKind::kQueueing);
+  net.AddCenter("LW", CenterKind::kDelay);
+  net.AddCenter("RW", CenterKind::kDelay);
+  net.AddCenter("CW", CenterKind::kDelay);
+  net.AddCenter("UT", CenterKind::kDelay);
+  const double base[4][7] = {
+      {1.4, 11.0, 2.2, 3.0, 0.0, 0.0, 1.0},
+      {2.8, 14.0, 4.4, 6.0, 12.0, 21.0, 2.0},
+      {0.9, 7.0, 1.1, 2.0, 0.0, 0.0, 1.5},
+      {1.7, 9.0, 3.3, 4.0, 8.0, 17.0, 2.5},
+  };
+  for (int k = 0; k < 4; ++k) {
+    const std::size_t c = net.AddChain("chain" + std::to_string(k),
+                                       population, /*think_time=*/1000.0);
+    for (int m = 0; m < 7; ++m) net.chains[c].demands[m] = base[k][m];
+  }
+  return net;
+}
+
+struct MvaBench {
+  double solves_per_s = 0.0;
+  std::uint64_t allocs_per_call = 0;
+};
+
+template <typename Solve>
+MvaBench BenchMva(const Solve& solve, int iterations) {
+  MvaBench out;
+  // Warm up the workspace, then count allocations over the timed calls.
+  solve();
+  solve();
+  const std::uint64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < iterations; ++i) solve();
+  const double ms = ElapsedMs(start);
+  const std::uint64_t allocs =
+      g_allocations.load(std::memory_order_relaxed) - allocs_before;
+  out.solves_per_s = ms > 0.0 ? iterations / ms * 1000.0 : 0.0;
+  out.allocs_per_call = allocs / iterations;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 8;
+  std::string out_path = "BENCH_solver.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+      if (jobs <= 1) {
+        std::fprintf(stderr, "--jobs must be >= 2\n");
+        return 2;
+      }
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_solver [--jobs N] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::vector<SweepCase> cases = MakeSweepCases();
+
+  // ---- End-to-end sweep, serial vs. parallel. ------------------------------
+  double serial_ms = 0.0, parallel_ms = 0.0;
+  const std::vector<double> serial = SolveAll(cases, nullptr, &serial_ms);
+  std::vector<double> parallel;
+  {
+    carat::exec::ThreadPool pool(static_cast<std::size_t>(jobs));
+    parallel = SolveAll(cases, &pool, &parallel_ms);
+  }
+  bool identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = std::memcmp(&serial[i], &parallel[i], sizeof(double)) == 0;
+  }
+  const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+
+  // ---- MVA hot path with a reused workspace. -------------------------------
+  const carat::qn::ClosedNetwork exact_net = MakeSiteNetwork(/*population=*/4);
+  const carat::qn::ClosedNetwork approx_net =
+      MakeSiteNetwork(/*population=*/64);
+  carat::qn::MvaWorkspace exact_ws, approx_ws;
+  const MvaBench exact = BenchMva(
+      [&] {
+        carat::qn::ExactMvaInPlace(exact_net, &exact_ws);
+      },
+      2000);
+  const MvaBench approx = BenchMva(
+      [&] {
+        carat::qn::SchweitzerMvaInPlace(approx_net, &approx_ws,
+                                        /*tolerance=*/1e-9,
+                                        /*max_iterations=*/10000,
+                                        /*warm_start=*/true);
+      },
+      2000);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"perf_solver\",\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"sweep\": {\n"
+               "    \"workloads\": 4,\n"
+               "    \"points_per_workload\": 8,\n"
+               "    \"jobs\": %d,\n"
+               "    \"serial_ms\": %.3f,\n"
+               "    \"parallel_ms\": %.3f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"identical_output\": %s\n"
+               "  },\n"
+               "  \"exact_mva_workspace\": {\n"
+               "    \"solves_per_s\": %.1f,\n"
+               "    \"allocs_per_call_warm\": %llu\n"
+               "  },\n"
+               "  \"schweitzer_mva_workspace\": {\n"
+               "    \"solves_per_s\": %.1f,\n"
+               "    \"allocs_per_call_warm\": %llu\n"
+               "  }\n"
+               "}\n",
+               hw, jobs, serial_ms, parallel_ms, speedup,
+               identical ? "true" : "false", exact.solves_per_s,
+               static_cast<unsigned long long>(exact.allocs_per_call),
+               approx.solves_per_s,
+               static_cast<unsigned long long>(approx.allocs_per_call));
+  std::fclose(f);
+
+  std::printf(
+      "sweep: serial %.1f ms, parallel(%d jobs) %.1f ms, speedup %.2fx, "
+      "identical=%s (host has %u hardware threads)\n",
+      serial_ms, jobs, parallel_ms, speedup, identical ? "yes" : "NO",
+      hw);
+  std::printf("exact MVA (warm workspace): %.0f solves/s, %llu allocs/call\n",
+              exact.solves_per_s,
+              static_cast<unsigned long long>(exact.allocs_per_call));
+  std::printf(
+      "schweitzer MVA (warm workspace): %.0f solves/s, %llu allocs/call\n",
+      approx.solves_per_s,
+      static_cast<unsigned long long>(approx.allocs_per_call));
+  if (!identical) return 1;
+  if (exact.allocs_per_call != 0 || approx.allocs_per_call != 0) {
+    std::fprintf(stderr, "FAIL: warm-workspace MVA solve allocated\n");
+    return 1;
+  }
+  return 0;
+}

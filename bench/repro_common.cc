@@ -2,28 +2,36 @@
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
+#include "exec/thread_pool.h"
 #include "util/table.h"
 
 namespace carat::bench {
 
 std::vector<SweepPoint> RunSweep(
     const std::function<workload::WorkloadSpec(int)>& make,
-    const std::vector<int>& sizes, double measure_ms, std::uint64_t seed) {
-  std::vector<SweepPoint> points;
-  for (const int n : sizes) {
-    SweepPoint point;
-    point.n = n;
-    const workload::WorkloadSpec wl = make(n);
-    const model::ModelInput input = wl.ToModelInput();
-    point.model = model::CaratModel(input).Solve();
-    TestbedOptions opts;
-    opts.seed = seed;
-    opts.warmup_ms = 100'000;
-    opts.measure_ms = measure_ms;
-    point.sim = RunTestbed(input, opts);
-    points.push_back(std::move(point));
-  }
+    const std::vector<int>& sizes, double measure_ms, std::uint64_t seed,
+    int jobs) {
+  std::vector<SweepPoint> points(sizes.size());
+  // Each (workload, n, seed) point is an independent model solve plus an
+  // independently seeded testbed run; fan them out over the pool and write
+  // results by index so ordering (and every bit of output) matches --jobs 1.
+  std::optional<exec::ThreadPool> pool;
+  if (jobs != 1) pool.emplace(jobs <= 0 ? 0 : static_cast<std::size_t>(jobs));
+  exec::ParallelFor(pool ? &*pool : nullptr, 0, sizes.size(),
+                    [&](std::size_t idx) {
+                      SweepPoint& point = points[idx];
+                      point.n = sizes[idx];
+                      const workload::WorkloadSpec wl = make(point.n);
+                      const model::ModelInput input = wl.ToModelInput();
+                      point.model = model::CaratModel(input).Solve();
+                      TestbedOptions opts;
+                      opts.seed = seed;
+                      opts.warmup_ms = 100'000;
+                      opts.measure_ms = measure_ms;
+                      point.sim = RunTestbed(input, opts);
+                    });
   return points;
 }
 

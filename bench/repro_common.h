@@ -26,11 +26,16 @@ struct SweepPoint {
 };
 
 /// Runs model + testbed for each n. `make` builds the workload for a given
-/// transaction size.
+/// transaction size (it may be called concurrently and must be pure).
+///
+/// `jobs` is the number of worker threads evaluating sweep points: 0 means
+/// hardware_concurrency, 1 runs serially on the calling thread. Every point
+/// is solved/simulated from its own seed, so the results — and the order of
+/// the returned vector — are identical for any `jobs` value.
 std::vector<SweepPoint> RunSweep(
     const std::function<workload::WorkloadSpec(int)>& make,
     const std::vector<int>& sizes = kPaperSweep,
-    double measure_ms = 2'000'000, std::uint64_t seed = 1);
+    double measure_ms = 2'000'000, std::uint64_t seed = 1, int jobs = 0);
 
 /// Per-(point, node) metric extractor for figure-style series.
 using SimMetric = std::function<double(const NodeResult&)>;

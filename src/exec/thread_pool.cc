@@ -1,0 +1,110 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace carat::exec {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    queue_.clear();
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;  // racing a destructor: drop, the batch owner waits
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  if (pool_ == nullptr || pool_->size() == 0) {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) done_cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  if (pool == nullptr || pool->size() <= 1 || count < 2) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Contiguous chunks, a few per worker so uneven iteration costs balance
+  // without per-index scheduling overhead.
+  const std::size_t max_chunks = std::min(count, pool->size() * 4);
+  const std::size_t chunk = (count + max_chunks - 1) / max_chunks;
+  TaskGroup group(pool);
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(lo + chunk, end);
+    group.Run([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  group.Wait();
+}
+
+}  // namespace carat::exec

@@ -1,0 +1,88 @@
+// Fixed-size worker pool for CPU-bound fan-out (per-site MVA solves, sweep
+// points). Deliberately simple: one shared FIFO task queue guarded by a
+// mutex, no work stealing. The units of work this repo schedules (an MVA
+// solve, a full model+testbed sweep point) are orders of magnitude larger
+// than queue contention, so a single queue is the robust choice.
+//
+// Exceptions thrown by a task are captured and rethrown from the waiting
+// side (TaskGroup::Wait / ParallelFor), never swallowed on a worker thread.
+
+#ifndef CARAT_EXEC_THREAD_POOL_H_
+#define CARAT_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace carat::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (itself clamped to at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains nothing: tasks still queued at destruction are discarded; tasks
+  /// already running are joined. Use TaskGroup/ParallelFor to wait for
+  /// completion before the pool dies.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `fn` for execution on some worker. `fn` must not throw out of
+  /// the pool's control flow unless scheduled through a TaskGroup (which
+  /// captures the exception); bare Submit tasks that throw terminate.
+  void Submit(std::function<void()> fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Tracks a batch of tasks submitted to a pool; Wait() blocks until all have
+/// finished and rethrows the first captured exception.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Runs `fn` on the pool (or inline when the group was built with a null
+  /// pool), capturing the first exception thrown by any task.
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every Run() task has finished, then rethrows the first
+  /// captured exception (if any). May be called at most once per batch.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+/// Calls fn(i) for every i in [begin, end), distributing indices over the
+/// pool's workers in contiguous chunks. Blocks until all iterations finish;
+/// rethrows the first exception any iteration threw. A null pool, a
+/// single-worker pool, or a range of fewer than two elements runs inline on
+/// the calling thread. fn must be safe to invoke concurrently for distinct
+/// indices.
+void ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace carat::exec
+
+#endif  // CARAT_EXEC_THREAD_POOL_H_

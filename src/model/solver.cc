@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/thread_pool.h"
 #include "model/demands.h"
 #include "model/lock_model.h"
 #include "model/phases.h"
@@ -48,6 +49,22 @@ struct SiteState {
   double cpu_q = 0.0;
   double db_q = 0.0;
   double log_q = 0.0;
+};
+
+// Per-site MVA network, built once per Solve() and updated in place each
+// fixed-point iteration (only the chain demands change). The workspace
+// persists across iterations, so the MVA solves allocate nothing after the
+// first iteration and Schweitzer-Bard warm-starts from the previous
+// iteration's queue lengths.
+struct SiteNetwork {
+  qn::ClosedNetwork net;
+  std::size_t cpu = 0, disk = 0, log_disk = 0;
+  std::size_t lw = 0, rw = 0, cw = 0, ut = 0;
+  std::vector<TxnType> chain_types;
+  double buffer_hit_prob = 0.0;
+  qn::MvaWorkspace ws;
+  bool mva_ok = true;
+  std::string mva_error;
 };
 
 double Damp(double old_value, double new_value, double damping) {
@@ -175,6 +192,30 @@ ModelSolution CaratModel::Solve(const SolverOptions& options) const {
     return sites_out;
   };
 
+  // ---- Per-site MVA networks (Fig. 2), built once. -------------------------
+  // The center/chain structure is iteration-invariant; only the demands are
+  // rewritten each iteration before the (possibly concurrent) MVA solves.
+  std::vector<SiteNetwork> nets(num_sites);
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    const SiteParams& site = input_.sites[i];
+    SiteNetwork& sn = nets[i];
+    sn.cpu = sn.net.AddCenter("CPU", qn::CenterKind::kQueueing);
+    sn.disk = sn.net.AddCenter("DISK", qn::CenterKind::kQueueing);
+    if (site.separate_log_disk)
+      sn.log_disk = sn.net.AddCenter("LOG", qn::CenterKind::kQueueing);
+    sn.lw = sn.net.AddCenter("LW", qn::CenterKind::kDelay);
+    sn.rw = sn.net.AddCenter("RW", qn::CenterKind::kDelay);
+    sn.cw = sn.net.AddCenter("CW", qn::CenterKind::kDelay);
+    sn.ut = sn.net.AddCenter("UT", qn::CenterKind::kDelay);
+    sn.buffer_hit_prob = BufferHitProbability(site);
+    for (TxnType t : kAllTxnTypes) {
+      if (!st[i].cls[Index(t)].present) continue;
+      sn.net.AddChain(std::string(Name(t)), site.Class(t).population,
+                      site.think_time_ms);
+      sn.chain_types.push_back(t);
+    }
+  }
+
   // ---- Fixed-point iteration (Section 6). ----------------------------------
   std::vector<double> prev_x(num_sites * kNumTxnTypes, 0.0);
   bool converged = false;
@@ -245,62 +286,62 @@ ModelSolution CaratModel::Solve(const SolverOptions& options) const {
       }
     }
 
-    // (3) Demands (Eqs. 5-10) and per-site MVA solve.
-    for (std::size_t i = 0; i < num_sites; ++i) {
+    // (3) Demands (Eqs. 5-10) and per-site MVA solve. Each site's network
+    // depends only on that site's state from steps (1)-(2), so the solves
+    // are independent and run concurrently on options.pool when provided
+    // (bit-identical to the serial order — no cross-site reads or writes).
+    exec::ParallelFor(options.pool, 0, num_sites, [&](std::size_t i) {
       const SiteParams& site = input_.sites[i];
-      qn::ClosedNetwork net;
-      const std::size_t cpu = net.AddCenter("CPU", qn::CenterKind::kQueueing);
-      const std::size_t disk = net.AddCenter("DISK", qn::CenterKind::kQueueing);
-      std::size_t log_disk = 0;
-      if (site.separate_log_disk)
-        log_disk = net.AddCenter("LOG", qn::CenterKind::kQueueing);
-      const std::size_t lw = net.AddCenter("LW", qn::CenterKind::kDelay);
-      const std::size_t rw = net.AddCenter("RW", qn::CenterKind::kDelay);
-      const std::size_t cw = net.AddCenter("CW", qn::CenterKind::kDelay);
-      const std::size_t ut = net.AddCenter("UT", qn::CenterKind::kDelay);
-
-      std::vector<TxnType> chain_types;
-      for (TxnType t : kAllTxnTypes) {
-        ClassState& cs = st[i].cls[Index(t)];
-        if (!cs.present) continue;
-        cs.demands = ComputeDemands(site, t, cs.visits, cs.ns, cs.sigma,
-                                    cs.nlk, cs.delays,
-                                    BufferHitProbability(site));
-        const std::size_t k = net.AddChain(
-            std::string(Name(t)), site.Class(t).population, site.think_time_ms);
-        net.chains[k].demands[cpu] = cs.demands.cpu_ms;
-        net.chains[k].demands[disk] = cs.demands.db_disk_ms;
+      SiteNetwork& sn = nets[i];
+      for (std::size_t k = 0; k < sn.chain_types.size(); ++k) {
+        ClassState& cs = st[i].cls[Index(sn.chain_types[k])];
+        cs.demands = ComputeDemands(site, sn.chain_types[k], cs.visits, cs.ns,
+                                    cs.sigma, cs.nlk, cs.delays,
+                                    sn.buffer_hit_prob);
+        std::vector<double>& demands = sn.net.chains[k].demands;
+        demands[sn.cpu] = cs.demands.cpu_ms;
+        demands[sn.disk] = cs.demands.db_disk_ms;
         if (site.separate_log_disk)
-          net.chains[k].demands[log_disk] = cs.demands.log_disk_ms;
-        net.chains[k].demands[lw] = cs.demands.lw_ms;
-        net.chains[k].demands[rw] = cs.demands.rw_ms;
-        net.chains[k].demands[cw] = cs.demands.cw_ms;
-        net.chains[k].demands[ut] = cs.demands.ut_ms;
-        chain_types.push_back(t);
+          demands[sn.log_disk] = cs.demands.log_disk_ms;
+        demands[sn.lw] = cs.demands.lw_ms;
+        demands[sn.rw] = cs.demands.rw_ms;
+        demands[sn.cw] = cs.demands.cw_ms;
+        demands[sn.ut] = cs.demands.ut_ms;
       }
 
-      qn::MvaResult mva = options.use_exact_mva ? qn::SolveMva(net)
-                                                : qn::SchweitzerMva(net);
-      if (!mva.ok) {
-        out.error = "MVA failed: " + mva.error;
+      // Warm-start from the previous iteration's queue lengths: the fixed
+      // point moves the demands only slightly per iteration, so large-
+      // population Schweitzer sites converge in a few rounds.
+      sn.mva_ok =
+          options.use_exact_mva
+              ? qn::SolveMvaInPlace(sn.net, &sn.ws, 1u << 20,
+                                    /*warm_start=*/true, &sn.mva_error)
+              : qn::SchweitzerMvaInPlace(sn.net, &sn.ws, /*tolerance=*/1e-9,
+                                         /*max_iterations=*/10000,
+                                         /*warm_start=*/true, &sn.mva_error);
+      if (!sn.mva_ok) return;
+
+      const qn::Solution& sol = sn.ws.solution;
+      for (std::size_t k = 0; k < sn.chain_types.size(); ++k) {
+        ClassState& cs = st[i].cls[Index(sn.chain_types[k])];
+        cs.x = sol.throughput[k];
+        cs.r = sol.response_time[k];
+      }
+      st[i].cpu_util = sol.utilization[sn.cpu];
+      st[i].db_util = sol.utilization[sn.disk];
+      st[i].log_util =
+          site.separate_log_disk ? sol.utilization[sn.log_disk] : 0.0;
+      st[i].cpu_q = sol.queue_length[sn.cpu];
+      st[i].db_q = sol.queue_length[sn.disk];
+      st[i].log_q = site.separate_log_disk ? sol.queue_length[sn.log_disk]
+                                           : st[i].db_q;
+    });
+    for (std::size_t i = 0; i < num_sites; ++i) {
+      if (!nets[i].mva_ok) {
+        out.error = "MVA failed: " + nets[i].mva_error;
         out.ok = false;
         return out;
       }
-      for (std::size_t k = 0; k < chain_types.size(); ++k) {
-        ClassState& cs = st[i].cls[Index(chain_types[k])];
-        cs.x = mva.solution.throughput[k];
-        cs.r = mva.solution.response_time[k];
-      }
-      st[i].cpu_util = mva.solution.utilization[cpu];
-      st[i].db_util = mva.solution.utilization[disk];
-      st[i].log_util = site.separate_log_disk
-                           ? mva.solution.utilization[log_disk]
-                           : 0.0;
-      st[i].cpu_q = mva.solution.queue_length[cpu];
-      st[i].db_q = mva.solution.queue_length[disk];
-      st[i].log_q = site.separate_log_disk
-                        ? mva.solution.queue_length[log_disk]
-                        : st[i].db_q;
     }
 
     // (4) Execution durations and locks held (Fig. 3 / Eq. 14).

@@ -19,6 +19,10 @@
 #include "model/types.h"
 #include "qn/ethernet.h"
 
+namespace carat::exec {
+class ThreadPool;
+}  // namespace carat::exec
+
 namespace carat::model {
 
 /// Converged per-(type, site) quantities.
@@ -88,6 +92,13 @@ struct SolverOptions {
   /// high contention; 0 uses only active execution time. The default models
   /// convoys partially while keeping the iteration stable (DESIGN.md §4).
   double blocker_wait_fraction = 0.5;
+
+  /// Worker pool for solving the per-site MVA networks concurrently inside
+  /// each fixed-point iteration. The sites are independent given the
+  /// previous iteration's delays, so the solution is bit-identical whether
+  /// this is null (serial) or any pool size. The pool is borrowed, not
+  /// owned, and may be shared across concurrent Solve() calls.
+  exec::ThreadPool* pool = nullptr;
 
   /// Communication Network Model (Section 3): when set, the solver derives
   /// the inter-site delay alpha from the model's own message rate through

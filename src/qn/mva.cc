@@ -1,32 +1,50 @@
 #include "qn/mva.h"
 
 #include <cmath>
-#include <numeric>
-#include <vector>
+#include <utility>
 
 namespace carat::qn {
 
 namespace {
 
+void SetError(std::string* error, const char* msg) {
+  if (error != nullptr) *error = msg;
+}
+
+// Precomputes the per-center queueing multiplier mask so the inner loops can
+// use `r = d * (1 + mask[m] * q[m])` for every center kind: the mask is 1.0
+// at queueing centers (arrival-theorem inflation applies) and 0.0 at delay
+// centers (residence is the bare demand), which removes the CenterKind
+// branch from the O(states x chains x centers) hot loops.
+void FillQueueingMask(const ClosedNetwork& net, std::vector<double>* qmul) {
+  qmul->resize(net.centers.size());
+  for (std::size_t m = 0; m < net.centers.size(); ++m) {
+    (*qmul)[m] = net.centers[m].kind == CenterKind::kQueueing ? 1.0 : 0.0;
+  }
+}
+
 // Fills the non-queue-length parts of `sol` from per-chain throughputs and
-// residence times at the full population.
+// flattened residence times (chain * num_centers + center) at the full
+// population. Reuses `sol`'s storage; allocation-free once warm.
 void FinishSolution(const ClosedNetwork& net, const std::vector<double>& x,
-                    const std::vector<std::vector<double>>& residence,
-                    Solution* sol) {
+                    const std::vector<double>& residence, Solution* sol) {
   const std::size_t num_chains = net.chains.size();
   const std::size_t num_centers = net.centers.size();
-  sol->throughput = x;
-  sol->residence = residence;
+  sol->throughput.assign(x.begin(), x.end());
+  sol->residence.resize(num_chains);
   sol->response_time.assign(num_chains, 0.0);
   for (std::size_t k = 0; k < num_chains; ++k) {
-    sol->response_time[k] =
-        std::accumulate(residence[k].begin(), residence[k].end(), 0.0);
+    const double* row = residence.data() + k * num_centers;
+    sol->residence[k].assign(row, row + num_centers);
+    double total = 0.0;
+    for (std::size_t m = 0; m < num_centers; ++m) total += row[m];
+    sol->response_time[k] = total;
   }
   sol->queue_length.assign(num_centers, 0.0);
   sol->utilization.assign(num_centers, 0.0);
   for (std::size_t m = 0; m < num_centers; ++m) {
     for (std::size_t k = 0; k < num_chains; ++k) {
-      sol->queue_length[m] += x[k] * residence[k][m];
+      sol->queue_length[m] += x[k] * residence[k * num_centers + m];
       sol->utilization[m] += x[k] * net.chains[k].demands[m];
     }
   }
@@ -34,39 +52,61 @@ void FinishSolution(const ClosedNetwork& net, const std::vector<double>& x,
 
 }  // namespace
 
-MvaResult ExactMva(const ClosedNetwork& net, std::size_t max_states) {
-  MvaResult result;
-  if (!net.Validate(&result.error)) return result;
+bool JointLatticeStates(const ClosedNetwork& net, std::size_t limit,
+                        std::size_t* states) {
+  std::size_t count = 1;
+  for (const Chain& chain : net.chains) {
+    const std::size_t d = static_cast<std::size_t>(chain.population) + 1;
+    if (d != 0 && count > limit / d) return false;
+    count *= d;
+  }
+  if (states != nullptr) *states = count;
+  return true;
+}
+
+bool ExactMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
+                     std::size_t max_states, std::string* error) {
+  if (!net.Validate(error)) return false;
 
   const std::size_t num_chains = net.chains.size();
   const std::size_t num_centers = net.centers.size();
 
-  // Mixed-radix layout of the joint population lattice.
-  std::vector<std::size_t> dims(num_chains), strides(num_chains);
-  std::size_t num_states = 1;
-  for (std::size_t k = 0; k < num_chains; ++k) {
-    dims[k] = static_cast<std::size_t>(net.chains[k].population) + 1;
-    strides[k] = num_states;
-    if (dims[k] != 0 && num_states > max_states / dims[k]) {
-      result.error = "joint population lattice exceeds max_states";
-      return result;
-    }
-    num_states *= dims[k];
+  std::size_t num_states = 0;
+  if (!JointLatticeStates(net, max_states, &num_states)) {
+    SetError(error, "joint population lattice exceeds max_states");
+    return false;
   }
 
-  // Q[state * num_centers + m] = mean queue length at center m for the
+  // Mixed-radix layout of the joint population lattice.
+  ws->dims.resize(num_chains);
+  ws->strides.resize(num_chains);
+  {
+    std::size_t stride = 1;
+    for (std::size_t k = 0; k < num_chains; ++k) {
+      ws->dims[k] = static_cast<std::size_t>(net.chains[k].population) + 1;
+      ws->strides[k] = stride;
+      stride *= ws->dims[k];
+    }
+  }
+  FillQueueingMask(net, &ws->qmul);
+  const double* qmul = ws->qmul.data();
+
+  // q[state * num_centers + m] = mean queue length at center m for the
   // population vector encoded by `state`. Lexicographic enumeration visits
   // n - e_k before n, so one pass suffices.
-  std::vector<double> q(num_states * num_centers, 0.0);
-  std::vector<std::size_t> n(num_chains, 0);
-  std::vector<double> x(num_chains, 0.0);
-  std::vector<std::vector<double>> residence(num_chains,
-                                             std::vector<double>(num_centers, 0.0));
+  ws->q.assign(num_states * num_centers, 0.0);
+  ws->n.assign(num_chains, 0);
+  ws->x.assign(num_chains, 0.0);
+  ws->residence.assign(num_chains * num_centers, 0.0);
+  double* q = ws->q.data();
+  double* x = ws->x.data();
+  double* residence = ws->residence.data();
+  std::size_t* n = ws->n.data();
 
   for (std::size_t state = 1; state < num_states; ++state) {
     // Increment the mixed-radix counter.
     for (std::size_t k = 0; k < num_chains; ++k) {
-      if (++n[k] < dims[k]) break;
+      if (++n[k] < ws->dims[k]) break;
       n[k] = 0;
     }
 
@@ -75,30 +115,28 @@ MvaResult ExactMva(const ClosedNetwork& net, std::size_t max_states) {
     for (std::size_t k = 0; k < num_chains; ++k) {
       if (n[k] == 0) continue;
       const Chain& chain = net.chains[k];
-      const std::size_t prev = state - strides[k];
+      const double* demands = chain.demands.data();
+      const double* qprev = q + (state - ws->strides[k]) * num_centers;
+      double* res = residence + k * num_centers;
       double total = 0.0;
       for (std::size_t m = 0; m < num_centers; ++m) {
-        const double d = chain.demands[m];
-        double r = d;
-        if (net.centers[m].kind == CenterKind::kQueueing) {
-          r = d * (1.0 + q[prev * num_centers + m]);
-        }
-        residence[k][m] = r;
+        const double r = demands[m] * (1.0 + qmul[m] * qprev[m]);
+        res[m] = r;
         total += r;
       }
       const double denom = chain.think_time + total;
-      x[k] = denom > 0.0 ? static_cast<double>(n[k]) / denom : 0.0;
       // Chains with zero total demand and zero think contribute nothing.
-      if (denom <= 0.0) x[k] = 0.0;
+      x[k] = denom > 0.0 ? static_cast<double>(n[k]) / denom : 0.0;
     }
 
+    double* qhere = q + state * num_centers;
     for (std::size_t m = 0; m < num_centers; ++m) {
       double qm = 0.0;
       for (std::size_t k = 0; k < num_chains; ++k) {
         if (n[k] == 0) continue;
-        qm += x[k] * residence[k][m];
+        qm += x[k] * residence[k * num_centers + m];
       }
-      q[state * num_centers + m] = qm;
+      qhere[m] = qm;
     }
   }
 
@@ -108,26 +146,25 @@ MvaResult ExactMva(const ClosedNetwork& net, std::size_t max_states) {
   if (num_states == 1) {
     for (std::size_t k = 0; k < num_chains; ++k) {
       x[k] = 0.0;
-      residence[k].assign(num_centers, 0.0);
+      for (std::size_t m = 0; m < num_centers; ++m)
+        residence[k * num_centers + m] = 0.0;
     }
   } else {
     for (std::size_t k = 0; k < num_chains; ++k) {
       const Chain& chain = net.chains[k];
+      double* res = residence + k * num_centers;
       if (chain.population == 0) {
         x[k] = 0.0;
-        residence[k].assign(num_centers, 0.0);
+        for (std::size_t m = 0; m < num_centers; ++m) res[m] = 0.0;
         continue;
       }
       const std::size_t full = num_states - 1;
-      const std::size_t prev = full - strides[k];
+      const double* qprev = q + (full - ws->strides[k]) * num_centers;
+      const double* demands = chain.demands.data();
       double total = 0.0;
       for (std::size_t m = 0; m < num_centers; ++m) {
-        const double d = chain.demands[m];
-        double r = d;
-        if (net.centers[m].kind == CenterKind::kQueueing) {
-          r = d * (1.0 + q[prev * num_centers + m]);
-        }
-        residence[k][m] = r;
+        const double r = demands[m] * (1.0 + qmul[m] * qprev[m]);
+        res[m] = r;
         total += r;
       }
       const double denom = chain.think_time + total;
@@ -135,39 +172,58 @@ MvaResult ExactMva(const ClosedNetwork& net, std::size_t max_states) {
     }
   }
 
-  FinishSolution(net, x, residence, &result.solution);
-  result.ok = true;
-  return result;
+  FinishSolution(net, ws->x, ws->residence, &ws->solution);
+  return true;
 }
 
-MvaResult SchweitzerMva(const ClosedNetwork& net, double tolerance,
-                        int max_iterations) {
-  MvaResult result;
-  if (!net.Validate(&result.error)) return result;
+bool SchweitzerMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
+                          double tolerance, int max_iterations,
+                          bool warm_start, std::string* error) {
+  if (!net.Validate(error)) return false;
 
   const std::size_t num_chains = net.chains.size();
   const std::size_t num_centers = net.centers.size();
+  const std::size_t km = num_chains * num_centers;
 
-  // Per-chain queue length at each center, initialized to an even spread of
-  // each chain's population over the queueing centers it visits.
-  std::vector<std::vector<double>> qkm(num_chains,
-                                       std::vector<double>(num_centers, 0.0));
-  for (std::size_t k = 0; k < num_chains; ++k) {
-    const Chain& chain = net.chains[k];
-    std::size_t visited = 0;
-    for (std::size_t m = 0; m < num_centers; ++m)
-      if (chain.demands[m] > 0.0) ++visited;
-    if (visited == 0) continue;
-    for (std::size_t m = 0; m < num_centers; ++m)
-      if (chain.demands[m] > 0.0)
-        qkm[k][m] = static_cast<double>(chain.population) / visited;
+  FillQueueingMask(net, &ws->qmul);
+  const double* qmul = ws->qmul.data();
+
+  // Per-chain queue length at each center. A warm start resumes from the
+  // retained `qkm` of the previous solve (the model's fixed point moves the
+  // demands only slightly between iterations, so this converges in a few
+  // rounds); otherwise each chain's population is spread evenly over the
+  // queueing centers it visits.
+  if (!(warm_start && ws->qkm.size() == km)) {
+    ws->qkm.assign(km, 0.0);
+    for (std::size_t k = 0; k < num_chains; ++k) {
+      const Chain& chain = net.chains[k];
+      std::size_t visited = 0;
+      for (std::size_t m = 0; m < num_centers; ++m)
+        if (chain.demands[m] > 0.0) ++visited;
+      if (visited == 0) continue;
+      for (std::size_t m = 0; m < num_centers; ++m)
+        if (chain.demands[m] > 0.0)
+          ws->qkm[k * num_centers + m] =
+              static_cast<double>(chain.population) / visited;
+    }
   }
+  double* qkm = ws->qkm.data();
 
-  std::vector<double> x(num_chains, 0.0);
-  std::vector<std::vector<double>> residence(num_chains,
-                                             std::vector<double>(num_centers, 0.0));
+  ws->x.assign(num_chains, 0.0);
+  ws->residence.assign(km, 0.0);
+  ws->qsum.resize(num_centers);
+  double* x = ws->x.data();
+  double* residence = ws->residence.data();
+  double* qsum = ws->qsum.data();
 
   for (int iter = 0; iter < max_iterations; ++iter) {
+    // Per-center totals, hoisting the O(chains) "queue seen on arrival" sum
+    // out of the per-chain loop: chain k sees qsum[m] - qkm[k][m] / n_k.
+    for (std::size_t m = 0; m < num_centers; ++m) qsum[m] = 0.0;
+    for (std::size_t k = 0; k < num_chains; ++k)
+      for (std::size_t m = 0; m < num_centers; ++m)
+        qsum[m] += qkm[k * num_centers + m];
+
     double max_delta = 0.0;
     for (std::size_t k = 0; k < num_chains; ++k) {
       const Chain& chain = net.chains[k];
@@ -176,18 +232,16 @@ MvaResult SchweitzerMva(const ClosedNetwork& net, double tolerance,
         continue;
       }
       const double nk = chain.population;
+      const double inv_nk = 1.0 / nk;
+      const double* demands = chain.demands.data();
+      const double* qrow = qkm + k * num_centers;
+      double* res = residence + k * num_centers;
       double total = 0.0;
       for (std::size_t m = 0; m < num_centers; ++m) {
-        const double d = chain.demands[m];
-        double r = d;
-        if (net.centers[m].kind == CenterKind::kQueueing) {
-          // Schweitzer estimate of the queue seen on arrival by chain k.
-          double seen = 0.0;
-          for (std::size_t j = 0; j < num_chains; ++j)
-            seen += (j == k) ? qkm[j][m] * (nk - 1.0) / nk : qkm[j][m];
-          r = d * (1.0 + seen);
-        }
-        residence[k][m] = r;
+        // Schweitzer estimate of the queue seen on arrival by chain k.
+        const double seen = qsum[m] - qrow[m] * inv_nk;
+        const double r = demands[m] * (1.0 + qmul[m] * seen);
+        res[m] = r;
         total += r;
       }
       const double denom = chain.think_time + total;
@@ -195,31 +249,55 @@ MvaResult SchweitzerMva(const ClosedNetwork& net, double tolerance,
     }
     for (std::size_t k = 0; k < num_chains; ++k) {
       for (std::size_t m = 0; m < num_centers; ++m) {
-        const double next = x[k] * residence[k][m];
-        max_delta = std::max(max_delta, std::fabs(next - qkm[k][m]));
-        qkm[k][m] = next;
+        const double next = x[k] * residence[k * num_centers + m];
+        max_delta = std::max(max_delta, std::fabs(next - qkm[k * num_centers + m]));
+        qkm[k * num_centers + m] = next;
       }
     }
     if (max_delta < tolerance) break;
   }
 
-  FinishSolution(net, x, residence, &result.solution);
-  result.ok = true;
+  FinishSolution(net, ws->x, ws->residence, &ws->solution);
+  return true;
+}
+
+bool SolveMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
+                     std::size_t exact_state_limit, bool warm_start,
+                     std::string* error) {
+  if (JointLatticeStates(net, exact_state_limit))
+    return ExactMvaInPlace(net, ws, exact_state_limit, error);
+  return SchweitzerMvaInPlace(net, ws, /*tolerance=*/1e-9,
+                              /*max_iterations=*/10000, warm_start, error);
+}
+
+MvaResult ExactMva(const ClosedNetwork& net, std::size_t max_states) {
+  MvaResult result;
+  MvaWorkspace ws;
+  result.ok = ExactMvaInPlace(net, &ws, max_states, &result.error);
+  if (result.ok) result.solution = std::move(ws.solution);
+  return result;
+}
+
+MvaResult SchweitzerMva(const ClosedNetwork& net, double tolerance,
+                        int max_iterations,
+                        const std::vector<double>* initial_qkm) {
+  MvaResult result;
+  MvaWorkspace ws;
+  bool warm = false;
+  if (initial_qkm != nullptr &&
+      initial_qkm->size() == net.chains.size() * net.centers.size()) {
+    ws.qkm = *initial_qkm;
+    warm = true;
+  }
+  result.ok = SchweitzerMvaInPlace(net, &ws, tolerance, max_iterations, warm,
+                                   &result.error);
+  if (result.ok) result.solution = std::move(ws.solution);
   return result;
 }
 
 MvaResult SolveMva(const ClosedNetwork& net, std::size_t exact_state_limit) {
-  std::size_t states = 1;
-  bool overflow = false;
-  for (const Chain& chain : net.chains) {
-    const std::size_t d = static_cast<std::size_t>(chain.population) + 1;
-    if (states > exact_state_limit / d) {
-      overflow = true;
-      break;
-    }
-    states *= d;
-  }
-  if (!overflow) return ExactMva(net, exact_state_limit);
+  if (JointLatticeStates(net, exact_state_limit))
+    return ExactMva(net, exact_state_limit);
   return SchweitzerMva(net);
 }
 

@@ -6,6 +6,14 @@
 // populations <= 4, so this is tiny. SchweitzerMva implements the
 // Schweitzer-Bard fixed-point approximation for larger populations; the model
 // solver falls back to it automatically above a state-count threshold.
+//
+// Two call styles are provided:
+//  - the MvaResult-returning functions allocate a fresh Solution per call
+//    (convenient for one-shot use and tests);
+//  - the *InPlace functions write into a caller-owned MvaWorkspace and
+//    perform zero heap allocation once the workspace has warmed up to the
+//    network's shape. The model solver calls them ~500 times per fixed
+//    point, so the hot path reuses one workspace per site.
 
 #ifndef CARAT_QN_MVA_H_
 #define CARAT_QN_MVA_H_
@@ -24,14 +32,68 @@ struct MvaResult {
   Solution solution;
 };
 
+/// Reusable buffers for the in-place solvers. All vectors grow to the
+/// largest network shape seen and are then reused; repeated solves of
+/// same-shaped (or smaller) networks allocate nothing.
+struct MvaWorkspace {
+  /// Output of the most recent successful *InPlace solve.
+  Solution solution;
+
+  /// Per-(chain, center) mean queue lengths from the last Schweitzer solve,
+  /// flattened as `chain * num_centers + center`. Retained across calls so
+  /// `warm_start = true` resumes the fixed point from the previous solution
+  /// instead of the even-spread initial guess.
+  std::vector<double> qkm;
+
+  // Scratch: exact-MVA joint-population lattice, per-chain throughputs,
+  // flattened per-(chain, center) residence times, the per-center queueing
+  // multiplier mask (1.0 for queueing centers, 0.0 for delay centers, which
+  // hoists the CenterKind branch out of the inner loops), per-center queue
+  // totals, and the mixed-radix counters of the exact recursion.
+  std::vector<double> q, x, residence, qmul, qsum;
+  std::vector<std::size_t> dims, strides, n;
+};
+
+/// Number of points in the joint population lattice, prod_k (N_k + 1).
+/// Returns false when the count would exceed `limit` (the product is never
+/// materialized, so there is no overflow); on success stores the count in
+/// `*states` when non-null. Shared by ExactMva and SolveMva.
+bool JointLatticeStates(const ClosedNetwork& net, std::size_t limit,
+                        std::size_t* states = nullptr);
+
+/// Exact multi-chain MVA into `ws->solution`. Zero heap allocation when `ws`
+/// is warm. Returns false (with `*error` set when non-null) on validation
+/// failure or when the lattice exceeds `max_states`.
+bool ExactMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
+                     std::size_t max_states = 1u << 22,
+                     std::string* error = nullptr);
+
+/// Schweitzer-Bard approximate MVA into `ws->solution`. With
+/// `warm_start = true` and a `ws->qkm` of matching size, iteration starts
+/// from the retained queue lengths (fast convergence across nearby parameter
+/// points); otherwise from the even-spread guess.
+bool SchweitzerMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
+                          double tolerance = 1e-9, int max_iterations = 10000,
+                          bool warm_start = false, std::string* error = nullptr);
+
+/// Exact if the lattice fits in `exact_state_limit` states, Schweitzer-Bard
+/// (optionally warm-started) otherwise.
+bool SolveMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
+                     std::size_t exact_state_limit = 1u << 20,
+                     bool warm_start = false, std::string* error = nullptr);
+
 /// Exact multi-chain MVA.
 /// `max_states` bounds the joint population lattice size; exceeding it fails
 /// (callers may then use SchweitzerMva).
 MvaResult ExactMva(const ClosedNetwork& net, std::size_t max_states = 1u << 22);
 
 /// Schweitzer-Bard approximate MVA (fixed point on per-chain queue lengths).
+/// `initial_qkm`, when non-null, seeds the iteration with per-(chain, center)
+/// queue lengths flattened as `chain * num_centers + center` (size must be
+/// chains x centers; mismatched sizes fall back to the default guess).
 MvaResult SchweitzerMva(const ClosedNetwork& net, double tolerance = 1e-9,
-                        int max_iterations = 10000);
+                        int max_iterations = 10000,
+                        const std::vector<double>* initial_qkm = nullptr);
 
 /// Convenience: exact if the lattice fits in `exact_state_limit` states,
 /// Schweitzer-Bard otherwise.

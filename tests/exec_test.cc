@@ -1,0 +1,111 @@
+#include "exec/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace carat::exec {
+namespace {
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Run([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ShutdownWithPendingTasksDoesNotHang) {
+  // Queue far more slow tasks than workers, then destroy the pool while
+  // most are still pending: running tasks are joined, queued ones dropped.
+  std::atomic<int> started{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&started] {
+        started.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      });
+    }
+  }
+  EXPECT_LT(started.load(), 64);  // destruction preempted the backlog
+}
+
+TEST(TaskGroup, PropagatesFirstException) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 16; ++i) {
+    group.Run([i] {
+      if (i % 4 == 0) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, InlineModeAlsoPropagates) {
+  TaskGroup group(nullptr);
+  group.Run([] { throw std::logic_error("inline"); });
+  EXPECT_THROW(group.Wait(), std::logic_error);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  ParallelFor(&pool, 5, 5, [&](std::size_t) { count.fetch_add(1); });
+  ParallelFor(&pool, 7, 3, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ParallelFor, SingleElementRunsInline) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id executed_on;
+  ParallelFor(&pool, 2, 3, [&](std::size_t i) {
+    EXPECT_EQ(i, 2u);
+    executed_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(executed_on, caller);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, 0, hits.size(),
+              [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, NullPoolRunsSerially) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 0, 10,
+              [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelFor, RethrowsExceptionFromWorker) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(&pool, 0, 100,
+                           [&](std::size_t i) {
+                             if (i == 57) throw std::out_of_range("57");
+                           }),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace carat::exec

@@ -3,34 +3,77 @@
 //
 //   carat_sweep --workload lb8 > lb8.csv
 //   carat_sweep --workload mb4 --sizes 2,4,6,8,10,12 --seed 7 > mb4.csv
+//   carat_sweep --workload mb8 --jobs 8 > mb8.csv   # parallel sweep points
 //
 // Columns: workload,n,node,source,xput_tps,records_ps,cpu_util,dio_ps,
 //          pa_lu,lockwait_ms,remotewait_ms,commitwait_ms
 // with source in {model, testbed}.
+//
+// --jobs N evaluates the sweep points on N worker threads (0 or omitted:
+// one per hardware thread; 1: serial). Every point is independently seeded
+// and rows are emitted in sweep order, so the CSV is byte-identical for any
+// N.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "carat/carat.h"
+#include "exec/thread_pool.h"
 
 namespace {
 
-std::vector<int> ParseSizes(const char* arg) {
-  std::vector<int> sizes;
+int Usage() {
+  std::fprintf(stderr,
+               "usage: carat_sweep [--workload lb8|mb4|mb8|ub6] "
+               "[--sizes 4,8,...] [--seed N] [--measure-s S] [--jobs N]\n");
+  return 2;
+}
+
+// Parses a comma-separated list of positive integers. Returns false (and
+// names the bad token) on anything else — atoi-style silent zeros would
+// otherwise flow into the workload factories as an MPL of 0.
+bool ParseSizes(const char* arg, std::vector<int>* sizes,
+                std::string* bad_token) {
+  sizes->clear();
   std::string token;
   for (const char* p = arg;; ++p) {
     if (*p == ',' || *p == '\0') {
-      if (!token.empty()) sizes.push_back(std::atoi(token.c_str()));
+      if (!token.empty()) {
+        char* end = nullptr;
+        const long value = std::strtol(token.c_str(), &end, 10);
+        if (*end != '\0' || value <= 0 || value > 1'000'000) {
+          *bad_token = token;
+          return false;
+        }
+        sizes->push_back(static_cast<int>(value));
+      }
       token.clear();
       if (*p == '\0') break;
     } else {
       token += *p;
     }
   }
-  return sizes;
+  if (sizes->empty()) {
+    *bad_token = arg;
+    return false;
+  }
+  return true;
+}
+
+std::string FormatRow(const char* workload, int n, const char* node,
+                      const char* source, double xput, double records,
+                      double cpu, double dio, double pa, double lw, double rw,
+                      double cw) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s,%d,%s,%s,%.4f,%.2f,%.4f,%.2f,%.4f,%.1f,%.1f,%.1f\n",
+                workload, n, node, source, xput, records, cpu, dio, pa, lw, rw,
+                cw);
+  return buf;
 }
 
 }  // namespace
@@ -41,43 +84,59 @@ int main(int argc, char** argv) {
   std::vector<int> sizes = {4, 8, 12, 16, 20};
   std::uint64_t seed = 1;
   double measure_s = 2000.0;
+  int jobs = 0;  // 0: one worker per hardware thread
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--workload" && i + 1 < argc) {
       workload = argv[++i];
     } else if (arg == "--sizes" && i + 1 < argc) {
-      sizes = ParseSizes(argv[++i]);
+      std::string bad;
+      if (!ParseSizes(argv[++i], &sizes, &bad)) {
+        std::fprintf(stderr, "--sizes: invalid transaction size '%s'\n",
+                     bad.c_str());
+        return Usage();
+      }
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--measure-s" && i + 1 < argc) {
       measure_s = std::atof(argv[++i]);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      char* end = nullptr;
+      jobs = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      if (*end != '\0' || jobs < 0) {
+        std::fprintf(stderr, "--jobs: expected a non-negative integer\n");
+        return Usage();
+      }
     } else {
-      std::fprintf(stderr,
-                   "usage: carat_sweep [--workload lb8|mb4|mb8|ub6] "
-                   "[--sizes 4,8,...] [--seed N] [--measure-s S]\n");
-      return 2;
+      return Usage();
     }
   }
 
-  std::printf(
-      "workload,n,node,source,xput_tps,records_ps,cpu_util,dio_ps,"
-      "pa_lu,lockwait_ms,remotewait_ms,commitwait_ms\n");
+  workload::WorkloadSpec (*make)(int) = nullptr;
+  if (workload == "lb8") {
+    make = [](int n) { return workload::MakeLB8(n); };
+  } else if (workload == "mb4") {
+    make = [](int n) { return workload::MakeMB4(n); };
+  } else if (workload == "mb8") {
+    make = [](int n) { return workload::MakeMB8(n); };
+  } else if (workload == "ub6") {
+    make = [](int n) { return workload::MakeUB6(n); };
+  } else {
+    std::fprintf(stderr, "unknown workload %s\n", workload.c_str());
+    return 2;
+  }
 
-  for (const int n : sizes) {
-    workload::WorkloadSpec wl;
-    if (workload == "lb8") {
-      wl = workload::MakeLB8(n);
-    } else if (workload == "mb4") {
-      wl = workload::MakeMB4(n);
-    } else if (workload == "mb8") {
-      wl = workload::MakeMB8(n);
-    } else if (workload == "ub6") {
-      wl = workload::MakeUB6(n);
-    } else {
-      std::fprintf(stderr, "unknown workload %s\n", workload.c_str());
-      return 2;
-    }
+  // Evaluate the (independently seeded) sweep points on the pool, buffering
+  // each point's rows; emit in sweep order so the CSV is deterministic.
+  std::vector<std::string> rows(sizes.size());
+  std::vector<std::string> errors(sizes.size());
+  std::optional<exec::ThreadPool> pool;
+  if (jobs != 1) pool.emplace(jobs <= 0 ? 0 : static_cast<std::size_t>(jobs));
+  exec::ParallelFor(pool ? &*pool : nullptr, 0, sizes.size(), [&](std::size_t
+                                                                      idx) {
+    const int n = sizes[idx];
+    const workload::WorkloadSpec wl = make(n);
     const model::ModelInput input = wl.ToModelInput();
     const model::ModelSolution m = model::CaratModel(input).Solve();
     TestbedOptions opts;
@@ -86,29 +145,40 @@ int main(int argc, char** argv) {
     opts.measure_ms = measure_s * 1000.0;
     const TestbedResult s = RunTestbed(input, opts);
     if (!m.ok || !s.ok) {
-      std::fprintf(stderr, "solve failed at n=%d: %s%s\n", n,
-                   m.error.c_str(), s.error.c_str());
-      return 1;
+      errors[idx] = m.error + s.error;
+      return;
     }
     for (std::size_t i = 0; i < input.sites.size(); ++i) {
       const auto& ms = m.sites[i];
       const auto& lu = ms.Class(model::TxnType::kLRO).present
                            ? ms.Class(model::TxnType::kLU)
                            : ms.Class(model::TxnType::kDUC);
-      std::printf("%s,%d,%s,model,%.4f,%.2f,%.4f,%.2f,%.4f,%.1f,%.1f,%.1f\n",
-                  wl.name.c_str(), n, input.sites[i].name.c_str(),
-                  ms.txn_per_s, ms.records_per_s, ms.cpu_utilization,
-                  ms.dio_per_s, lu.pa, lu.d_lw_ms, lu.d_rw_ms, lu.d_cw_ms);
+      rows[idx] += FormatRow(wl.name.c_str(), n, input.sites[i].name.c_str(),
+                             "model", ms.txn_per_s, ms.records_per_s,
+                             ms.cpu_utilization, ms.dio_per_s, lu.pa,
+                             lu.d_lw_ms, lu.d_rw_ms, lu.d_cw_ms);
       const auto& ns = s.nodes[i];
       const auto& slu = ns.Type(model::TxnType::kLU).present
                             ? ns.Type(model::TxnType::kLU)
                             : ns.Type(model::TxnType::kDUC);
-      std::printf(
-          "%s,%d,%s,testbed,%.4f,%.2f,%.4f,%.2f,%.4f,%.1f,%.1f,%.1f\n",
-          wl.name.c_str(), n, input.sites[i].name.c_str(), ns.txn_per_s,
-          ns.records_per_s, ns.cpu_utilization, ns.dio_per_s, slu.abort_prob,
-          slu.lock_wait_ms, slu.remote_wait_ms, slu.commit_wait_ms);
+      rows[idx] += FormatRow(wl.name.c_str(), n, input.sites[i].name.c_str(),
+                             "testbed", ns.txn_per_s, ns.records_per_s,
+                             ns.cpu_utilization, ns.dio_per_s, slu.abort_prob,
+                             slu.lock_wait_ms, slu.remote_wait_ms,
+                             slu.commit_wait_ms);
+    }
+  });
+
+  for (std::size_t idx = 0; idx < sizes.size(); ++idx) {
+    if (!errors[idx].empty()) {
+      std::fprintf(stderr, "solve failed at n=%d: %s\n", sizes[idx],
+                   errors[idx].c_str());
+      return 1;
     }
   }
+  std::printf(
+      "workload,n,node,source,xput_tps,records_ps,cpu_util,dio_ps,"
+      "pa_lu,lockwait_ms,remotewait_ms,commitwait_ms\n");
+  for (const std::string& row : rows) std::fputs(row.c_str(), stdout);
   return 0;
 }
