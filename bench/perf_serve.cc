@@ -1,0 +1,270 @@
+// perf_serve - establishes the serving layer's perf trajectory. Measures
+//
+//   1. warm-start effectiveness: total fixed-point iterations for a what-if
+//      query stream (a paper sweep plus fine think-time perturbations around
+//      each point, the sensitivity-analysis pattern a serving layer sees)
+//      with nearest-neighbor seeding off vs. on — the warm run must need
+//      >= 30% fewer iterations;
+//   2. cache effectiveness: re-submitting an identical batch must be
+//      answered entirely from the solution cache (100% hit rate);
+//   3. the allocation-free warm path: CaratModel::SolveInto with a warmed
+//      same-shape arena, a reused output and a warm seed must perform zero
+//      heap allocations per solve (global operator-new hook, as in
+//      perf_solver).
+//
+// Results land in BENCH_serve.json (cwd) so successive PRs can track the
+// numbers. Usage: perf_serve [--jobs N] [--out FILE]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "model/solver.h"
+#include "serve/solver_service.h"
+#include "util/cli.h"
+#include "workload/spec.h"
+
+// ---- Global allocation counter ---------------------------------------------
+// Counts every operator-new in the process; the warm-path benchmark reads
+// the delta around the solve calls.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// The what-if stream: every paper MPL point of MB4, each followed by fine
+// think-time perturbations (sensitivity probing around an operating point).
+// Nearest-neighbor seeding answers each perturbed query from the converged
+// state of its base point, which is where warm starting pays.
+std::vector<carat::model::ModelInput> MakeWhatIfStream() {
+  const int sizes[] = {4, 8, 12, 16, 20};
+  const double think_deltas_ms[] = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5};
+  std::vector<carat::model::ModelInput> stream;
+  for (const int n : sizes) {
+    const carat::model::ModelInput base =
+        carat::workload::MakeMB4(n).ToModelInput();
+    stream.push_back(base);
+    for (const double delta : think_deltas_ms) {
+      carat::model::ModelInput probe = base;
+      for (carat::model::SiteParams& site : probe.sites) {
+        site.think_time_ms += delta;
+      }
+      stream.push_back(std::move(probe));
+    }
+  }
+  return stream;
+}
+
+// Runs the stream through a fresh single-worker service one query at a time
+// (sequential, so the warm index always holds every earlier point) and
+// returns the summed fixed-point iteration count.
+std::uint64_t StreamIterations(const std::vector<carat::model::ModelInput>& stream,
+                               bool warm_start, double* elapsed_ms) {
+  carat::serve::SolverService::Options opts;
+  opts.threads = 1;
+  opts.use_cache = false;  // isolate the solver: every query must solve
+  opts.warm_start = warm_start;
+  carat::serve::SolverService service(std::move(opts));
+  const Clock::time_point start = Clock::now();
+  for (const carat::model::ModelInput& input : stream) {
+    const carat::model::ModelSolution sol = service.Submit(input).get();
+    if (!sol.ok || !sol.converged) {
+      std::fprintf(stderr, "FAIL: stream query did not converge: %s\n",
+                   sol.error.c_str());
+      std::exit(1);
+    }
+  }
+  *elapsed_ms = ElapsedMs(start);
+  return service.stats().total_iterations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 0;  // 0: one worker per hardware thread
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      if (!carat::util::ParseJobs(argv[++i], &jobs)) {
+        std::fprintf(stderr, "--jobs: expected a positive integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_serve [--jobs N] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (jobs > 0 && hw > 0 && static_cast<unsigned>(jobs) > hw) {
+    std::fprintf(stderr,
+                 "warning: --jobs %d exceeds the %u hardware threads on this "
+                 "host; expect oversubscription, not speedup\n",
+                 jobs, hw);
+  }
+
+  const std::vector<carat::model::ModelInput> stream = MakeWhatIfStream();
+
+  // ---- 1. Warm-start effectiveness on the what-if stream. ------------------
+  double cold_ms = 0.0, warm_ms = 0.0;
+  const std::uint64_t cold_iters =
+      StreamIterations(stream, /*warm_start=*/false, &cold_ms);
+  const std::uint64_t warm_iters =
+      StreamIterations(stream, /*warm_start=*/true, &warm_ms);
+  const double reduction =
+      cold_iters > 0
+          ? 1.0 - static_cast<double>(warm_iters) / static_cast<double>(cold_iters)
+          : 0.0;
+
+  // ---- 2. Cache effectiveness on a repeated batch. -------------------------
+  double batch_hit_rate = 0.0;
+  std::uint64_t repeat_hits = 0;
+  {
+    carat::serve::SolverService::Options opts;
+    opts.threads = jobs <= 0 ? 0 : static_cast<std::size_t>(jobs);
+    carat::serve::SolverService service(std::move(opts));
+    service.SolveBatch(stream);
+    const std::uint64_t hits_before = service.stats().cache_hits;
+    service.SolveBatch(stream);
+    repeat_hits = service.stats().cache_hits - hits_before;
+    batch_hit_rate =
+        stream.empty() ? 0.0
+                       : static_cast<double>(repeat_hits) / stream.size();
+  }
+
+  // ---- 3. Allocation-free warm solve path. ---------------------------------
+  std::uint64_t warm_allocs_per_call = 0;
+  double warm_solves_per_s = 0.0;
+  {
+    const carat::model::CaratModel model(
+        carat::workload::MakeMB4(12).ToModelInput());
+    carat::model::SolveArena arena;
+    carat::model::ModelSolution out;
+    carat::model::WarmStart seed;
+    // Warm everything: first solve sizes the arena and output, second runs
+    // seeded from the first's converged state.
+    model.SolveInto({}, &arena, nullptr, &out, &seed);
+    model.SolveInto({}, &arena, &seed, &out, &seed);
+    const int kCalls = 200;
+    const std::uint64_t allocs_before =
+        g_allocations.load(std::memory_order_relaxed);
+    const Clock::time_point start = Clock::now();
+    for (int i = 0; i < kCalls; ++i) {
+      model.SolveInto({}, &arena, &seed, &out, &seed);
+    }
+    const double ms = ElapsedMs(start);
+    const std::uint64_t allocs =
+        g_allocations.load(std::memory_order_relaxed) - allocs_before;
+    warm_allocs_per_call = allocs / kCalls;
+    warm_solves_per_s = ms > 0.0 ? kCalls / ms * 1000.0 : 0.0;
+    if (!out.ok) {
+      std::fprintf(stderr, "FAIL: warm-path solve failed: %s\n",
+                   out.error.c_str());
+      return 1;
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"perf_serve\",\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"jobs\": %d,\n"
+               "  \"warm_start\": {\n"
+               "    \"queries\": %zu,\n"
+               "    \"cold_iterations\": %llu,\n"
+               "    \"warm_iterations\": %llu,\n"
+               "    \"iteration_reduction\": %.3f,\n"
+               "    \"cold_ms\": %.3f,\n"
+               "    \"warm_ms\": %.3f\n"
+               "  },\n"
+               "  \"cache\": {\n"
+               "    \"batch_size\": %zu,\n"
+               "    \"repeat_hits\": %llu,\n"
+               "    \"repeat_hit_rate\": %.3f\n"
+               "  },\n"
+               "  \"warm_solve\": {\n"
+               "    \"solves_per_s\": %.1f,\n"
+               "    \"allocs_per_call\": %llu\n"
+               "  }\n"
+               "}\n",
+               hw, jobs, stream.size(),
+               static_cast<unsigned long long>(cold_iters),
+               static_cast<unsigned long long>(warm_iters), reduction, cold_ms,
+               warm_ms, stream.size(),
+               static_cast<unsigned long long>(repeat_hits), batch_hit_rate,
+               warm_solves_per_s,
+               static_cast<unsigned long long>(warm_allocs_per_call));
+  std::fclose(f);
+
+  std::printf(
+      "warm start: %llu -> %llu fixed-point iterations over %zu queries "
+      "(%.1f%% reduction)\n",
+      static_cast<unsigned long long>(cold_iters),
+      static_cast<unsigned long long>(warm_iters), stream.size(),
+      reduction * 100.0);
+  std::printf("cache: %llu/%zu repeat-batch hits (%.0f%%)\n",
+              static_cast<unsigned long long>(repeat_hits), stream.size(),
+              batch_hit_rate * 100.0);
+  std::printf("warm solve path: %.0f solves/s, %llu allocs/call\n",
+              warm_solves_per_s,
+              static_cast<unsigned long long>(warm_allocs_per_call));
+
+  bool ok = true;
+  if (reduction < 0.30) {
+    std::fprintf(stderr, "FAIL: warm-start iteration reduction %.1f%% < 30%%\n",
+                 reduction * 100.0);
+    ok = false;
+  }
+  if (repeat_hits != stream.size()) {
+    std::fprintf(stderr, "FAIL: repeat-batch cache hit rate %.0f%% < 100%%\n",
+                 batch_hit_rate * 100.0);
+    ok = false;
+  }
+  if (warm_allocs_per_call != 0) {
+    std::fprintf(stderr, "FAIL: warm solve path allocated (%llu per call)\n",
+                 static_cast<unsigned long long>(warm_allocs_per_call));
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -178,6 +178,12 @@ int main(int argc, char** argv) {
   }
 
   const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0 && static_cast<unsigned>(jobs) > hw) {
+    std::fprintf(stderr,
+                 "warning: --jobs %d exceeds the %u hardware threads on this "
+                 "host; expect oversubscription, not speedup\n",
+                 jobs, hw);
+  }
   const std::vector<SweepCase> cases = MakeSweepCases();
 
   // ---- End-to-end sweep, serial vs. parallel. ------------------------------

@@ -2,9 +2,10 @@
 
 #include <cstdio>
 #include <iostream>
-#include <optional>
+#include <utility>
 
 #include "exec/thread_pool.h"
+#include "serve/solver_service.h"
 #include "util/table.h"
 
 namespace carat::bench {
@@ -14,24 +15,33 @@ std::vector<SweepPoint> RunSweep(
     const std::vector<int>& sizes, double measure_ms, std::uint64_t seed,
     int jobs) {
   std::vector<SweepPoint> points(sizes.size());
-  // Each (workload, n, seed) point is an independent model solve plus an
-  // independently seeded testbed run; fan them out over the pool and write
-  // results by index so ordering (and every bit of output) matches --jobs 1.
-  std::optional<exec::ThreadPool> pool;
-  if (jobs != 1) pool.emplace(jobs <= 0 ? 0 : static_cast<std::size_t>(jobs));
-  exec::ParallelFor(pool ? &*pool : nullptr, 0, sizes.size(),
-                    [&](std::size_t idx) {
-                      SweepPoint& point = points[idx];
-                      point.n = sizes[idx];
-                      const workload::WorkloadSpec wl = make(point.n);
-                      const model::ModelInput input = wl.ToModelInput();
-                      point.model = model::CaratModel(input).Solve();
-                      TestbedOptions opts;
-                      opts.seed = seed;
-                      opts.warmup_ms = 100'000;
-                      opts.measure_ms = measure_ms;
-                      point.sim = RunTestbed(input, opts);
-                    });
+  std::vector<model::ModelInput> inputs;
+  inputs.reserve(sizes.size());
+  for (const int n : sizes) inputs.push_back(make(n).ToModelInput());
+
+  // Model side: one batch through the solving service. Warm starting stays
+  // off so every solve is cold and the results are bit-identical to a plain
+  // CaratModel::Solve() at any jobs value; the service still deduplicates
+  // repeated sizes via its solution cache and reuses per-shape arenas.
+  serve::SolverService::Options sopts;
+  sopts.threads = jobs <= 0 ? 0 : static_cast<std::size_t>(jobs);
+  sopts.warm_start = false;
+  serve::SolverService service(std::move(sopts));
+  std::vector<model::ModelSolution> solutions = service.SolveBatch(inputs);
+
+  // Testbed side: each point is an independently seeded run; fan out over
+  // the same pool and write results by index so ordering (and every bit of
+  // output) matches jobs == 1.
+  exec::ParallelFor(service.pool(), 0, sizes.size(), [&](std::size_t idx) {
+    SweepPoint& point = points[idx];
+    point.n = sizes[idx];
+    point.model = std::move(solutions[idx]);
+    TestbedOptions opts;
+    opts.seed = seed;
+    opts.warmup_ms = 100'000;
+    opts.measure_ms = measure_ms;
+    point.sim = RunTestbed(inputs[idx], opts);
+  });
   return points;
 }
 

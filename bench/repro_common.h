@@ -28,10 +28,12 @@ struct SweepPoint {
 /// Runs model + testbed for each n. `make` builds the workload for a given
 /// transaction size (it may be called concurrently and must be pure).
 ///
-/// `jobs` is the number of worker threads evaluating sweep points: 0 means
-/// hardware_concurrency, 1 runs serially on the calling thread. Every point
-/// is solved/simulated from its own seed, so the results — and the order of
-/// the returned vector — are identical for any `jobs` value.
+/// The model side runs as one batch through serve::SolverService (with warm
+/// starting off, so every solve is cold); the testbed side fans out over the
+/// same pool. `jobs` is the number of worker threads: 0 means
+/// hardware_concurrency. Every point is solved/simulated from its own seed,
+/// so the results — and the order of the returned vector — are identical
+/// for any `jobs` value.
 std::vector<SweepPoint> RunSweep(
     const std::function<workload::WorkloadSpec(int)>& make,
     const std::vector<int>& sizes = kPaperSweep,

@@ -117,7 +117,65 @@ double AbortProcessingMs(const SiteParams& site, TxnType t, double sigma,
          undo * c.taio_ios_per_granule * site.block_io_ms * (1.0 + disk_q);
 }
 
+// Builds the shape signature: one byte per site packing the six chain
+// presence bits and the log-disk flag. Inputs with equal signatures build
+// identical center/chain structures (only demands, populations and think
+// times differ), so they can share a SolveArena. The total length encodes
+// the site count, so no two shapes collide.
+void BuildShapeKey(const ModelInput& input, std::string* key) {
+  key->clear();
+  for (const SiteParams& site : input.sites) {
+    unsigned byte = site.separate_log_disk ? 0x40u : 0u;
+    for (TxnType t : kAllTxnTypes) {
+      if (site.Class(t).population > 0) byte |= 1u << Index(t);
+    }
+    key->push_back(static_cast<char>(byte));
+  }
+}
+
 }  // namespace
+
+// Cross-solve state reused by SolveInto: everything whose size depends only
+// on the input's shape. `shape` records the signature the buffers were built
+// for; `shape_scratch` is persistent so re-deriving the signature of the
+// next input allocates nothing.
+struct SolveArena::Impl {
+  std::string shape;
+  std::string shape_scratch;
+  std::vector<SiteState> st;
+  std::vector<SiteNetwork> nets;
+  std::vector<double> prev_x;
+  // Iteration-invariant coupling lists (they depend only on chain presence):
+  // slaves[i][c] holds the sites with a slave chain serving coordinator type
+  // c at site i, coords[j][c] the sites with a coordinator chain of type c
+  // driving site j's slave chain; c = 0 for DRO, 1 for DU.
+  std::vector<std::array<std::vector<std::size_t>, 2>> slaves;
+  std::vector<std::array<std::vector<std::size_t>, 2>> coords;
+};
+
+SolveArena::SolveArena() : impl_(std::make_unique<Impl>()) {}
+SolveArena::~SolveArena() = default;
+SolveArena::SolveArena(SolveArena&&) noexcept = default;
+SolveArena& SolveArena::operator=(SolveArena&&) noexcept = default;
+
+std::string SolveShapeKey(const ModelInput& input) {
+  std::string key;
+  BuildShapeKey(input, &key);
+  return key;
+}
+
+bool WarmStart::CompatibleWith(const ModelInput& input) const {
+  if (sites.size() != input.sites.size()) return false;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (TxnType t : kAllTxnTypes) {
+      if (sites[i][Index(t)].present !=
+          (input.sites[i].Class(t).population > 0)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
 
 double ModelSolution::TotalTxnPerSec() const {
   double total = 0.0;
@@ -134,16 +192,44 @@ double ModelSolution::TotalRecordsPerSec() const {
 CaratModel::CaratModel(ModelInput input) : input_(std::move(input)) {}
 
 ModelSolution CaratModel::Solve(const SolverOptions& options) const {
+  return Solve(options, nullptr, nullptr);
+}
+
+ModelSolution CaratModel::Solve(const SolverOptions& options,
+                                const WarmStart* warm,
+                                WarmStart* warm_out) const {
   ModelSolution out;
-  if (!input_.Validate(&out.error)) return out;
-  out.ok = true;
+  SolveInto(options, nullptr, warm, &out, warm_out);
+  return out;
+}
+
+void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
+                           const WarmStart* warm, ModelSolution* out,
+                           WarmStart* warm_out) const {
+  out->ok = false;
+  out->converged = false;
+  out->iterations = 0;
+  out->warm_started = false;
+  out->error.clear();
+  out->comm_delay_ms = 0.0;
+  if (!input_.Validate(&out->error)) {
+    out->sites.clear();
+    return;
+  }
+  out->ok = true;
+
+  std::optional<SolveArena> local_arena;
+  if (arena == nullptr) local_arena.emplace();
+  SolveArena::Impl& ar =
+      arena != nullptr ? *arena->impl_ : *local_arena->impl_;
 
   const std::size_t num_sites = input_.sites.size();
   // Alpha is fixed input unless the Ethernet model is enabled, in which
   // case it is re-derived from the model's own message rate each iteration
   // (the two-level coupling of Section 3).
   double alpha = input_.comm_delay_ms;
-  std::vector<SiteState> st(num_sites);
+  std::vector<SiteState>& st = ar.st;
+  st.assign(num_sites, SiteState{});
 
   // ---- Workload-independent quantities: q(t) (Yao) and N_lk(t) (Eq. 2). ----
   for (std::size_t i = 0; i < num_sites; ++i) {
@@ -171,53 +257,120 @@ ModelSolution CaratModel::Solve(const SolverOptions& options) const {
     }
   }
 
-  // Number of slave sites serving a coordinator chain at site i (for the
-  // request-fraction f(t,i,j); requests are split evenly).
-  auto slave_sites_of = [&](std::size_t i, TxnType coord) {
-    std::vector<std::size_t> sites_out;
-    const TxnType s = SlaveOf(coord);
-    for (std::size_t j = 0; j < num_sites; ++j) {
-      if (j == i) continue;
-      if (input_.sites[j].Class(s).population > 0) sites_out.push_back(j);
-    }
-    return sites_out;
-  };
-  auto coordinator_sites_of = [&](std::size_t j, TxnType slave) {
-    std::vector<std::size_t> sites_out;
-    const TxnType c = CoordinatorOf(slave);
+  // ---- Shape-keyed arena state. --------------------------------------------
+  // The per-site networks, the coupling lists and every other shape-sized
+  // buffer are rebuilt only when the input's shape signature differs from
+  // the arena's; same-shape re-solves just rewrite populations and demands
+  // in place and allocate nothing.
+  BuildShapeKey(input_, &ar.shape_scratch);
+  if (ar.shape != ar.shape_scratch) {
+    ar.shape = ar.shape_scratch;
+
+    // Per-site MVA networks (Fig. 2). The center/chain structure is
+    // iteration-invariant; only the demands are rewritten each iteration
+    // before the (possibly concurrent) MVA solves.
+    ar.nets.clear();
+    ar.nets.resize(num_sites);
     for (std::size_t i = 0; i < num_sites; ++i) {
-      if (i == j) continue;
-      if (input_.sites[i].Class(c).population > 0) sites_out.push_back(i);
+      const SiteParams& site = input_.sites[i];
+      SiteNetwork& sn = ar.nets[i];
+      sn.cpu = sn.net.AddCenter("CPU", qn::CenterKind::kQueueing);
+      sn.disk = sn.net.AddCenter("DISK", qn::CenterKind::kQueueing);
+      if (site.separate_log_disk)
+        sn.log_disk = sn.net.AddCenter("LOG", qn::CenterKind::kQueueing);
+      sn.lw = sn.net.AddCenter("LW", qn::CenterKind::kDelay);
+      sn.rw = sn.net.AddCenter("RW", qn::CenterKind::kDelay);
+      sn.cw = sn.net.AddCenter("CW", qn::CenterKind::kDelay);
+      sn.ut = sn.net.AddCenter("UT", qn::CenterKind::kDelay);
+      for (TxnType t : kAllTxnTypes) {
+        if (!st[i].cls[Index(t)].present) continue;
+        sn.net.AddChain(std::string(Name(t)), site.Class(t).population,
+                        site.think_time_ms);
+        sn.chain_types.push_back(t);
+      }
     }
-    return sites_out;
+
+    // Coupling lists for the request-fraction f(t,i,j) and the cross-site
+    // delay sums (requests are split evenly over the slave sites). They
+    // depend only on chain presence, so they are shape state.
+    ar.slaves.assign(num_sites, {});
+    ar.coords.assign(num_sites, {});
+    for (std::size_t i = 0; i < num_sites; ++i) {
+      for (TxnType t : {TxnType::kDROC, TxnType::kDUC}) {
+        const std::size_t c = t == TxnType::kDROC ? 0 : 1;
+        const TxnType s = SlaveOf(t);
+        for (std::size_t j = 0; j < num_sites; ++j) {
+          if (j == i) continue;
+          if (input_.sites[j].Class(s).population > 0)
+            ar.slaves[i][c].push_back(j);
+        }
+      }
+      for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
+        const std::size_t c = s == TxnType::kDROS ? 0 : 1;
+        const TxnType t = CoordinatorOf(s);
+        for (std::size_t j = 0; j < num_sites; ++j) {
+          if (j == i) continue;
+          if (input_.sites[j].Class(t).population > 0)
+            ar.coords[i][c].push_back(j);
+        }
+      }
+    }
+  }
+  std::vector<SiteNetwork>& nets = ar.nets;
+  auto slave_sites_of = [&ar](std::size_t i, TxnType coord)
+      -> const std::vector<std::size_t>& {
+    return ar.slaves[i][coord == TxnType::kDROC ? 0 : 1];
+  };
+  auto coordinator_sites_of = [&ar](std::size_t j, TxnType slave)
+      -> const std::vector<std::size_t>& {
+    return ar.coords[j][slave == TxnType::kDROS ? 0 : 1];
   };
 
-  // ---- Per-site MVA networks (Fig. 2), built once. -------------------------
-  // The center/chain structure is iteration-invariant; only the demands are
-  // rewritten each iteration before the (possibly concurrent) MVA solves.
-  std::vector<SiteNetwork> nets(num_sites);
+  // Per-solve refresh of the quantities a shape key does not pin down:
+  // populations, think times and the buffer model may differ between
+  // same-shape inputs.
   for (std::size_t i = 0; i < num_sites; ++i) {
     const SiteParams& site = input_.sites[i];
     SiteNetwork& sn = nets[i];
-    sn.cpu = sn.net.AddCenter("CPU", qn::CenterKind::kQueueing);
-    sn.disk = sn.net.AddCenter("DISK", qn::CenterKind::kQueueing);
-    if (site.separate_log_disk)
-      sn.log_disk = sn.net.AddCenter("LOG", qn::CenterKind::kQueueing);
-    sn.lw = sn.net.AddCenter("LW", qn::CenterKind::kDelay);
-    sn.rw = sn.net.AddCenter("RW", qn::CenterKind::kDelay);
-    sn.cw = sn.net.AddCenter("CW", qn::CenterKind::kDelay);
-    sn.ut = sn.net.AddCenter("UT", qn::CenterKind::kDelay);
     sn.buffer_hit_prob = BufferHitProbability(site);
-    for (TxnType t : kAllTxnTypes) {
-      if (!st[i].cls[Index(t)].present) continue;
-      sn.net.AddChain(std::string(Name(t)), site.Class(t).population,
-                      site.think_time_ms);
-      sn.chain_types.push_back(t);
+    sn.mva_ok = true;
+    for (std::size_t k = 0; k < sn.chain_types.size(); ++k) {
+      sn.net.chains[k].population = site.Class(sn.chain_types[k]).population;
+      sn.net.chains[k].think_time = site.think_time_ms;
     }
   }
 
+  // ---- Warm-start seeding. -------------------------------------------------
+  // A compatible seed initializes the fixed point's state variables (Pb, Pd,
+  // Pra, the synchronization delays, alpha under the Ethernet model and the
+  // retained per-site Schweitzer queue lengths) from a neighbor's converged
+  // values. A cold solve resets the arena's retained queue lengths so the
+  // trajectory is bit-identical to a fresh-arena solve.
+  const bool seeded = warm != nullptr && warm->CompatibleWith(input_);
+  out->warm_started = seeded;
+  if (seeded) {
+    if (options.ethernet.has_value()) alpha = warm->comm_delay_ms;
+    for (std::size_t i = 0; i < num_sites; ++i) {
+      for (TxnType t : kAllTxnTypes) {
+        ClassState& cs = st[i].cls[Index(t)];
+        if (!cs.present) continue;
+        const WarmStart::ClassSeed& seed = warm->sites[i][Index(t)];
+        cs.pb = seed.pb;
+        cs.pd = seed.pd;
+        cs.pra = seed.pra;
+        cs.delays.r_lw_ms = seed.r_lw_ms;
+        cs.delays.r_rw_ms = seed.r_rw_ms;
+        cs.delays.r_cwc_ms = seed.r_cwc_ms;
+        cs.delays.r_cwa_ms = seed.r_cwa_ms;
+      }
+    }
+  } else {
+    for (SiteNetwork& sn : nets) sn.ws.qkm.clear();
+  }
+
   // ---- Fixed-point iteration (Section 6). ----------------------------------
-  std::vector<double> prev_x(num_sites * kNumTxnTypes, 0.0);
+  std::vector<double>& prev_x = ar.prev_x;
+  prev_x.assign(num_sites * kNumTxnTypes, 0.0);
   bool converged = false;
   int iteration = 0;
   // High-contention inputs can make the plain damped iteration oscillate;
@@ -242,9 +395,10 @@ ModelSolution CaratModel::Solve(const SolverOptions& options) const {
         in.pra = cs.pra;
         const TransitionMatrix p = BuildTransitionMatrix(t, in);
         if (!SolveVisitCounts(p, &cs.visits)) {
-          out.error = "visit-count system singular";
-          out.ok = false;
-          return out;
+          out->error = "visit-count system singular";
+          out->ok = false;
+          out->sites.clear();
+          return;
         }
       }
     }
@@ -290,7 +444,7 @@ ModelSolution CaratModel::Solve(const SolverOptions& options) const {
     // depends only on that site's state from steps (1)-(2), so the solves
     // are independent and run concurrently on options.pool when provided
     // (bit-identical to the serial order — no cross-site reads or writes).
-    exec::ParallelFor(options.pool, 0, num_sites, [&](std::size_t i) {
+    const auto solve_site = [&](std::size_t i) {
       const SiteParams& site = input_.sites[i];
       SiteNetwork& sn = nets[i];
       for (std::size_t k = 0; k < sn.chain_types.size(); ++k) {
@@ -335,12 +489,21 @@ ModelSolution CaratModel::Solve(const SolverOptions& options) const {
       st[i].db_q = sol.queue_length[sn.disk];
       st[i].log_q = site.separate_log_disk ? sol.queue_length[sn.log_disk]
                                            : st[i].db_q;
-    });
+    };
+    if (options.pool == nullptr) {
+      // Run inline rather than through ParallelFor: wrapping the lambda in a
+      // std::function would heap-allocate every iteration, and the serial
+      // path is the service's allocation-free warm path.
+      for (std::size_t i = 0; i < num_sites; ++i) solve_site(i);
+    } else {
+      exec::ParallelFor(options.pool, 0, num_sites, solve_site);
+    }
     for (std::size_t i = 0; i < num_sites; ++i) {
       if (!nets[i].mva_ok) {
-        out.error = "MVA failed: " + nets[i].mva_error;
-        out.ok = false;
-        return out;
+        out->error = "MVA failed: " + nets[i].mva_error;
+        out->ok = false;
+        out->sites.clear();
+        return;
       }
     }
 
@@ -438,7 +601,7 @@ ModelSolution CaratModel::Solve(const SolverOptions& options) const {
         ClassState& cs = st[i].cls[Index(t)];
         if (!cs.present) continue;
         const TxnType s = SlaveOf(t);
-        const std::vector<std::size_t> slaves = slave_sites_of(i, t);
+        const std::vector<std::size_t>& slaves = slave_sites_of(i, t);
         const int r = site.Class(t).remote_requests;
 
         double slave_busy_sum = 0.0;   // Eq. 21/22 numerator
@@ -481,7 +644,7 @@ ModelSolution CaratModel::Solve(const SolverOptions& options) const {
         ClassState& cs = st[i].cls[Index(s)];
         if (!cs.present) continue;
         const TxnType t = CoordinatorOf(s);
-        const std::vector<std::size_t> coords = coordinator_sites_of(i, s);
+        const std::vector<std::size_t>& coords = coordinator_sites_of(i, s);
         const int ls = site.Class(s).local_requests;
 
         double rrw_sum = 0.0, pra_sum = 0.0, cwc_sum = 0.0, weight = 0.0;
@@ -538,14 +701,38 @@ ModelSolution CaratModel::Solve(const SolverOptions& options) const {
     }
   }
 
+  // ---- Export the converged state for future warm starts. ------------------
+  if (warm_out != nullptr) {
+    warm_out->comm_delay_ms = alpha;
+    warm_out->sites.assign(num_sites, {});
+    for (std::size_t i = 0; i < num_sites; ++i) {
+      for (TxnType t : kAllTxnTypes) {
+        const ClassState& cs = st[i].cls[Index(t)];
+        WarmStart::ClassSeed& seed = warm_out->sites[i][Index(t)];
+        seed.present = cs.present;
+        if (!cs.present) continue;
+        seed.pb = cs.pb;
+        seed.pd = cs.pd;
+        seed.pra = cs.pra;
+        seed.r_lw_ms = cs.delays.r_lw_ms;
+        seed.r_rw_ms = cs.delays.r_rw_ms;
+        seed.r_cwc_ms = cs.delays.r_cwc_ms;
+        seed.r_cwa_ms = cs.delays.r_cwa_ms;
+      }
+    }
+  }
+
   // ---- Assemble the solution. ----------------------------------------------
-  out.converged = converged;
-  out.iterations = std::min(iteration, options.max_iterations);
-  out.comm_delay_ms = alpha;
-  out.sites.resize(num_sites);
+  // assign() (rather than resize) value-resets every slot while keeping the
+  // vector's and the name strings' capacity, so a reused `out` of the same
+  // site count allocates nothing.
+  out->converged = converged;
+  out->iterations = std::min(iteration, options.max_iterations);
+  out->comm_delay_ms = alpha;
+  out->sites.assign(num_sites, SiteSolution{});
   for (std::size_t i = 0; i < num_sites; ++i) {
     const SiteParams& site = input_.sites[i];
-    SiteSolution& ss = out.sites[i];
+    SiteSolution& ss = out->sites[i];
     ss.name = site.name;
     ss.cpu_utilization = st[i].cpu_util;
     ss.db_disk_utilization = st[i].db_util;
@@ -585,7 +772,6 @@ ModelSolution CaratModel::Solve(const SolverOptions& options) const {
       }
     }
   }
-  return out;
 }
 
 }  // namespace carat::model

@@ -11,6 +11,7 @@
 #define CARAT_MODEL_SOLVER_H_
 
 #include <array>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,6 +66,9 @@ struct ModelSolution {
   bool ok = false;
   bool converged = false;
   int iterations = 0;
+  /// True when this solve was seeded from a compatible WarmStart (the seed
+  /// shifts the fixed-point trajectory, not the fixed point itself).
+  bool warm_started = false;
   std::string error;
   std::vector<SiteSolution> sites;
 
@@ -111,6 +115,54 @@ struct SolverOptions {
   double message_bits = 8000.0;
 };
 
+/// Converged fixed-point state of a previous solve, usable to seed a new
+/// solve of a *nearby* input (same shape, slightly different populations or
+/// request counts). Seeding starts the iteration from the neighbor's
+/// blocking probabilities and synchronization delays instead of zero, which
+/// cuts the iteration count on sweep-shaped query streams; the converged
+/// answer is the same fixed point either way (within the solver tolerance).
+struct WarmStart {
+  struct ClassSeed {
+    bool present = false;
+    double pb = 0.0;        ///< blocking probability per lock request
+    double pd = 0.0;        ///< deadlock-victim probability per block
+    double pra = 0.0;       ///< abort probability per remote-wait visit
+    double r_lw_ms = 0.0;   ///< per-visit lock wait delay
+    double r_rw_ms = 0.0;   ///< per-visit remote wait delay
+    double r_cwc_ms = 0.0;  ///< per-visit 2PC wait delay, commit path
+    double r_cwa_ms = 0.0;  ///< per-visit 2PC wait delay, abort path
+  };
+  std::vector<std::array<ClassSeed, kNumTxnTypes>> sites;
+  double comm_delay_ms = 0.0;
+
+  /// A seed applies only to inputs with the same site count and per-site
+  /// chain presence pattern; Solve() silently starts cold otherwise.
+  bool CompatibleWith(const ModelInput& input) const;
+};
+
+/// Reusable cross-solve state: the per-site MVA networks, workspaces and
+/// iteration buffers of CaratModel::SolveInto. Keyed to the input's *shape*
+/// (SolveShapeKey); consecutive solves of same-shape inputs through one
+/// arena perform zero heap allocations once warm. An arena must not be used
+/// by two solves concurrently.
+class SolveArena {
+ public:
+  SolveArena();
+  ~SolveArena();
+  SolveArena(SolveArena&&) noexcept;
+  SolveArena& operator=(SolveArena&&) noexcept;
+
+ private:
+  friend class CaratModel;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Canonical key of the solve-relevant *shape* of an input: site count,
+/// per-site chain presence and log-disk layout. Inputs with equal shape keys
+/// can share a SolveArena and are candidates for warm-start seeding.
+std::string SolveShapeKey(const ModelInput& input);
+
 /// The model. Construct with a validated ModelInput and call Solve().
 class CaratModel {
  public:
@@ -120,6 +172,20 @@ class CaratModel {
   /// ok = false with an error message; otherwise ok = true and `converged`
   /// reports whether the tolerance was met within max_iterations.
   ModelSolution Solve(const SolverOptions& options = {}) const;
+
+  /// Warm-start entry point: `warm`, when non-null and compatible, seeds the
+  /// fixed point from a neighbor's converged state; `warm_out`, when
+  /// non-null, receives this solve's converged state for seeding future
+  /// solves. A cold solve (warm == nullptr) is bit-identical to Solve().
+  ModelSolution Solve(const SolverOptions& options, const WarmStart* warm,
+                      WarmStart* warm_out = nullptr) const;
+
+  /// Allocation-free core: solves into caller-owned `out` reusing `arena`
+  /// (nullptr uses a throwaway arena). With a warm arena of matching shape
+  /// and a reused `out`, the whole solve performs zero heap allocations.
+  void SolveInto(const SolverOptions& options, SolveArena* arena,
+                 const WarmStart* warm, ModelSolution* out,
+                 WarmStart* warm_out = nullptr) const;
 
   const ModelInput& input() const { return input_; }
 

@@ -1,6 +1,9 @@
 #include "model/transition.h"
 
+#include <array>
+#include <cmath>
 #include <cstddef>
+#include <utility>
 
 namespace carat::model {
 
@@ -87,23 +90,58 @@ bool SolveVisitCounts(const TransitionMatrix& p, VisitCounts* v) {
   // Map phase index -> unknown index (skip UT).
   auto unknown = [](int phase) { return phase < kUt ? phase : phase - 1; };
 
-  util::Matrix a(n, n, 0.0);
-  std::vector<double> b(n, 0.0);
+  // The system is a fixed 15x15, so it lives entirely on the stack: this
+  // runs once per (site, type) per fixed-point iteration, and the model's
+  // warm solve path must stay heap-allocation free. The elimination below
+  // mirrors util::SolveLinearSystem operation for operation (same pivoting,
+  // same update order), so the visit counts are bit-identical to the
+  // heap-based solver it replaces.
+  std::array<double, n * n> a{};
+  std::array<double, n> b{};
   for (int c = 0; c < kNumPhases; ++c) {
     if (c == kUt) continue;
     const std::size_t row = unknown(c);
-    a(row, unknown(c)) += 1.0;
+    a[row * n + unknown(c)] += 1.0;
     for (int e = 0; e < kNumPhases; ++e) {
       if (e == kUt) {
         b[row] += p[e][c];  // V_UT = 1 contributes to the constant term
       } else {
-        a(row, unknown(e)) -= p[e][c];
+        a[row * n + unknown(e)] -= p[e][c];
       }
     }
   }
 
-  std::vector<double> x;
-  if (!util::SolveLinearSystem(std::move(a), std::move(b), &x)) return false;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double value = std::fabs(a[r * n + col]);
+      if (value > best) {
+        best = value;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) return false;
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c)
+        std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= factor * a[col * n + c];
+      b[r] -= factor * b[col];
+    }
+  }
+
+  std::array<double, n> x{};
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a[i * n + c] * x[c];
+    x[i] = acc / a[i * n + i];
+  }
 
   (*v)[kUt] = 1.0;
   for (int c = 0; c < kNumPhases; ++c) {

@@ -8,7 +8,6 @@
 
 #include "model/phases.h"
 #include "model/types.h"
-#include "util/linear.h"
 
 namespace carat::model {
 

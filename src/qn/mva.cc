@@ -173,6 +173,7 @@ bool ExactMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
   }
 
   FinishSolution(net, ws->x, ws->residence, &ws->solution);
+  ws->iterations = 0;
   return true;
 }
 
@@ -216,7 +217,9 @@ bool SchweitzerMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
   double* residence = ws->residence.data();
   double* qsum = ws->qsum.data();
 
+  ws->iterations = 0;
   for (int iter = 0; iter < max_iterations; ++iter) {
+    ++ws->iterations;
     // Per-center totals, hoisting the O(chains) "queue seen on arrival" sum
     // out of the per-chain loop: chain k sees qsum[m] - qkm[k][m] / n_k.
     for (std::size_t m = 0; m < num_centers; ++m) qsum[m] = 0.0;
@@ -274,7 +277,10 @@ MvaResult ExactMva(const ClosedNetwork& net, std::size_t max_states) {
   MvaResult result;
   MvaWorkspace ws;
   result.ok = ExactMvaInPlace(net, &ws, max_states, &result.error);
-  if (result.ok) result.solution = std::move(ws.solution);
+  if (result.ok) {
+    result.solution = std::move(ws.solution);
+    result.iterations = ws.iterations;
+  }
   return result;
 }
 
@@ -291,7 +297,10 @@ MvaResult SchweitzerMva(const ClosedNetwork& net, double tolerance,
   }
   result.ok = SchweitzerMvaInPlace(net, &ws, tolerance, max_iterations, warm,
                                    &result.error);
-  if (result.ok) result.solution = std::move(ws.solution);
+  if (result.ok) {
+    result.solution = std::move(ws.solution);
+    result.iterations = ws.iterations;
+  }
   return result;
 }
 

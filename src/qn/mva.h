@@ -30,6 +30,9 @@ struct MvaResult {
   bool ok = false;
   std::string error;
   Solution solution;
+  /// Schweitzer-Bard fixed-point iterations performed (0 for exact MVA);
+  /// exposes how much a warm start saved.
+  int iterations = 0;
 };
 
 /// Reusable buffers for the in-place solvers. All vectors grow to the
@@ -38,6 +41,10 @@ struct MvaResult {
 struct MvaWorkspace {
   /// Output of the most recent successful *InPlace solve.
   Solution solution;
+
+  /// Schweitzer-Bard iterations of the most recent *InPlace solve (0 after
+  /// an exact solve).
+  int iterations = 0;
 
   /// Per-(chain, center) mean queue lengths from the last Schweitzer solve,
   /// flattened as `chain * num_centers + center`. Retained across calls so

@@ -1,0 +1,114 @@
+#include "serve/key.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace carat::serve {
+
+namespace {
+
+void AppendU64(std::uint64_t value, std::string* out) {
+  char bytes[sizeof(value)];
+  std::memcpy(bytes, &value, sizeof(value));
+  out->append(bytes, sizeof(bytes));
+}
+
+void AppendI64(long long value, std::string* out) {
+  AppendU64(static_cast<std::uint64_t>(value), out);
+}
+
+// Doubles are keyed by bit pattern: the solver is deterministic, so inputs
+// that differ in any bit may produce different solutions (0.0 and -0.0
+// therefore key differently, which is merely a harmless extra miss).
+void AppendF64(double value, std::string* out) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU64(bits, out);
+}
+
+void AppendBool(bool value, std::string* out) {
+  out->push_back(value ? '\1' : '\0');
+}
+
+void AppendString(const std::string& value, std::string* out) {
+  AppendU64(value.size(), out);
+  out->append(value);
+}
+
+void AppendClass(const model::ClassParams& c, std::string* out) {
+  AppendI64(c.population, out);
+  AppendI64(c.local_requests, out);
+  AppendI64(c.remote_requests, out);
+  AppendI64(c.records_per_request, out);
+  AppendF64(c.u_cpu_ms, out);
+  AppendF64(c.tm_cpu_ms, out);
+  AppendF64(c.dm_cpu_ms, out);
+  AppendF64(c.lr_cpu_ms, out);
+  AppendF64(c.dmio_cpu_ms, out);
+  AppendF64(c.dmio_disk_ms, out);
+  AppendF64(c.dmio_read_ios, out);
+  AppendF64(c.dmio_write_ios, out);
+  AppendF64(c.init_cpu_ms, out);
+  AppendF64(c.tc_cpu_ms, out);
+  AppendF64(c.tcio_force_writes, out);
+  AppendF64(c.ta_fixed_cpu_ms, out);
+  AppendF64(c.ta_cpu_per_granule_ms, out);
+  AppendF64(c.taio_ios_per_granule, out);
+  AppendF64(c.unlock_cpu_per_lock_ms, out);
+}
+
+void AppendSite(const model::SiteParams& site, std::string* out) {
+  AppendString(site.name, out);
+  AppendI64(site.num_granules, out);
+  AppendI64(site.records_per_granule, out);
+  AppendF64(site.block_io_ms, out);
+  AppendBool(site.separate_log_disk, out);
+  AppendF64(site.think_time_ms, out);
+  AppendF64(site.hot_data_fraction, out);
+  AppendF64(site.hot_access_fraction, out);
+  AppendI64(site.buffer_blocks, out);
+  AppendI64(site.dm_pool_size, out);
+  for (const model::ClassParams& c : site.classes) AppendClass(c, out);
+}
+
+}  // namespace
+
+std::string CanonicalKey(const model::ModelInput& input,
+                         const model::SolverOptions& options) {
+  std::string key;
+  // A two-site paper input serializes to ~1.4 KB; reserve once.
+  key.reserve(64 + input.sites.size() * 700);
+  AppendU64(input.sites.size(), &key);
+  for (const model::SiteParams& site : input.sites) AppendSite(site, &key);
+  AppendF64(input.comm_delay_ms, &key);
+
+  AppendI64(options.max_iterations, &key);
+  AppendF64(options.tolerance, &key);
+  AppendF64(options.damping, &key);
+  AppendF64(options.max_abort_prob, &key);
+  AppendBool(options.use_exact_mva, &key);
+  AppendF64(options.blocker_wait_fraction, &key);
+  AppendBool(options.ethernet.has_value(), &key);
+  if (options.ethernet.has_value()) {
+    AppendF64(options.ethernet->bandwidth_bits_per_ms, &key);
+    AppendF64(options.ethernet->slot_time_ms, &key);
+    AppendF64(options.ethernet->propagation_ms, &key);
+  }
+  AppendF64(options.message_bits, &key);
+  return key;
+}
+
+double WarmFeature(const model::ModelInput& input) {
+  double feature = 0.0;
+  for (const model::SiteParams& site : input.sites) {
+    for (const model::ClassParams& c : site.classes) {
+      if (c.population <= 0) continue;
+      feature += static_cast<double>(c.population) *
+                 (c.total_requests() * c.records_per_request);
+      feature += c.population;
+    }
+  }
+  return feature;
+}
+
+}  // namespace carat::serve

@@ -1,0 +1,35 @@
+// Canonical keys for the what-if solving service.
+//
+// The solution cache must treat two ModelInputs as the same query exactly
+// when every solve-relevant parameter matches, so the key is a full binary
+// serialization (doubles bit-cast, strings length-prefixed) rather than a
+// lossy hash: key equality implies input equality, and collisions are
+// impossible by construction. Solver options that change the answer
+// (tolerance, damping, the Ethernet model, ...) are folded into the same
+// key so one service can be re-tuned without serving stale solutions.
+
+#ifndef CARAT_SERVE_KEY_H_
+#define CARAT_SERVE_KEY_H_
+
+#include <string>
+
+#include "model/params.h"
+#include "model/solver.h"
+
+namespace carat::serve {
+
+/// Byte-exact canonical serialization of (input, solver options). Equal keys
+/// imply equal queries; unequal queries produce unequal keys.
+std::string CanonicalKey(const model::ModelInput& input,
+                         const model::SolverOptions& options);
+
+/// Scalar locating an input inside its shape family for nearest-neighbor
+/// warm-start selection: total offered work (populations weighted by records
+/// accessed per execution) plus the total multiprogramming level. Both MPL
+/// sweeps and transaction-size sweeps move this monotonically, so "nearest
+/// feature" is "nearest sweep point".
+double WarmFeature(const model::ModelInput& input);
+
+}  // namespace carat::serve
+
+#endif  // CARAT_SERVE_KEY_H_

@@ -1,0 +1,35 @@
+#include "serve/solution_cache.h"
+
+namespace carat::serve {
+
+const model::ModelSolution* SolutionCache::Get(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->second;
+}
+
+void SolutionCache::Put(const std::string& key,
+                        const model::ModelSolution& solution) {
+  if (capacity_ == 0) return;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = solution;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (index_.size() >= capacity_) {
+    // Erase the index entry before the node that owns its key bytes.
+    index_.erase(std::string_view(lru_.back().first));
+    lru_.pop_back();
+  }
+  lru_.emplace_front(key, solution);
+  index_.emplace(std::string_view(lru_.front().first), lru_.begin());
+}
+
+void SolutionCache::Clear() {
+  index_.clear();
+  lru_.clear();
+}
+
+}  // namespace carat::serve

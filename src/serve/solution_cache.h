@@ -1,0 +1,53 @@
+// Keyed LRU cache of completed solutions. Identical what-if queries are a
+// dominant pattern at a serving layer (dashboards re-request the same grid),
+// and a model solve is pure, so a solution can be replayed for free.
+//
+// Not internally synchronized: SolverService guards it with the service
+// mutex (lookups and inserts are O(1) pointer work, never a solve).
+
+#ifndef CARAT_SERVE_SOLUTION_CACHE_H_
+#define CARAT_SERVE_SOLUTION_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "model/solver.h"
+
+namespace carat::serve {
+
+class SolutionCache {
+ public:
+  /// `capacity` is the maximum number of retained solutions; 0 disables the
+  /// cache entirely (Get always misses, Put is a no-op).
+  explicit SolutionCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached solution for `key` (and marks it most recently
+  /// used), or nullptr. The pointer is valid until the next Put or Clear.
+  const model::ModelSolution* Get(const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting the least recently used entry
+  /// when full.
+  void Put(const std::string& key, const model::ModelSolution& solution);
+
+  void Clear();
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::string, model::ModelSolution>;
+
+  std::size_t capacity_;
+  /// Front = most recently used. The index views key storage owned by the
+  /// list nodes (stable under splice and erase of other nodes).
+  std::list<Entry> lru_;
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace carat::serve
+
+#endif  // CARAT_SERVE_SOLUTION_CACHE_H_

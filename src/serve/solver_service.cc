@@ -1,0 +1,165 @@
+#include "serve/solver_service.h"
+
+#include <exception>
+#include <utility>
+
+#include "serve/key.h"
+
+namespace carat::serve {
+
+SolverService::SolverService() : SolverService(Options()) {}
+
+SolverService::SolverService(Options options)
+    : options_(std::move(options)),
+      cache_(options_.use_cache ? options_.cache_capacity : 0),
+      warm_index_(options_.warm_start ? options_.warm_index_capacity : 0) {
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<exec::ThreadPool>(options_.threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+SolverService::~SolverService() {
+  // ThreadPool discards still-queued tasks at destruction, which would leave
+  // broken promises behind; every accepted solve must finish first. Borrowed
+  // pools get the same treatment so futures never outlive their answers.
+  Drain();
+}
+
+std::future<model::ModelSolution> SolverService::Submit(
+    model::ModelInput input) {
+  std::string key = CanonicalKey(input, options_.solver);
+  std::promise<model::ModelSolution> promise;
+  std::future<model::ModelSolution> future = promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (const model::ModelSolution* hit = cache_.Get(key)) {
+      ++stats_.cache_hits;
+      promise.set_value(*hit);
+      return future;
+    }
+    const auto it = pending_.find(key);
+    if (it != pending_.end()) {
+      ++stats_.coalesced;
+      it->second.push_back(std::move(promise));
+      return future;
+    }
+    pending_[key].push_back(std::move(promise));
+    ++in_flight_;
+  }
+
+  pool_->Submit([this, key = std::move(key), input = std::move(input)]() mutable {
+    RunSolve(key, std::move(input));
+  });
+  return future;
+}
+
+std::vector<model::ModelSolution> SolverService::SolveBatch(
+    std::vector<model::ModelInput> inputs) {
+  std::vector<std::future<model::ModelSolution>> futures;
+  futures.reserve(inputs.size());
+  for (model::ModelInput& input : inputs) {
+    futures.push_back(Submit(std::move(input)));
+  }
+  std::vector<model::ModelSolution> solutions;
+  solutions.reserve(futures.size());
+  for (std::future<model::ModelSolution>& f : futures) {
+    solutions.push_back(f.get());
+  }
+  return solutions;
+}
+
+void SolverService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void SolverService::ClearCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.Clear();
+  warm_index_.Clear();
+}
+
+ServiceStats SolverService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::unique_ptr<SolverService::Slot> SolverService::CheckOutSlot(
+    const std::string& shape) {
+  std::vector<std::unique_ptr<Slot>>& free = slots_[shape];
+  if (free.empty()) return std::make_unique<Slot>();
+  std::unique_ptr<Slot> slot = std::move(free.back());
+  free.pop_back();
+  return slot;
+}
+
+void SolverService::ReturnSlot(const std::string& shape,
+                               std::unique_ptr<Slot> slot) {
+  slots_[shape].push_back(std::move(slot));
+}
+
+void SolverService::RunSolve(const std::string& key, model::ModelInput input) {
+  // This runs via bare ThreadPool::Submit, which terminates on escaped
+  // exceptions: everything is caught and delivered through the promises.
+  std::vector<std::promise<model::ModelSolution>> waiters;
+  try {
+    const std::string shape = model::SolveShapeKey(input);
+    const double feature = WarmFeature(input);
+
+    std::unique_ptr<Slot> slot;
+    bool seeded = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slot = CheckOutSlot(shape);
+      seeded = warm_index_.Nearest(shape, feature, &slot->seed);
+    }
+
+    const model::CaratModel model(std::move(input));
+    model.SolveInto(options_.solver, &slot->arena,
+                    seeded ? &slot->seed : nullptr, &slot->out,
+                    &slot->warm_out);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slot->out.ok) {
+      cache_.Put(key, slot->out);
+      if (slot->out.converged) {
+        warm_index_.Insert(shape, feature, slot->warm_out);
+      }
+    }
+    ++stats_.solved;
+    if (slot->out.warm_started) ++stats_.warm_started;
+    stats_.total_iterations += static_cast<std::uint64_t>(slot->out.iterations);
+
+    const auto it = pending_.find(key);
+    waiters = std::move(it->second);
+    pending_.erase(it);
+    for (std::promise<model::ModelSolution>& w : waiters) {
+      w.set_value(slot->out);
+    }
+    ReturnSlot(shape, std::move(slot));
+    // Last touch of shared state: once in_flight_ hits zero the destructor
+    // may run, so nothing below this point may use `this`.
+    --in_flight_;
+    if (in_flight_ == 0) idle_cv_.notify_all();
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = pending_.find(key);
+    if (it != pending_.end()) {
+      waiters = std::move(it->second);
+      pending_.erase(it);
+    }
+    for (std::promise<model::ModelSolution>& w : waiters) {
+      w.set_exception(error);
+    }
+    --in_flight_;
+    if (in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace carat::serve

@@ -1,0 +1,144 @@
+// Batch what-if solving service.
+//
+// A SolverService accepts ModelInputs — one at a time (Submit) or in batches
+// (SolveBatch) — and schedules solves on a shared exec::ThreadPool. On top of
+// the bare solver it layers the three things a serving workload wants:
+//
+//   1. a keyed LRU solution cache (serve::CanonicalKey): repeated identical
+//      queries replay the stored solution without solving, and identical
+//      queries in flight at the same time are coalesced into one solve;
+//   2. per-shape SolveArena pools: repeated same-shape queries reuse the MVA
+//      networks/workspaces, so the warm steady state allocates nothing in
+//      the solver hot path;
+//   3. a nearest-neighbor warm-start index (serve::WarmStartIndex): each new
+//      solve is seeded from the converged state of the cached neighbor with
+//      the closest parameters, cutting the fixed-point iteration count on
+//      sweep-shaped query streams.
+//
+// Thread safety: every public method may be called concurrently. One mutex
+// guards the cache, warm index, arena pools, pending (coalescing) map and
+// stats; solves themselves run unlocked on checked-out arena slots. See
+// DESIGN.md §8 for the invariants.
+
+#ifndef CARAT_SERVE_SOLVER_SERVICE_H_
+#define CARAT_SERVE_SOLVER_SERVICE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "model/params.h"
+#include "model/solver.h"
+#include "serve/solution_cache.h"
+#include "serve/warm_index.h"
+
+namespace carat::serve {
+
+/// Monotonic counters; a snapshot is returned by SolverService::stats().
+struct ServiceStats {
+  std::uint64_t submitted = 0;         ///< queries accepted (Submit calls)
+  std::uint64_t cache_hits = 0;        ///< answered from the solution cache
+  std::uint64_t coalesced = 0;         ///< attached to an in-flight solve
+  std::uint64_t solved = 0;            ///< solves actually executed
+  std::uint64_t warm_started = 0;      ///< solves seeded from a neighbor
+  std::uint64_t total_iterations = 0;  ///< fixed-point iterations, summed
+};
+
+class SolverService {
+ public:
+  struct Options {
+    /// Worker pool for solves. Borrowed, must outlive the service; when
+    /// null the service owns a pool of `threads` workers.
+    exec::ThreadPool* pool = nullptr;
+    /// Owned-pool size when `pool` is null; 0 = hardware_concurrency.
+    std::size_t threads = 0;
+    /// Solution cache capacity (entries); 0 disables caching and coalescing
+    /// still applies only to literally concurrent identical queries.
+    std::size_t cache_capacity = 1024;
+    /// Warm-start seeds retained per shape family; 0 disables warm starts.
+    std::size_t warm_index_capacity = 64;
+    bool use_cache = true;
+    /// Seed solves from the nearest converged neighbor. Off, every solve is
+    /// cold and therefore bit-identical to CaratModel::Solve().
+    bool warm_start = true;
+    /// Solver options applied to every query (also folded into cache keys).
+    model::SolverOptions solver;
+  };
+
+  SolverService();
+  explicit SolverService(Options options);
+
+  /// Waits for all in-flight solves, then releases the owned pool (if any).
+  /// Outstanding futures are always fulfilled before destruction returns.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Schedules one query. The future is fulfilled with the solution (cached,
+  /// coalesced or freshly solved); solver-level failures are reported inside
+  /// ModelSolution (ok = false), not as exceptions.
+  std::future<model::ModelSolution> Submit(model::ModelInput input);
+
+  /// Solves a batch, returning solutions in input order. Blocks until every
+  /// query in the batch has an answer; queries are scheduled concurrently.
+  std::vector<model::ModelSolution> SolveBatch(
+      std::vector<model::ModelInput> inputs);
+
+  /// Blocks until no solve is in flight (queued or running).
+  void Drain();
+
+  /// Forgets all cached solutions and warm-start seeds (arena pools are
+  /// kept; they hold no query-dependent state).
+  void ClearCache();
+
+  ServiceStats stats() const;
+
+  /// The pool solves run on (owned or borrowed) — callers may schedule
+  /// adjacent work (e.g. testbed replays) on the same workers.
+  exec::ThreadPool* pool() { return pool_; }
+
+ private:
+  /// An arena plus reusable output/seed buffers, checked out per solve so
+  /// the warm steady state allocates nothing. Pooled per shape key.
+  struct Slot {
+    model::SolveArena arena;
+    model::ModelSolution out;
+    model::WarmStart seed;
+    model::WarmStart warm_out;
+  };
+
+  void RunSolve(const std::string& key, model::ModelInput input);
+
+  std::unique_ptr<Slot> CheckOutSlot(const std::string& shape);
+  void ReturnSlot(const std::string& shape, std::unique_ptr<Slot> slot);
+
+  Options options_;
+  std::unique_ptr<exec::ThreadPool> owned_pool_;
+  exec::ThreadPool* pool_;  ///< owned_pool_.get() or options_.pool
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  SolutionCache cache_;
+  WarmStartIndex warm_index_;
+  /// Shape key -> free slots. Checked-out slots are owned by the running
+  /// task; a slot is never shared between concurrent solves.
+  std::unordered_map<std::string, std::vector<std::unique_ptr<Slot>>> slots_;
+  /// Canonical key -> waiters for the solve currently computing that key.
+  std::unordered_map<std::string,
+                     std::vector<std::promise<model::ModelSolution>>>
+      pending_;
+  ServiceStats stats_;
+};
+
+}  // namespace carat::serve
+
+#endif  // CARAT_SERVE_SOLVER_SERVICE_H_

@@ -1,0 +1,51 @@
+#include "serve/warm_index.h"
+
+#include <cmath>
+
+namespace carat::serve {
+
+bool WarmStartIndex::Nearest(const std::string& shape, double feature,
+                             model::WarmStart* out) const {
+  const auto it = families_.find(shape);
+  if (it == families_.end() || it->second.entries.empty()) return false;
+  const std::vector<Entry>& entries = it->second.entries;
+  std::size_t best = 0;
+  double best_dist = std::abs(entries[0].feature - feature);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    const double dist = std::abs(entries[i].feature - feature);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  *out = entries[best].warm;
+  return true;
+}
+
+void WarmStartIndex::Insert(const std::string& shape, double feature,
+                            const model::WarmStart& warm) {
+  if (capacity_ == 0) return;
+  Family& family = families_[shape];
+  for (Entry& entry : family.entries) {
+    if (entry.feature == feature) {
+      entry.warm = warm;
+      return;
+    }
+  }
+  if (family.entries.size() < capacity_) {
+    family.entries.push_back(Entry{feature, warm});
+    return;
+  }
+  family.entries[family.next] = Entry{feature, warm};
+  family.next = (family.next + 1) % capacity_;
+}
+
+void WarmStartIndex::Clear() { families_.clear(); }
+
+std::size_t WarmStartIndex::size() const {
+  std::size_t total = 0;
+  for (const auto& [shape, family] : families_) total += family.entries.size();
+  return total;
+}
+
+}  // namespace carat::serve

@@ -1,0 +1,62 @@
+// Nearest-neighbor warm-start index. Converged fixed-point states are filed
+// under their input's shape key; a new solve of the same shape is seeded
+// from the entry whose scalar feature (serve::WarmFeature — effectively the
+// sweep position) is closest. Sweep-shaped query streams thus pay the full
+// iteration count only for the first point of each workload family.
+//
+// Not internally synchronized: SolverService guards it with the service
+// mutex (Nearest copies the chosen seed out under the lock; the solve runs
+// unlocked).
+
+#ifndef CARAT_SERVE_WARM_INDEX_H_
+#define CARAT_SERVE_WARM_INDEX_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/solver.h"
+
+namespace carat::serve {
+
+class WarmStartIndex {
+ public:
+  /// `per_shape_capacity` bounds the retained seeds per shape family; 0
+  /// disables the index.
+  explicit WarmStartIndex(std::size_t per_shape_capacity)
+      : capacity_(per_shape_capacity) {}
+
+  /// Copies the seed nearest to `feature` within `shape` into `*out`.
+  /// Returns false when the family is empty.
+  bool Nearest(const std::string& shape, double feature,
+               model::WarmStart* out) const;
+
+  /// Files `warm` under (shape, feature). An existing entry at the exact
+  /// feature is refreshed; otherwise the family behaves as a ring, evicting
+  /// the oldest seed once at capacity (sweeps revisit recent neighborhoods,
+  /// so recency is the right retention policy).
+  void Insert(const std::string& shape, double feature,
+              const model::WarmStart& warm);
+
+  void Clear();
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    double feature = 0.0;
+    model::WarmStart warm;
+  };
+  struct Family {
+    std::vector<Entry> entries;
+    std::size_t next = 0;  ///< ring cursor once at capacity
+  };
+
+  std::size_t capacity_;
+  std::unordered_map<std::string, Family> families_;
+};
+
+}  // namespace carat::serve
+
+#endif  // CARAT_SERVE_WARM_INDEX_H_

@@ -1,0 +1,44 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace carat::util {
+
+bool ParseSizes(const char* arg, std::vector<int>* sizes,
+                std::string* bad_token) {
+  sizes->clear();
+  std::string token;
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) {
+        char* end = nullptr;
+        const long value = std::strtol(token.c_str(), &end, 10);
+        if (*end != '\0' || value <= 0 || value > 1'000'000) {
+          *bad_token = token;
+          return false;
+        }
+        sizes->push_back(static_cast<int>(value));
+      }
+      token.clear();
+      if (*p == '\0') break;
+    } else {
+      token += *p;
+    }
+  }
+  if (sizes->empty()) {
+    *bad_token = arg;
+    return false;
+  }
+  return true;
+}
+
+bool ParseJobs(const char* arg, int* jobs) {
+  if (arg == nullptr || *arg == '\0') return false;
+  char* end = nullptr;
+  const long value = std::strtol(arg, &end, 10);
+  if (*end != '\0' || value < 1 || value > 1'000'000) return false;
+  *jobs = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace carat::util

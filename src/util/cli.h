@@ -1,0 +1,29 @@
+// Small shared command-line parsing helpers for the tools/ binaries.
+// Strict by design: every helper rejects trailing garbage and out-of-range
+// values instead of atoi-style silent truncation, so a typo surfaces as a
+// usage error rather than a nonsense run.
+
+#ifndef CARAT_UTIL_CLI_H_
+#define CARAT_UTIL_CLI_H_
+
+#include <string>
+#include <vector>
+
+namespace carat::util {
+
+/// Parses a comma-separated list of positive integers (transaction sizes /
+/// MPLs). Returns false and names the offending token on empty input, a
+/// non-numeric token, a value <= 0 or a value > 1'000'000 — silent zeros
+/// would otherwise flow into the workload factories as an MPL of 0.
+bool ParseSizes(const char* arg, std::vector<int>* sizes,
+                std::string* bad_token);
+
+/// Parses a worker count for --jobs. Accepts only integers >= 1 with no
+/// trailing garbage; "0", "-2", "4x" and "" all return false. (Omitting
+/// --jobs entirely is how callers ask for one worker per hardware thread —
+/// an explicit zero is far more likely a scripting bug than a request.)
+bool ParseJobs(const char* arg, int* jobs);
+
+}  // namespace carat::util
+
+#endif  // CARAT_UTIL_CLI_H_

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
 
 #include "model/demands.h"
 #include "model/lock_model.h"
@@ -516,6 +518,108 @@ INSTANTIATE_TEST_SUITE_P(
     WorkloadGrid, SolverGridTest,
     ::testing::Combine(::testing::Values(0, 1, 2, 3),
                        ::testing::Values(4, 8, 12, 16, 20)));
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void ExpectBitIdentical(const ModelSolution& a, const ModelSolution& b) {
+  ASSERT_EQ(a.ok, b.ok);
+  ASSERT_EQ(a.converged, b.converged);
+  ASSERT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  EXPECT_TRUE(SameBits(a.comm_delay_ms, b.comm_delay_ms));
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_EQ(a.sites[i].name, b.sites[i].name);
+    EXPECT_TRUE(SameBits(a.sites[i].txn_per_s, b.sites[i].txn_per_s));
+    EXPECT_TRUE(SameBits(a.sites[i].records_per_s, b.sites[i].records_per_s));
+    EXPECT_TRUE(
+        SameBits(a.sites[i].cpu_utilization, b.sites[i].cpu_utilization));
+    EXPECT_TRUE(SameBits(a.sites[i].dio_per_s, b.sites[i].dio_per_s));
+    for (TxnType t : kAllTxnTypes) {
+      const ClassSolution& ca = a.sites[i].Class(t);
+      const ClassSolution& cb = b.sites[i].Class(t);
+      ASSERT_EQ(ca.present, cb.present);
+      EXPECT_TRUE(SameBits(ca.throughput_per_s, cb.throughput_per_s));
+      EXPECT_TRUE(SameBits(ca.response_ms, cb.response_ms));
+      EXPECT_TRUE(SameBits(ca.pa, cb.pa));
+      EXPECT_TRUE(SameBits(ca.r_lw_ms, cb.r_lw_ms));
+      EXPECT_TRUE(SameBits(ca.r_rw_ms, cb.r_rw_ms));
+      EXPECT_TRUE(SameBits(ca.r_cw_ms, cb.r_cw_ms));
+    }
+  }
+}
+
+TEST(SolverWarmStart, NullSeedIsBitIdenticalToPlainSolve) {
+  const CaratModel model(workload::MakeMB4(8).ToModelInput());
+  const ModelSolution plain = model.Solve();
+  WarmStart warm_out;
+  const ModelSolution cold = model.Solve({}, nullptr, &warm_out);
+  ExpectBitIdentical(plain, cold);
+  EXPECT_FALSE(cold.warm_started);
+  ASSERT_EQ(warm_out.sites.size(), model.input().sites.size());
+}
+
+TEST(SolverWarmStart, SeededSolveConvergesToSameFixedPointInFewerIterations) {
+  const CaratModel base(workload::MakeMB4(8).ToModelInput());
+  WarmStart warm;
+  const ModelSolution cold_base = base.Solve({}, nullptr, &warm);
+  ASSERT_TRUE(cold_base.ok);
+
+  // A nearby sweep point seeded from the neighbor's converged state.
+  const CaratModel target(workload::MakeMB4(9).ToModelInput());
+  const ModelSolution cold = target.Solve();
+  const ModelSolution warmed = target.Solve({}, &warm);
+  ASSERT_TRUE(cold.ok);
+  ASSERT_TRUE(warmed.ok);
+  EXPECT_TRUE(warmed.warm_started);
+  EXPECT_TRUE(warmed.converged);
+  EXPECT_LT(warmed.iterations, cold.iterations);
+  EXPECT_NEAR(warmed.TotalTxnPerSec(), cold.TotalTxnPerSec(),
+              1e-5 * cold.TotalTxnPerSec());
+}
+
+TEST(SolverWarmStart, IncompatibleSeedSilentlyStartsCold) {
+  WarmStart warm;
+  const ModelSolution seed_sol =
+      CaratModel(workload::MakeMB4(8).ToModelInput()).Solve({}, nullptr, &warm);
+  ASSERT_TRUE(seed_sol.ok);
+  // LB8 has a different chain-presence shape; the seed must not apply.
+  const CaratModel other(workload::MakeLB8(8).ToModelInput());
+  EXPECT_FALSE(warm.CompatibleWith(other.input()));
+  const ModelSolution sol = other.Solve({}, &warm);
+  ASSERT_TRUE(sol.ok);
+  EXPECT_FALSE(sol.warm_started);
+  ExpectBitIdentical(sol, other.Solve());
+}
+
+TEST(SolverArena, ReuseAcrossShapesStaysBitIdentical) {
+  // One arena serving interleaved shapes: rebuilt on shape change, reused
+  // otherwise — never changing any result bit.
+  SolveArena arena;
+  ModelSolution out;
+  for (const int n : {4, 8}) {
+    for (const char* family : {"mb4", "lb8", "mb4"}) {
+      const ModelInput input = std::string(family) == "mb4"
+                                   ? workload::MakeMB4(n).ToModelInput()
+                                   : workload::MakeLB8(n).ToModelInput();
+      const CaratModel model(input);
+      model.SolveInto({}, &arena, nullptr, &out);
+      ExpectBitIdentical(out, model.Solve());
+    }
+  }
+}
+
+TEST(SolverShapeKey, EncodesChainPresenceAndLayout) {
+  const ModelInput mb4_a = workload::MakeMB4(4).ToModelInput();
+  const ModelInput mb4_b = workload::MakeMB4(20).ToModelInput();
+  EXPECT_EQ(SolveShapeKey(mb4_a), SolveShapeKey(mb4_b));  // same family
+  const ModelInput lb8 = workload::MakeLB8(4).ToModelInput();
+  EXPECT_NE(SolveShapeKey(mb4_a), SolveShapeKey(lb8));
+  ModelInput log_disk = mb4_a;
+  log_disk.sites[0].separate_log_disk = !log_disk.sites[0].separate_log_disk;
+  EXPECT_NE(SolveShapeKey(mb4_a), SolveShapeKey(log_disk));
+}
 
 }  // namespace
 }  // namespace carat::model

@@ -172,6 +172,89 @@ TEST(SchweitzerMva, CloseToExactOnMultichainNetwork) {
   }
 }
 
+// A contended multi-chain network in the Schweitzer regime: large enough
+// populations that the fixed point takes a meaningful number of iterations.
+ClosedNetwork MakeContendedNetwork(int population) {
+  ClosedNetwork net;
+  const std::size_t cpu = net.AddCenter("cpu", CenterKind::kQueueing);
+  const std::size_t disk = net.AddCenter("disk", CenterKind::kQueueing);
+  const std::size_t log = net.AddCenter("log", CenterKind::kQueueing);
+  const double demands[4][3] = {
+      {3.0, 5.0, 1.0}, {6.0, 2.0, 2.5}, {1.5, 7.5, 0.5}, {4.0, 4.0, 3.0}};
+  for (int k = 0; k < 4; ++k) {
+    const std::size_t c =
+        net.AddChain("k" + std::to_string(k), population, 25.0 * (k + 1));
+    net.chains[c].demands[cpu] = demands[k][0];
+    net.chains[c].demands[disk] = demands[k][1];
+    net.chains[c].demands[log] = demands[k][2];
+  }
+  return net;
+}
+
+TEST(SchweitzerMva, InitialQkmWarmStartReachesSameFixedPointFaster) {
+  const ClosedNetwork net = MakeContendedNetwork(/*population=*/32);
+
+  // Cold solve through the workspace API, which retains the converged
+  // per-(chain, center) queue lengths.
+  MvaWorkspace ws;
+  ASSERT_TRUE(SchweitzerMvaInPlace(net, &ws));
+  const MvaResult cold = SchweitzerMva(net);
+  ASSERT_TRUE(cold.ok);
+  ASSERT_GT(cold.iterations, 3);  // the warm start must have room to help
+
+  // Re-solving seeded with the converged queue lengths must land on the
+  // same fixed point in strictly fewer iterations.
+  const std::vector<double> converged_qkm = ws.qkm;
+  const MvaResult warm = SchweitzerMva(net, /*tolerance=*/1e-9,
+                                       /*max_iterations=*/10000,
+                                       &converged_qkm);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_LT(warm.iterations, cold.iterations);
+  for (std::size_t k = 0; k < net.chains.size(); ++k) {
+    EXPECT_NEAR(warm.solution.throughput[k], cold.solution.throughput[k],
+                1e-7 * cold.solution.throughput[k]);
+    EXPECT_NEAR(warm.solution.response_time[k], cold.solution.response_time[k],
+                1e-6 * cold.solution.response_time[k]);
+  }
+}
+
+TEST(SchweitzerMva, NeighborQkmSeedHelpsAcrossParameterPoints) {
+  // Seed population-34's solve with population-32's converged state — the
+  // cross-sweep-point pattern the serving layer uses.
+  MvaWorkspace ws;
+  ASSERT_TRUE(SchweitzerMvaInPlace(MakeContendedNetwork(32), &ws));
+  const std::vector<double> neighbor_qkm = ws.qkm;
+
+  const ClosedNetwork target = MakeContendedNetwork(34);
+  const MvaResult cold = SchweitzerMva(target);
+  const MvaResult warm = SchweitzerMva(target, /*tolerance=*/1e-9,
+                                       /*max_iterations=*/10000,
+                                       &neighbor_qkm);
+  ASSERT_TRUE(cold.ok);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_LT(warm.iterations, cold.iterations);
+  for (std::size_t k = 0; k < target.chains.size(); ++k) {
+    EXPECT_NEAR(warm.solution.throughput[k], cold.solution.throughput[k],
+                1e-7 * cold.solution.throughput[k]);
+  }
+}
+
+TEST(SchweitzerMva, MismatchedInitialQkmFallsBackToColdStart) {
+  const ClosedNetwork net = MakeContendedNetwork(32);
+  const MvaResult cold = SchweitzerMva(net);
+  ASSERT_TRUE(cold.ok);
+  const std::vector<double> wrong_size(3, 0.5);  // needs chains x centers
+  const MvaResult fallback = SchweitzerMva(net, /*tolerance=*/1e-9,
+                                           /*max_iterations=*/10000,
+                                           &wrong_size);
+  ASSERT_TRUE(fallback.ok);
+  // Identical to a cold solve: same iteration count, same results.
+  EXPECT_EQ(fallback.iterations, cold.iterations);
+  for (std::size_t k = 0; k < net.chains.size(); ++k) {
+    EXPECT_EQ(fallback.solution.throughput[k], cold.solution.throughput[k]);
+  }
+}
+
 TEST(SolveMva, FallsBackToSchweitzerAboveLimit) {
   ClosedNetwork net;
   const std::size_t cpu = net.AddCenter("cpu", CenterKind::kQueueing);

@@ -1,0 +1,395 @@
+// Serving-layer tests: canonical keys, the LRU solution cache, the
+// nearest-neighbor warm-start index, and SolverService end to end. The
+// service promises that caching, arena reuse and request coalescing never
+// change numerics, so the comparisons here are bit-for-bit (memcmp on the
+// doubles), matching parallel_determinism_test's standard. Warm starting is
+// the one opt-in feature allowed to move results within solver tolerance.
+
+#include <cstring>
+#include <future>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/solver.h"
+#include "serve/key.h"
+#include "serve/solution_cache.h"
+#include "serve/solver_service.h"
+#include "serve/warm_index.h"
+#include "workload/spec.h"
+
+namespace carat {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void ExpectIdentical(const model::ModelSolution& a,
+                     const model::ModelSolution& b) {
+  ASSERT_EQ(a.ok, b.ok);
+  ASSERT_EQ(a.converged, b.converged);
+  ASSERT_EQ(a.iterations, b.iterations);
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  EXPECT_TRUE(SameBits(a.comm_delay_ms, b.comm_delay_ms));
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    const model::SiteSolution& sa = a.sites[i];
+    const model::SiteSolution& sb = b.sites[i];
+    EXPECT_TRUE(SameBits(sa.cpu_utilization, sb.cpu_utilization));
+    EXPECT_TRUE(SameBits(sa.dio_per_s, sb.dio_per_s));
+    EXPECT_TRUE(SameBits(sa.txn_per_s, sb.txn_per_s));
+    EXPECT_TRUE(SameBits(sa.records_per_s, sb.records_per_s));
+    for (model::TxnType t : model::kAllTxnTypes) {
+      const model::ClassSolution& ca = sa.Class(t);
+      const model::ClassSolution& cb = sb.Class(t);
+      ASSERT_EQ(ca.present, cb.present);
+      EXPECT_TRUE(SameBits(ca.throughput_per_s, cb.throughput_per_s));
+      EXPECT_TRUE(SameBits(ca.response_ms, cb.response_ms));
+      EXPECT_TRUE(SameBits(ca.pa, cb.pa));
+      EXPECT_TRUE(SameBits(ca.d_lw_ms, cb.d_lw_ms));
+      EXPECT_TRUE(SameBits(ca.d_rw_ms, cb.d_rw_ms));
+      EXPECT_TRUE(SameBits(ca.d_cw_ms, cb.d_cw_ms));
+    }
+  }
+}
+
+model::ModelSolution MakeStubSolution(double tag) {
+  model::ModelSolution sol;
+  sol.ok = true;
+  sol.comm_delay_ms = tag;
+  return sol;
+}
+
+// ---- Canonical keys --------------------------------------------------------
+
+TEST(CanonicalKey, EqualQueriesProduceEqualKeys) {
+  const model::ModelInput a = workload::MakeMB4(8).ToModelInput();
+  const model::ModelInput b = workload::MakeMB4(8).ToModelInput();
+  EXPECT_EQ(serve::CanonicalKey(a, {}), serve::CanonicalKey(b, {}));
+}
+
+TEST(CanonicalKey, AnyInputPerturbationChangesTheKey) {
+  const model::ModelInput base = workload::MakeMB4(8).ToModelInput();
+  const std::string key = serve::CanonicalKey(base, {});
+
+  model::ModelInput different_n = workload::MakeMB4(9).ToModelInput();
+  EXPECT_NE(serve::CanonicalKey(different_n, {}), key);
+
+  model::ModelInput think = base;
+  think.sites[0].think_time_ms += 1e-9;
+  EXPECT_NE(serve::CanonicalKey(think, {}), key);
+
+  model::ModelInput comm = base;
+  comm.comm_delay_ms += 1.0;
+  EXPECT_NE(serve::CanonicalKey(comm, {}), key);
+}
+
+TEST(CanonicalKey, SolverOptionsAreFoldedIn) {
+  const model::ModelInput input = workload::MakeMB4(8).ToModelInput();
+  model::SolverOptions a;
+  model::SolverOptions b;
+  b.damping = a.damping + 0.01;
+  EXPECT_NE(serve::CanonicalKey(input, a), serve::CanonicalKey(input, b));
+  model::SolverOptions c;
+  c.ethernet = qn::EthernetParams{};
+  EXPECT_NE(serve::CanonicalKey(input, a), serve::CanonicalKey(input, c));
+}
+
+TEST(CanonicalKey, PoolPointerDoesNotAffectTheKey) {
+  // The pool changes where the solve runs, never what it computes.
+  const model::ModelInput input = workload::MakeMB4(8).ToModelInput();
+  model::SolverOptions a;
+  model::SolverOptions b;
+  b.pool = reinterpret_cast<exec::ThreadPool*>(0x1);
+  EXPECT_EQ(serve::CanonicalKey(input, a), serve::CanonicalKey(input, b));
+}
+
+// ---- Solution cache --------------------------------------------------------
+
+TEST(SolutionCache, EvictsLeastRecentlyUsed) {
+  serve::SolutionCache cache(2);
+  cache.Put("a", MakeStubSolution(1));
+  cache.Put("b", MakeStubSolution(2));
+  ASSERT_NE(cache.Get("a"), nullptr);  // touch: "b" is now the LRU entry
+  cache.Put("c", MakeStubSolution(3));
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("a")->comm_delay_ms, 1.0);
+  ASSERT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SolutionCache, PutRefreshesExistingKey) {
+  serve::SolutionCache cache(2);
+  cache.Put("a", MakeStubSolution(1));
+  cache.Put("a", MakeStubSolution(7));
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("a")->comm_delay_ms, 7.0);
+}
+
+TEST(SolutionCache, ZeroCapacityDisables) {
+  serve::SolutionCache cache(0);
+  cache.Put("a", MakeStubSolution(1));
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---- Warm-start index ------------------------------------------------------
+
+TEST(WarmStartIndex, PicksNearestFeatureWithinShape) {
+  serve::WarmStartIndex index(8);
+  model::WarmStart warm;
+  warm.comm_delay_ms = 10.0;
+  index.Insert("shape", 10.0, warm);
+  warm.comm_delay_ms = 20.0;
+  index.Insert("shape", 20.0, warm);
+  model::WarmStart out;
+  ASSERT_TRUE(index.Nearest("shape", 13.0, &out));
+  EXPECT_EQ(out.comm_delay_ms, 10.0);
+  ASSERT_TRUE(index.Nearest("shape", 16.0, &out));
+  EXPECT_EQ(out.comm_delay_ms, 20.0);
+  EXPECT_FALSE(index.Nearest("other-shape", 13.0, &out));
+}
+
+TEST(WarmStartIndex, SameFeatureOverwritesAndCapacityRingEvicts) {
+  serve::WarmStartIndex index(2);
+  model::WarmStart warm;
+  warm.comm_delay_ms = 1.0;
+  index.Insert("s", 5.0, warm);
+  warm.comm_delay_ms = 2.0;
+  index.Insert("s", 5.0, warm);  // refresh, not a second entry
+  EXPECT_EQ(index.size(), 1u);
+  model::WarmStart out;
+  ASSERT_TRUE(index.Nearest("s", 5.0, &out));
+  EXPECT_EQ(out.comm_delay_ms, 2.0);
+
+  warm.comm_delay_ms = 3.0;
+  index.Insert("s", 6.0, warm);
+  warm.comm_delay_ms = 4.0;
+  index.Insert("s", 7.0, warm);  // at capacity: evicts the oldest (5.0)
+  EXPECT_EQ(index.size(), 2u);
+  ASSERT_TRUE(index.Nearest("s", 5.0, &out));
+  EXPECT_EQ(out.comm_delay_ms, 3.0);  // 6.0 is now the closest survivor
+}
+
+TEST(WarmStartIndex, ZeroCapacityDisables) {
+  serve::WarmStartIndex index(0);
+  index.Insert("s", 1.0, model::WarmStart{});
+  model::WarmStart out;
+  EXPECT_FALSE(index.Nearest("s", 1.0, &out));
+}
+
+// ---- SolverService ---------------------------------------------------------
+
+TEST(SolverService, BatchMatchesDirectSolveBitwise) {
+  std::vector<model::ModelInput> inputs;
+  for (const int n : {2, 4, 6}) {
+    inputs.push_back(workload::MakeMB4(n).ToModelInput());
+    inputs.push_back(workload::MakeLB8(n).ToModelInput());
+  }
+  std::vector<model::ModelSolution> direct;
+  for (const model::ModelInput& input : inputs) {
+    direct.push_back(model::CaratModel(input).Solve());
+  }
+
+  serve::SolverService::Options opts;
+  opts.threads = 4;
+  opts.warm_start = false;  // cold solves promise bit-identity
+  serve::SolverService service(std::move(opts));
+  const std::vector<model::ModelSolution> batch = service.SolveBatch(inputs);
+  ASSERT_EQ(batch.size(), inputs.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectIdentical(batch[i], direct[i]);
+  }
+}
+
+TEST(SolverService, RepeatedQueryIsServedFromTheCache) {
+  serve::SolverService::Options opts;
+  opts.threads = 1;
+  opts.warm_start = false;
+  serve::SolverService service(std::move(opts));
+  const model::ModelInput input = workload::MakeMB4(4).ToModelInput();
+  const model::ModelSolution first = service.Submit(input).get();
+  const model::ModelSolution second = service.Submit(input).get();
+  ExpectIdentical(first, second);
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.solved, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(SolverService, CacheDisabledSolvesEveryQuery) {
+  serve::SolverService::Options opts;
+  opts.threads = 1;
+  opts.use_cache = false;
+  opts.warm_start = false;
+  serve::SolverService service(std::move(opts));
+  const model::ModelInput input = workload::MakeMB4(4).ToModelInput();
+  const model::ModelSolution first = service.Submit(input).get();
+  const model::ModelSolution second = service.Submit(input).get();
+  ExpectIdentical(first, second);  // resolving is still deterministic
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.solved, 2u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+}
+
+TEST(SolverService, ConcurrentIdenticalQueriesCoalesceIntoOneSolve) {
+  serve::SolverService::Options opts;
+  opts.threads = 1;
+  opts.warm_start = false;
+  serve::SolverService service(std::move(opts));
+
+  // Plug the single worker so both submissions are accepted while the
+  // solve cannot have started, making the coalescing path deterministic.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  service.pool()->Submit([gate] { gate.wait(); });
+
+  const model::ModelInput input = workload::MakeMB4(4).ToModelInput();
+  std::future<model::ModelSolution> f1 = service.Submit(input);
+  std::future<model::ModelSolution> f2 = service.Submit(input);
+  release.set_value();
+  ExpectIdentical(f1.get(), f2.get());
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.solved, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+}
+
+TEST(SolverService, WarmStartAgreesWithColdWithinToleranceAndSavesWork) {
+  // A sweep plus a re-visit of each point: the warm service seeds every
+  // solve after the first from its nearest neighbor.
+  std::vector<model::ModelInput> stream;
+  for (const int n : {4, 6, 8}) {
+    stream.push_back(workload::MakeMB4(n).ToModelInput());
+  }
+  for (const int n : {5, 7}) {
+    stream.push_back(workload::MakeMB4(n).ToModelInput());
+  }
+
+  const auto run = [&stream](bool warm_start) {
+    serve::SolverService::Options opts;
+    opts.threads = 1;
+    opts.use_cache = false;
+    opts.warm_start = warm_start;
+    serve::SolverService service(std::move(opts));
+    std::vector<model::ModelSolution> out;
+    for (const model::ModelInput& input : stream) {
+      out.push_back(service.Submit(input).get());  // sequential: determinate
+    }
+    return std::make_pair(std::move(out), service.stats());
+  };
+
+  const auto [cold, cold_stats] = run(false);
+  const auto [warm, warm_stats] = run(true);
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_TRUE(cold[i].ok && warm[i].ok);
+    EXPECT_TRUE(cold[i].converged);
+    EXPECT_TRUE(warm[i].converged);
+    // Same fixed point within solver tolerance, not necessarily same bits.
+    EXPECT_NEAR(warm[i].TotalTxnPerSec(), cold[i].TotalTxnPerSec(),
+                1e-5 * cold[i].TotalTxnPerSec());
+  }
+  EXPECT_FALSE(cold[0].warm_started);
+  EXPECT_FALSE(warm[0].warm_started);  // nothing to seed from yet
+  EXPECT_TRUE(warm[1].warm_started);
+  EXPECT_EQ(warm_stats.warm_started, stream.size() - 1);
+  EXPECT_LT(warm_stats.total_iterations, cold_stats.total_iterations);
+}
+
+TEST(SolverService, InvalidInputReportsErrorThroughTheFuture) {
+  serve::SolverService::Options opts;
+  opts.threads = 1;
+  serve::SolverService service(std::move(opts));
+  const model::ModelSolution sol =
+      service.Submit(model::ModelInput{}).get();  // no sites
+  EXPECT_FALSE(sol.ok);
+  EXPECT_FALSE(sol.error.empty());
+  // Failures are not cached: a retry solves again.
+  service.Submit(model::ModelInput{}).get();
+  EXPECT_EQ(service.stats().solved, 2u);
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+}
+
+TEST(SolverService, DestructorWaitsForInFlightSolves) {
+  std::vector<std::future<model::ModelSolution>> futures;
+  {
+    serve::SolverService::Options opts;
+    opts.threads = 2;
+    serve::SolverService service(std::move(opts));
+    for (const int n : {2, 3, 4, 5, 6, 7}) {
+      futures.push_back(service.Submit(workload::MakeMB4(n).ToModelInput()));
+    }
+    // Service dies here with solves still queued/running.
+  }
+  for (std::future<model::ModelSolution>& f : futures) {
+    const model::ModelSolution sol = f.get();
+    EXPECT_TRUE(sol.ok) << sol.error;
+  }
+}
+
+TEST(SolverService, ConcurrentSubmittersAllGetBitIdenticalAnswers) {
+  std::vector<model::ModelInput> inputs;
+  for (const int n : {2, 3, 4, 5}) {
+    inputs.push_back(workload::MakeMB4(n).ToModelInput());
+    inputs.push_back(workload::MakeLB8(n).ToModelInput());
+  }
+  std::vector<model::ModelSolution> expected;
+  for (const model::ModelInput& input : inputs) {
+    expected.push_back(model::CaratModel(input).Solve());
+  }
+
+  serve::SolverService::Options opts;
+  opts.threads = 4;
+  opts.warm_start = false;
+  serve::SolverService service(std::move(opts));
+
+  constexpr int kSubmitters = 4;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&service, &inputs, &expected, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Stagger the order per thread so cache hits, coalescing and fresh
+        // solves all interleave.
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+          const std::size_t idx = (i + t) % inputs.size();
+          const model::ModelSolution sol =
+              service.Submit(inputs[idx]).get();
+          ExpectIdentical(sol, expected[idx]);
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::uint64_t>(kSubmitters * kRounds * inputs.size()));
+  // Every distinct input is solved at most once; everything else is a cache
+  // hit or coalesced onto an in-flight solve.
+  EXPECT_EQ(stats.solved, inputs.size());
+  EXPECT_EQ(stats.cache_hits + stats.coalesced,
+            stats.submitted - stats.solved);
+}
+
+TEST(SolverService, ClearCacheForcesResolve) {
+  serve::SolverService::Options opts;
+  opts.threads = 1;
+  opts.warm_start = false;
+  serve::SolverService service(std::move(opts));
+  const model::ModelInput input = workload::MakeMB4(4).ToModelInput();
+  const model::ModelSolution first = service.Submit(input).get();
+  service.ClearCache();
+  const model::ModelSolution again = service.Submit(input).get();
+  ExpectIdentical(first, again);
+  EXPECT_EQ(service.stats().solved, 2u);
+}
+
+}  // namespace
+}  // namespace carat

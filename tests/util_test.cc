@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/cli.h"
 #include "util/linear.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -163,6 +164,45 @@ TEST(TextTable, AlignsColumns) {
 TEST(TextTable, NumFormatsPrecision) {
   EXPECT_EQ(TextTable::Num(0.945, 2), "0.94");
   EXPECT_EQ(TextTable::Num(12.5, 1), "12.5");
+}
+
+TEST(Cli, ParseJobsAcceptsPositiveIntegers) {
+  int jobs = 0;
+  ASSERT_TRUE(ParseJobs("1", &jobs));
+  EXPECT_EQ(jobs, 1);
+  ASSERT_TRUE(ParseJobs("64", &jobs));
+  EXPECT_EQ(jobs, 64);
+}
+
+TEST(Cli, ParseJobsRejectsZeroNegativeAndNonNumeric) {
+  int jobs = -1;
+  EXPECT_FALSE(ParseJobs("0", &jobs));
+  EXPECT_FALSE(ParseJobs("-2", &jobs));
+  EXPECT_FALSE(ParseJobs("4x", &jobs));
+  EXPECT_FALSE(ParseJobs("x4", &jobs));
+  EXPECT_FALSE(ParseJobs("", &jobs));
+  EXPECT_FALSE(ParseJobs("2.5", &jobs));
+  EXPECT_FALSE(ParseJobs("10000000", &jobs));  // above the sanity cap
+  EXPECT_EQ(jobs, -1);  // rejected parses never write the output
+}
+
+TEST(Cli, ParseSizesAcceptsCommaSeparatedPositives) {
+  std::vector<int> sizes;
+  std::string bad;
+  ASSERT_TRUE(ParseSizes("4,8,12", &sizes, &bad));
+  EXPECT_EQ(sizes, (std::vector<int>{4, 8, 12}));
+  ASSERT_TRUE(ParseSizes("7", &sizes, &bad));
+  EXPECT_EQ(sizes, (std::vector<int>{7}));
+}
+
+TEST(Cli, ParseSizesNamesTheBadToken) {
+  std::vector<int> sizes;
+  std::string bad;
+  EXPECT_FALSE(ParseSizes("4,zero,8", &sizes, &bad));
+  EXPECT_EQ(bad, "zero");
+  EXPECT_FALSE(ParseSizes("4,-8", &sizes, &bad));
+  EXPECT_EQ(bad, "-8");
+  EXPECT_FALSE(ParseSizes("", &sizes, &bad));
 }
 
 }  // namespace

@@ -9,59 +9,37 @@
 //          pa_lu,lockwait_ms,remotewait_ms,commitwait_ms
 // with source in {model, testbed}.
 //
-// --jobs N evaluates the sweep points on N worker threads (0 or omitted:
-// one per hardware thread; 1: serial). Every point is independently seeded
-// and rows are emitted in sweep order, so the CSV is byte-identical for any
-// N.
+// The model side of the sweep runs as one batch through serve::SolverService
+// (arena reuse across the same-shape sweep points, duplicate sizes answered
+// from the solution cache); the testbed side fans out over the same worker
+// pool. --jobs N uses N workers (omitted: one per hardware thread; N must be
+// >= 1). Every point is independently seeded and rows are emitted in sweep
+// order, so the CSV is byte-identical for any N.
+//
+// --warm additionally seeds each model solve from the nearest already-solved
+// sweep point (serve warm-start index). That reduces fixed-point iterations
+// but makes the low-order bits of the model rows depend on solve completion
+// order, so it is off by default where reproducibility is the point.
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "carat/carat.h"
 #include "exec/thread_pool.h"
+#include "serve/solver_service.h"
+#include "util/cli.h"
 
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
                "usage: carat_sweep [--workload lb8|mb4|mb8|ub6] "
-               "[--sizes 4,8,...] [--seed N] [--measure-s S] [--jobs N]\n");
+               "[--sizes 4,8,...] [--seed N] [--measure-s S] [--jobs N] "
+               "[--warm]\n");
   return 2;
-}
-
-// Parses a comma-separated list of positive integers. Returns false (and
-// names the bad token) on anything else — atoi-style silent zeros would
-// otherwise flow into the workload factories as an MPL of 0.
-bool ParseSizes(const char* arg, std::vector<int>* sizes,
-                std::string* bad_token) {
-  sizes->clear();
-  std::string token;
-  for (const char* p = arg;; ++p) {
-    if (*p == ',' || *p == '\0') {
-      if (!token.empty()) {
-        char* end = nullptr;
-        const long value = std::strtol(token.c_str(), &end, 10);
-        if (*end != '\0' || value <= 0 || value > 1'000'000) {
-          *bad_token = token;
-          return false;
-        }
-        sizes->push_back(static_cast<int>(value));
-      }
-      token.clear();
-      if (*p == '\0') break;
-    } else {
-      token += *p;
-    }
-  }
-  if (sizes->empty()) {
-    *bad_token = arg;
-    return false;
-  }
-  return true;
 }
 
 std::string FormatRow(const char* workload, int n, const char* node,
@@ -84,7 +62,8 @@ int main(int argc, char** argv) {
   std::vector<int> sizes = {4, 8, 12, 16, 20};
   std::uint64_t seed = 1;
   double measure_s = 2000.0;
-  int jobs = 0;  // 0: one worker per hardware thread
+  int jobs = 0;  // 0: --jobs omitted, one worker per hardware thread
+  bool warm = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,7 +71,7 @@ int main(int argc, char** argv) {
       workload = argv[++i];
     } else if (arg == "--sizes" && i + 1 < argc) {
       std::string bad;
-      if (!ParseSizes(argv[++i], &sizes, &bad)) {
+      if (!util::ParseSizes(argv[++i], &sizes, &bad)) {
         std::fprintf(stderr, "--sizes: invalid transaction size '%s'\n",
                      bad.c_str());
         return Usage();
@@ -102,12 +81,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--measure-s" && i + 1 < argc) {
       measure_s = std::atof(argv[++i]);
     } else if (arg == "--jobs" && i + 1 < argc) {
-      char* end = nullptr;
-      jobs = static_cast<int>(std::strtol(argv[++i], &end, 10));
-      if (*end != '\0' || jobs < 0) {
-        std::fprintf(stderr, "--jobs: expected a non-negative integer\n");
+      if (!util::ParseJobs(argv[++i], &jobs)) {
+        std::fprintf(stderr,
+                     "--jobs: expected a positive integer, got '%s' "
+                     "(omit --jobs for one worker per hardware thread)\n",
+                     argv[i]);
         return Usage();
       }
+    } else if (arg == "--warm") {
+      warm = true;
     } else {
       return Usage();
     }
@@ -127,18 +109,35 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Evaluate the (independently seeded) sweep points on the pool, buffering
-  // each point's rows; emit in sweep order so the CSV is deterministic.
+  std::vector<workload::WorkloadSpec> specs;
+  std::vector<model::ModelInput> inputs;
+  specs.reserve(sizes.size());
+  inputs.reserve(sizes.size());
+  for (const int n : sizes) {
+    specs.push_back(make(n));
+    inputs.push_back(specs.back().ToModelInput());
+  }
+
+  serve::SolverService::Options sopts;
+  sopts.threads = static_cast<std::size_t>(jobs);  // 0 = hardware threads
+  sopts.warm_start = warm;
+  serve::SolverService service(std::move(sopts));
+
+  // Model side: one batch through the service (inputs are copied; the
+  // originals drive the testbed and row assembly below).
+  const std::vector<model::ModelSolution> solutions =
+      service.SolveBatch(inputs);
+
+  // Testbed side: independently seeded points fan out over the same pool;
+  // rows are buffered per point and emitted in sweep order, keeping the CSV
+  // deterministic.
   std::vector<std::string> rows(sizes.size());
   std::vector<std::string> errors(sizes.size());
-  std::optional<exec::ThreadPool> pool;
-  if (jobs != 1) pool.emplace(jobs <= 0 ? 0 : static_cast<std::size_t>(jobs));
-  exec::ParallelFor(pool ? &*pool : nullptr, 0, sizes.size(), [&](std::size_t
-                                                                      idx) {
+  exec::ParallelFor(service.pool(), 0, sizes.size(), [&](std::size_t idx) {
     const int n = sizes[idx];
-    const workload::WorkloadSpec wl = make(n);
-    const model::ModelInput input = wl.ToModelInput();
-    const model::ModelSolution m = model::CaratModel(input).Solve();
+    const workload::WorkloadSpec& wl = specs[idx];
+    const model::ModelInput& input = inputs[idx];
+    const model::ModelSolution& m = solutions[idx];
     TestbedOptions opts;
     opts.seed = seed;
     opts.warmup_ms = 100'000;
