@@ -1,0 +1,307 @@
+// perf_rpc - establishes the network front-end's perf trajectory. Drives an
+// in-process rpc::TcpServer over loopback and measures
+//
+//   1. cached-query throughput: one pipelined connection re-requesting a
+//      cached query; must sustain >= 10k queries/s end to end (parse, key,
+//      cache hit, format, socket round trip);
+//   2. a 64-client burst: every client pipelines a window of requests; every
+//      request must be answered (zero lost responses, zero BUSY — the
+//      admission bound is sized above the offered window);
+//   3. graceful drain: Shutdown() with requests in flight must answer every
+//      admitted request and return.
+//
+// Results land in BENCH_rpc.json (cwd) so successive PRs can track the
+// numbers. Usage: perf_rpc [--jobs N] [--out FILE]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "rpc/client.h"
+#include "rpc/tcp_server.h"
+#include "serve/solver_service.h"
+#include "util/cli.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct Harness {
+  carat::exec::ThreadPool pool;
+  carat::serve::SolverService service;
+  carat::rpc::TcpServer server;
+
+  Harness(int jobs, std::size_t max_inflight)
+      : pool(jobs <= 0 ? 0 : static_cast<std::size_t>(jobs)),
+        service(MakeServiceOptions(&pool)),
+        server(MakeServerOptions(&service, &pool, max_inflight)) {}
+
+  static carat::serve::SolverService::Options MakeServiceOptions(
+      carat::exec::ThreadPool* pool) {
+    carat::serve::SolverService::Options o;
+    o.pool = pool;
+    return o;
+  }
+  static carat::rpc::TcpServer::Options MakeServerOptions(
+      carat::serve::SolverService* service, carat::exec::ThreadPool* pool,
+      std::size_t max_inflight) {
+    carat::rpc::TcpServer::Options o;
+    o.service = service;
+    o.pool = pool;
+    o.max_inflight = max_inflight;
+    return o;
+  }
+
+  bool Start() {
+    std::string error;
+    if (!server.Start(&error)) {
+      std::fprintf(stderr, "FAIL: server start: %s\n", error.c_str());
+      return false;
+    }
+    return true;
+  }
+};
+
+bool Connect(carat::rpc::Client* client, std::uint16_t port) {
+  std::string error;
+  if (!client->Connect("127.0.0.1", port, &error, /*recv_timeout_ms=*/60'000)) {
+    std::fprintf(stderr, "FAIL: connect: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 0;
+  std::string out_path = "BENCH_rpc.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      if (!carat::util::ParseJobs(argv[++i], &jobs)) {
+        std::fprintf(stderr, "--jobs: expected a positive integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_rpc [--jobs N] [--out FILE]\n");
+      return 2;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  bool ok = true;
+
+  // ---- 1. Cached-query throughput on one pipelined connection. -------------
+  const int kCachedRequests = 20'000;
+  double cached_qps = 0.0, cached_ms = 0.0, p50_ms = 0.0, p99_ms = 0.0;
+  {
+    Harness h(jobs, /*max_inflight=*/static_cast<std::size_t>(kCachedRequests) + 16);
+    if (!h.Start()) return 1;
+    carat::rpc::Client client;
+    if (!Connect(&client, h.server.port())) return 1;
+
+    std::string response;
+    if (!client.Request("warm mb4 8", &response) ||
+        response.rfind("warm mb4,8,ok", 0) != 0) {
+      std::fprintf(stderr, "FAIL: warmup response '%s'\n", response.c_str());
+      return 1;
+    }
+
+    const Clock::time_point start = Clock::now();
+    std::thread writer([&client] {
+      for (int i = 0; i < kCachedRequests; ++i) {
+        if (!client.SendLine("q mb4 8")) return;
+      }
+    });
+    int received = 0;
+    for (; received < kCachedRequests; ++received) {
+      if (!client.ReadLine(&response)) break;
+      if (response.rfind("q mb4,8,ok", 0) != 0) break;
+    }
+    writer.join();
+    cached_ms = ElapsedMs(start);
+    cached_qps = cached_ms > 0.0 ? kCachedRequests / cached_ms * 1000.0 : 0.0;
+    p50_ms = h.server.LatencyPercentileMs(50.0);
+    p99_ms = h.server.LatencyPercentileMs(99.0);
+    if (received != kCachedRequests) {
+      std::fprintf(stderr, "FAIL: cached phase: %d/%d responses\n", received,
+                   kCachedRequests);
+      ok = false;
+    }
+    h.server.Shutdown();
+  }
+
+  // ---- 2. 64-client burst: every request answered, none rejected. ----------
+  const int kClients = 64;
+  const int kPerClient = 32;
+  std::uint64_t burst_sent = 0, burst_received = 0, burst_busy = 0;
+  double burst_ms = 0.0;
+  {
+    // Admission sized above the offered window: 64 * 32 = 2048 in flight.
+    Harness h(jobs, /*max_inflight=*/4096);
+    if (!h.Start()) return 1;
+
+    // Pre-solve the query mix so the burst measures the serving path, not
+    // five solver fixed points.
+    {
+      carat::rpc::Client warm;
+      if (!Connect(&warm, h.server.port())) return 1;
+      for (int n = 4; n <= 20; n += 4) {
+        std::string response;
+        if (!warm.Request("w mb4 " + std::to_string(n), &response)) return 1;
+      }
+    }
+
+    std::atomic<std::uint64_t> sent{0}, received{0}, busy{0}, failed{0};
+    const std::uint16_t port = h.server.port();
+    const Clock::time_point start = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([c, port, &sent, &received, &busy, &failed] {
+        carat::rpc::Client client;
+        std::string error;
+        if (!client.Connect("127.0.0.1", port, &error, 60'000)) {
+          failed.fetch_add(kPerClient);
+          return;
+        }
+        for (int i = 0; i < kPerClient; ++i) {
+          const int n = 4 + 4 * ((c + i) % 5);
+          client.SendLine("c" + std::to_string(c) + "-" + std::to_string(i) +
+                          " mb4 " + std::to_string(n));
+          sent.fetch_add(1);
+        }
+        std::string response;
+        for (int i = 0; i < kPerClient; ++i) {
+          if (!client.ReadLine(&response)) {
+            failed.fetch_add(1);
+            continue;
+          }
+          received.fetch_add(1);
+          if (response.find(" BUSY") != std::string::npos) busy.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    burst_ms = ElapsedMs(start);
+    burst_sent = sent.load();
+    burst_received = received.load();
+    burst_busy = busy.load();
+    if (burst_received != burst_sent || failed.load() != 0) {
+      std::fprintf(stderr,
+                   "FAIL: burst lost responses: sent=%llu received=%llu\n",
+                   static_cast<unsigned long long>(burst_sent),
+                   static_cast<unsigned long long>(burst_received));
+      ok = false;
+    }
+    if (burst_busy != 0) {
+      std::fprintf(stderr, "FAIL: burst saw %llu BUSY under a sized bound\n",
+                   static_cast<unsigned long long>(burst_busy));
+      ok = false;
+    }
+    h.server.Shutdown();
+  }
+
+  // ---- 3. Graceful drain with requests in flight. --------------------------
+  std::uint64_t drain_submitted = 0, drain_answered = 0;
+  bool drain_ok = false;
+  {
+    Harness h(jobs, /*max_inflight=*/64);
+    if (!h.Start()) return 1;
+    carat::rpc::Client client;
+    if (!Connect(&client, h.server.port())) return 1;
+    const int kDrainRequests = 12;
+    for (int i = 0; i < kDrainRequests; ++i) {
+      client.SendLine("d" + std::to_string(i) + " mb4 " +
+                      std::to_string(4 + i));
+    }
+    // Wait until every request is admitted, then drain mid-batch.
+    while (h.server.stats().requests_submitted <
+           static_cast<std::uint64_t>(kDrainRequests)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    h.server.Shutdown();
+    drain_submitted = h.server.stats().requests_submitted;
+    std::string response;
+    while (client.ReadLine(&response)) ++drain_answered;  // until EOF
+    drain_ok = drain_answered == drain_submitted;
+    if (!drain_ok) {
+      std::fprintf(stderr, "FAIL: drain answered %llu of %llu admitted\n",
+                   static_cast<unsigned long long>(drain_answered),
+                   static_cast<unsigned long long>(drain_submitted));
+      ok = false;
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"perf_rpc\",\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"jobs\": %d,\n"
+               "  \"cached_throughput\": {\n"
+               "    \"requests\": %d,\n"
+               "    \"elapsed_ms\": %.3f,\n"
+               "    \"queries_per_s\": %.1f,\n"
+               "    \"p50_ms\": %.3f,\n"
+               "    \"p99_ms\": %.3f\n"
+               "  },\n"
+               "  \"burst\": {\n"
+               "    \"clients\": %d,\n"
+               "    \"per_client\": %d,\n"
+               "    \"sent\": %llu,\n"
+               "    \"received\": %llu,\n"
+               "    \"busy\": %llu,\n"
+               "    \"elapsed_ms\": %.3f\n"
+               "  },\n"
+               "  \"drain\": {\n"
+               "    \"submitted\": %llu,\n"
+               "    \"answered\": %llu,\n"
+               "    \"ok\": %s\n"
+               "  }\n"
+               "}\n",
+               hw, jobs, kCachedRequests, cached_ms, cached_qps, p50_ms,
+               p99_ms, kClients, kPerClient,
+               static_cast<unsigned long long>(burst_sent),
+               static_cast<unsigned long long>(burst_received),
+               static_cast<unsigned long long>(burst_busy), burst_ms,
+               static_cast<unsigned long long>(drain_submitted),
+               static_cast<unsigned long long>(drain_answered),
+               drain_ok ? "true" : "false");
+  std::fclose(f);
+
+  std::printf("cached: %.0f queries/s over %d pipelined requests "
+              "(p50 %.3f ms, p99 %.3f ms)\n",
+              cached_qps, kCachedRequests, p50_ms, p99_ms);
+  std::printf("burst: %llu/%llu responses across %d clients (%llu BUSY)\n",
+              static_cast<unsigned long long>(burst_received),
+              static_cast<unsigned long long>(burst_sent), kClients,
+              static_cast<unsigned long long>(burst_busy));
+  std::printf("drain: %llu/%llu admitted requests answered\n",
+              static_cast<unsigned long long>(drain_answered),
+              static_cast<unsigned long long>(drain_submitted));
+
+  if (cached_qps < 10'000.0) {
+    std::fprintf(stderr, "FAIL: cached throughput %.0f < 10000 queries/s\n",
+                 cached_qps);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Tiny blocking client for the rpc::TcpServer wire protocol: connect, send
+// newline-delimited request lines, read newline-delimited response lines.
+// Used by the loopback integration tests, bench/perf_rpc and as the sample
+// embedding API; it is deliberately synchronous — pipelining is achieved by
+// sending many lines before reading (the server answers per-completion).
+//
+// Not thread-safe: one Client per thread.
+
+#ifndef CARAT_RPC_CLIENT_H_
+#define CARAT_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace carat::rpc {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a numeric IPv4 `host` ("localhost" is accepted) and sets
+  /// TCP_NODELAY. `recv_timeout_ms` > 0 arms SO_RCVTIMEO so a silent server
+  /// fails ReadLine instead of hanging forever.
+  bool Connect(const std::string& host, std::uint16_t port,
+               std::string* error, int recv_timeout_ms = 0);
+
+  /// Writes `line` plus a newline, fully. False on any write error.
+  bool SendLine(const std::string& line);
+
+  /// Writes `bytes` exactly as given (no newline appended) — used by tests
+  /// to produce torn and oversized frames.
+  bool SendRaw(const std::string& bytes);
+
+  /// Reads the next response line (newline stripped). False on EOF, a
+  /// receive timeout or a read error.
+  bool ReadLine(std::string* line);
+
+  /// SendLine + ReadLine — the lockstep convenience path.
+  bool Request(const std::string& line, std::string* response);
+
+  /// Closes the write side only, signalling EOF while responses can still
+  /// be read (used to exercise the server's torn-frame/drain paths).
+  void CloseSend();
+
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace carat::rpc
+
+#endif  // CARAT_RPC_CLIENT_H_

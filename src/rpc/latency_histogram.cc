@@ -1,0 +1,63 @@
+#include "rpc/latency_histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace carat::rpc {
+
+namespace {
+
+// Bucket index for a microsecond value: identity below 8, then
+// (major, sub) where major = floor(log2(v)) and sub is the next 3 bits.
+std::size_t BucketIndex(std::uint64_t micros) {
+  if (micros < 8) return static_cast<std::size_t>(micros);
+  const int major = std::bit_width(micros) - 1;  // >= 3
+  const std::size_t sub =
+      static_cast<std::size_t>((micros >> (major - 3)) & 0x7);
+  const std::size_t index =
+      8 + static_cast<std::size_t>(major - 3) * 8 + sub;
+  return index < LatencyHistogram::kNumBuckets
+             ? index
+             : LatencyHistogram::kNumBuckets - 1;
+}
+
+// Inclusive upper edge (µs) of the values mapping to `index`.
+std::uint64_t BucketUpperMicros(std::size_t index) {
+  if (index < 8) return static_cast<std::uint64_t>(index);
+  const int major = 3 + static_cast<int>((index - 8) / 8);
+  const std::uint64_t sub = (index - 8) % 8;
+  const std::uint64_t width = std::uint64_t{1} << (major - 3);
+  return (std::uint64_t{1} << major) + (sub + 1) * width - 1;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(std::uint64_t micros) {
+  ++counts_[BucketIndex(micros)];
+  ++total_;
+}
+
+double LatencyHistogram::PercentileMs(double percentile) const {
+  if (total_ == 0) return 0.0;
+  if (percentile < 0.0) percentile = 0.0;
+  if (percentile > 100.0) percentile = 100.0;
+  // Rank of the target observation, 1-based; p=0 maps to the first.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(percentile / 100.0 * static_cast<double>(total_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      return static_cast<double>(BucketUpperMicros(i)) / 1000.0;
+    }
+  }
+  return static_cast<double>(BucketUpperMicros(kNumBuckets - 1)) / 1000.0;
+}
+
+void LatencyHistogram::Clear() {
+  for (std::uint64_t& c : counts_) c = 0;
+  total_ = 0;
+}
+
+}  // namespace carat::rpc

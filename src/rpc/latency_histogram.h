@@ -1,0 +1,45 @@
+// Fixed-bucket latency histogram for the serving front-end's live metrics.
+//
+// Log-linear buckets (HDR-style): exact counts below 8 µs, then 8 linear
+// sub-buckets per power of two up to ~34 s. Recording is an array increment
+// — no allocation, no floating point — so it can sit on the request hot
+// path; percentile queries walk the (fixed, 232-entry) array and report the
+// bucket's upper edge, bounding relative error at 12.5%.
+//
+// Not internally synchronized: rpc::TcpServer guards it with the server
+// mutex, the same way serve::SolutionCache relies on the service mutex.
+
+#ifndef CARAT_RPC_LATENCY_HISTOGRAM_H_
+#define CARAT_RPC_LATENCY_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace carat::rpc {
+
+class LatencyHistogram {
+ public:
+  /// 8 exact buckets + 8 sub-buckets for each power of two in [2^3, 2^31) µs.
+  static constexpr std::size_t kNumBuckets = 8 + 8 * 28;
+
+  /// Counts one observation of `micros` microseconds. Values past the last
+  /// bucket (~36 min) clamp into it.
+  void Record(std::uint64_t micros);
+
+  /// The latency (in milliseconds) below which `percentile` (0..100) of the
+  /// recorded observations fall: the upper edge of the bucket holding that
+  /// rank. Returns 0 when nothing has been recorded.
+  double PercentileMs(double percentile) const;
+
+  std::uint64_t count() const { return total_; }
+
+  void Clear();
+
+ private:
+  std::uint64_t counts_[kNumBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace carat::rpc
+
+#endif  // CARAT_RPC_LATENCY_HISTOGRAM_H_

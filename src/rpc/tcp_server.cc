@@ -1,0 +1,547 @@
+#include "rpc/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace carat::rpc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Longest accepted request id; a longer token is answered under the
+/// unattributable id "?" (the line itself is already length-bounded).
+constexpr std::size_t kMaxIdBytes = 64;
+
+}  // namespace
+
+TcpServer::TcpServer(Options options) : options_(std::move(options)) {}
+
+TcpServer::~TcpServer() {
+  Shutdown();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0) ::close(wake_wr_);
+}
+
+bool TcpServer::Start(std::string* error) {
+  if (options_.service == nullptr || options_.pool == nullptr) {
+    *error = "TcpServer requires a SolverService and a ThreadPool";
+    return false;
+  }
+  if (options_.max_inflight == 0) {
+    *error = "max_inflight must be >= 1";
+    return false;
+  }
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    *error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  wake_rd_ = pipefd[0];
+  wake_wr_ = pipefd[1];
+  SetNonBlocking(wake_rd_);
+  SetNonBlocking(wake_wr_);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  const std::string host =
+      options_.host == "localhost" ? "127.0.0.1" : options_.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "not a numeric IPv4 listen address: '" + options_.host + "'";
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    *error = std::string("bind ") + host + ": " + std::strerror(errno);
+    return false;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    *error = std::string("getsockname: ") + std::strerror(errno);
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  started_ = true;
+  loop_ = std::thread(&TcpServer::Loop, this);
+  return true;
+}
+
+void TcpServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    draining_ = true;
+  }
+  Wake();
+  // Serialize the join so concurrent Shutdown calls (signal thread +
+  // destructor) are safe: the first joins, the rest see joinable() false.
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (loop_.joinable()) loop_.join();
+}
+
+ServerStats TcpServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats snapshot = stats_;
+  snapshot.active_connections = conns_.size();
+  return snapshot;
+}
+
+double TcpServer::LatencyPercentileMs(double percentile) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latency_.PercentileMs(percentile);
+}
+
+void TcpServer::Wake() {
+  const char byte = 'w';
+  [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &byte, 1);
+  // EAGAIN means the pipe already holds unread wake bytes: good enough.
+}
+
+void TcpServer::Loop() {
+  std::vector<pollfd> pfds;
+  std::vector<std::uint64_t> ids;
+  for (;;) {
+    pfds.clear();
+    ids.clear();
+    bool polled_listen = false;
+    int timeout_ms = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_) {
+        if (listen_fd_ >= 0) {
+          ::close(listen_fd_);
+          listen_fd_ = -1;
+        }
+        bool flushed = inflight_total_ == 0;
+        for (const auto& [id, conn] : conns_) {
+          if (conn->out_pos < conn->out.size()) flushed = false;
+        }
+        if (flushed) {
+          for (const auto& [id, conn] : conns_) {
+            ::close(conn->fd);
+            ++stats_.connections_closed;
+          }
+          conns_.clear();
+          break;
+        }
+        timeout_ms = 100;  // belt and braces; completions also Wake()
+      }
+      pfds.push_back({wake_rd_, POLLIN, 0});
+      if (!draining_ && listen_fd_ >= 0) {
+        pfds.push_back({listen_fd_, POLLIN, 0});
+        polled_listen = true;
+      }
+      const Clock::time_point now = Clock::now();
+      for (const auto& [id, conn] : conns_) {
+        short events = 0;
+        if (!draining_ && !conn->read_closed &&
+            conn->in.size() <= options_.max_line_bytes) {
+          events |= POLLIN;
+        }
+        if (conn->out_pos < conn->out.size()) events |= POLLOUT;
+        pfds.push_back({conn->fd, events, 0});
+        ids.push_back(id);
+        if (options_.idle_timeout_ms > 0 && conn->inflight == 0) {
+          const auto deadline =
+              conn->last_active +
+              std::chrono::milliseconds(options_.idle_timeout_ms);
+          const auto remaining =
+              std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                    now)
+                  .count();
+          const int rem_ms =
+              static_cast<int>(std::clamp<long long>(remaining, 0, 60'000));
+          timeout_ms = timeout_ms < 0 ? rem_ms : std::min(timeout_ms, rem_ms);
+        }
+      }
+    }
+
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR && errno != EAGAIN) break;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pfds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (polled_listen && (pfds[1].revents & POLLIN) && !draining_) {
+      AcceptReady();
+    }
+    const std::size_t base = polled_listen ? 2 : 1;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const std::uint64_t id = ids[i];
+      if (conns_.find(id) == conns_.end()) continue;
+      const short re = pfds[base + i].revents;
+      if (re & (POLLERR | POLLNVAL)) {
+        CloseConn(id);
+        continue;
+      }
+      if (re & POLLIN) ReadReady(id);
+    }
+    // Opportunistic flush + close/idle sweep over every connection: workers
+    // may have appended output to connections poll() reported nothing for.
+    const Clock::time_point now = Clock::now();
+    std::vector<std::uint64_t> sweep;
+    sweep.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) sweep.push_back(id);
+    for (const std::uint64_t id : sweep) {
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      Conn* conn = it->second.get();
+      if (conn->out_pos < conn->out.size() && !FlushConn(conn)) {
+        CloseConn(id);
+        continue;
+      }
+      const bool flushed = conn->out_pos >= conn->out.size();
+      if ((conn->read_closed || conn->close_after_flush) &&
+          conn->inflight == 0 && flushed) {
+        CloseConn(id);
+        continue;
+      }
+      if (options_.idle_timeout_ms > 0 && conn->inflight == 0 && flushed &&
+          now - conn->last_active >=
+              std::chrono::milliseconds(options_.idle_timeout_ms)) {
+        ++stats_.idle_disconnects;
+        CloseConn(id);
+      }
+    }
+  }
+  // Normally a no-op (the drain path closes everything); covers the
+  // poll-failure exit so no descriptor outlives the loop.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, conn] : conns_) {
+    ::close(conn->fd);
+    ++stats_.connections_closed;
+  }
+  conns_.clear();
+}
+
+void TcpServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or a transient error: nothing to accept
+    SetNonBlocking(fd);
+    SetNoDelay(fd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->last_active = Clock::now();
+    conns_.emplace(next_conn_id_++, std::move(conn));
+    ++stats_.connections_accepted;
+  }
+}
+
+void TcpServer::ReadReady(std::uint64_t conn_id) {
+  Conn* conn = conns_.at(conn_id).get();
+  char buf[4096];
+  bool saw_eof = false;
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->in.append(buf, static_cast<std::size_t>(n));
+      conn->last_active = Clock::now();
+      if (conn->in.size() > options_.max_line_bytes + 1 &&
+          conn->in.find('\n') == std::string::npos) {
+        break;  // oversized frame; handled below without reading more
+      }
+      continue;
+    }
+    if (n == 0) {
+      saw_eof = true;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      // drained for now
+    } else {
+      CloseConn(conn_id);
+      return;
+    }
+    break;
+  }
+
+  // Split complete lines out of the input buffer and handle each.
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = conn->in.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = conn->in.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    start = nl + 1;
+    if (line.size() > options_.max_line_bytes) {
+      ++stats_.frames_oversized;
+      Respond(conn_id, "? ERROR line exceeds " +
+                           std::to_string(options_.max_line_bytes) +
+                           " bytes");
+      conn->read_closed = true;
+      conn->close_after_flush = true;
+      break;
+    }
+    HandleLine(conn_id, std::move(line));
+    if (conns_.find(conn_id) == conns_.end()) return;  // closed underneath
+    if (conn->read_closed) break;
+  }
+  conn->in.erase(0, start);
+
+  // A partial line that can no longer fit is an oversized frame: reject it
+  // and close (flushing first), instead of buffering without bound.
+  if (!conn->read_closed && conn->in.size() > options_.max_line_bytes) {
+    ++stats_.frames_oversized;
+    Respond(conn_id, "? ERROR line exceeds " +
+                         std::to_string(options_.max_line_bytes) + " bytes");
+    conn->in.clear();
+    conn->read_closed = true;
+    conn->close_after_flush = true;
+  }
+  if (saw_eof) {
+    // Torn frame: whatever partial line remains is discarded. The
+    // connection stays up until in-flight responses have been flushed.
+    conn->in.clear();
+    conn->read_closed = true;
+  }
+}
+
+bool TcpServer::FlushConn(Conn* conn) {
+  while (conn->out_pos < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_pos,
+               conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_pos += static_cast<std::size_t>(n);
+      conn->last_active = Clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      return true;  // kernel buffer full; POLLOUT will resume
+    }
+    return false;  // broken pipe or a hard error
+  }
+  if (conn->out_pos == conn->out.size()) {
+    conn->out.clear();
+    conn->out_pos = 0;
+  }
+  return true;
+}
+
+void TcpServer::CloseConn(std::uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::close(it->second->fd);
+  conns_.erase(it);
+  ++stats_.connections_closed;
+  // In-flight solves for this connection keep running; their responses are
+  // dropped in PostResponse when the id no longer resolves.
+}
+
+void TcpServer::Respond(std::uint64_t conn_id, const std::string& line) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  it->second->out += line;
+  it->second->out += '\n';
+  it->second->last_active = Clock::now();
+}
+
+void TcpServer::HandleLine(std::uint64_t conn_id, std::string line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  for (std::string tok; in >> tok;) tokens.push_back(std::move(tok));
+  if (tokens.empty() || tokens[0][0] == '#') return;  // blank or comment
+
+  const std::string& id = tokens[0];
+  if (id.size() > kMaxIdBytes) {
+    ++stats_.parse_errors;
+    Respond(conn_id, "? ERROR request id exceeds " +
+                         std::to_string(kMaxIdBytes) + " bytes");
+    return;
+  }
+  if (tokens.size() == 1) {
+    ++stats_.parse_errors;
+    Respond(conn_id, id + " ERROR empty request");
+    return;
+  }
+  if (tokens[1] == "STATS") {
+    Respond(conn_id, BuildStatsLine(id));
+    return;
+  }
+
+  // Extract the protocol-level deadline_ms field; the rest of the tokens
+  // are the query in the serve::ParseQuery grammar.
+  double deadline_ms = 0.0;
+  std::string body;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    if (tokens[i].rfind("deadline_ms=", 0) == 0) {
+      const char* value = tokens[i].c_str() + sizeof("deadline_ms=") - 1;
+      char* end = nullptr;
+      deadline_ms = std::strtod(value, &end);
+      if (*value == '\0' || *end != '\0' || deadline_ms < 0) {
+        ++stats_.parse_errors;
+        Respond(conn_id, id + " ERROR bad value in '" + tokens[i] + "'");
+        return;
+      }
+      continue;
+    }
+    if (!body.empty()) body += ' ';
+    body += tokens[i];
+  }
+
+  serve::Query query;
+  model::ModelInput input;
+  std::string error;
+  if (!serve::ParseQuery(body, &query, &input, &error)) {
+    ++stats_.parse_errors;
+    Respond(conn_id, id + " ERROR " + error);
+    return;
+  }
+
+  if (inflight_total_ >= options_.max_inflight) {
+    ++stats_.requests_rejected;
+    Respond(conn_id, id + " BUSY");
+    return;
+  }
+  ++inflight_total_;
+  ++conns_.at(conn_id)->inflight;
+  ++stats_.requests_submitted;
+
+  const Clock::time_point enqueued = Clock::now();
+  const bool has_deadline = deadline_ms > 0.0;
+  const Clock::time_point deadline =
+      has_deadline
+          ? enqueued + std::chrono::microseconds(
+                           static_cast<long long>(deadline_ms * 1000.0))
+          : Clock::time_point();
+  const std::optional<bool> exact = query.use_exact_mva;
+
+  options_.pool->Submit([this, conn_id, id, query = std::move(query),
+                         input = std::move(input), enqueued, has_deadline,
+                         deadline, exact]() mutable {
+    // An expired request is answered without occupying this worker for a
+    // solve; the check runs at dispatch, after any time spent queued.
+    if (has_deadline && Clock::now() >= deadline) {
+      PostResponse(conn_id, id + " TIMEOUT", enqueued, /*timed_out=*/true);
+      return;
+    }
+    model::ModelSolution solution;
+    try {
+      if (exact.has_value()) {
+        model::SolverOptions solver = options_.service->options().solver;
+        solver.use_exact_mva = *exact;
+        solution = options_.service->SolveSync(std::move(input), &solver);
+      } else {
+        solution = options_.service->SolveSync(std::move(input));
+      }
+    } catch (const std::exception& e) {
+      solution = model::ModelSolution{};
+      solution.ok = false;
+      solution.error = e.what();
+    } catch (...) {
+      solution = model::ModelSolution{};
+      solution.ok = false;
+      solution.error = "unknown solver failure";
+    }
+    if (has_deadline && Clock::now() > deadline) {
+      // Solved, but past its deadline: the answer the client contracted for
+      // no longer exists. The solution stays cached for future queries.
+      PostResponse(conn_id, id + " TIMEOUT", enqueued, /*timed_out=*/true);
+      return;
+    }
+    PostResponse(conn_id, id + " " + serve::FormatResult(query, solution),
+                 enqueued, /*timed_out=*/false);
+  });
+}
+
+void TcpServer::PostResponse(std::uint64_t conn_id, const std::string& line,
+                             Clock::time_point enqueued, bool timed_out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (timed_out) {
+      ++stats_.requests_timed_out;
+    } else {
+      ++stats_.requests_completed;
+      const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+          Clock::now() - enqueued);
+      latency_.Record(static_cast<std::uint64_t>(micros.count()));
+    }
+    --inflight_total_;
+    const auto it = conns_.find(conn_id);
+    if (it != conns_.end()) {
+      Conn* conn = it->second.get();
+      --conn->inflight;
+      conn->out += line;
+      conn->out += '\n';
+    }
+  }
+  Wake();
+}
+
+std::string TcpServer::BuildStatsLine(const std::string& id) {
+  // Called with mu_ held; the service has its own mutex and never calls
+  // back into the server, so the service -> server lock order is one-way.
+  const serve::ServiceStats service = options_.service->stats();
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s STATS accepted=%llu active=%zu submitted=%llu completed=%llu "
+      "rejected=%llu timed_out=%llu parse_errors=%llu oversized=%llu "
+      "idle_disconnects=%llu cache_hits=%llu coalesced=%llu solved=%llu "
+      "warm_started=%llu total_iterations=%llu cache_evictions=%llu "
+      "cache_expirations=%llu p50_ms=%.3f p99_ms=%.3f",
+      id.c_str(), static_cast<unsigned long long>(stats_.connections_accepted),
+      conns_.size(),
+      static_cast<unsigned long long>(stats_.requests_submitted),
+      static_cast<unsigned long long>(stats_.requests_completed),
+      static_cast<unsigned long long>(stats_.requests_rejected),
+      static_cast<unsigned long long>(stats_.requests_timed_out),
+      static_cast<unsigned long long>(stats_.parse_errors),
+      static_cast<unsigned long long>(stats_.frames_oversized),
+      static_cast<unsigned long long>(stats_.idle_disconnects),
+      static_cast<unsigned long long>(service.cache_hits),
+      static_cast<unsigned long long>(service.coalesced),
+      static_cast<unsigned long long>(service.solved),
+      static_cast<unsigned long long>(service.warm_started),
+      static_cast<unsigned long long>(service.total_iterations),
+      static_cast<unsigned long long>(service.cache_evictions),
+      static_cast<unsigned long long>(service.cache_expirations),
+      latency_.PercentileMs(50.0), latency_.PercentileMs(99.0));
+  return buf;
+}
+
+}  // namespace carat::rpc

@@ -1,0 +1,172 @@
+// Network serving front-end for the what-if solver: a poll()-based TCP
+// server speaking a newline-delimited request protocol over plain POSIX
+// sockets (no third-party dependencies).
+//
+// Wire protocol — one request per line, one response line per request:
+//
+//   request:   <id> <workload> <n> [key=value ...] [deadline_ms=N]
+//              <id> STATS
+//   response:  <id> <result line>          (serve::FormatResult bytes)
+//              <id> BUSY                   (admission queue full)
+//              <id> TIMEOUT                (deadline_ms elapsed)
+//              <id> ERROR <message>        (malformed request)
+//              <id> STATS <counters>
+//
+// `<id>` is an opaque client-chosen token (no whitespace, <= 64 bytes)
+// echoed on the response, so clients may pipeline requests and match
+// answers as they complete — responses are written per-completion, not in
+// request order. The query grammar after the id is exactly the one
+// tools/carat_serve reads from stdin (serve::ParseQuery); the same query
+// therefore produces byte-identical result lines on both front-ends.
+//
+// Hardening, in the way an inference front-end would be hardened:
+//   - admission control: at most `max_inflight` admitted-but-unanswered
+//     requests; past that a request is answered `BUSY` immediately instead
+//     of buffering without bound;
+//   - per-request deadlines: a request whose `deadline_ms` elapses while it
+//     waits in the dispatch queue answers `TIMEOUT` without occupying a
+//     solver thread (and one that finishes solving past its deadline also
+//     answers `TIMEOUT`);
+//   - idle-connection timeouts: connections with no traffic and nothing in
+//     flight for `idle_timeout_ms` are closed;
+//   - oversized frames (a line longer than `max_line_bytes` with no
+//     newline) are answered with an ERROR and the connection is closed;
+//     torn frames (EOF mid-line) are discarded without crashing;
+//   - graceful drain: Shutdown() stops accepting and reading, lets every
+//     admitted request finish, flushes all responses, then closes.
+//
+// Threading: one internal poll thread owns all socket I/O; admitted
+// requests are dispatched to the borrowed exec::ThreadPool, whose workers
+// solve synchronously through serve::SolverService::SolveSync and post the
+// response back to the poll thread. One mutex guards connections, counters
+// and the latency histogram. See DESIGN.md §9.
+
+#ifndef CARAT_RPC_TCP_SERVER_H_
+#define CARAT_RPC_TCP_SERVER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "exec/thread_pool.h"
+#include "rpc/latency_histogram.h"
+#include "serve/query.h"
+#include "serve/solver_service.h"
+
+namespace carat::rpc {
+
+/// Monotonic counters; a snapshot is returned by TcpServer::stats().
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t active_connections = 0;  ///< gauge, not a counter
+  std::uint64_t requests_submitted = 0;  ///< admitted into the dispatch queue
+  std::uint64_t requests_completed = 0;  ///< answered with a result line
+  std::uint64_t requests_rejected = 0;   ///< answered BUSY
+  std::uint64_t requests_timed_out = 0;  ///< answered TIMEOUT
+  std::uint64_t parse_errors = 0;        ///< answered ERROR
+  std::uint64_t frames_oversized = 0;    ///< dropped + connection closed
+  std::uint64_t idle_disconnects = 0;
+};
+
+class TcpServer {
+ public:
+  struct Options {
+    /// Numeric IPv4 listen address ("0.0.0.0" for all interfaces;
+    /// "localhost" is accepted as an alias for 127.0.0.1).
+    std::string host = "127.0.0.1";
+    /// 0 binds an ephemeral port; read the outcome from port().
+    std::uint16_t port = 0;
+    /// The solving service answering queries. Borrowed, required.
+    serve::SolverService* service = nullptr;
+    /// Dispatch + solver workers. Borrowed, required. Workers solve through
+    /// SolverService::SolveSync, so the pool's FIFO queue is the dispatch
+    /// queue and its size is the service's solve concurrency.
+    exec::ThreadPool* pool = nullptr;
+    /// Admission bound: admitted-but-unanswered requests past this answer
+    /// BUSY. Must be >= 1.
+    std::size_t max_inflight = 256;
+    /// Close connections idle (no traffic, nothing in flight) longer than
+    /// this; 0 disables.
+    int idle_timeout_ms = 0;
+    /// Longest accepted request line (excluding the newline).
+    std::size_t max_line_bytes = 4096;
+  };
+
+  explicit TcpServer(Options options);
+
+  /// Shuts down gracefully if still running.
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens and starts the poll thread. Returns false with a
+  /// message on any socket-layer failure. Call at most once.
+  bool Start(std::string* error);
+
+  /// The bound port (useful with Options::port == 0). Valid after Start.
+  std::uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting connections and reading requests,
+  /// finish every admitted request, flush all responses, close. Blocks
+  /// until the poll thread has exited. Idempotent and callable from any
+  /// thread (including a signal-forwarding thread).
+  void Shutdown();
+
+  ServerStats stats() const;
+
+  /// Service-time percentile (admission to response) in milliseconds.
+  double LatencyPercentileMs(double percentile) const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;          ///< bytes read, not yet split into lines
+    std::string out;         ///< response bytes not yet written
+    std::size_t out_pos = 0; ///< written prefix of `out`
+    std::size_t inflight = 0;
+    bool read_closed = false;   ///< EOF seen or frame error: no more reads
+    bool close_after_flush = false;
+    std::chrono::steady_clock::time_point last_active;
+  };
+
+  void Loop();
+  void AcceptReady();
+  void ReadReady(std::uint64_t conn_id);
+  bool FlushConn(Conn* conn);  ///< false when the connection broke
+  void CloseConn(std::uint64_t conn_id);
+  void HandleLine(std::uint64_t conn_id, std::string line);
+  void Respond(std::uint64_t conn_id, const std::string& line);
+  void PostResponse(std::uint64_t conn_id, const std::string& line,
+                    std::chrono::steady_clock::time_point enqueued,
+                    bool timed_out);
+  std::string BuildStatsLine(const std::string& id);
+  void Wake();
+
+  Options options_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::thread loop_;
+  bool started_ = false;
+  std::mutex join_mu_;  ///< serializes the Shutdown join
+
+  mutable std::mutex mu_;
+  bool draining_ = false;
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::size_t inflight_total_ = 0;
+  ServerStats stats_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace carat::rpc
+
+#endif  // CARAT_RPC_TCP_SERVER_H_

@@ -1,0 +1,51 @@
+// The serving layer's query grammar and result format, shared by every
+// front-end (the stdin streamer tools/carat_serve and the TCP server in
+// src/rpc). One line describes one what-if query:
+//
+//   <workload> <n> [key=value ...]
+//     workload   lb8 | mb4 | mb8 | ub6 (the paper's benchmark families)
+//     n          transaction size / MPL knob passed to the workload factory
+//     think=MS   override every site's think time (what-if: more/less load)
+//     comm=MS    override the inter-site communication delay
+//     mva=exact|approx  per-query solver override (exact vs Schweitzer-Bard
+//                MVA); distinct settings never alias in the solution cache
+//
+// and one line reports one result:
+//
+//   workload,n,ok|error,converged|maxiter,iterations,warm|cold,
+//   total_tps,total_records_ps
+//
+// FormatResult is the single source of the result bytes so that different
+// front-ends answering the same query are byte-identical.
+
+#ifndef CARAT_SERVE_QUERY_H_
+#define CARAT_SERVE_QUERY_H_
+
+#include <optional>
+#include <string>
+
+#include "model/params.h"
+#include "model/solver.h"
+
+namespace carat::serve {
+
+struct Query {
+  std::string workload;
+  int n = 0;
+  /// Set when the query carries `mva=exact` or `mva=approx`: a per-query
+  /// SolverOptions override the front-end folds into its submission.
+  std::optional<bool> use_exact_mva;
+};
+
+/// Parses one query line into a ModelInput. Returns false with a message on
+/// any malformed token; callers skip blank lines and '#' comments before
+/// calling.
+bool ParseQuery(const std::string& line, Query* query,
+                model::ModelInput* input, std::string* error);
+
+/// The canonical result line for `query`'s solution (no trailing newline).
+std::string FormatResult(const Query& query, const model::ModelSolution& m);
+
+}  // namespace carat::serve
+
+#endif  // CARAT_SERVE_QUERY_H_

@@ -2,34 +2,83 @@
 
 namespace carat::serve {
 
-const model::ModelSolution* SolutionCache::Get(const std::string& key) {
+std::size_t SolutionFootprintBytes(const model::ModelSolution& solution) {
+  std::size_t bytes = sizeof(model::ModelSolution);
+  bytes += solution.sites.capacity() * sizeof(model::SiteSolution);
+  for (const model::SiteSolution& site : solution.sites) {
+    bytes += site.name.capacity();
+  }
+  bytes += solution.error.capacity();
+  return bytes;
+}
+
+const model::ModelSolution* SolutionCache::Get(const std::string& key,
+                                               Clock::time_point now) {
   const auto it = index_.find(key);
   if (it == index_.end()) return nullptr;
+  if (Expired(*it->second, now)) {
+    bytes_ -= it->second->bytes;
+    ++expirations_;
+    lru_.erase(it->second);
+    index_.erase(it);
+    return nullptr;
+  }
   lru_.splice(lru_.begin(), lru_, it->second);
-  return &it->second->second;
+  return &it->second->solution;
 }
 
 void SolutionCache::Put(const std::string& key,
-                        const model::ModelSolution& solution) {
-  if (capacity_ == 0) return;
+                        const model::ModelSolution& solution,
+                        Clock::time_point now) {
+  if (config_.capacity == 0) return;
   const auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = solution;
+    Entry& entry = *it->second;
+    bytes_ -= entry.bytes;
+    entry.solution = solution;
+    entry.inserted = now;
+    entry.bytes = entry.key.size() + SolutionFootprintBytes(entry.solution);
+    bytes_ += entry.bytes;
     lru_.splice(lru_.begin(), lru_, it->second);
+    EnforceBounds(now);
     return;
   }
-  if (index_.size() >= capacity_) {
-    // Erase the index entry before the node that owns its key bytes.
-    index_.erase(std::string_view(lru_.back().first));
-    lru_.pop_back();
+  lru_.emplace_front();
+  Entry& entry = lru_.front();
+  entry.key = key;
+  entry.solution = solution;
+  entry.inserted = now;
+  entry.bytes = entry.key.size() + SolutionFootprintBytes(entry.solution);
+  bytes_ += entry.bytes;
+  index_.emplace(std::string_view(entry.key), lru_.begin());
+  EnforceBounds(now);
+}
+
+void SolutionCache::EraseBack(bool expired) {
+  bytes_ -= lru_.back().bytes;
+  if (expired) {
+    ++expirations_;
+  } else {
+    ++evictions_;
   }
-  lru_.emplace_front(key, solution);
-  index_.emplace(std::string_view(lru_.front().first), lru_.begin());
+  // Erase the index entry before the node that owns its key bytes.
+  index_.erase(std::string_view(lru_.back().key));
+  lru_.pop_back();
+}
+
+void SolutionCache::EnforceBounds(Clock::time_point now) {
+  while (!lru_.empty() &&
+         (index_.size() > config_.capacity ||
+          (config_.max_bytes > 0 && bytes_ > config_.max_bytes))) {
+    // Charge the drop to expiry when the LRU victim had already aged out.
+    EraseBack(Expired(lru_.back(), now));
+  }
 }
 
 void SolutionCache::Clear() {
   index_.clear();
   lru_.clear();
+  bytes_ = 0;
 }
 
 }  // namespace carat::serve

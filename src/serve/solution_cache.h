@@ -2,46 +2,94 @@
 // dominant pattern at a serving layer (dashboards re-request the same grid),
 // and a model solve is pure, so a solution can be replayed for free.
 //
+// Retention is bounded three ways, all optional: entry count (`capacity`),
+// approximate resident bytes (`max_bytes`, keys + solution payloads), and
+// age (`ttl`; expired entries answer as misses). Time is passed in by the
+// caller so tests can drive expiry deterministically.
+//
 // Not internally synchronized: SolverService guards it with the service
 // mutex (lookups and inserts are O(1) pointer work, never a solve).
 
 #ifndef CARAT_SERVE_SOLUTION_CACHE_H_
 #define CARAT_SERVE_SOLUTION_CACHE_H_
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <utility>
 
 #include "model/solver.h"
 
 namespace carat::serve {
 
+/// Approximate resident footprint of one cached solution (payload vectors
+/// and strings; used for the byte bound, not an exact heap measurement).
+std::size_t SolutionFootprintBytes(const model::ModelSolution& solution);
+
 class SolutionCache {
  public:
-  /// `capacity` is the maximum number of retained solutions; 0 disables the
-  /// cache entirely (Get always misses, Put is a no-op).
-  explicit SolutionCache(std::size_t capacity) : capacity_(capacity) {}
+  using Clock = std::chrono::steady_clock;
+
+  struct Config {
+    /// Maximum retained solutions; 0 disables the cache entirely (Get
+    /// always misses, Put is a no-op).
+    std::size_t capacity = 0;
+    /// Maximum approximate resident bytes (keys + payloads); 0 = unbounded.
+    /// The bound is strict: an entry that alone exceeds it is not retained.
+    std::size_t max_bytes = 0;
+    /// Entries older than this answer as misses and are dropped; zero means
+    /// entries never expire.
+    std::chrono::milliseconds ttl{0};
+  };
+
+  explicit SolutionCache(Config config) : config_(config) {}
+  /// Entry-count-only bound, unbounded bytes, no expiry.
+  explicit SolutionCache(std::size_t capacity)
+      : SolutionCache(Config{capacity, 0, std::chrono::milliseconds{0}}) {}
 
   /// Returns the cached solution for `key` (and marks it most recently
-  /// used), or nullptr. The pointer is valid until the next Put or Clear.
-  const model::ModelSolution* Get(const std::string& key);
+  /// used), or nullptr on a miss or an expired entry (which is dropped and
+  /// counted). The pointer is valid until the next Put or Clear.
+  const model::ModelSolution* Get(const std::string& key,
+                                  Clock::time_point now = Clock::now());
 
-  /// Inserts (or refreshes) `key`, evicting the least recently used entry
-  /// when full.
-  void Put(const std::string& key, const model::ModelSolution& solution);
+  /// Inserts (or refreshes) `key`, then evicts least-recently-used entries
+  /// until both the entry and byte bounds hold.
+  void Put(const std::string& key, const model::ModelSolution& solution,
+           Clock::time_point now = Clock::now());
 
   void Clear();
 
   std::size_t size() const { return index_.size(); }
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const { return config_.capacity; }
+  /// Approximate resident bytes across all retained entries.
+  std::size_t bytes() const { return bytes_; }
+  /// Entries dropped to satisfy the entry or byte bound.
+  std::uint64_t evictions() const { return evictions_; }
+  /// Entries dropped because they outlived the ttl.
+  std::uint64_t expirations() const { return expirations_; }
 
  private:
-  using Entry = std::pair<std::string, model::ModelSolution>;
+  struct Entry {
+    std::string key;
+    model::ModelSolution solution;
+    Clock::time_point inserted;
+    std::size_t bytes = 0;
+  };
 
-  std::size_t capacity_;
+  bool Expired(const Entry& entry, Clock::time_point now) const {
+    return config_.ttl.count() > 0 && now - entry.inserted >= config_.ttl;
+  }
+  void EraseBack(bool expired);
+  void EnforceBounds(Clock::time_point now);
+
+  Config config_;
+  std::size_t bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t expirations_ = 0;
   /// Front = most recently used. The index views key storage owned by the
   /// list nodes (stable under splice and erase of other nodes).
   std::list<Entry> lru_;

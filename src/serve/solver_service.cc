@@ -11,7 +11,9 @@ SolverService::SolverService() : SolverService(Options()) {}
 
 SolverService::SolverService(Options options)
     : options_(std::move(options)),
-      cache_(options_.use_cache ? options_.cache_capacity : 0),
+      cache_(SolutionCache::Config{
+          options_.use_cache ? options_.cache_capacity : 0,
+          options_.cache_max_bytes, options_.cache_ttl}),
       warm_index_(options_.warm_start ? options_.warm_index_capacity : 0) {
   if (options_.pool != nullptr) {
     pool_ = options_.pool;
@@ -30,7 +32,17 @@ SolverService::~SolverService() {
 
 std::future<model::ModelSolution> SolverService::Submit(
     model::ModelInput input) {
-  std::string key = CanonicalKey(input, options_.solver);
+  return SubmitWith(std::move(input), options_.solver);
+}
+
+std::future<model::ModelSolution> SolverService::Submit(
+    model::ModelInput input, const model::SolverOptions& solver) {
+  return SubmitWith(std::move(input), solver);
+}
+
+std::future<model::ModelSolution> SolverService::SubmitWith(
+    model::ModelInput input, const model::SolverOptions& solver) {
+  std::string key = CanonicalKey(input, solver);
   std::promise<model::ModelSolution> promise;
   std::future<model::ModelSolution> future = promise.get_future();
 
@@ -52,10 +64,45 @@ std::future<model::ModelSolution> SolverService::Submit(
     ++in_flight_;
   }
 
-  pool_->Submit([this, key = std::move(key), input = std::move(input)]() mutable {
-    RunSolve(key, std::move(input));
+  pool_->Submit([this, key = std::move(key), input = std::move(input),
+                 solver]() mutable {
+    try {
+      RunSolve(key, std::move(input), solver);
+    } catch (...) {
+      // Waiters (including the submitting promise) already received the
+      // exception inside RunSolve; nothing may escape into the bare pool.
+    }
   });
   return future;
+}
+
+model::ModelSolution SolverService::SolveSync(
+    model::ModelInput input, const model::SolverOptions* solver) {
+  const model::SolverOptions& effective =
+      solver != nullptr ? *solver : options_.solver;
+  std::string key = CanonicalKey(input, effective);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (const model::ModelSolution* hit = cache_.Get(key)) {
+      ++stats_.cache_hits;
+      return *hit;
+    }
+    const auto it = pending_.find(key);
+    if (it != pending_.end()) {
+      // An identical query is already solving on some other thread: wait for
+      // its answer instead of solving twice.
+      ++stats_.coalesced;
+      std::promise<model::ModelSolution> promise;
+      std::future<model::ModelSolution> future = promise.get_future();
+      it->second.push_back(std::move(promise));
+      lock.unlock();
+      return future.get();
+    }
+    pending_[key];
+    ++in_flight_;
+  }
+  return RunSolve(key, std::move(input), effective);
 }
 
 std::vector<model::ModelSolution> SolverService::SolveBatch(
@@ -86,7 +133,10 @@ void SolverService::ClearCache() {
 
 ServiceStats SolverService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServiceStats snapshot = stats_;
+  snapshot.cache_evictions = cache_.evictions();
+  snapshot.cache_expirations = cache_.expirations();
+  return snapshot;
 }
 
 std::unique_ptr<SolverService::Slot> SolverService::CheckOutSlot(
@@ -103,9 +153,9 @@ void SolverService::ReturnSlot(const std::string& shape,
   slots_[shape].push_back(std::move(slot));
 }
 
-void SolverService::RunSolve(const std::string& key, model::ModelInput input) {
-  // This runs via bare ThreadPool::Submit, which terminates on escaped
-  // exceptions: everything is caught and delivered through the promises.
+model::ModelSolution SolverService::RunSolve(
+    const std::string& key, model::ModelInput input,
+    const model::SolverOptions& solver) {
   std::vector<std::promise<model::ModelSolution>> waiters;
   try {
     const std::string shape = model::SolveShapeKey(input);
@@ -120,45 +170,53 @@ void SolverService::RunSolve(const std::string& key, model::ModelInput input) {
     }
 
     const model::CaratModel model(std::move(input));
-    model.SolveInto(options_.solver, &slot->arena,
-                    seeded ? &slot->seed : nullptr, &slot->out,
-                    &slot->warm_out);
+    model.SolveInto(solver, &slot->arena, seeded ? &slot->seed : nullptr,
+                    &slot->out, &slot->warm_out);
 
-    std::lock_guard<std::mutex> lock(mu_);
-    if (slot->out.ok) {
-      cache_.Put(key, slot->out);
-      if (slot->out.converged) {
-        warm_index_.Insert(shape, feature, slot->warm_out);
+    model::ModelSolution result;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (slot->out.ok) {
+        cache_.Put(key, slot->out);
+        if (slot->out.converged) {
+          warm_index_.Insert(shape, feature, slot->warm_out);
+        }
       }
-    }
-    ++stats_.solved;
-    if (slot->out.warm_started) ++stats_.warm_started;
-    stats_.total_iterations += static_cast<std::uint64_t>(slot->out.iterations);
+      ++stats_.solved;
+      if (slot->out.warm_started) ++stats_.warm_started;
+      stats_.total_iterations +=
+          static_cast<std::uint64_t>(slot->out.iterations);
 
-    const auto it = pending_.find(key);
-    waiters = std::move(it->second);
-    pending_.erase(it);
-    for (std::promise<model::ModelSolution>& w : waiters) {
-      w.set_value(slot->out);
-    }
-    ReturnSlot(shape, std::move(slot));
-    // Last touch of shared state: once in_flight_ hits zero the destructor
-    // may run, so nothing below this point may use `this`.
-    --in_flight_;
-    if (in_flight_ == 0) idle_cv_.notify_all();
-  } catch (...) {
-    const std::exception_ptr error = std::current_exception();
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = pending_.find(key);
-    if (it != pending_.end()) {
+      const auto it = pending_.find(key);
       waiters = std::move(it->second);
       pending_.erase(it);
+      for (std::promise<model::ModelSolution>& w : waiters) {
+        w.set_value(slot->out);
+      }
+      result = slot->out;
+      ReturnSlot(shape, std::move(slot));
+      // Last touch of shared state: once in_flight_ hits zero the destructor
+      // may run, so nothing below this point may use `this`.
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
     }
-    for (std::promise<model::ModelSolution>& w : waiters) {
-      w.set_exception(error);
+    return result;
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = pending_.find(key);
+      if (it != pending_.end()) {
+        waiters = std::move(it->second);
+        pending_.erase(it);
+      }
+      for (std::promise<model::ModelSolution>& w : waiters) {
+        w.set_exception(error);
+      }
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
     }
-    --in_flight_;
-    if (in_flight_ == 0) idle_cv_.notify_all();
+    throw;
   }
 }
 

@@ -23,6 +23,7 @@
 #ifndef CARAT_SERVE_SOLVER_SERVICE_H_
 #define CARAT_SERVE_SOLVER_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -49,6 +50,8 @@ struct ServiceStats {
   std::uint64_t solved = 0;            ///< solves actually executed
   std::uint64_t warm_started = 0;      ///< solves seeded from a neighbor
   std::uint64_t total_iterations = 0;  ///< fixed-point iterations, summed
+  std::uint64_t cache_evictions = 0;   ///< dropped for the entry/byte bound
+  std::uint64_t cache_expirations = 0; ///< dropped past the cache ttl
 };
 
 class SolverService {
@@ -62,6 +65,10 @@ class SolverService {
     /// Solution cache capacity (entries); 0 disables caching and coalescing
     /// still applies only to literally concurrent identical queries.
     std::size_t cache_capacity = 1024;
+    /// Approximate byte bound on cached keys + solutions; 0 = unbounded.
+    std::size_t cache_max_bytes = 0;
+    /// Cached solutions older than this answer as misses; 0 = never expire.
+    std::chrono::milliseconds cache_ttl{0};
     /// Warm-start seeds retained per shape family; 0 disables warm starts.
     std::size_t warm_index_capacity = 64;
     bool use_cache = true;
@@ -87,6 +94,21 @@ class SolverService {
   /// ModelSolution (ok = false), not as exceptions.
   std::future<model::ModelSolution> Submit(model::ModelInput input);
 
+  /// Per-query override of Options::solver. The override is folded into the
+  /// cache key, so identical inputs solved under different options never
+  /// alias in the cache or coalesce onto each other.
+  std::future<model::ModelSolution> Submit(model::ModelInput input,
+                                           const model::SolverOptions& solver);
+
+  /// Solves on the calling thread instead of the worker pool, with the same
+  /// cache / coalescing / warm-start treatment as Submit. Built for serving
+  /// front-ends whose own workers execute requests (src/rpc): the caller's
+  /// thread is the solver thread, so no pool hop and no future. A null
+  /// `solver` uses Options::solver. Blocks if an identical query is already
+  /// solving elsewhere (coalesces onto it).
+  model::ModelSolution SolveSync(model::ModelInput input,
+                                 const model::SolverOptions* solver = nullptr);
+
   /// Solves a batch, returning solutions in input order. Blocks until every
   /// query in the batch has an answer; queries are scheduled concurrently.
   std::vector<model::ModelSolution> SolveBatch(
@@ -100,6 +122,10 @@ class SolverService {
   void ClearCache();
 
   ServiceStats stats() const;
+
+  /// The configuration this service was built with (front-ends use
+  /// options().solver as the base for per-query overrides).
+  const Options& options() const { return options_; }
 
   /// The pool solves run on (owned or borrowed) — callers may schedule
   /// adjacent work (e.g. testbed replays) on the same workers.
@@ -115,7 +141,16 @@ class SolverService {
     model::WarmStart warm_out;
   };
 
-  void RunSolve(const std::string& key, model::ModelInput input);
+  std::future<model::ModelSolution> SubmitWith(
+      model::ModelInput input, const model::SolverOptions& solver);
+
+  /// Solves `input` on the calling thread and fulfills every waiter filed
+  /// under `key` (including the submitting promise on the pool path).
+  /// Returns the solution for synchronous callers; rethrows after waiter
+  /// delivery if the solve itself threw.
+  model::ModelSolution RunSolve(const std::string& key,
+                                model::ModelInput input,
+                                const model::SolverOptions& solver);
 
   std::unique_ptr<Slot> CheckOutSlot(const std::string& shape);
   void ReturnSlot(const std::string& shape, std::unique_ptr<Slot> slot);

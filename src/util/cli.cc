@@ -41,4 +41,20 @@ bool ParseJobs(const char* arg, int* jobs) {
   return true;
 }
 
+bool ParseHostPort(const char* arg, std::string* host, int* port) {
+  if (arg == nullptr || *arg == '\0') return false;
+  const std::string text = arg;
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || value < 0 || value > 65535) return false;
+  *host = text.substr(0, colon);
+  *port = static_cast<int>(value);
+  return true;
+}
+
 }  // namespace carat::util

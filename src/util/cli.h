@@ -24,6 +24,13 @@ bool ParseSizes(const char* arg, std::vector<int>* sizes,
 /// an explicit zero is far more likely a scripting bug than a request.)
 bool ParseJobs(const char* arg, int* jobs);
 
+/// Parses a "HOST:PORT" listen/connect endpoint. HOST must be nonempty (a
+/// numeric IPv4 address or "localhost"; validation of the address bytes is
+/// left to the socket layer) and PORT an integer in [0, 65535] — 0 is a
+/// kernel-assigned ephemeral port. Trailing garbage and a missing colon
+/// both return false.
+bool ParseHostPort(const char* arg, std::string* host, int* port);
+
 }  // namespace carat::util
 
 #endif  // CARAT_UTIL_CLI_H_

@@ -1,0 +1,424 @@
+// Loopback integration tests for the network serving front-end (src/rpc):
+// the poll()-based TcpServer, the blocking Client, and the fixed-bucket
+// LatencyHistogram. Concurrency-sensitive paths (admission, deadlines,
+// graceful drain, multi-client interleaving) are made deterministic with the
+// same gate-the-pool trick serve_test uses: plug the worker pool with a
+// blocking task so admitted requests sit in the dispatch queue until the
+// test releases them.
+//
+// Carries the `tsan` label (tests/CMakeLists.txt): the poll thread, pool
+// workers and client threads all cross the server mutex, so this suite is
+// the ThreadSanitizer workout for the rpc layer.
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.h"
+#include "model/solver.h"
+#include "rpc/client.h"
+#include "rpc/latency_histogram.h"
+#include "rpc/tcp_server.h"
+#include "serve/query.h"
+#include "serve/solver_service.h"
+
+namespace carat {
+namespace {
+
+serve::SolverService::Options ServiceOptions(exec::ThreadPool* pool) {
+  serve::SolverService::Options o;
+  o.pool = pool;
+  o.warm_start = false;  // cold solves are bit-identical across front-ends
+  return o;
+}
+
+rpc::TcpServer::Options ServerOptions(serve::SolverService* service,
+                                      exec::ThreadPool* pool) {
+  rpc::TcpServer::Options o;
+  o.service = service;
+  o.pool = pool;
+  return o;
+}
+
+void WaitForSubmitted(const rpc::TcpServer& server, std::uint64_t n) {
+  while (server.stats().requests_submitted < n) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+bool ConnectTo(rpc::Client* client, const rpc::TcpServer& server) {
+  std::string error;
+  const bool ok =
+      client->Connect("127.0.0.1", server.port(), &error,
+                      /*recv_timeout_ms=*/30'000);
+  EXPECT_TRUE(ok) << error;
+  return ok;
+}
+
+// ---- LatencyHistogram ------------------------------------------------------
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  rpc::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.PercentileMs(50.0), 0.0);
+  EXPECT_EQ(h.PercentileMs(99.0), 0.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  rpc::LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.Record(3);  // < 8 us: exact buckets
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(50.0), 0.003);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(100.0), 0.003);
+}
+
+TEST(LatencyHistogram, PercentilesBoundRelativeError) {
+  rpc::LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(1'000);  // 1 ms
+  h.Record(100'000);                             // one 100 ms outlier
+  EXPECT_EQ(h.count(), 100u);
+  const double p50 = h.PercentileMs(50.0);
+  const double p99 = h.PercentileMs(99.0);
+  const double p100 = h.PercentileMs(100.0);
+  // Upper bucket edges: within +12.5% of the true value, never below it.
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 1.125);
+  EXPECT_LE(p99, 1.125);  // rank 99 still falls in the 1 ms bucket
+  EXPECT_GE(p100, 100.0);
+  EXPECT_LE(p100, 112.5);
+}
+
+TEST(LatencyHistogram, HugeValuesClampIntoTheLastBucket) {
+  rpc::LatencyHistogram h;
+  h.Record(~std::uint64_t{0});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.PercentileMs(50.0), 0.0);
+}
+
+TEST(LatencyHistogram, ClearResets) {
+  rpc::LatencyHistogram h;
+  h.Record(1'000);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.PercentileMs(50.0), 0.0);
+}
+
+// ---- TcpServer over loopback ----------------------------------------------
+
+TEST(TcpServer, AnswersByteIdenticallyToTheSharedFormatter) {
+  exec::ThreadPool pool(1);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer server(ServerOptions(&service, &pool));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // The acceptance bar: the TCP front-end answers with exactly the bytes
+  // carat_serve would print for the same query line.
+  serve::Query query;
+  model::ModelInput input;
+  ASSERT_TRUE(serve::ParseQuery("mb4 6", &query, &input, &error)) << error;
+  const model::ModelSolution direct = model::CaratModel(input).Solve();
+  const std::string expected = "x " + serve::FormatResult(query, direct);
+
+  rpc::Client client;
+  ASSERT_TRUE(ConnectTo(&client, server));
+  std::string response;
+  ASSERT_TRUE(client.Request("x mb4 6", &response));
+  EXPECT_EQ(response, expected);
+
+  // And a cache hit replays the identical bytes.
+  ASSERT_TRUE(client.Request("y mb4 6", &response));
+  EXPECT_EQ(response, "y " + serve::FormatResult(query, direct));
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+}
+
+TEST(TcpServer, MultipleClientsInterleaveAndEveryRequestIsAnswered) {
+  exec::ThreadPool pool(2);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer server(ServerOptions(&service, &pool));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 6;
+  std::vector<std::thread> threads;
+  std::vector<int> answered(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([c, &server, &answered] {
+      rpc::Client client;
+      if (!ConnectTo(&client, server)) return;
+      for (int i = 0; i < kPerClient; ++i) {
+        // Pipeline all requests before reading any response.
+        const int n = 2 + (c + i) % 5;
+        client.SendLine("c" + std::to_string(c) + "." + std::to_string(i) +
+                        " mb4 " + std::to_string(n));
+      }
+      std::string response;
+      for (int i = 0; i < kPerClient; ++i) {
+        if (!client.ReadLine(&response)) break;
+        // Every response belongs to this client and reports a solution.
+        EXPECT_EQ(response.rfind("c" + std::to_string(c) + ".", 0), 0u)
+            << response;
+        EXPECT_NE(response.find(",ok,"), std::string::npos) << response;
+        ++answered[c];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(answered[c], kPerClient);
+  const rpc::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.requests_completed,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.requests_rejected, 0u);
+}
+
+TEST(TcpServer, AdmissionBoundAnswersBusyOutOfOrder) {
+  exec::ThreadPool pool(1);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer::Options opts = ServerOptions(&service, &pool);
+  opts.max_inflight = 1;
+  rpc::TcpServer server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Plug the single worker: request "a" is admitted but cannot start, so
+  // "b" deterministically finds the admission queue full.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  pool.Submit([gate] { gate.wait(); });
+
+  rpc::Client client;
+  ASSERT_TRUE(ConnectTo(&client, server));
+  ASSERT_TRUE(client.SendLine("a mb4 4"));
+  ASSERT_TRUE(client.SendLine("b mb4 4"));
+
+  // BUSY comes back first even though "a" was sent first: responses are
+  // written per-completion, not in request order.
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(response, "b BUSY");
+  release.set_value();
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(response.rfind("a mb4,4,ok", 0), 0u) << response;
+
+  const rpc::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_submitted, 1u);
+  EXPECT_EQ(stats.requests_rejected, 1u);
+  EXPECT_EQ(stats.requests_completed, 1u);
+}
+
+TEST(TcpServer, ExpiredDeadlineAnswersTimeoutWithoutSolving) {
+  exec::ThreadPool pool(1);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer server(ServerOptions(&service, &pool));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  pool.Submit([gate] { gate.wait(); });
+
+  rpc::Client client;
+  ASSERT_TRUE(ConnectTo(&client, server));
+  ASSERT_TRUE(client.SendLine("a mb4 4 deadline_ms=1"));
+  WaitForSubmitted(server, 1);
+  // Let the deadline lapse while the request sits in the dispatch queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.set_value();
+
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(response, "a TIMEOUT");
+  EXPECT_EQ(server.stats().requests_timed_out, 1u);
+  EXPECT_EQ(server.stats().requests_completed, 0u);
+  // The whole point of queue-time deadlines: no solver work was done.
+  EXPECT_EQ(service.stats().submitted, 0u);
+  EXPECT_EQ(service.stats().solved, 0u);
+}
+
+TEST(TcpServer, GracefulDrainAnswersEveryAdmittedRequest) {
+  exec::ThreadPool pool(1);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer server(ServerOptions(&service, &pool));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  pool.Submit([gate] { gate.wait(); });
+
+  rpc::Client client;
+  ASSERT_TRUE(ConnectTo(&client, server));
+  constexpr int kRequests = 3;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.SendLine("g" + std::to_string(i) + " mb4 " +
+                                std::to_string(4 + i)));
+  }
+  WaitForSubmitted(server, kRequests);
+
+  // Shutdown mid-batch: it must block until all three queued solves have
+  // been answered and flushed, then close the connection.
+  std::thread shutdown([&server] { server.Shutdown(); });
+  release.set_value();
+  shutdown.join();
+
+  int got = 0;
+  std::string response;
+  while (client.ReadLine(&response)) {
+    EXPECT_EQ(response.rfind("g", 0), 0u) << response;
+    EXPECT_NE(response.find(",ok,"), std::string::npos) << response;
+    ++got;
+  }
+  EXPECT_EQ(got, kRequests);  // then clean EOF
+  EXPECT_EQ(server.stats().requests_completed,
+            static_cast<std::uint64_t>(kRequests));
+
+  // Drained means drained: the listener is gone.
+  rpc::Client late;
+  std::string late_error;
+  EXPECT_FALSE(late.Connect("127.0.0.1", server.port(), &late_error));
+}
+
+TEST(TcpServer, OversizedFrameIsRejectedAndConnectionClosed) {
+  exec::ThreadPool pool(1);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer::Options opts = ServerOptions(&service, &pool);
+  opts.max_line_bytes = 64;
+  rpc::TcpServer server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  rpc::Client client;
+  ASSERT_TRUE(ConnectTo(&client, server));
+  ASSERT_TRUE(client.SendLine(std::string(100, 'x')));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(response, "? ERROR line exceeds 64 bytes");
+  EXPECT_FALSE(client.ReadLine(&response));  // server closed the connection
+  EXPECT_EQ(server.stats().frames_oversized, 1u);
+
+  // An unbounded partial line (no newline at all) is also rejected.
+  rpc::Client partial;
+  ASSERT_TRUE(ConnectTo(&partial, server));
+  ASSERT_TRUE(partial.SendRaw(std::string(100, 'y')));
+  ASSERT_TRUE(partial.ReadLine(&response));
+  EXPECT_EQ(response, "? ERROR line exceeds 64 bytes");
+  EXPECT_FALSE(partial.ReadLine(&response));
+  EXPECT_EQ(server.stats().frames_oversized, 2u);
+
+  // The server itself is unharmed.
+  rpc::Client fresh;
+  ASSERT_TRUE(ConnectTo(&fresh, server));
+  ASSERT_TRUE(fresh.Request("a mb4 4", &response));
+  EXPECT_EQ(response.rfind("a mb4,4,ok", 0), 0u) << response;
+}
+
+TEST(TcpServer, TornFrameIsDiscardedWithoutAnError) {
+  exec::ThreadPool pool(1);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer server(ServerOptions(&service, &pool));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  rpc::Client client;
+  ASSERT_TRUE(ConnectTo(&client, server));
+  ASSERT_TRUE(client.SendRaw("a mb4"));  // no terminating newline
+  client.CloseSend();
+  std::string response;
+  EXPECT_FALSE(client.ReadLine(&response));  // discarded, no response, EOF
+
+  EXPECT_EQ(server.stats().parse_errors, 0u);
+  EXPECT_EQ(server.stats().requests_submitted, 0u);
+
+  rpc::Client fresh;
+  ASSERT_TRUE(ConnectTo(&fresh, server));
+  ASSERT_TRUE(fresh.Request("b mb4 4", &response));
+  EXPECT_EQ(response.rfind("b mb4,4,ok", 0), 0u) << response;
+}
+
+TEST(TcpServer, MalformedRequestsAnswerErrorAndKeepTheConnection) {
+  exec::ThreadPool pool(1);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer server(ServerOptions(&service, &pool));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  rpc::Client client;
+  ASSERT_TRUE(ConnectTo(&client, server));
+  std::string response;
+  ASSERT_TRUE(client.Request("a bogus 4", &response));
+  EXPECT_EQ(response.rfind("a ERROR ", 0), 0u) << response;
+  ASSERT_TRUE(client.Request("b mb4 4 deadline_ms=nope", &response));
+  EXPECT_EQ(response.rfind("b ERROR ", 0), 0u) << response;
+  EXPECT_EQ(server.stats().parse_errors, 2u);
+
+  // Parse errors are per-request, not per-connection.
+  ASSERT_TRUE(client.Request("c mb4 4", &response));
+  EXPECT_EQ(response.rfind("c mb4,4,ok", 0), 0u) << response;
+}
+
+TEST(TcpServer, StatsVerbReportsLiveCounters) {
+  exec::ThreadPool pool(1);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer server(ServerOptions(&service, &pool));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  rpc::Client client;
+  ASSERT_TRUE(ConnectTo(&client, server));
+  std::string response;
+  ASSERT_TRUE(client.Request("a mb4 4", &response));
+  ASSERT_TRUE(client.Request("s STATS", &response));
+  EXPECT_EQ(response.rfind("s STATS ", 0), 0u) << response;
+  for (const char* field :
+       {"accepted=1", "submitted=1", "completed=1", "rejected=0",
+        "cache_hits=0", "solved=1", "p50_ms=", "p99_ms="}) {
+    EXPECT_NE(response.find(field), std::string::npos)
+        << "missing " << field << " in: " << response;
+  }
+  EXPECT_EQ(server.LatencyPercentileMs(50.0) > 0.0, true);
+}
+
+TEST(TcpServer, PerQueryMvaOverrideDoesNotAliasInTheCache) {
+  exec::ThreadPool pool(1);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer server(ServerOptions(&service, &pool));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  rpc::Client client;
+  ASSERT_TRUE(ConnectTo(&client, server));
+  std::string exact, approx;
+  ASSERT_TRUE(client.Request("a mb4 8 mva=exact", &exact));
+  ASSERT_TRUE(client.Request("b mb4 8 mva=approx", &approx));
+  // Same input, different solver options: two distinct solves, no aliasing.
+  EXPECT_EQ(service.stats().solved, 2u);
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+  // And each repeats from its own cache entry.
+  std::string exact2;
+  ASSERT_TRUE(client.Request("c mb4 8 mva=exact", &exact2));
+  EXPECT_EQ(exact2.substr(2), exact.substr(2));
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+}
+
+TEST(TcpServer, ShutdownIsIdempotentAndSafeFromManyThreads) {
+  exec::ThreadPool pool(1);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer server(ServerOptions(&service, &pool));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&server] { server.Shutdown(); });
+  }
+  for (std::thread& t : threads) t.join();
+  server.Shutdown();  // and once more after it has fully stopped
+}
+
+}  // namespace
+}  // namespace carat

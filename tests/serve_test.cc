@@ -5,6 +5,7 @@
 // doubles), matching parallel_determinism_test's standard. Warm starting is
 // the one opt-in feature allowed to move results within solver tolerance.
 
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <thread>
@@ -135,6 +136,66 @@ TEST(SolutionCache, ZeroCapacityDisables) {
   cache.Put("a", MakeStubSolution(1));
   EXPECT_EQ(cache.Get("a"), nullptr);
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SolutionCache, TtlExpiresEntriesDeterministically) {
+  serve::SolutionCache::Config config;
+  config.capacity = 4;
+  config.ttl = std::chrono::milliseconds(100);
+  serve::SolutionCache cache(config);
+
+  const auto t0 = serve::SolutionCache::Clock::now();
+  cache.Put("a", MakeStubSolution(1), t0);
+  // Still fresh at t0 + 50 ms...
+  ASSERT_NE(cache.Get("a", t0 + std::chrono::milliseconds(50)), nullptr);
+  // ...expired (and dropped) at t0 + 150 ms.
+  EXPECT_EQ(cache.Get("a", t0 + std::chrono::milliseconds(150)), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.expirations(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // An expired entry is a true miss: re-inserting starts a fresh lifetime.
+  cache.Put("a", MakeStubSolution(2), t0 + std::chrono::milliseconds(150));
+  ASSERT_NE(cache.Get("a", t0 + std::chrono::milliseconds(200)), nullptr);
+  EXPECT_EQ(cache.Get("a", t0 + std::chrono::milliseconds(200))->comm_delay_ms,
+            2.0);
+}
+
+TEST(SolutionCache, ByteBoundEvictsLeastRecentlyUsed) {
+  model::ModelSolution solution = MakeStubSolution(1);
+  const std::size_t per_entry =
+      serve::SolutionFootprintBytes(solution) + 1;  // + 1-byte key
+  serve::SolutionCache::Config config;
+  config.capacity = 100;  // entry bound never binds in this test
+  config.max_bytes = 2 * per_entry;
+  serve::SolutionCache cache(config);
+
+  cache.Put("a", solution);
+  cache.Put("b", solution);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_LE(cache.bytes(), config.max_bytes);
+
+  cache.Put("c", solution);  // over the byte cap: "a" (LRU) is evicted
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_LE(cache.bytes(), config.max_bytes);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(SolutionCache, EntryLargerThanTheByteCapIsNotRetained) {
+  model::ModelSolution big = MakeStubSolution(1);
+  big.sites.resize(64);  // inflate the footprint well past the cap
+  serve::SolutionCache::Config config;
+  config.capacity = 100;
+  config.max_bytes = 64;
+  serve::SolutionCache cache(config);
+  cache.Put("big", big);
+  EXPECT_EQ(cache.Get("big"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.evictions(), 1u);
 }
 
 // ---- Warm-start index ------------------------------------------------------
@@ -376,6 +437,69 @@ TEST(SolverService, ConcurrentSubmittersAllGetBitIdenticalAnswers) {
   EXPECT_EQ(stats.solved, inputs.size());
   EXPECT_EQ(stats.cache_hits + stats.coalesced,
             stats.submitted - stats.solved);
+}
+
+TEST(SolverService, PerQuerySolverOptionsNeverAliasInTheCache) {
+  serve::SolverService::Options opts;
+  opts.threads = 1;
+  opts.warm_start = false;
+  serve::SolverService service(std::move(opts));
+  const model::ModelInput input = workload::MakeMB4(8).ToModelInput();
+
+  model::SolverOptions exact;
+  exact.use_exact_mva = true;
+  model::SolverOptions approx;
+  approx.use_exact_mva = false;
+
+  const model::ModelSolution a = service.Submit(input, exact).get();
+  const model::ModelSolution b = service.Submit(input, approx).get();
+  // Identical input under different options: two real solves, no aliasing.
+  EXPECT_EQ(service.stats().solved, 2u);
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+
+  // Each override replays from its own cache entry...
+  ExpectIdentical(service.Submit(input, exact).get(), a);
+  ExpectIdentical(service.Submit(input, approx).get(), b);
+  EXPECT_EQ(service.stats().cache_hits, 2u);
+  EXPECT_EQ(service.stats().solved, 2u);
+
+  // ...and matches a dedicated solver run under the same options.
+  ExpectIdentical(a, model::CaratModel(input).Solve(exact));
+  ExpectIdentical(b, model::CaratModel(input).Solve(approx));
+}
+
+TEST(SolverService, SolveSyncSharesCacheAndStatsWithSubmit) {
+  serve::SolverService::Options opts;
+  opts.threads = 1;
+  opts.warm_start = false;
+  serve::SolverService service(std::move(opts));
+  const model::ModelInput input = workload::MakeMB4(4).ToModelInput();
+
+  const model::ModelSolution sync = service.SolveSync(input);
+  // Submit of the same query is answered from the cache SolveSync filled.
+  ExpectIdentical(service.Submit(input).get(), sync);
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.solved, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+
+  // Per-query override variant solves separately.
+  model::SolverOptions approx;
+  approx.use_exact_mva = false;
+  service.SolveSync(input, &approx);
+  EXPECT_EQ(service.stats().solved, 2u);
+}
+
+TEST(SolverService, CacheEvictionsAndExpirationsSurfaceInStats) {
+  serve::SolverService::Options opts;
+  opts.threads = 1;
+  opts.warm_start = false;
+  opts.cache_capacity = 1;  // second distinct query evicts the first
+  serve::SolverService service(std::move(opts));
+  service.Submit(workload::MakeMB4(4).ToModelInput()).get();
+  service.Submit(workload::MakeMB4(5).ToModelInput()).get();
+  EXPECT_EQ(service.stats().cache_evictions, 1u);
+  EXPECT_EQ(service.stats().cache_expirations, 0u);
 }
 
 TEST(SolverService, ClearCacheForcesResolve) {

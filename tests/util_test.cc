@@ -195,6 +195,34 @@ TEST(Cli, ParseSizesAcceptsCommaSeparatedPositives) {
   EXPECT_EQ(sizes, (std::vector<int>{7}));
 }
 
+TEST(Cli, ParseHostPortSplitsOnTheLastColon) {
+  std::string host;
+  int port = -1;
+  ASSERT_TRUE(ParseHostPort("127.0.0.1:7411", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 7411);
+  ASSERT_TRUE(ParseHostPort("localhost:0", &host, &port));
+  EXPECT_EQ(host, "localhost");
+  EXPECT_EQ(port, 0);  // ephemeral bind
+  ASSERT_TRUE(ParseHostPort("0.0.0.0:65535", &host, &port));
+  EXPECT_EQ(port, 65535);
+}
+
+TEST(Cli, ParseHostPortRejectsMalformedAddresses) {
+  std::string host = "unchanged";
+  int port = -1;
+  EXPECT_FALSE(ParseHostPort("hostonly", &host, &port));
+  EXPECT_FALSE(ParseHostPort(":80", &host, &port));       // empty host
+  EXPECT_FALSE(ParseHostPort("host:", &host, &port));     // empty port
+  EXPECT_FALSE(ParseHostPort("host:99999", &host, &port));
+  EXPECT_FALSE(ParseHostPort("host:-1", &host, &port));
+  EXPECT_FALSE(ParseHostPort("host:80x", &host, &port));
+  EXPECT_FALSE(ParseHostPort("", &host, &port));
+  EXPECT_FALSE(ParseHostPort(nullptr, &host, &port));
+  EXPECT_EQ(host, "unchanged");  // rejected parses never write the outputs
+  EXPECT_EQ(port, -1);
+}
+
 TEST(Cli, ParseSizesNamesTheBadToken) {
   std::vector<int> sizes;
   std::string bad;

@@ -9,35 +9,32 @@
 //   mb4,8,ok,converged,24,cold,63.0561,504.45
 //   mb4,8,ok,converged,24,cold,63.0561,504.45     <- served from cache
 //
-// Query spec:  <workload> <n> [key=value ...]
-//   workload   lb8 | mb4 | mb8 | ub6 (the paper's benchmark families)
-//   n          transaction size / MPL knob passed to the workload factory
-//   think=MS   override every site's think time (what-if: more/less load)
-//   comm=MS    override the inter-site communication delay
-//
-// Result line: workload,n,ok|error,converged|maxiter,iterations,warm|cold,
-//              total_tps,total_records_ps
+// The query grammar and the result line are serve::ParseQuery /
+// serve::FormatResult (src/serve/query.h) — shared with the TCP front-end
+// (tools/carat_served), which therefore answers byte-identically.
 //
 // Flags:
 //   --jobs N     worker threads (omitted: one per hardware thread; N >= 1)
 //   --no-cache   disable the solution cache (every query solves)
 //   --no-warm    disable nearest-neighbor warm starting (all solves cold)
+//   --strict     abort on the first malformed line instead of skipping it
 //   --stats      print service counters to stderr at EOF
+//
+// Exit status: 0 only when every input line parsed; a malformed line exits
+// 1 (immediately under --strict, after the remaining queries otherwise).
 //
 // Lines are answered in order but solved concurrently: a slow query does not
 // block the workers, only the output position.
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <deque>
 #include <future>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <utility>
 
-#include "carat/carat.h"
+#include "serve/query.h"
 #include "serve/solver_service.h"
 #include "util/cli.h"
 
@@ -46,83 +43,17 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: carat_serve [--jobs N] [--no-cache] [--no-warm] "
-               "[--stats]\n"
-               "stdin:  <workload> <n> [think=MS] [comm=MS]   per line\n");
+               "[--strict] [--stats]\n"
+               "stdin:  <workload> <n> [think=MS] [comm=MS] [mva=exact|approx]"
+               "   per line\n");
   return 2;
 }
 
-struct Query {
-  std::string workload;
-  int n = 0;
-};
-
-/// Parses one stdin line into a ModelInput. Returns false with a message on
-/// any malformed token; blank lines and '#' comments are skipped by the
-/// caller.
-bool ParseQuery(const std::string& line, Query* query,
-                carat::model::ModelInput* input, std::string* error) {
-  std::istringstream in(line);
-  std::string workload;
-  long long n = 0;
-  if (!(in >> workload >> n) || n <= 0 || n > 1'000'000) {
-    *error = "expected '<workload> <n>' with n >= 1";
-    return false;
-  }
-  carat::workload::WorkloadSpec (*make)(int) = nullptr;
-  if (workload == "lb8") {
-    make = [](int v) { return carat::workload::MakeLB8(v); };
-  } else if (workload == "mb4") {
-    make = [](int v) { return carat::workload::MakeMB4(v); };
-  } else if (workload == "mb8") {
-    make = [](int v) { return carat::workload::MakeMB8(v); };
-  } else if (workload == "ub6") {
-    make = [](int v) { return carat::workload::MakeUB6(v); };
-  } else {
-    *error = "unknown workload '" + workload + "'";
-    return false;
-  }
-  *input = make(static_cast<int>(n)).ToModelInput();
-
-  std::string kv;
-  while (in >> kv) {
-    const std::size_t eq = kv.find('=');
-    if (eq == std::string::npos) {
-      *error = "expected key=value, got '" + kv + "'";
-      return false;
-    }
-    const std::string key = kv.substr(0, eq);
-    char* end = nullptr;
-    const double value = std::strtod(kv.c_str() + eq + 1, &end);
-    if (*end != '\0' || value < 0) {
-      *error = "bad value in '" + kv + "'";
-      return false;
-    }
-    if (key == "think") {
-      for (carat::model::SiteParams& site : input->sites) {
-        site.think_time_ms = value;
-      }
-    } else if (key == "comm") {
-      input->comm_delay_ms = value;
-    } else {
-      *error = "unknown key '" + key + "'";
-      return false;
-    }
-  }
-  query->workload = workload;
-  query->n = static_cast<int>(n);
-  return true;
-}
-
-void PrintResult(const Query& query, const carat::model::ModelSolution& m) {
-  if (!m.ok) {
-    std::printf("%s,%d,error,,,,,%s\n", query.workload.c_str(), query.n,
-                m.error.c_str());
-  } else {
-    std::printf("%s,%d,ok,%s,%d,%s,%.4f,%.2f\n", query.workload.c_str(),
-                query.n, m.converged ? "converged" : "maxiter", m.iterations,
-                m.warm_started ? "warm" : "cold", m.TotalTxnPerSec(),
-                m.TotalRecordsPerSec());
-  }
+void PrintResult(const carat::serve::Query& query,
+                 const carat::model::ModelSolution& m) {
+  const std::string line = carat::serve::FormatResult(query, m);
+  std::fwrite(line.data(), 1, line.size(), stdout);
+  std::fputc('\n', stdout);
   std::fflush(stdout);
 }
 
@@ -132,6 +63,7 @@ int main(int argc, char** argv) {
   using namespace carat;
   serve::SolverService::Options sopts;
   bool print_stats = false;
+  bool strict = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -149,6 +81,8 @@ int main(int argc, char** argv) {
       sopts.use_cache = false;
     } else if (arg == "--no-warm") {
       sopts.warm_start = false;
+    } else if (arg == "--strict") {
+      strict = true;
     } else if (arg == "--stats") {
       print_stats = true;
     } else {
@@ -156,12 +90,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  const model::SolverOptions solver_base = sopts.solver;
   serve::SolverService service(std::move(sopts));
 
   // Pending results, in input order. After each new submission, drain every
   // already-finished future at the front so output streams while later
   // queries are still being read or solved.
-  std::deque<std::pair<Query, std::future<model::ModelSolution>>> pending;
+  std::deque<std::pair<serve::Query, std::future<model::ModelSolution>>>
+      pending;
   const auto drain_ready = [&pending](bool block) {
     while (!pending.empty()) {
       std::future<model::ModelSolution>& f = pending.front().second;
@@ -181,30 +117,43 @@ int main(int argc, char** argv) {
     ++line_no;
     const std::size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
-    Query query;
+    serve::Query query;
     model::ModelInput input;
     std::string error;
-    if (!ParseQuery(line, &query, &input, &error)) {
+    if (!serve::ParseQuery(line, &query, &input, &error)) {
       std::fprintf(stderr, "line %zu: %s\n", line_no, error.c_str());
       input_error = true;
+      if (strict) break;
       continue;
     }
-    pending.emplace_back(std::move(query), service.Submit(std::move(input)));
+    if (query.use_exact_mva.has_value()) {
+      model::SolverOptions solver = solver_base;
+      solver.use_exact_mva = *query.use_exact_mva;
+      pending.emplace_back(std::move(query),
+                           service.Submit(std::move(input), solver));
+    } else {
+      pending.emplace_back(std::move(query),
+                           service.Submit(std::move(input)));
+    }
     drain_ready(/*block=*/false);
   }
   drain_ready(/*block=*/true);
 
   if (print_stats) {
     const serve::ServiceStats stats = service.stats();
-    std::fprintf(stderr,
-                 "submitted=%llu cache_hits=%llu coalesced=%llu solved=%llu "
-                 "warm_started=%llu total_iterations=%llu\n",
-                 static_cast<unsigned long long>(stats.submitted),
-                 static_cast<unsigned long long>(stats.cache_hits),
-                 static_cast<unsigned long long>(stats.coalesced),
-                 static_cast<unsigned long long>(stats.solved),
-                 static_cast<unsigned long long>(stats.warm_started),
-                 static_cast<unsigned long long>(stats.total_iterations));
+    std::fprintf(
+        stderr,
+        "submitted=%llu cache_hits=%llu coalesced=%llu solved=%llu "
+        "warm_started=%llu total_iterations=%llu cache_evictions=%llu "
+        "cache_expirations=%llu\n",
+        static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.cache_hits),
+        static_cast<unsigned long long>(stats.coalesced),
+        static_cast<unsigned long long>(stats.solved),
+        static_cast<unsigned long long>(stats.warm_started),
+        static_cast<unsigned long long>(stats.total_iterations),
+        static_cast<unsigned long long>(stats.cache_evictions),
+        static_cast<unsigned long long>(stats.cache_expirations));
   }
   return input_error ? 1 : 0;
 }
