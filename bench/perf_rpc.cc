@@ -4,15 +4,24 @@
 //   1. cached-query throughput: one pipelined connection re-requesting a
 //      cached query; must sustain >= 10k queries/s end to end (parse, key,
 //      cache hit, format, socket round trip);
-//   2. a 64-client burst: every client pipelines a window of requests; every
-//      request must be answered (zero lost responses, zero BUSY — the
-//      admission bound is sized above the offered window);
-//   3. graceful drain: Shutdown() with requests in flight must answer every
-//      admitted request and return.
+//   2. multi-reactor fan-in: 8 pipelined connections of cached queries
+//      against --reactors 1 and --reactors 4 (text framing), and against
+//      --reactors 4 with binary framing (best of 3 runs each). The
+//      4-reactor throughput must clear the 10k qps floor the single
+//      poll-loop front-end was held to, and — on machines with >= 4
+//      hardware threads, where parallel speedup is physically possible —
+//      must also be >= the measured 1-reactor baseline;
+//   3. a 64-client burst against 4 reactors: every client pipelines a
+//      window of requests; every request must be answered (zero lost
+//      responses, zero BUSY — the admission bound is sized above the
+//      offered window);
+//   4. graceful drain with 4 reactors: Shutdown() with requests in flight
+//      must answer every admitted request and return.
 //
 // Results land in BENCH_rpc.json (cwd) so successive PRs can track the
 // numbers. Usage: perf_rpc [--jobs N] [--out FILE]
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -41,10 +50,10 @@ struct Harness {
   carat::serve::SolverService service;
   carat::rpc::TcpServer server;
 
-  Harness(int jobs, std::size_t max_inflight)
+  Harness(int jobs, std::size_t max_inflight, std::size_t reactors)
       : pool(jobs <= 0 ? 0 : static_cast<std::size_t>(jobs)),
         service(MakeServiceOptions(&pool)),
-        server(MakeServerOptions(&service, &pool, max_inflight)) {}
+        server(MakeServerOptions(&service, &pool, max_inflight, reactors)) {}
 
   static carat::serve::SolverService::Options MakeServiceOptions(
       carat::exec::ThreadPool* pool) {
@@ -54,11 +63,12 @@ struct Harness {
   }
   static carat::rpc::TcpServer::Options MakeServerOptions(
       carat::serve::SolverService* service, carat::exec::ThreadPool* pool,
-      std::size_t max_inflight) {
+      std::size_t max_inflight, std::size_t reactors) {
     carat::rpc::TcpServer::Options o;
     o.service = service;
     o.pool = pool;
     o.max_inflight = max_inflight;
+    o.reactors = reactors;
     return o;
   }
 
@@ -72,13 +82,96 @@ struct Harness {
   }
 };
 
-bool Connect(carat::rpc::Client* client, std::uint16_t port) {
+bool Connect(carat::rpc::Client* client, std::uint16_t port,
+             carat::rpc::FramingKind framing = carat::rpc::FramingKind::kText) {
+  carat::rpc::Client::ConnectOptions options;
+  options.recv_timeout_ms = 60'000;
+  options.connect_timeout_ms = 10'000;
+  options.framing = framing;
   std::string error;
-  if (!client->Connect("127.0.0.1", port, &error, /*recv_timeout_ms=*/60'000)) {
+  if (!client->Connect("127.0.0.1", port, &error, options)) {
     std::fprintf(stderr, "FAIL: connect: %s\n", error.c_str());
     return false;
   }
   return true;
+}
+
+/// 8 pipelined connections of cached "mb4 8" queries; returns aggregate
+/// queries/s, or a negative value on any lost/garbled response. Binary ids
+/// must be decimal, so requests are numbered either way.
+double RunFanIn(int jobs, std::size_t reactors,
+                carat::rpc::FramingKind framing, int connections,
+                int per_connection) {
+  const std::size_t window =
+      static_cast<std::size_t>(connections) * per_connection;
+  Harness h(jobs, /*max_inflight=*/window + 64, reactors);
+  if (!h.Start()) return -1.0;
+  {
+    carat::rpc::Client warm;
+    std::string response;
+    if (!Connect(&warm, h.server.port()) ||
+        !warm.Request("0 mb4 8", &response) ||
+        response.rfind("0 mb4,8,ok", 0) != 0) {
+      std::fprintf(stderr, "FAIL: fan-in warmup '%s'\n", response.c_str());
+      return -1.0;
+    }
+  }
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<bool> failed{false};
+  const std::uint16_t port = h.server.port();
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([c, port, per_connection, framing, &answered,
+                          &failed] {
+      carat::rpc::Client client;
+      if (!Connect(&client, port, framing)) {
+        failed.store(true);
+        return;
+      }
+      std::thread writer([&client, c, per_connection] {
+        for (int i = 0; i < per_connection; ++i) {
+          const std::uint64_t id =
+              static_cast<std::uint64_t>(c) * 1'000'000 + i + 1;
+          if (!client.SendLine(std::to_string(id) + " mb4 8")) return;
+        }
+      });
+      std::string response;
+      for (int i = 0; i < per_connection; ++i) {
+        if (!client.ReadLine(&response) ||
+            response.find(" mb4,8,ok") == std::string::npos) {
+          failed.store(true);
+          break;
+        }
+        answered.fetch_add(1);
+      }
+      writer.join();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_ms = ElapsedMs(start);
+  h.server.Shutdown();
+  if (failed.load() || answered.load() != window) {
+    std::fprintf(stderr, "FAIL: fan-in answered %llu of %zu\n",
+                 static_cast<unsigned long long>(answered.load()), window);
+    return -1.0;
+  }
+  return elapsed_ms > 0.0 ? static_cast<double>(window) / elapsed_ms * 1000.0
+                          : 0.0;
+}
+
+double BestOf(int runs, int jobs, std::size_t reactors,
+              carat::rpc::FramingKind framing, int connections,
+              int per_connection) {
+  double best = -1.0;
+  for (int r = 0; r < runs; ++r) {
+    const double qps =
+        RunFanIn(jobs, reactors, framing, connections, per_connection);
+    if (qps < 0.0) return -1.0;
+    best = std::max(best, qps);
+  }
+  return best;
 }
 
 }  // namespace
@@ -108,7 +201,9 @@ int main(int argc, char** argv) {
   const int kCachedRequests = 20'000;
   double cached_qps = 0.0, cached_ms = 0.0, p50_ms = 0.0, p99_ms = 0.0;
   {
-    Harness h(jobs, /*max_inflight=*/static_cast<std::size_t>(kCachedRequests) + 16);
+    Harness h(jobs,
+              /*max_inflight=*/static_cast<std::size_t>(kCachedRequests) + 16,
+              /*reactors=*/1);
     if (!h.Start()) return 1;
     carat::rpc::Client client;
     if (!Connect(&client, h.server.port())) return 1;
@@ -144,14 +239,47 @@ int main(int argc, char** argv) {
     h.server.Shutdown();
   }
 
-  // ---- 2. 64-client burst: every request answered, none rejected. ----------
+  // ---- 2. Multi-reactor fan-in: 1 vs 4 reactors, text and binary. ----------
+  const int kFanInConnections = 8;
+  const int kFanInPerConnection = 2'500;
+  const int kFanInRuns = 3;
+  double fanin_r1_qps = BestOf(kFanInRuns, jobs, /*reactors=*/1,
+                               carat::rpc::FramingKind::kText,
+                               kFanInConnections, kFanInPerConnection);
+  double fanin_r4_qps = BestOf(kFanInRuns, jobs, /*reactors=*/4,
+                               carat::rpc::FramingKind::kText,
+                               kFanInConnections, kFanInPerConnection);
+  double fanin_r4_binary_qps = BestOf(kFanInRuns, jobs, /*reactors=*/4,
+                                      carat::rpc::FramingKind::kBinary,
+                                      kFanInConnections, kFanInPerConnection);
+  if (fanin_r1_qps < 0.0 || fanin_r4_qps < 0.0 || fanin_r4_binary_qps < 0.0) {
+    ok = false;
+  } else if (fanin_r4_qps < 10'000.0) {
+    // The absolute floor the single poll-loop front-end was held to.
+    std::fprintf(stderr,
+                 "FAIL: 4-reactor fan-in %.0f qps below the 10000 qps "
+                 "single-poll baseline floor\n",
+                 fanin_r4_qps);
+    ok = false;
+  } else if (hw >= 4 && fanin_r4_qps < fanin_r1_qps) {
+    // The parallel-speedup claim only holds where 4 reactor threads can
+    // actually run in parallel; on smaller machines sharding is pure
+    // scheduling overhead and only the absolute floor applies.
+    std::fprintf(stderr,
+                 "FAIL: 4-reactor fan-in %.0f qps below the 1-reactor "
+                 "baseline %.0f qps\n",
+                 fanin_r4_qps, fanin_r1_qps);
+    ok = false;
+  }
+
+  // ---- 3. 64-client burst on 4 reactors: every request answered. -----------
   const int kClients = 64;
   const int kPerClient = 32;
   std::uint64_t burst_sent = 0, burst_received = 0, burst_busy = 0;
   double burst_ms = 0.0;
   {
     // Admission sized above the offered window: 64 * 32 = 2048 in flight.
-    Harness h(jobs, /*max_inflight=*/4096);
+    Harness h(jobs, /*max_inflight=*/4096, /*reactors=*/4);
     if (!h.Start()) return 1;
 
     // Pre-solve the query mix so the burst measures the serving path, not
@@ -171,17 +299,23 @@ int main(int argc, char** argv) {
     std::vector<std::thread> clients;
     clients.reserve(kClients);
     for (int c = 0; c < kClients; ++c) {
-      clients.emplace_back([c, port, &sent, &received, &busy, &failed] {
+      // Odd-numbered clients speak binary framing, even text: the burst
+      // exercises both wire formats against the same sharded server.
+      const carat::rpc::FramingKind framing =
+          (c % 2) != 0 ? carat::rpc::FramingKind::kBinary
+                       : carat::rpc::FramingKind::kText;
+      clients.emplace_back([c, port, framing, &sent, &received, &busy,
+                            &failed] {
         carat::rpc::Client client;
-        std::string error;
-        if (!client.Connect("127.0.0.1", port, &error, 60'000)) {
+        if (!Connect(&client, port, framing)) {
           failed.fetch_add(kPerClient);
           return;
         }
         for (int i = 0; i < kPerClient; ++i) {
           const int n = 4 + 4 * ((c + i) % 5);
-          client.SendLine("c" + std::to_string(c) + "-" + std::to_string(i) +
-                          " mb4 " + std::to_string(n));
+          const std::uint64_t id =
+              static_cast<std::uint64_t>(c) * 1'000 + i + 1;
+          client.SendLine(std::to_string(id) + " mb4 " + std::to_string(n));
           sent.fetch_add(1);
         }
         std::string response;
@@ -215,11 +349,11 @@ int main(int argc, char** argv) {
     h.server.Shutdown();
   }
 
-  // ---- 3. Graceful drain with requests in flight. --------------------------
+  // ---- 4. Graceful drain with requests in flight, 4 reactors. --------------
   std::uint64_t drain_submitted = 0, drain_answered = 0;
   bool drain_ok = false;
   {
-    Harness h(jobs, /*max_inflight=*/64);
+    Harness h(jobs, /*max_inflight=*/64, /*reactors=*/4);
     if (!h.Start()) return 1;
     carat::rpc::Client client;
     if (!Connect(&client, h.server.port())) return 1;
@@ -263,7 +397,16 @@ int main(int argc, char** argv) {
                "    \"p50_ms\": %.3f,\n"
                "    \"p99_ms\": %.3f\n"
                "  },\n"
+               "  \"fan_in\": {\n"
+               "    \"connections\": %d,\n"
+               "    \"per_connection\": %d,\n"
+               "    \"runs\": %d,\n"
+               "    \"reactors1_text_qps\": %.1f,\n"
+               "    \"reactors4_text_qps\": %.1f,\n"
+               "    \"reactors4_binary_qps\": %.1f\n"
+               "  },\n"
                "  \"burst\": {\n"
+               "    \"reactors\": 4,\n"
                "    \"clients\": %d,\n"
                "    \"per_client\": %d,\n"
                "    \"sent\": %llu,\n"
@@ -272,14 +415,16 @@ int main(int argc, char** argv) {
                "    \"elapsed_ms\": %.3f\n"
                "  },\n"
                "  \"drain\": {\n"
+               "    \"reactors\": 4,\n"
                "    \"submitted\": %llu,\n"
                "    \"answered\": %llu,\n"
                "    \"ok\": %s\n"
                "  }\n"
                "}\n",
                hw, jobs, kCachedRequests, cached_ms, cached_qps, p50_ms,
-               p99_ms, kClients, kPerClient,
-               static_cast<unsigned long long>(burst_sent),
+               p99_ms, kFanInConnections, kFanInPerConnection, kFanInRuns,
+               fanin_r1_qps, fanin_r4_qps, fanin_r4_binary_qps, kClients,
+               kPerClient, static_cast<unsigned long long>(burst_sent),
                static_cast<unsigned long long>(burst_received),
                static_cast<unsigned long long>(burst_busy), burst_ms,
                static_cast<unsigned long long>(drain_submitted),
@@ -290,6 +435,9 @@ int main(int argc, char** argv) {
   std::printf("cached: %.0f queries/s over %d pipelined requests "
               "(p50 %.3f ms, p99 %.3f ms)\n",
               cached_qps, kCachedRequests, p50_ms, p99_ms);
+  std::printf("fan-in: r1 text %.0f qps, r4 text %.0f qps, r4 binary "
+              "%.0f qps (best of %d)\n",
+              fanin_r1_qps, fanin_r4_qps, fanin_r4_binary_qps, kFanInRuns);
   std::printf("burst: %llu/%llu responses across %d clients (%llu BUSY)\n",
               static_cast<unsigned long long>(burst_received),
               static_cast<unsigned long long>(burst_sent), kClients,

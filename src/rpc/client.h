@@ -1,21 +1,48 @@
 // Tiny blocking client for the rpc::TcpServer wire protocol: connect, send
-// newline-delimited request lines, read newline-delimited response lines.
-// Used by the loopback integration tests, bench/perf_rpc and as the sample
-// embedding API; it is deliberately synchronous — pipelining is achieved by
-// sending many lines before reading (the server answers per-completion).
+// request lines, read response lines. Used by the loopback integration
+// tests, bench/perf_rpc and as the sample embedding API; it is deliberately
+// synchronous — pipelining is achieved by sending many lines before reading
+// (the server answers per-completion).
+//
+// The client speaks either framing (rpc/framing.h). In binary mode the
+// SendLine/ReadLine API is preserved: the first whitespace token of an
+// outgoing line becomes the frame id (it must be the id's decimal digits)
+// and incoming frames are surfaced as "<id> <payload>" lines — so callers,
+// tests and benchmarks share one code path across framings and responses
+// compare byte-identically.
+//
+// Robustness: connect() honours a timeout (nonblocking connect + poll),
+// reads honour a *total* receive deadline via poll(POLLIN) — a server that
+// drips one byte per interval cannot wedge the caller the way a plain
+// per-read SO_RCVTIMEO would allow — and EINTR is retried everywhere.
 //
 // Not thread-safe: one Client per thread.
 
 #ifndef CARAT_RPC_CLIENT_H_
 #define CARAT_RPC_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
+
+#include "rpc/framing.h"
 
 namespace carat::rpc {
 
 class Client {
  public:
+  struct ConnectOptions {
+    /// > 0 bounds the *total* wall-clock time a ReadLine may spend waiting,
+    /// regardless of how the server paces its bytes. 0 waits forever.
+    int recv_timeout_ms = 0;
+    /// > 0 bounds connect(); 0 uses the OS default (blocking connect).
+    int connect_timeout_ms = 0;
+    /// kBinary sends the 0x00 negotiation byte immediately after connect.
+    FramingKind framing = FramingKind::kText;
+  };
+
   Client() = default;
   ~Client();
 
@@ -23,20 +50,26 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   /// Connects to a numeric IPv4 `host` ("localhost" is accepted) and sets
-  /// TCP_NODELAY. `recv_timeout_ms` > 0 arms SO_RCVTIMEO so a silent server
-  /// fails ReadLine instead of hanging forever.
-  bool Connect(const std::string& host, std::uint16_t port,
-               std::string* error, int recv_timeout_ms = 0);
+  /// TCP_NODELAY.
+  bool Connect(const std::string& host, std::uint16_t port, std::string* error,
+               const ConnectOptions& options);
 
-  /// Writes `line` plus a newline, fully. False on any write error.
+  /// Legacy convenience: text framing, no connect timeout.
+  bool Connect(const std::string& host, std::uint16_t port, std::string* error,
+               int recv_timeout_ms = 0);
+
+  /// Sends one request. Text framing writes `line` plus a newline; binary
+  /// framing takes the first whitespace token as the frame id (decimal,
+  /// else id 0) and the rest as the payload. False on any write error.
   bool SendLine(const std::string& line);
 
-  /// Writes `bytes` exactly as given (no newline appended) — used by tests
-  /// to produce torn and oversized frames.
+  /// Writes `bytes` exactly as given (no framing applied) — used by tests
+  /// to produce torn, malformed and oversized frames.
   bool SendRaw(const std::string& bytes);
 
-  /// Reads the next response line (newline stripped). False on EOF, a
-  /// receive timeout or a read error.
+  /// Reads the next response as a line: the raw line in text framing
+  /// (newline stripped), "<id> <payload>" in binary framing. False on EOF,
+  /// the receive deadline expiring, or a read error.
   bool ReadLine(std::string* line);
 
   /// SendLine + ReadLine — the lockstep convenience path.
@@ -51,8 +84,19 @@ class Client {
   bool connected() const { return fd_ >= 0; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Blocks until at least one more byte is appended to buf_. False on
+  /// EOF, error, or (when `has_deadline`) the deadline passing.
+  bool FillBuf(Clock::time_point deadline, bool has_deadline);
+
   int fd_ = -1;
+  FramingKind kind_ = FramingKind::kText;
+  std::unique_ptr<Framing> framing_;
+  int recv_timeout_ms_ = 0;
   std::string buf_;
+  std::vector<Framing::Message> pending_;  ///< decoded, not yet returned
+  std::size_t pending_pos_ = 0;
 };
 
 }  // namespace carat::rpc

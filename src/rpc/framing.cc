@@ -1,0 +1,151 @@
+#include "rpc/framing.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace carat::rpc {
+
+namespace {
+
+// Binary frames are always little-endian on the wire, independent of the
+// host (the serialization is explicit byte shifts, so big-endian hosts
+// produce the same bytes).
+std::uint32_t LoadU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t LoadU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | reinterpret_cast<const unsigned char*>(p)[i];
+  }
+  return v;
+}
+
+void AppendU32(std::uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+class TextFraming final : public Framing {
+ public:
+  bool Decode(std::string* buf, std::size_t max_body_bytes,
+              std::vector<Message>* out, std::string* error) override {
+    std::size_t start = 0;
+    bool ok = true;
+    for (;;) {
+      const std::size_t nl = buf->find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buf->substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      start = nl + 1;
+      if (line.size() > max_body_bytes) {
+        *error = "line exceeds " + std::to_string(max_body_bytes) + " bytes";
+        ok = false;
+        break;
+      }
+      // Blank lines and '#' comments are protocol-level no-ops.
+      const std::size_t first = line.find_first_not_of(" \t");
+      if (first == std::string::npos || line[first] == '#') continue;
+      const std::size_t id_end = line.find_first_of(" \t", first);
+      Message m;
+      if (id_end == std::string::npos) {
+        m.id = line.substr(first);
+      } else {
+        m.id = line.substr(first, id_end - first);
+        const std::size_t body = line.find_first_not_of(" \t", id_end);
+        if (body != std::string::npos) m.body = line.substr(body);
+      }
+      out->push_back(std::move(m));
+    }
+    buf->erase(0, start);
+    // A partial line that can no longer fit a newline is an oversized frame
+    // even before the newline arrives: never buffer without bound.
+    if (ok && buf->size() > max_body_bytes + 1) {
+      *error = "line exceeds " + std::to_string(max_body_bytes) + " bytes";
+      ok = false;
+    }
+    return ok;
+  }
+
+  void Encode(const std::string& id, const std::string& body,
+              std::string* wire) const override {
+    *wire += id;
+    wire->push_back(' ');
+    *wire += body;
+    wire->push_back('\n');
+  }
+};
+
+class BinaryFraming final : public Framing {
+ public:
+  bool Decode(std::string* buf, std::size_t max_body_bytes,
+              std::vector<Message>* out, std::string* error) override {
+    std::size_t start = 0;
+    bool ok = true;
+    for (;;) {
+      if (buf->size() - start < 4) break;
+      const std::uint32_t len = LoadU32(buf->data() + start);
+      if (len < 8) {
+        *error = "binary frame length " + std::to_string(len) + " < 8";
+        ok = false;
+        break;
+      }
+      if (len - 8 > max_body_bytes) {
+        *error = "binary frame payload exceeds " +
+                 std::to_string(max_body_bytes) + " bytes";
+        ok = false;
+        break;
+      }
+      if (buf->size() - start < 4u + len) break;  // partial frame
+      Message m;
+      m.id = std::to_string(LoadU64(buf->data() + start + 4));
+      m.body.assign(*buf, start + 12, len - 8);
+      out->push_back(std::move(m));
+      start += 4u + len;
+    }
+    buf->erase(0, start);
+    return ok;
+  }
+
+  void Encode(const std::string& id, const std::string& body,
+              std::string* wire) const override {
+    // "?" (the text protocol's unattributable id) and anything else that is
+    // not a decimal u64 map to the reserved id 0.
+    std::uint64_t id_value = 0;
+    if (!id.empty() && id.find_first_not_of("0123456789") == std::string::npos) {
+      id_value = std::strtoull(id.c_str(), nullptr, 10);
+    }
+    AppendU32(static_cast<std::uint32_t>(8 + body.size()), wire);
+    AppendU64(id_value, wire);
+    *wire += body;
+  }
+
+  bool Empty(const std::string& buf) const override {
+    return buf.size() < 4;
+  }
+};
+
+}  // namespace
+
+Framing::~Framing() = default;
+
+std::unique_ptr<Framing> Framing::Create(FramingKind kind) {
+  if (kind == FramingKind::kBinary) {
+    return std::make_unique<BinaryFraming>();
+  }
+  return std::make_unique<TextFraming>();
+}
+
+}  // namespace carat::rpc

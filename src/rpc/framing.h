@@ -1,0 +1,88 @@
+// Wire framing for the rpc layer, shared by the server reactors and
+// rpc::Client so both ends of a connection always agree on the bytes.
+//
+// Two framings exist; a connection negotiates once, by its very first byte:
+//
+//   text (default)  Newline-delimited lines, `<id> <body>\n` in both
+//                   directions. Any first byte other than 0x00 is text (no
+//                   request id may begin with a NUL), so existing clients
+//                   negotiate implicitly by doing nothing.
+//
+//   binary (0x00)   The client sends a single 0x00 byte immediately after
+//                   connecting; every subsequent frame, in both directions,
+//                   is length-prefixed:
+//
+//                       0        4            12            4+len
+//                       +--------+------------+---------------+
+//                       | u32 len|   u64 id   |    payload    |
+//                       +--------+------------+---------------+
+//                        little-  little-       len - 8 bytes
+//                        endian   endian
+//
+//                   `len` counts the id and payload (so len >= 8) and is
+//                   bounded by the server's max payload option; `id` is the
+//                   client-chosen request id echoed on the response (id 0 is
+//                   reserved for unattributable server errors, mirroring the
+//                   text protocol's "?" id). The payload bytes are exactly
+//                   the text protocol's body — serve::ParseQuery grammar on
+//                   requests, serve::FormatResult / BUSY / TIMEOUT / ERROR /
+//                   STATS bytes on responses — so the two framings carry
+//                   byte-identical payloads for the same query stream.
+//
+// Both directions share one frame shape per framing, so a single
+// Decode/Encode pair serves client and server symmetrically. Decoders are
+// incremental: they consume whole frames from a growing buffer and leave
+// any trailing partial frame in place (short reads are the caller's normal
+// case, not an error).
+
+#ifndef CARAT_RPC_FRAMING_H_
+#define CARAT_RPC_FRAMING_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace carat::rpc {
+
+enum class FramingKind { kText, kBinary };
+
+/// The byte a client sends first to negotiate binary framing.
+inline constexpr char kBinaryFramingByte = '\0';
+
+class Framing {
+ public:
+  /// One decoded message: the request/response id plus everything after it.
+  struct Message {
+    std::string id;
+    std::string body;
+  };
+
+  virtual ~Framing();
+
+  /// Splits every complete frame out of `*buf` (the consumed prefix is
+  /// erased; a trailing partial frame stays). Text framing skips blank
+  /// lines and '#' comments here, at the protocol layer. Returns false on
+  /// an unrecoverable protocol error — an oversized or malformed frame —
+  /// with a human-readable message in `*error`; the connection must then
+  /// be torn down (already-decoded messages in `*out` remain valid).
+  /// `max_body_bytes` bounds a text line / binary payload.
+  virtual bool Decode(std::string* buf, std::size_t max_body_bytes,
+                      std::vector<Message>* out, std::string* error) = 0;
+
+  /// Appends one framed message to `*wire`. For binary framing `id` must
+  /// be the decimal rendering of a u64 (ids decoded from a binary peer
+  /// always are); the text protocol's unattributable "?" id maps to 0.
+  virtual void Encode(const std::string& id, const std::string& body,
+                      std::string* wire) const = 0;
+
+  /// True when `buf` still lacks the bytes to even begin decoding (used by
+  /// callers that distinguish "need more" from "idle").
+  virtual bool Empty(const std::string& buf) const { return buf.empty(); }
+
+  static std::unique_ptr<Framing> Create(FramingKind kind);
+};
+
+}  // namespace carat::rpc
+
+#endif  // CARAT_RPC_FRAMING_H_

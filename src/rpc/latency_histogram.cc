@@ -30,9 +30,22 @@ std::uint64_t BucketUpperMicros(std::size_t index) {
   return (std::uint64_t{1} << major) + (sub + 1) * width - 1;
 }
 
+// Inclusive lower edge (µs); equals the upper edge for the exact buckets.
+std::uint64_t BucketLowerMicros(std::size_t index) {
+  if (index < 8) return static_cast<std::uint64_t>(index);
+  const int major = 3 + static_cast<int>((index - 8) / 8);
+  const std::uint64_t sub = (index - 8) % 8;
+  const std::uint64_t width = std::uint64_t{1} << (major - 3);
+  return (std::uint64_t{1} << major) + sub * width;
+}
+
+// Every value at or above this clamps into the last bucket.
+constexpr std::uint64_t kMaxTrackedMicros = (std::uint64_t{1} << 31) - 1;
+
 }  // namespace
 
 void LatencyHistogram::Record(std::uint64_t micros) {
+  if (micros > kMaxTrackedMicros) ++overflow_;
   ++counts_[BucketIndex(micros)];
   ++total_;
 }
@@ -47,17 +60,34 @@ double LatencyHistogram::PercentileMs(double percentile) const {
   if (rank == 0) rank = 1;
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kNumBuckets; ++i) {
-    seen += counts_[i];
-    if (seen >= rank) {
-      return static_cast<double>(BucketUpperMicros(i)) / 1000.0;
+    if (counts_[i] == 0) continue;
+    if (seen + counts_[i] >= rank) {
+      // Interpolate the rank's position within this bucket (midpoint
+      // convention): observation `k` of `c` sits at fraction (k - 0.5) / c
+      // of the bucket span, so a constant stream reports ~its true value
+      // instead of the bucket's inclusive upper edge.
+      const double lower = static_cast<double>(BucketLowerMicros(i));
+      const double upper = static_cast<double>(BucketUpperMicros(i));
+      const double frac =
+          (static_cast<double>(rank - seen) - 0.5) /
+          static_cast<double>(counts_[i]);
+      return (lower + (upper - lower) * frac) / 1000.0;
     }
+    seen += counts_[i];
   }
   return static_cast<double>(BucketUpperMicros(kNumBuckets - 1)) / 1000.0;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  overflow_ += other.overflow_;
 }
 
 void LatencyHistogram::Clear() {
   for (std::uint64_t& c : counts_) c = 0;
   total_ = 0;
+  overflow_ = 0;
 }
 
 }  // namespace carat::rpc

@@ -1,13 +1,19 @@
 // Fixed-bucket latency histogram for the serving front-end's live metrics.
 //
 // Log-linear buckets (HDR-style): exact counts below 8 µs, then 8 linear
-// sub-buckets per power of two up to ~34 s. Recording is an array increment
-// — no allocation, no floating point — so it can sit on the request hot
-// path; percentile queries walk the (fixed, 232-entry) array and report the
-// bucket's upper edge, bounding relative error at 12.5%.
+// sub-buckets per power of two up to ~36 min. Recording is an array
+// increment — no allocation, no floating point — so it can sit on the
+// request hot path. Percentile queries walk the (fixed, 232-entry) array
+// and interpolate the rank's position within its bucket (midpoint
+// convention), so a constant stream reports ~its true value instead of the
+// bucket's upper edge; the residual error is bounded by half a bucket
+// width (6.25%). Values past the last bucket clamp into it and are counted
+// by overflow_count() so a clamped tail is visible rather than silent.
 //
-// Not internally synchronized: rpc::TcpServer guards it with the server
-// mutex, the same way serve::SolutionCache relies on the service mutex.
+// Not internally synchronized: the rpc reactors guard their histograms
+// with the per-reactor stats mutex, the same way serve::SolutionCache
+// relies on the service mutex. Merge() lets the server aggregate
+// per-reactor histograms into one distribution for global percentiles.
 
 #ifndef CARAT_RPC_LATENCY_HISTOGRAM_H_
 #define CARAT_RPC_LATENCY_HISTOGRAM_H_
@@ -23,21 +29,30 @@ class LatencyHistogram {
   static constexpr std::size_t kNumBuckets = 8 + 8 * 28;
 
   /// Counts one observation of `micros` microseconds. Values past the last
-  /// bucket (~36 min) clamp into it.
+  /// bucket (~36 min) clamp into it and increment overflow_count().
   void Record(std::uint64_t micros);
 
   /// The latency (in milliseconds) below which `percentile` (0..100) of the
-  /// recorded observations fall: the upper edge of the bucket holding that
-  /// rank. Returns 0 when nothing has been recorded.
+  /// recorded observations fall, interpolated within the bucket holding
+  /// that rank. Returns 0 when nothing has been recorded.
   double PercentileMs(double percentile) const;
 
   std::uint64_t count() const { return total_; }
+
+  /// Observations that exceeded the last bucket's upper edge and were
+  /// clamped into it (their percentile contribution understates them).
+  std::uint64_t overflow_count() const { return overflow_; }
+
+  /// Adds `other`'s observations into this histogram (used to aggregate
+  /// per-reactor histograms into a server-wide distribution).
+  void Merge(const LatencyHistogram& other);
 
   void Clear();
 
  private:
   std::uint64_t counts_[kNumBuckets] = {};
   std::uint64_t total_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 }  // namespace carat::rpc

@@ -1,0 +1,641 @@
+#include "rpc/reactor.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+namespace carat::rpc {
+
+namespace {
+
+// epoll_event.data.u64 tags; connection ids start at 2.
+constexpr std::uint64_t kListenTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+
+/// Longest accepted request id; a longer token is answered under the
+/// unattributable id "?" (the frame itself is already length-bounded).
+constexpr std::size_t kMaxIdBytes = 64;
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Reactor::Reactor(TcpServer* server, std::size_t index)
+    : server_(server), index_(index) {}
+
+Reactor::~Reactor() {
+  Join();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool Reactor::Start(int listen_fd, std::string* error) {
+  listen_fd_ = listen_fd;
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    *error = std::string("epoll_create1: ") + std::strerror(errno);
+    return false;
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    *error = std::string("eventfd: ") + std::strerror(errno);
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    *error = std::string("epoll_ctl wake: ") + std::strerror(errno);
+    return false;
+  }
+  if (listen_fd_ >= 0) {
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenTag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+      *error = std::string("epoll_ctl listen: ") + std::strerror(errno);
+      return false;
+    }
+  }
+  loop_ = std::thread(&Reactor::Loop, this);
+  return true;
+}
+
+void Reactor::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void Reactor::Join() {
+  if (loop_.joinable()) loop_.join();
+}
+
+void Reactor::Adopt(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!draining_.load(std::memory_order_relaxed)) {
+      adopted_.push_back(fd);
+      fd = -1;
+    }
+  }
+  if (fd >= 0) {
+    ::close(fd);  // draining: no new connections
+    return;
+  }
+  Wake();
+}
+
+ServerStats Reactor::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Reactor::MergeLatency(LatencyHistogram* into) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  into->Merge(latency_);
+}
+
+void Reactor::Wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  // EAGAIN means the counter is already nonzero: the loop will wake.
+}
+
+void Reactor::Loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  const int idle_timeout_ms = server_->options().idle_timeout_ms;
+  for (;;) {
+    int timeout_ms = -1;
+    bool exit_loop = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_.load(std::memory_order_acquire)) {
+        if (listen_fd_ >= 0) {
+          ::close(listen_fd_);  // closing deregisters it from epoll
+          listen_fd_ = -1;
+        }
+        for (const int fd : adopted_) ::close(fd);
+        adopted_.clear();
+        // Exit once every response has been flushed. The global in-flight
+        // count (not just this reactor's) must reach zero first: a pool
+        // worker holds a reactor's mutex while posting, so observing zero
+        // under the mutex proves no worker will touch this reactor again.
+        bool flushed =
+            server_->inflight_.load(std::memory_order_acquire) == 0;
+        for (const auto& [id, conn] : conns_) {
+          if (conn->inflight != 0 || conn->out_pos < conn->out.size()) {
+            flushed = false;
+          }
+          UpdateInterest(id, conn.get());  // drops read interest
+        }
+        if (flushed) {
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          for (const auto& [id, conn] : conns_) {
+            ::close(conn->fd);
+            ++stats_.connections_closed;
+          }
+          stats_.active_connections = 0;
+          conns_.clear();
+          exit_loop = true;
+        }
+        timeout_ms = 100;  // belt and braces; completions also Wake()
+      } else if (idle_timeout_ms > 0) {
+        const Clock::time_point now = Clock::now();
+        for (const auto& [id, conn] : conns_) {
+          if (conn->inflight != 0) continue;
+          const auto deadline =
+              conn->last_active + std::chrono::milliseconds(idle_timeout_ms);
+          const auto remaining =
+              std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                    now)
+                  .count();
+          const int rem_ms =
+              static_cast<int>(std::clamp<long long>(remaining, 0, 60'000));
+          timeout_ms = timeout_ms < 0 ? rem_ms : std::min(timeout_ms, rem_ms);
+        }
+      }
+    }
+    if (exit_loop) break;
+
+    const int ready = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool draining = draining_.load(std::memory_order_acquire);
+    for (int i = 0; i < ready; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      const std::uint32_t re = events[i].events;
+      if (tag == kWakeTag) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t n =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      if (tag == kListenTag) {
+        if (!draining && listen_fd_ >= 0) AcceptReady();
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      if (re & (EPOLLERR)) {
+        CloseConn(tag);
+        continue;
+      }
+      if ((re & EPOLLIN) && !draining) {
+        ReadReady(tag);
+        it = conns_.find(tag);
+        if (it == conns_.end()) continue;
+      }
+      if (re & EPOLLHUP) {
+        // The peer closed both directions: responses are undeliverable, so
+        // once reads have drained (or during a drain) drop the connection
+        // instead of spinning on the level-triggered HUP.
+        if (it->second->read_closed || draining) {
+          CloseConn(tag);
+          continue;
+        }
+      }
+      if (re & EPOLLOUT) MarkDirty(tag, it->second.get());
+    }
+
+    // Connections handed off by the accepting reactor (fallback mode).
+    if (!adopted_.empty()) {
+      std::vector<int> adopted;
+      adopted.swap(adopted_);
+      for (const int fd : adopted) {
+        if (draining) {
+          ::close(fd);
+        } else {
+          AddConn(fd);
+        }
+      }
+    }
+
+    // Settle connections with fresh output (worker posts, EPOLLOUT) or
+    // fresh close conditions: flush, then close or re-arm interest.
+    while (!dirty_.empty()) {
+      std::vector<std::uint64_t> dirty;
+      dirty.swap(dirty_);
+      for (const std::uint64_t id : dirty) SettleConn(id);
+    }
+
+    if (!draining && idle_timeout_ms > 0) {
+      const Clock::time_point now = Clock::now();
+      std::vector<std::uint64_t> sweep;
+      sweep.reserve(conns_.size());
+      for (const auto& [id, conn] : conns_) sweep.push_back(id);
+      for (const std::uint64_t id : sweep) {
+        const auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
+        Conn* conn = it->second.get();
+        if (conn->inflight == 0 && conn->out_pos >= conn->out.size() &&
+            now - conn->last_active >=
+                std::chrono::milliseconds(idle_timeout_ms)) {
+          {
+            std::lock_guard<std::mutex> slock(stats_mu_);
+            ++stats_.idle_disconnects;
+          }
+          CloseConn(id);
+        }
+      }
+    }
+  }
+  // Normally a no-op (the drain path closes everything); covers the
+  // epoll-failure exit so no descriptor outlives the loop.
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    for (const auto& [id, conn] : conns_) {
+      ::close(conn->fd);
+      ++stats_.connections_closed;
+    }
+    stats_.active_connections = 0;
+  }
+  conns_.clear();
+  for (const int fd : adopted_) ::close(fd);
+  adopted_.clear();
+}
+
+void Reactor::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or a transient error: nothing to accept
+    if (server_->single_acceptor_) {
+      const std::size_t target = server_->NextHandoffTarget();
+      if (target != index_) {
+        // One-directional lock edge: only the accepting reactor ever takes
+        // another reactor's mutex, so the order stays acyclic.
+        server_->reactors_[target]->Adopt(fd);
+        continue;
+      }
+    }
+    AddConn(fd);
+  }
+}
+
+void Reactor::AddConn(int fd) {
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->last_active = Clock::now();
+  conn->events = EPOLLIN;
+  const std::uint64_t id = next_conn_id_++;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    return;
+  }
+  conns_.emplace(id, std::move(conn));
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.connections_accepted;
+  ++stats_.active_connections;
+}
+
+void Reactor::ReadReady(std::uint64_t conn_id) {
+  Conn* conn = conns_.at(conn_id).get();
+  char buf[4096];
+  bool saw_eof = false;
+  const std::size_t max_body = server_->options().max_line_bytes;
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->in.append(buf, static_cast<std::size_t>(n));
+      conn->last_active = Clock::now();
+      // Decode (or reject) before buffering further; level-triggered epoll
+      // re-reports whatever remains in the socket.
+      if (conn->in.size() > max_body + 16) break;
+      continue;
+    }
+    if (n == 0) {
+      saw_eof = true;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      // drained for now
+    } else {
+      CloseConn(conn_id);
+      return;
+    }
+    break;
+  }
+
+  // Framing negotiation: the connection's first byte selects binary (0x00)
+  // or text (anything else; no text id may begin with a NUL).
+  if (!conn->negotiated && !conn->in.empty()) {
+    if (conn->in[0] == kBinaryFramingByte) {
+      if (server_->options().enable_binary_framing) {
+        conn->framing = Framing::Create(FramingKind::kBinary);
+        conn->in.erase(0, 1);
+        conn->negotiated = true;
+      } else {
+        conn->framing = Framing::Create(FramingKind::kText);
+        conn->negotiated = true;
+        {
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.parse_errors;
+        }
+        Respond(conn_id, "?", "ERROR binary framing disabled");
+        conn->in.clear();
+        conn->read_closed = true;
+        conn->close_after_flush = true;
+      }
+    } else {
+      conn->framing = Framing::Create(FramingKind::kText);
+      conn->negotiated = true;
+    }
+  }
+
+  if (conn->negotiated && !conn->read_closed) {
+    std::vector<Framing::Message> messages;
+    std::string decode_error;
+    const bool decoded =
+        conn->framing->Decode(&conn->in, max_body, &messages, &decode_error);
+    for (Framing::Message& message : messages) {
+      HandleMessage(conn_id, std::move(message));
+      if (conns_.find(conn_id) == conns_.end()) return;  // closed underneath
+      if (conn->read_closed) break;
+    }
+    if (!decoded && !conn->read_closed) {
+      FrameError(conn_id, conn, decode_error);
+    }
+  }
+
+  if (saw_eof) {
+    // Torn frame: whatever partial frame remains is discarded. The
+    // connection stays up until in-flight responses have been flushed.
+    conn->in.clear();
+    conn->read_closed = true;
+  }
+  MarkDirty(conn_id, conn);
+}
+
+void Reactor::FrameError(std::uint64_t conn_id, Conn* conn,
+                         const std::string& error) {
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.frames_oversized;
+  }
+  Respond(conn_id, "?", "ERROR " + error);
+  conn->in.clear();
+  conn->read_closed = true;
+  conn->close_after_flush = true;
+}
+
+bool Reactor::FlushConn(Conn* conn) {
+  while (conn->out_pos < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_pos,
+               conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_pos += static_cast<std::size_t>(n);
+      conn->last_active = Clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      return true;  // kernel buffer full; EPOLLOUT will resume
+    }
+    return false;  // broken pipe or a hard error
+  }
+  conn->out.clear();
+  conn->out_pos = 0;
+  return true;
+}
+
+void Reactor::CloseConn(std::uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::close(it->second->fd);  // closing deregisters the fd from epoll
+  conns_.erase(it);
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.connections_closed;
+  --stats_.active_connections;
+  // In-flight solves for this connection keep running; their responses are
+  // dropped in PostResponse when the id no longer resolves.
+}
+
+void Reactor::SettleConn(std::uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn* conn = it->second.get();
+  conn->dirty = false;
+  if (conn->out_pos < conn->out.size() && !FlushConn(conn)) {
+    CloseConn(conn_id);
+    return;
+  }
+  const bool flushed = conn->out_pos >= conn->out.size();
+  if ((conn->read_closed || conn->close_after_flush) && conn->inflight == 0 &&
+      flushed) {
+    CloseConn(conn_id);
+    return;
+  }
+  UpdateInterest(conn_id, conn);
+}
+
+void Reactor::UpdateInterest(std::uint64_t conn_id, Conn* conn) {
+  std::uint32_t want = 0;
+  if (!draining_.load(std::memory_order_relaxed) && !conn->read_closed) {
+    want |= EPOLLIN;
+  }
+  if (conn->out_pos < conn->out.size()) want |= EPOLLOUT;
+  if (want == conn->events) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn_id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  conn->events = want;
+}
+
+void Reactor::MarkDirty(std::uint64_t conn_id, Conn* conn) {
+  if (conn->dirty) return;
+  conn->dirty = true;
+  dirty_.push_back(conn_id);
+}
+
+void Reactor::Respond(std::uint64_t conn_id, const std::string& id,
+                      const std::string& body) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Conn* conn = it->second.get();
+  conn->framing->Encode(id, body, &conn->out);
+  conn->last_active = Clock::now();
+  MarkDirty(conn_id, conn);
+}
+
+void Reactor::HandleMessage(std::uint64_t conn_id, Framing::Message message) {
+  Conn* conn = conns_.at(conn_id).get();
+  const std::string id = std::move(message.id);
+  if (id.size() > kMaxIdBytes) {
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.parse_errors;
+    }
+    Respond(conn_id, "?", "ERROR request id exceeds " +
+                              std::to_string(kMaxIdBytes) + " bytes");
+    return;
+  }
+  std::istringstream in(message.body);
+  std::vector<std::string> tokens;
+  for (std::string tok; in >> tok;) tokens.push_back(std::move(tok));
+  if (tokens.empty()) {
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.parse_errors;
+    }
+    Respond(conn_id, id, "ERROR empty request");
+    return;
+  }
+  if (tokens[0] == "STATS") {
+    Respond(conn_id, id, server_->BuildStatsBody());
+    return;
+  }
+
+  // Extract the protocol-level deadline_ms field; the rest of the tokens
+  // are the query in the serve::ParseQuery grammar.
+  double deadline_ms = 0.0;
+  std::string body;
+  for (const std::string& token : tokens) {
+    if (token.rfind("deadline_ms=", 0) == 0) {
+      const char* value = token.c_str() + sizeof("deadline_ms=") - 1;
+      char* end = nullptr;
+      deadline_ms = std::strtod(value, &end);
+      if (*value == '\0' || *end != '\0' || deadline_ms < 0) {
+        {
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.parse_errors;
+        }
+        Respond(conn_id, id, "ERROR bad value in '" + token + "'");
+        return;
+      }
+      continue;
+    }
+    if (!body.empty()) body += ' ';
+    body += token;
+  }
+
+  serve::Query query;
+  model::ModelInput input;
+  std::string error;
+  if (!serve::ParseQuery(body, &query, &input, &error)) {
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.parse_errors;
+    }
+    Respond(conn_id, id, "ERROR " + error);
+    return;
+  }
+
+  if (!server_->TryAdmit()) {
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.requests_rejected;
+    }
+    Respond(conn_id, id, "BUSY");
+    return;
+  }
+  ++conn->inflight;
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.requests_submitted;
+  }
+
+  const Clock::time_point enqueued = Clock::now();
+  const bool has_deadline = deadline_ms > 0.0;
+  const Clock::time_point deadline =
+      has_deadline
+          ? enqueued + std::chrono::microseconds(
+                           static_cast<long long>(deadline_ms * 1000.0))
+          : Clock::time_point();
+  const std::optional<bool> exact = query.use_exact_mva;
+  serve::SolverService* service = server_->options().service;
+
+  server_->options().pool->Submit([this, conn_id, id, query = std::move(query),
+                                   input = std::move(input), enqueued,
+                                   has_deadline, deadline, exact,
+                                   service]() mutable {
+    // An expired request is answered without occupying this worker for a
+    // solve; the check runs at dispatch, after any time spent queued.
+    if (has_deadline && Clock::now() >= deadline) {
+      PostResponse(conn_id, id, "TIMEOUT", enqueued, /*timed_out=*/true);
+      return;
+    }
+    model::ModelSolution solution;
+    try {
+      if (exact.has_value()) {
+        model::SolverOptions solver = service->options().solver;
+        solver.use_exact_mva = *exact;
+        solution = service->SolveSync(std::move(input), &solver);
+      } else {
+        solution = service->SolveSync(std::move(input));
+      }
+    } catch (const std::exception& e) {
+      solution = model::ModelSolution{};
+      solution.ok = false;
+      solution.error = e.what();
+    } catch (...) {
+      solution = model::ModelSolution{};
+      solution.ok = false;
+      solution.error = "unknown solver failure";
+    }
+    if (has_deadline && Clock::now() > deadline) {
+      // Solved, but past its deadline: the answer the client contracted for
+      // no longer exists. The solution stays cached for future queries.
+      PostResponse(conn_id, id, "TIMEOUT", enqueued, /*timed_out=*/true);
+      return;
+    }
+    PostResponse(conn_id, id, serve::FormatResult(query, solution), enqueued,
+                 /*timed_out=*/false);
+  });
+}
+
+void Reactor::PostResponse(std::uint64_t conn_id, const std::string& id,
+                           const std::string& body, Clock::time_point enqueued,
+                           bool timed_out) {
+  // The whole body runs under mu_, Wake() included: a drain observing the
+  // global in-flight count at zero under mu_ is therefore guaranteed no
+  // worker will touch this reactor afterwards.
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    if (timed_out) {
+      ++stats_.requests_timed_out;
+    } else {
+      ++stats_.requests_completed;
+      const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+          Clock::now() - enqueued);
+      latency_.Record(static_cast<std::uint64_t>(micros.count()));
+    }
+  }
+  const auto it = conns_.find(conn_id);
+  if (it != conns_.end()) {
+    Conn* conn = it->second.get();
+    --conn->inflight;
+    conn->framing->Encode(id, body, &conn->out);
+    MarkDirty(conn_id, conn);
+  }
+  server_->ReleaseAdmission();
+  Wake();
+}
+
+}  // namespace carat::rpc

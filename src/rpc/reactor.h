@@ -1,0 +1,130 @@
+// One event-loop shard of rpc::TcpServer: a thread owning a private epoll
+// instance, a wake eventfd, and the connections assigned to it. N reactors
+// share the listen port via SO_REUSEPORT (each holds its own listen fd), or
+// — when that is unavailable — reactor 0 accepts and hands descriptors
+// round-robin to the others through Adopt(). A connection lives its whole
+// life on one reactor; solver work still fans out to the shared
+// exec::ThreadPool, whose workers post responses back to the owning
+// reactor.
+//
+// Locking (kept cycle-free across reactors):
+//   mu_        guards the connection table, adopted-fd queue and dirty
+//              list. Held by this reactor's thread, by pool workers posting
+//              responses, and briefly by reactor 0 when handing off an
+//              accepted fd (a one-directional edge: only the acceptor locks
+//              another reactor's mu_).
+//   stats_mu_  leaf mutex guarding the counters and latency histogram.
+//              Never held while acquiring anything else, so any thread —
+//              including another reactor building an aggregated STATS
+//              response while holding its own mu_ — may snapshot it.
+
+#ifndef CARAT_RPC_REACTOR_H_
+#define CARAT_RPC_REACTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/framing.h"
+#include "rpc/latency_histogram.h"
+#include "rpc/tcp_server.h"
+
+namespace carat::rpc {
+
+class Reactor {
+ public:
+  Reactor(TcpServer* server, std::size_t index);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Takes ownership of `listen_fd` (-1 when this reactor only receives
+  /// handed-off connections) and spawns the loop thread.
+  bool Start(int listen_fd, std::string* error);
+
+  /// Signals the drain: stop accepting and reading, finish admitted
+  /// requests, flush, close. Returns immediately; Join() waits.
+  void BeginDrain();
+
+  /// Joins the loop thread if running. Callers serialize via the server.
+  void Join();
+
+  /// Hands an accepted descriptor to this reactor (the single-acceptor
+  /// fallback). Takes ownership of `fd`; closes it when draining.
+  void Adopt(int fd);
+
+  /// Counter snapshot (leaf mutex only; safe from any thread).
+  ServerStats StatsSnapshot() const;
+
+  /// Adds this reactor's latency observations into `*into`.
+  void MergeLatency(LatencyHistogram* into) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Conn {
+    int fd = -1;
+    std::unique_ptr<Framing> framing;  ///< set once negotiated
+    bool negotiated = false;
+    std::string in;           ///< bytes read, not yet decoded into frames
+    std::string out;          ///< response bytes not yet written
+    std::size_t out_pos = 0;  ///< written prefix of `out`
+    std::uint32_t events = 0; ///< current epoll interest mask
+    std::size_t inflight = 0;
+    bool read_closed = false;  ///< EOF seen or frame error: no more reads
+    bool close_after_flush = false;
+    bool dirty = false;  ///< queued in dirty_ for a flush/close sweep
+    Clock::time_point last_active;
+  };
+
+  void Loop();
+  void AcceptReady();
+  void AddConn(int fd);
+  void ReadReady(std::uint64_t conn_id);
+  bool FlushConn(Conn* conn);  ///< false when the connection broke
+  void CloseConn(std::uint64_t conn_id);
+  /// Flushes pending output and closes the connection if it is finished
+  /// (read side closed, nothing in flight, everything flushed); otherwise
+  /// refreshes the epoll interest mask.
+  void SettleConn(std::uint64_t conn_id);
+  void UpdateInterest(std::uint64_t conn_id, Conn* conn);
+  void MarkDirty(std::uint64_t conn_id, Conn* conn);
+  void HandleMessage(std::uint64_t conn_id, Framing::Message message);
+  void FrameError(std::uint64_t conn_id, Conn* conn, const std::string& error);
+  void Respond(std::uint64_t conn_id, const std::string& id,
+               const std::string& body);
+  void PostResponse(std::uint64_t conn_id, const std::string& id,
+                    const std::string& body, Clock::time_point enqueued,
+                    bool timed_out);
+  void Wake();
+
+  TcpServer* const server_;
+  const std::size_t index_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int listen_fd_ = -1;
+  std::thread loop_;
+  std::atomic<bool> draining_{false};
+
+  std::mutex mu_;
+  std::uint64_t next_conn_id_ = 2;  ///< 0 = listen tag, 1 = wake tag
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::vector<int> adopted_;          ///< handed-off fds awaiting AddConn
+  std::vector<std::uint64_t> dirty_;  ///< conns with new output to settle
+
+  mutable std::mutex stats_mu_;  ///< leaf: counters + histogram only
+  ServerStats stats_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace carat::rpc
+
+#endif  // CARAT_RPC_REACTOR_H_

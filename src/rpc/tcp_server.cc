@@ -4,49 +4,83 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <sstream>
 #include <utility>
-#include <vector>
+
+#include "rpc/reactor.h"
 
 namespace carat::rpc {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 bool SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
-void SetNoDelay(int fd) {
+/// Creates a bound, listening, nonblocking socket on `addr`. With
+/// `reuseport`, SO_REUSEPORT is required: if the kernel refuses it,
+/// `*reuseport_failed` is set so the caller can fall back to the
+/// single-acceptor mode instead of reporting a hard error.
+int MakeListenSocket(const sockaddr_in& addr, bool reuseport,
+                     bool* reuseport_failed, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
   int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      *error = std::string("setsockopt SO_REUSEPORT: ") + std::strerror(errno);
+      *reuseport_failed = true;
+      ::close(fd);
+      return -1;
+    }
+#else
+    *error = "SO_REUSEPORT not available";
+    *reuseport_failed = true;
+    ::close(fd);
+    return -1;
+#endif
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 128) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  SetNonBlocking(fd);
+  return fd;
 }
 
-/// Longest accepted request id; a longer token is answered under the
-/// unattributable id "?" (the line itself is already length-bounded).
-constexpr std::size_t kMaxIdBytes = 64;
+std::uint16_t LocalPort(int fd, std::string* error) {
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    *error = std::string("getsockname: ") + std::strerror(errno);
+    return 0;
+  }
+  return ntohs(bound.sin_port);
+}
 
 }  // namespace
 
 TcpServer::TcpServer(Options options) : options_(std::move(options)) {}
 
-TcpServer::~TcpServer() {
-  Shutdown();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (wake_rd_ >= 0) ::close(wake_rd_);
-  if (wake_wr_ >= 0) ::close(wake_wr_);
-}
+TcpServer::~TcpServer() { Shutdown(); }
 
 bool TcpServer::Start(std::string* error) {
   if (options_.service == nullptr || options_.pool == nullptr) {
@@ -57,23 +91,10 @@ bool TcpServer::Start(std::string* error) {
     *error = "max_inflight must be >= 1";
     return false;
   }
-  int pipefd[2];
-  if (::pipe(pipefd) != 0) {
-    *error = std::string("pipe: ") + std::strerror(errno);
+  if (options_.reactors == 0) {
+    *error = "reactors must be >= 1";
     return false;
   }
-  wake_rd_ = pipefd[0];
-  wake_wr_ = pipefd[1];
-  SetNonBlocking(wake_rd_);
-  SetNonBlocking(wake_wr_);
-
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    *error = std::string("socket: ") + std::strerror(errno);
-    return false;
-  }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -84,455 +105,165 @@ bool TcpServer::Start(std::string* error) {
     *error = "not a numeric IPv4 listen address: '" + options_.host + "'";
     return false;
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    *error = std::string("bind ") + host + ": " + std::strerror(errno);
-    return false;
-  }
-  if (::listen(listen_fd_, 128) != 0) {
-    *error = std::string("listen: ") + std::strerror(errno);
-    return false;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
-      0) {
-    *error = std::string("getsockname: ") + std::strerror(errno);
-    return false;
-  }
-  port_ = ntohs(bound.sin_port);
-  SetNonBlocking(listen_fd_);
 
+  const std::size_t n = options_.reactors;
+  std::vector<int> listen_fds(n, -1);
+  single_acceptor_ = options_.force_single_acceptor || n == 1;
+
+  if (!single_acceptor_) {
+    // SO_REUSEPORT sharding: every reactor binds its own socket on the
+    // shared port and the kernel spreads connections across them.
+    bool reuseport_failed = false;
+    listen_fds[0] = MakeListenSocket(addr, /*reuseport=*/true,
+                                     &reuseport_failed, error);
+    if (listen_fds[0] < 0) {
+      if (!reuseport_failed) return false;
+      single_acceptor_ = true;  // fall back below
+    } else {
+      const std::uint16_t bound = LocalPort(listen_fds[0], error);
+      if (bound == 0) {
+        ::close(listen_fds[0]);
+        return false;
+      }
+      addr.sin_port = htons(bound);  // siblings must join the same group
+      for (std::size_t i = 1; i < n; ++i) {
+        bool sibling_failed = false;
+        listen_fds[i] =
+            MakeListenSocket(addr, /*reuseport=*/true, &sibling_failed, error);
+        if (listen_fds[i] < 0) {
+          for (const int fd : listen_fds) {
+            if (fd >= 0) ::close(fd);
+          }
+          return false;
+        }
+      }
+      port_ = bound;
+    }
+  }
+  if (single_acceptor_) {
+    // One listen socket on reactor 0; accepted fds are handed round-robin
+    // to the other reactors.
+    listen_fds.assign(n, -1);
+    listen_fds[0] =
+        MakeListenSocket(addr, /*reuseport=*/false, nullptr, error);
+    if (listen_fds[0] < 0) return false;
+    port_ = LocalPort(listen_fds[0], error);
+    if (port_ == 0) {
+      ::close(listen_fds[0]);
+      return false;
+    }
+  }
+
+  reactors_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reactors_.push_back(std::make_unique<Reactor>(this, i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // The reactor owns its fd from here on (its destructor closes it even
+    // when Start fails before the loop thread spawns).
+    if (!reactors_[i]->Start(listen_fds[i], error)) {
+      listen_fds[i] = -1;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (listen_fds[j] >= 0) ::close(listen_fds[j]);
+      }
+      for (std::size_t j = 0; j < i; ++j) reactors_[j]->BeginDrain();
+      for (std::size_t j = 0; j < i; ++j) reactors_[j]->Join();
+      reactors_.clear();
+      return false;
+    }
+    listen_fds[i] = -1;
+  }
+
+  std::lock_guard<std::mutex> lock(join_mu_);
   started_ = true;
-  loop_ = std::thread(&TcpServer::Loop, this);
   return true;
 }
 
 void TcpServer::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!started_) return;
-    draining_ = true;
-  }
-  Wake();
-  // Serialize the join so concurrent Shutdown calls (signal thread +
-  // destructor) are safe: the first joins, the rest see joinable() false.
+  // Serialize the drain + join so concurrent Shutdown calls (signal thread
+  // + destructor) are safe: the first drains and joins, the rest see the
+  // threads already joined.
   std::lock_guard<std::mutex> lock(join_mu_);
-  if (loop_.joinable()) loop_.join();
+  if (!started_) return;
+  for (const auto& reactor : reactors_) reactor->BeginDrain();
+  for (const auto& reactor : reactors_) reactor->Join();
 }
 
 ServerStats TcpServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  ServerStats snapshot = stats_;
-  snapshot.active_connections = conns_.size();
-  return snapshot;
+  ServerStats total;
+  for (const auto& reactor : reactors_) {
+    const ServerStats s = reactor->StatsSnapshot();
+    total.connections_accepted += s.connections_accepted;
+    total.connections_closed += s.connections_closed;
+    total.active_connections += s.active_connections;
+    total.requests_submitted += s.requests_submitted;
+    total.requests_completed += s.requests_completed;
+    total.requests_rejected += s.requests_rejected;
+    total.requests_timed_out += s.requests_timed_out;
+    total.parse_errors += s.parse_errors;
+    total.frames_oversized += s.frames_oversized;
+    total.idle_disconnects += s.idle_disconnects;
+  }
+  return total;
+}
+
+std::vector<ServerStats> TcpServer::ReactorStats() const {
+  std::vector<ServerStats> out;
+  out.reserve(reactors_.size());
+  for (const auto& reactor : reactors_) {
+    out.push_back(reactor->StatsSnapshot());
+  }
+  return out;
 }
 
 double TcpServer::LatencyPercentileMs(double percentile) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return latency_.PercentileMs(percentile);
+  LatencyHistogram merged;
+  for (const auto& reactor : reactors_) reactor->MergeLatency(&merged);
+  return merged.PercentileMs(percentile);
 }
 
-void TcpServer::Wake() {
-  const char byte = 'w';
-  [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &byte, 1);
-  // EAGAIN means the pipe already holds unread wake bytes: good enough.
-}
-
-void TcpServer::Loop() {
-  std::vector<pollfd> pfds;
-  std::vector<std::uint64_t> ids;
-  for (;;) {
-    pfds.clear();
-    ids.clear();
-    bool polled_listen = false;
-    int timeout_ms = -1;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (draining_) {
-        if (listen_fd_ >= 0) {
-          ::close(listen_fd_);
-          listen_fd_ = -1;
-        }
-        bool flushed = inflight_total_ == 0;
-        for (const auto& [id, conn] : conns_) {
-          if (conn->out_pos < conn->out.size()) flushed = false;
-        }
-        if (flushed) {
-          for (const auto& [id, conn] : conns_) {
-            ::close(conn->fd);
-            ++stats_.connections_closed;
-          }
-          conns_.clear();
-          break;
-        }
-        timeout_ms = 100;  // belt and braces; completions also Wake()
-      }
-      pfds.push_back({wake_rd_, POLLIN, 0});
-      if (!draining_ && listen_fd_ >= 0) {
-        pfds.push_back({listen_fd_, POLLIN, 0});
-        polled_listen = true;
-      }
-      const Clock::time_point now = Clock::now();
-      for (const auto& [id, conn] : conns_) {
-        short events = 0;
-        if (!draining_ && !conn->read_closed &&
-            conn->in.size() <= options_.max_line_bytes) {
-          events |= POLLIN;
-        }
-        if (conn->out_pos < conn->out.size()) events |= POLLOUT;
-        pfds.push_back({conn->fd, events, 0});
-        ids.push_back(id);
-        if (options_.idle_timeout_ms > 0 && conn->inflight == 0) {
-          const auto deadline =
-              conn->last_active +
-              std::chrono::milliseconds(options_.idle_timeout_ms);
-          const auto remaining =
-              std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
-                                                                    now)
-                  .count();
-          const int rem_ms =
-              static_cast<int>(std::clamp<long long>(remaining, 0, 60'000));
-          timeout_ms = timeout_ms < 0 ? rem_ms : std::min(timeout_ms, rem_ms);
-        }
-      }
-    }
-
-    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
-    if (ready < 0 && errno != EINTR && errno != EAGAIN) break;
-
-    std::lock_guard<std::mutex> lock(mu_);
-    if (pfds[0].revents & POLLIN) {
-      char buf[64];
-      while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
-      }
-    }
-    if (polled_listen && (pfds[1].revents & POLLIN) && !draining_) {
-      AcceptReady();
-    }
-    const std::size_t base = polled_listen ? 2 : 1;
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      const std::uint64_t id = ids[i];
-      if (conns_.find(id) == conns_.end()) continue;
-      const short re = pfds[base + i].revents;
-      if (re & (POLLERR | POLLNVAL)) {
-        CloseConn(id);
-        continue;
-      }
-      if (re & POLLIN) ReadReady(id);
-    }
-    // Opportunistic flush + close/idle sweep over every connection: workers
-    // may have appended output to connections poll() reported nothing for.
-    const Clock::time_point now = Clock::now();
-    std::vector<std::uint64_t> sweep;
-    sweep.reserve(conns_.size());
-    for (const auto& [id, conn] : conns_) sweep.push_back(id);
-    for (const std::uint64_t id : sweep) {
-      const auto it = conns_.find(id);
-      if (it == conns_.end()) continue;
-      Conn* conn = it->second.get();
-      if (conn->out_pos < conn->out.size() && !FlushConn(conn)) {
-        CloseConn(id);
-        continue;
-      }
-      const bool flushed = conn->out_pos >= conn->out.size();
-      if ((conn->read_closed || conn->close_after_flush) &&
-          conn->inflight == 0 && flushed) {
-        CloseConn(id);
-        continue;
-      }
-      if (options_.idle_timeout_ms > 0 && conn->inflight == 0 && flushed &&
-          now - conn->last_active >=
-              std::chrono::milliseconds(options_.idle_timeout_ms)) {
-        ++stats_.idle_disconnects;
-        CloseConn(id);
-      }
-    }
-  }
-  // Normally a no-op (the drain path closes everything); covers the
-  // poll-failure exit so no descriptor outlives the loop.
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [id, conn] : conns_) {
-    ::close(conn->fd);
-    ++stats_.connections_closed;
-  }
-  conns_.clear();
-}
-
-void TcpServer::AcceptReady() {
-  for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN or a transient error: nothing to accept
-    SetNonBlocking(fd);
-    SetNoDelay(fd);
-    auto conn = std::make_unique<Conn>();
-    conn->fd = fd;
-    conn->last_active = Clock::now();
-    conns_.emplace(next_conn_id_++, std::move(conn));
-    ++stats_.connections_accepted;
-  }
-}
-
-void TcpServer::ReadReady(std::uint64_t conn_id) {
-  Conn* conn = conns_.at(conn_id).get();
-  char buf[4096];
-  bool saw_eof = false;
-  for (;;) {
-    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
-    if (n > 0) {
-      conn->in.append(buf, static_cast<std::size_t>(n));
-      conn->last_active = Clock::now();
-      if (conn->in.size() > options_.max_line_bytes + 1 &&
-          conn->in.find('\n') == std::string::npos) {
-        break;  // oversized frame; handled below without reading more
-      }
-      continue;
-    }
-    if (n == 0) {
-      saw_eof = true;
-    } else if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-      // drained for now
-    } else {
-      CloseConn(conn_id);
-      return;
-    }
-    break;
-  }
-
-  // Split complete lines out of the input buffer and handle each.
-  std::size_t start = 0;
-  for (;;) {
-    const std::size_t nl = conn->in.find('\n', start);
-    if (nl == std::string::npos) break;
-    std::string line = conn->in.substr(start, nl - start);
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    start = nl + 1;
-    if (line.size() > options_.max_line_bytes) {
-      ++stats_.frames_oversized;
-      Respond(conn_id, "? ERROR line exceeds " +
-                           std::to_string(options_.max_line_bytes) +
-                           " bytes");
-      conn->read_closed = true;
-      conn->close_after_flush = true;
-      break;
-    }
-    HandleLine(conn_id, std::move(line));
-    if (conns_.find(conn_id) == conns_.end()) return;  // closed underneath
-    if (conn->read_closed) break;
-  }
-  conn->in.erase(0, start);
-
-  // A partial line that can no longer fit is an oversized frame: reject it
-  // and close (flushing first), instead of buffering without bound.
-  if (!conn->read_closed && conn->in.size() > options_.max_line_bytes) {
-    ++stats_.frames_oversized;
-    Respond(conn_id, "? ERROR line exceeds " +
-                         std::to_string(options_.max_line_bytes) + " bytes");
-    conn->in.clear();
-    conn->read_closed = true;
-    conn->close_after_flush = true;
-  }
-  if (saw_eof) {
-    // Torn frame: whatever partial line remains is discarded. The
-    // connection stays up until in-flight responses have been flushed.
-    conn->in.clear();
-    conn->read_closed = true;
-  }
-}
-
-bool TcpServer::FlushConn(Conn* conn) {
-  while (conn->out_pos < conn->out.size()) {
-    const ssize_t n =
-        ::send(conn->fd, conn->out.data() + conn->out_pos,
-               conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn->out_pos += static_cast<std::size_t>(n);
-      conn->last_active = Clock::now();
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
-      return true;  // kernel buffer full; POLLOUT will resume
-    }
-    return false;  // broken pipe or a hard error
-  }
-  if (conn->out_pos == conn->out.size()) {
-    conn->out.clear();
-    conn->out_pos = 0;
+bool TcpServer::TryAdmit() {
+  const std::size_t prev = inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (prev >= options_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    return false;
   }
   return true;
 }
 
-void TcpServer::CloseConn(std::uint64_t conn_id) {
-  const auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
-  ::close(it->second->fd);
-  conns_.erase(it);
-  ++stats_.connections_closed;
-  // In-flight solves for this connection keep running; their responses are
-  // dropped in PostResponse when the id no longer resolves.
+void TcpServer::ReleaseAdmission() {
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
-void TcpServer::Respond(std::uint64_t conn_id, const std::string& line) {
-  const auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
-  it->second->out += line;
-  it->second->out += '\n';
-  it->second->last_active = Clock::now();
+std::size_t TcpServer::NextHandoffTarget() {
+  return next_handoff_.fetch_add(1, std::memory_order_relaxed) %
+         reactors_.size();
 }
 
-void TcpServer::HandleLine(std::uint64_t conn_id, std::string line) {
-  std::istringstream in(line);
-  std::vector<std::string> tokens;
-  for (std::string tok; in >> tok;) tokens.push_back(std::move(tok));
-  if (tokens.empty() || tokens[0][0] == '#') return;  // blank or comment
-
-  const std::string& id = tokens[0];
-  if (id.size() > kMaxIdBytes) {
-    ++stats_.parse_errors;
-    Respond(conn_id, "? ERROR request id exceeds " +
-                         std::to_string(kMaxIdBytes) + " bytes");
-    return;
-  }
-  if (tokens.size() == 1) {
-    ++stats_.parse_errors;
-    Respond(conn_id, id + " ERROR empty request");
-    return;
-  }
-  if (tokens[1] == "STATS") {
-    Respond(conn_id, BuildStatsLine(id));
-    return;
-  }
-
-  // Extract the protocol-level deadline_ms field; the rest of the tokens
-  // are the query in the serve::ParseQuery grammar.
-  double deadline_ms = 0.0;
-  std::string body;
-  for (std::size_t i = 1; i < tokens.size(); ++i) {
-    if (tokens[i].rfind("deadline_ms=", 0) == 0) {
-      const char* value = tokens[i].c_str() + sizeof("deadline_ms=") - 1;
-      char* end = nullptr;
-      deadline_ms = std::strtod(value, &end);
-      if (*value == '\0' || *end != '\0' || deadline_ms < 0) {
-        ++stats_.parse_errors;
-        Respond(conn_id, id + " ERROR bad value in '" + tokens[i] + "'");
-        return;
-      }
-      continue;
-    }
-    if (!body.empty()) body += ' ';
-    body += tokens[i];
-  }
-
-  serve::Query query;
-  model::ModelInput input;
-  std::string error;
-  if (!serve::ParseQuery(body, &query, &input, &error)) {
-    ++stats_.parse_errors;
-    Respond(conn_id, id + " ERROR " + error);
-    return;
-  }
-
-  if (inflight_total_ >= options_.max_inflight) {
-    ++stats_.requests_rejected;
-    Respond(conn_id, id + " BUSY");
-    return;
-  }
-  ++inflight_total_;
-  ++conns_.at(conn_id)->inflight;
-  ++stats_.requests_submitted;
-
-  const Clock::time_point enqueued = Clock::now();
-  const bool has_deadline = deadline_ms > 0.0;
-  const Clock::time_point deadline =
-      has_deadline
-          ? enqueued + std::chrono::microseconds(
-                           static_cast<long long>(deadline_ms * 1000.0))
-          : Clock::time_point();
-  const std::optional<bool> exact = query.use_exact_mva;
-
-  options_.pool->Submit([this, conn_id, id, query = std::move(query),
-                         input = std::move(input), enqueued, has_deadline,
-                         deadline, exact]() mutable {
-    // An expired request is answered without occupying this worker for a
-    // solve; the check runs at dispatch, after any time spent queued.
-    if (has_deadline && Clock::now() >= deadline) {
-      PostResponse(conn_id, id + " TIMEOUT", enqueued, /*timed_out=*/true);
-      return;
-    }
-    model::ModelSolution solution;
-    try {
-      if (exact.has_value()) {
-        model::SolverOptions solver = options_.service->options().solver;
-        solver.use_exact_mva = *exact;
-        solution = options_.service->SolveSync(std::move(input), &solver);
-      } else {
-        solution = options_.service->SolveSync(std::move(input));
-      }
-    } catch (const std::exception& e) {
-      solution = model::ModelSolution{};
-      solution.ok = false;
-      solution.error = e.what();
-    } catch (...) {
-      solution = model::ModelSolution{};
-      solution.ok = false;
-      solution.error = "unknown solver failure";
-    }
-    if (has_deadline && Clock::now() > deadline) {
-      // Solved, but past its deadline: the answer the client contracted for
-      // no longer exists. The solution stays cached for future queries.
-      PostResponse(conn_id, id + " TIMEOUT", enqueued, /*timed_out=*/true);
-      return;
-    }
-    PostResponse(conn_id, id + " " + serve::FormatResult(query, solution),
-                 enqueued, /*timed_out=*/false);
-  });
-}
-
-void TcpServer::PostResponse(std::uint64_t conn_id, const std::string& line,
-                             Clock::time_point enqueued, bool timed_out) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (timed_out) {
-      ++stats_.requests_timed_out;
-    } else {
-      ++stats_.requests_completed;
-      const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
-          Clock::now() - enqueued);
-      latency_.Record(static_cast<std::uint64_t>(micros.count()));
-    }
-    --inflight_total_;
-    const auto it = conns_.find(conn_id);
-    if (it != conns_.end()) {
-      Conn* conn = it->second.get();
-      --conn->inflight;
-      conn->out += line;
-      conn->out += '\n';
-    }
-  }
-  Wake();
-}
-
-std::string TcpServer::BuildStatsLine(const std::string& id) {
-  // Called with mu_ held; the service has its own mutex and never calls
-  // back into the server, so the service -> server lock order is one-way.
+std::string TcpServer::BuildStatsBody() const {
+  // Touches only per-reactor leaf stats mutexes and the service mutex; the
+  // service never calls back into the server, so the order is one-way.
+  const ServerStats agg = stats();
+  LatencyHistogram merged;
+  for (const auto& reactor : reactors_) reactor->MergeLatency(&merged);
   const serve::ServiceStats service = options_.service->stats();
   char buf[640];
   std::snprintf(
       buf, sizeof(buf),
-      "%s STATS accepted=%llu active=%zu submitted=%llu completed=%llu "
+      "STATS accepted=%llu active=%llu submitted=%llu completed=%llu "
       "rejected=%llu timed_out=%llu parse_errors=%llu oversized=%llu "
       "idle_disconnects=%llu cache_hits=%llu coalesced=%llu solved=%llu "
       "warm_started=%llu total_iterations=%llu cache_evictions=%llu "
       "cache_expirations=%llu p50_ms=%.3f p99_ms=%.3f",
-      id.c_str(), static_cast<unsigned long long>(stats_.connections_accepted),
-      conns_.size(),
-      static_cast<unsigned long long>(stats_.requests_submitted),
-      static_cast<unsigned long long>(stats_.requests_completed),
-      static_cast<unsigned long long>(stats_.requests_rejected),
-      static_cast<unsigned long long>(stats_.requests_timed_out),
-      static_cast<unsigned long long>(stats_.parse_errors),
-      static_cast<unsigned long long>(stats_.frames_oversized),
-      static_cast<unsigned long long>(stats_.idle_disconnects),
+      static_cast<unsigned long long>(agg.connections_accepted),
+      static_cast<unsigned long long>(agg.active_connections),
+      static_cast<unsigned long long>(agg.requests_submitted),
+      static_cast<unsigned long long>(agg.requests_completed),
+      static_cast<unsigned long long>(agg.requests_rejected),
+      static_cast<unsigned long long>(agg.requests_timed_out),
+      static_cast<unsigned long long>(agg.parse_errors),
+      static_cast<unsigned long long>(agg.frames_oversized),
+      static_cast<unsigned long long>(agg.idle_disconnects),
       static_cast<unsigned long long>(service.cache_hits),
       static_cast<unsigned long long>(service.coalesced),
       static_cast<unsigned long long>(service.solved),
@@ -540,8 +271,20 @@ std::string TcpServer::BuildStatsLine(const std::string& id) {
       static_cast<unsigned long long>(service.total_iterations),
       static_cast<unsigned long long>(service.cache_evictions),
       static_cast<unsigned long long>(service.cache_expirations),
-      latency_.PercentileMs(50.0), latency_.PercentileMs(99.0));
-  return buf;
+      merged.PercentileMs(50.0), merged.PercentileMs(99.0));
+  std::string out = buf;
+  out += " reactors=" + std::to_string(reactors_.size());
+  for (std::size_t i = 0; i < reactors_.size(); ++i) {
+    const ServerStats s = reactors_[i]->StatsSnapshot();
+    char part[160];
+    std::snprintf(part, sizeof(part),
+                  " r%zu_active=%llu r%zu_submitted=%llu r%zu_completed=%llu",
+                  i, static_cast<unsigned long long>(s.active_connections), i,
+                  static_cast<unsigned long long>(s.requests_submitted), i,
+                  static_cast<unsigned long long>(s.requests_completed));
+    out += part;
+  }
+  return out;
 }
 
 }  // namespace carat::rpc

@@ -1,8 +1,10 @@
-// Network serving front-end for the what-if solver: a poll()-based TCP
-// server speaking a newline-delimited request protocol over plain POSIX
-// sockets (no third-party dependencies).
+// Network serving front-end for the what-if solver: an epoll-based,
+// multi-reactor TCP server speaking the newline-delimited text protocol
+// (default) or the negotiated length-prefixed binary protocol over plain
+// POSIX sockets (no third-party dependencies). See rpc/framing.h for the
+// exact bytes of both framings.
 //
-// Wire protocol — one request per line, one response line per request:
+// Text wire protocol — one request per line, one response line per request:
 //
 //   request:   <id> <workload> <n> [key=value ...] [deadline_ms=N]
 //              <id> STATS
@@ -15,43 +17,58 @@
 // `<id>` is an opaque client-chosen token (no whitespace, <= 64 bytes)
 // echoed on the response, so clients may pipeline requests and match
 // answers as they complete — responses are written per-completion, not in
-// request order. The query grammar after the id is exactly the one
-// tools/carat_serve reads from stdin (serve::ParseQuery); the same query
-// therefore produces byte-identical result lines on both front-ends.
+// request order. A connection whose first byte is 0x00 switches to binary
+// framing (u32 len | u64 id | payload, in both directions); the payload
+// bytes are exactly the text protocol's body, so both framings answer
+// byte-identical payloads for the same query stream. The query grammar is
+// the one tools/carat_serve reads from stdin (serve::ParseQuery), and
+// serve::FormatResult is the single source of result bytes, so the same
+// query produces byte-identical result lines on every front-end.
+//
+// Architecture: `--reactors N` event-loop threads (rpc::Reactor), each
+// owning a private epoll instance and its own connections. Sharding is by
+// SO_REUSEPORT — every reactor binds its own listen socket on the shared
+// port and the kernel spreads incoming connections across them. Where
+// SO_REUSEPORT is unavailable (or Options::force_single_acceptor is set,
+// which the tests use), reactor 0 owns the single listen socket and hands
+// accepted descriptors round-robin to the other reactors over their wake
+// eventfds. A connection lives its whole life on one reactor.
 //
 // Hardening, in the way an inference front-end would be hardened:
 //   - admission control: at most `max_inflight` admitted-but-unanswered
-//     requests; past that a request is answered `BUSY` immediately instead
-//     of buffering without bound;
+//     requests across all reactors; past that a request is answered `BUSY`
+//     immediately instead of buffering without bound;
 //   - per-request deadlines: a request whose `deadline_ms` elapses while it
 //     waits in the dispatch queue answers `TIMEOUT` without occupying a
 //     solver thread (and one that finishes solving past its deadline also
 //     answers `TIMEOUT`);
 //   - idle-connection timeouts: connections with no traffic and nothing in
 //     flight for `idle_timeout_ms` are closed;
-//   - oversized frames (a line longer than `max_line_bytes` with no
-//     newline) are answered with an ERROR and the connection is closed;
-//     torn frames (EOF mid-line) are discarded without crashing;
-//   - graceful drain: Shutdown() stops accepting and reading, lets every
-//     admitted request finish, flushes all responses, then closes.
+//   - oversized frames (a text line or binary payload longer than
+//     `max_line_bytes`, or a malformed binary length) are answered with an
+//     ERROR and the connection is closed; torn frames (EOF mid-frame) are
+//     discarded without crashing;
+//   - graceful drain: Shutdown() stops accepting and reading on every
+//     reactor, lets every admitted request finish, flushes all responses,
+//     then closes.
 //
-// Threading: one internal poll thread owns all socket I/O; admitted
-// requests are dispatched to the borrowed exec::ThreadPool, whose workers
-// solve synchronously through serve::SolverService::SolveSync and post the
-// response back to the poll thread. One mutex guards connections, counters
-// and the latency histogram. See DESIGN.md §9.
+// Threading: each reactor thread owns its sockets' I/O; admitted requests
+// are dispatched to the borrowed exec::ThreadPool, whose workers solve
+// synchronously through serve::SolverService::SolveSync and post the
+// response back to the owning reactor. Counters and histograms live behind
+// per-reactor leaf mutexes so STATS can aggregate across reactors from any
+// reactor thread without lock cycles. See DESIGN.md §9.
 
 #ifndef CARAT_RPC_TCP_SERVER_H_
 #define CARAT_RPC_TCP_SERVER_H_
 
-#include <chrono>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_map>
+#include <vector>
 
 #include "exec/thread_pool.h"
 #include "rpc/latency_histogram.h"
@@ -60,7 +77,10 @@
 
 namespace carat::rpc {
 
-/// Monotonic counters; a snapshot is returned by TcpServer::stats().
+class Reactor;
+
+/// Monotonic counters; TcpServer::stats() returns the aggregate across
+/// reactors, TcpServer::ReactorStats() the per-reactor breakdown.
 struct ServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_closed = 0;
@@ -88,14 +108,24 @@ class TcpServer {
     /// SolverService::SolveSync, so the pool's FIFO queue is the dispatch
     /// queue and its size is the service's solve concurrency.
     exec::ThreadPool* pool = nullptr;
-    /// Admission bound: admitted-but-unanswered requests past this answer
-    /// BUSY. Must be >= 1.
+    /// Event-loop threads. Each reactor owns an epoll instance and (with
+    /// SO_REUSEPORT) its own listen socket on the shared port.
+    std::size_t reactors = 1;
+    /// Admission bound: admitted-but-unanswered requests (across all
+    /// reactors) past this answer BUSY. Must be >= 1.
     std::size_t max_inflight = 256;
     /// Close connections idle (no traffic, nothing in flight) longer than
     /// this; 0 disables.
     int idle_timeout_ms = 0;
-    /// Longest accepted request line (excluding the newline).
+    /// Longest accepted request line / binary payload (excluding framing).
     std::size_t max_line_bytes = 4096;
+    /// Accept the 0x00 binary-framing negotiation byte. When false a
+    /// binary hello is answered with a text ERROR and the connection is
+    /// closed (strict text-only deployments: carat_served --framing=text).
+    bool enable_binary_framing = true;
+    /// Testing hook: skip SO_REUSEPORT sharding and exercise the
+    /// single-acceptor round-robin handoff fallback.
+    bool force_single_acceptor = false;
   };
 
   explicit TcpServer(Options options);
@@ -106,65 +136,61 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds, listens and starts the poll thread. Returns false with a
+  /// Binds, listens and starts the reactor threads. Returns false with a
   /// message on any socket-layer failure. Call at most once.
   bool Start(std::string* error);
 
   /// The bound port (useful with Options::port == 0). Valid after Start.
   std::uint16_t port() const { return port_; }
 
-  /// Graceful drain: stop accepting connections and reading requests,
-  /// finish every admitted request, flush all responses, close. Blocks
-  /// until the poll thread has exited. Idempotent and callable from any
-  /// thread (including a signal-forwarding thread).
+  /// Graceful drain: stop accepting connections and reading requests on
+  /// every reactor, finish every admitted request, flush all responses,
+  /// close. Blocks until all reactor threads have exited. Idempotent and
+  /// callable from any thread (including a signal-forwarding thread).
   void Shutdown();
 
+  /// Aggregate counters across all reactors.
   ServerStats stats() const;
 
-  /// Service-time percentile (admission to response) in milliseconds.
+  /// Per-reactor counter breakdown, indexed by reactor.
+  std::vector<ServerStats> ReactorStats() const;
+
+  /// Service-time percentile (admission to response) in milliseconds,
+  /// over the merged per-reactor histograms.
   double LatencyPercentileMs(double percentile) const;
 
- private:
-  struct Conn {
-    int fd = -1;
-    std::string in;          ///< bytes read, not yet split into lines
-    std::string out;         ///< response bytes not yet written
-    std::size_t out_pos = 0; ///< written prefix of `out`
-    std::size_t inflight = 0;
-    bool read_closed = false;   ///< EOF seen or frame error: no more reads
-    bool close_after_flush = false;
-    std::chrono::steady_clock::time_point last_active;
-  };
+  /// True when the SO_REUSEPORT fallback (single acceptor + round-robin
+  /// fd handoff) is active. Valid after Start.
+  bool single_acceptor() const { return single_acceptor_; }
 
-  void Loop();
-  void AcceptReady();
-  void ReadReady(std::uint64_t conn_id);
-  bool FlushConn(Conn* conn);  ///< false when the connection broke
-  void CloseConn(std::uint64_t conn_id);
-  void HandleLine(std::uint64_t conn_id, std::string line);
-  void Respond(std::uint64_t conn_id, const std::string& line);
-  void PostResponse(std::uint64_t conn_id, const std::string& line,
-                    std::chrono::steady_clock::time_point enqueued,
-                    bool timed_out);
-  std::string BuildStatsLine(const std::string& id);
-  void Wake();
+  const Options& options() const { return options_; }
+
+ private:
+  friend class Reactor;
+
+  /// Admission check shared by all reactors: reserves one in-flight slot,
+  /// or returns false when the global bound is reached.
+  bool TryAdmit();
+  void ReleaseAdmission();
+
+  /// Round-robin target for the single-acceptor handoff fallback.
+  std::size_t NextHandoffTarget();
+
+  /// The body (without the request id) of a STATS response: aggregate
+  /// counters, service counters, merged percentiles, and the per-reactor
+  /// breakdown. Touches only per-reactor leaf stats mutexes and the
+  /// service mutex, so any reactor thread may call it while holding its
+  /// own connection mutex.
+  std::string BuildStatsBody() const;
 
   Options options_;
   std::uint16_t port_ = 0;
-  int listen_fd_ = -1;
-  int wake_rd_ = -1;
-  int wake_wr_ = -1;
-  std::thread loop_;
   bool started_ = false;
+  bool single_acceptor_ = false;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> next_handoff_{0};
   std::mutex join_mu_;  ///< serializes the Shutdown join
-
-  mutable std::mutex mu_;
-  bool draining_ = false;
-  std::uint64_t next_conn_id_ = 1;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
-  std::size_t inflight_total_ = 0;
-  ServerStats stats_;
-  LatencyHistogram latency_;
 };
 
 }  // namespace carat::rpc

@@ -9,11 +9,15 @@ bool WarmStartIndex::Nearest(const std::string& shape, double feature,
   const auto it = families_.find(shape);
   if (it == families_.end() || it->second.entries.empty()) return false;
   const std::vector<Entry>& entries = it->second.entries;
+  // Ties break toward the smaller feature value so the winner is a function
+  // of the stored features alone, not of insertion/eviction order (slot
+  // order is an eviction artifact once a family has wrapped).
   std::size_t best = 0;
   double best_dist = std::abs(entries[0].feature - feature);
   for (std::size_t i = 1; i < entries.size(); ++i) {
     const double dist = std::abs(entries[i].feature - feature);
-    if (dist < best_dist) {
+    if (dist < best_dist ||
+        (dist == best_dist && entries[i].feature < entries[best].feature)) {
       best_dist = dist;
       best = i;
     }
@@ -28,16 +32,24 @@ void WarmStartIndex::Insert(const std::string& shape, double feature,
   Family& family = families_[shape];
   for (Entry& entry : family.entries) {
     if (entry.feature == feature) {
+      // Refresh counts as a write: the entry becomes the newest, so it is
+      // never the next eviction victim (a ring cursor left pointing at a
+      // refreshed slot would evict the seed that was just filed).
       entry.warm = warm;
+      entry.seq = family.next_seq++;
       return;
     }
   }
   if (family.entries.size() < capacity_) {
-    family.entries.push_back(Entry{feature, warm});
+    family.entries.push_back(Entry{feature, warm, family.next_seq++});
     return;
   }
-  family.entries[family.next] = Entry{feature, warm};
-  family.next = (family.next + 1) % capacity_;
+  // At capacity: overwrite the least recently written seed.
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < family.entries.size(); ++i) {
+    if (family.entries[i].seq < family.entries[victim].seq) victim = i;
+  }
+  family.entries[victim] = Entry{feature, warm, family.next_seq++};
 }
 
 void WarmStartIndex::Clear() { families_.clear(); }

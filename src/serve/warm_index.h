@@ -12,6 +12,7 @@
 #define CARAT_SERVE_WARM_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,14 +29,17 @@ class WarmStartIndex {
       : capacity_(per_shape_capacity) {}
 
   /// Copies the seed nearest to `feature` within `shape` into `*out`.
-  /// Returns false when the family is empty.
+  /// Returns false when the family is empty. Distance ties break
+  /// deterministically toward the smaller feature value, independent of
+  /// insertion or eviction order.
   bool Nearest(const std::string& shape, double feature,
                model::WarmStart* out) const;
 
   /// Files `warm` under (shape, feature). An existing entry at the exact
-  /// feature is refreshed; otherwise the family behaves as a ring, evicting
-  /// the oldest seed once at capacity (sweeps revisit recent neighborhoods,
-  /// so recency is the right retention policy).
+  /// feature is refreshed — and becomes the most recently written, so a
+  /// refresh is never the next eviction victim. Once a family is at
+  /// capacity the least recently written seed is evicted (sweeps revisit
+  /// recent neighborhoods, so recency is the right retention policy).
   void Insert(const std::string& shape, double feature,
               const model::WarmStart& warm);
 
@@ -47,10 +51,11 @@ class WarmStartIndex {
   struct Entry {
     double feature = 0.0;
     model::WarmStart warm;
+    std::uint64_t seq = 0;  ///< last-write sequence; the minimum is evicted
   };
   struct Family {
     std::vector<Entry> entries;
-    std::size_t next = 0;  ///< ring cursor once at capacity
+    std::uint64_t next_seq = 0;
   };
 
   std::size_t capacity_;

@@ -44,15 +44,29 @@ bool ParseJobs(const char* arg, int* jobs) {
 bool ParseHostPort(const char* arg, std::string* host, int* port) {
   if (arg == nullptr || *arg == '\0') return false;
   const std::string text = arg;
-  const std::size_t colon = text.rfind(':');
-  if (colon == std::string::npos || colon == 0 ||
-      colon + 1 >= text.size()) {
-    return false;
+  std::string parsed_host;
+  std::size_t colon;  // index of the colon separating host from port
+  if (text[0] == '[') {
+    // Bracketed form for hosts that themselves contain colons: "[::1]:8080".
+    const std::size_t close = text.find(']');
+    if (close == std::string::npos || close == 1) return false;
+    if (close + 1 >= text.size() || text[close + 1] != ':') return false;
+    parsed_host = text.substr(1, close - 1);
+    colon = close + 1;
+  } else {
+    // Unbracketed hosts may contain no colon of their own: splitting
+    // "::1:8080" on any colon silently mis-attributes part of the address,
+    // so a multi-colon host without brackets is rejected outright.
+    colon = text.find(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    if (text.find(':', colon + 1) != std::string::npos) return false;
+    parsed_host = text.substr(0, colon);
   }
+  if (colon + 1 >= text.size()) return false;
   char* end = nullptr;
   const long value = std::strtol(text.c_str() + colon + 1, &end, 10);
   if (*end != '\0' || value < 0 || value > 65535) return false;
-  *host = text.substr(0, colon);
+  *host = std::move(parsed_host);
   *port = static_cast<int>(value);
   return true;
 }

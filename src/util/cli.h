@@ -24,11 +24,13 @@ bool ParseSizes(const char* arg, std::vector<int>* sizes,
 /// an explicit zero is far more likely a scripting bug than a request.)
 bool ParseJobs(const char* arg, int* jobs);
 
-/// Parses a "HOST:PORT" listen/connect endpoint. HOST must be nonempty (a
-/// numeric IPv4 address or "localhost"; validation of the address bytes is
-/// left to the socket layer) and PORT an integer in [0, 65535] — 0 is a
-/// kernel-assigned ephemeral port. Trailing garbage and a missing colon
-/// both return false.
+/// Parses a "HOST:PORT" or "[HOST]:PORT" listen/connect endpoint. HOST must
+/// be nonempty (validation of the address bytes is left to the socket
+/// layer) and PORT an integer in [0, 65535] — 0 is a kernel-assigned
+/// ephemeral port. Hosts containing colons (IPv6 literals like "::1") must
+/// be bracketed: "[::1]:8080" yields host "::1"; an unbracketed multi-colon
+/// input is ambiguous and rejected rather than silently mis-split. Trailing
+/// garbage, an empty host and a missing colon/port all return false.
 bool ParseHostPort(const char* arg, std::string* host, int* port);
 
 }  // namespace carat::util

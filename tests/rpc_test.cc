@@ -1,16 +1,30 @@
 // Loopback integration tests for the network serving front-end (src/rpc):
-// the poll()-based TcpServer, the blocking Client, and the fixed-bucket
+// the epoll multi-reactor TcpServer, the per-connection framing negotiation
+// (text and binary), the blocking Client, and the log-linear
 // LatencyHistogram. Concurrency-sensitive paths (admission, deadlines,
 // graceful drain, multi-client interleaving) are made deterministic with the
 // same gate-the-pool trick serve_test uses: plug the worker pool with a
 // blocking task so admitted requests sit in the dispatch queue until the
 // test releases them.
 //
-// Carries the `tsan` label (tests/CMakeLists.txt): the poll thread, pool
-// workers and client threads all cross the server mutex, so this suite is
-// the ThreadSanitizer workout for the rpc layer.
+// The CARAT_TEST_REACTORS environment variable (default 1) sets the reactor
+// count for every test that does not pin its own — CI runs the suite at 1
+// and at 4 so the whole protocol surface is exercised against both the
+// single-reactor and the sharded front-end.
+//
+// Carries the `tsan` label (tests/CMakeLists.txt): reactor threads, pool
+// workers and client threads all cross the per-reactor mutexes, so this
+// suite is the ThreadSanitizer workout for the rpc layer.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <future>
 #include <string>
 #include <thread>
@@ -21,6 +35,7 @@
 #include "exec/thread_pool.h"
 #include "model/solver.h"
 #include "rpc/client.h"
+#include "rpc/framing.h"
 #include "rpc/latency_histogram.h"
 #include "rpc/tcp_server.h"
 #include "serve/query.h"
@@ -28,6 +43,13 @@
 
 namespace carat {
 namespace {
+
+std::size_t TestReactors() {
+  const char* env = std::getenv("CARAT_TEST_REACTORS");
+  if (env == nullptr) return 1;
+  const long n = std::strtol(env, nullptr, 10);
+  return n >= 1 ? static_cast<std::size_t>(n) : 1;
+}
 
 serve::SolverService::Options ServiceOptions(exec::ThreadPool* pool) {
   serve::SolverService::Options o;
@@ -41,6 +63,7 @@ rpc::TcpServer::Options ServerOptions(serve::SolverService* service,
   rpc::TcpServer::Options o;
   o.service = service;
   o.pool = pool;
+  o.reactors = TestReactors();
   return o;
 }
 
@@ -50,20 +73,66 @@ void WaitForSubmitted(const rpc::TcpServer& server, std::uint64_t n) {
   }
 }
 
-bool ConnectTo(rpc::Client* client, const rpc::TcpServer& server) {
+bool ConnectTo(rpc::Client* client, const rpc::TcpServer& server,
+               rpc::FramingKind framing = rpc::FramingKind::kText) {
+  rpc::Client::ConnectOptions options;
+  options.recv_timeout_ms = 30'000;
+  options.connect_timeout_ms = 10'000;
+  options.framing = framing;
   std::string error;
-  const bool ok =
-      client->Connect("127.0.0.1", server.port(), &error,
-                      /*recv_timeout_ms=*/30'000);
+  const bool ok = client->Connect("127.0.0.1", server.port(), &error, options);
   EXPECT_TRUE(ok) << error;
   return ok;
 }
+
+/// Minimal blocking acceptor on an ephemeral loopback port, for driving the
+/// client against misbehaving servers (drip-feeds, mid-response kills).
+class RawServer {
+ public:
+  ~RawServer() { Close(); }
+
+  bool Listen() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd_, 1) != 0) {
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      return false;
+    }
+    port_ = ntohs(bound.sin_port);
+    return true;
+  }
+
+  int Accept() { return ::accept(fd_, nullptr, nullptr); }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
 
 // ---- LatencyHistogram ------------------------------------------------------
 
 TEST(LatencyHistogram, EmptyReportsZero) {
   rpc::LatencyHistogram h;
   EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow_count(), 0u);
   EXPECT_EQ(h.PercentileMs(50.0), 0.0);
   EXPECT_EQ(h.PercentileMs(99.0), 0.0);
 }
@@ -84,26 +153,73 @@ TEST(LatencyHistogram, PercentilesBoundRelativeError) {
   const double p50 = h.PercentileMs(50.0);
   const double p99 = h.PercentileMs(99.0);
   const double p100 = h.PercentileMs(100.0);
-  // Upper bucket edges: within +12.5% of the true value, never below it.
-  EXPECT_GE(p50, 1.0);
-  EXPECT_LE(p50, 1.125);
-  EXPECT_LE(p99, 1.125);  // rank 99 still falls in the 1 ms bucket
-  EXPECT_GE(p100, 100.0);
-  EXPECT_LE(p100, 112.5);
+  // Interpolated within the bucket: reported values stay inside the bucket
+  // that holds the true value ([0.960, 1.023] ms and [98.304, 106.495] ms),
+  // so the relative error is bounded by the bucket width (12.5%).
+  EXPECT_GE(p50, 0.960);
+  EXPECT_LE(p50, 1.023);
+  EXPECT_GE(p99, 0.960);
+  EXPECT_LE(p99, 1.023);  // rank 99 still falls in the 1 ms bucket
+  EXPECT_GE(p100, 98.304);
+  EXPECT_LE(p100, 106.495);
+}
+
+TEST(LatencyHistogram, InterpolationPinsKnownStreams) {
+  // Regression for the upper-edge bias: a constant stream used to report
+  // the bucket's inclusive upper edge (1.023 ms for 1000 us observations)
+  // for every percentile. With midpoint interpolation observation k of c
+  // sits at fraction (k - 0.5) / c of the bucket span [960, 1023].
+  rpc::LatencyHistogram constant;
+  for (int i = 0; i < 100; ++i) constant.Record(1'000);
+  EXPECT_NEAR(constant.PercentileMs(50.0), 0.991185, 1e-9);   // not 1.023
+  EXPECT_NEAR(constant.PercentileMs(99.0), 1.022055, 1e-9);
+  EXPECT_LT(constant.PercentileMs(50.0), constant.PercentileMs(99.0));
+
+  // A two-level stream: p99 lands on rank 99, the 9th of 10 observations
+  // in the [3840, 4095] us bucket.
+  rpc::LatencyHistogram mixed;
+  for (int i = 0; i < 90; ++i) mixed.Record(1'000);
+  for (int i = 0; i < 10; ++i) mixed.Record(4'000);
+  EXPECT_NEAR(mixed.PercentileMs(99.0), 4.05675, 1e-9);
+}
+
+TEST(LatencyHistogram, OverflowIsCountedAndClamped) {
+  rpc::LatencyHistogram h;
+  h.Record(3'000'000'000'000);  // ~35 days in us: past the ~36 min tracked max
+  h.Record(1'000);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_GT(h.PercentileMs(100.0), h.PercentileMs(1.0));
 }
 
 TEST(LatencyHistogram, HugeValuesClampIntoTheLastBucket) {
   rpc::LatencyHistogram h;
   h.Record(~std::uint64_t{0});
   EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.overflow_count(), 1u);
   EXPECT_GT(h.PercentileMs(50.0), 0.0);
+}
+
+TEST(LatencyHistogram, MergeAggregatesAcrossInstances) {
+  rpc::LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(1'000);
+  for (int i = 0; i < 100; ++i) b.Record(1'000);
+  b.Record(~std::uint64_t{0});
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 201u);
+  EXPECT_EQ(a.overflow_count(), 1u);
+  // Merged percentiles read the combined distribution: rank 101 of 200 in
+  // the [960, 1023] bucket.
+  EXPECT_NEAR(a.PercentileMs(50.0), 0.9916575, 1e-9);
 }
 
 TEST(LatencyHistogram, ClearResets) {
   rpc::LatencyHistogram h;
   h.Record(1'000);
+  h.Record(~std::uint64_t{0});
   h.Clear();
   EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow_count(), 0u);
   EXPECT_EQ(h.PercentileMs(50.0), 0.0);
 }
 
@@ -134,6 +250,114 @@ TEST(TcpServer, AnswersByteIdenticallyToTheSharedFormatter) {
   ASSERT_TRUE(client.Request("y mb4 6", &response));
   EXPECT_EQ(response, "y " + serve::FormatResult(query, direct));
   EXPECT_EQ(service.stats().cache_hits, 1u);
+}
+
+TEST(TcpServer, BinaryFramingAnswersByteIdenticalPayloads) {
+  exec::ThreadPool pool(1);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer server(ServerOptions(&service, &pool));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // One server, two framings, the same id-matched query stream: the
+  // response payloads must be byte-identical (ids are decimal so they
+  // round-trip through the binary u64 id field unchanged).
+  rpc::Client text;
+  rpc::Client binary;
+  ASSERT_TRUE(ConnectTo(&text, server, rpc::FramingKind::kText));
+  ASSERT_TRUE(ConnectTo(&binary, server, rpc::FramingKind::kBinary));
+  const std::vector<std::string> queries = {
+      "101 mb4 6", "102 mb4 12 what_if=mpl:10", "103 sweep 2:4", "104 bogus"};
+  for (const std::string& q : queries) {
+    std::string from_text, from_binary;
+    ASSERT_TRUE(text.Request(q, &from_text)) << q;
+    ASSERT_TRUE(binary.Request(q, &from_binary)) << q;
+    EXPECT_EQ(from_text, from_binary) << q;
+  }
+  // STATS aside (counters move between the two requests), both connections
+  // stay healthy afterwards.
+  std::string response;
+  ASSERT_TRUE(binary.Request("105 STATS", &response));
+  EXPECT_EQ(response.rfind("105 STATS accepted=", 0), 0u) << response;
+}
+
+TEST(TcpServer, BinaryNegotiationRefusedWhenDisabled) {
+  exec::ThreadPool pool(1);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer::Options opts = ServerOptions(&service, &pool);
+  opts.enable_binary_framing = false;  // carat_served --framing=text
+  rpc::TcpServer server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // A text-mode client sending the raw 0x00 hello sees a text ERROR and a
+  // closed connection.
+  rpc::Client client;
+  ASSERT_TRUE(ConnectTo(&client, server));
+  ASSERT_TRUE(client.SendRaw(std::string(1, rpc::kBinaryFramingByte)));
+  std::string response;
+  ASSERT_TRUE(client.ReadLine(&response));
+  EXPECT_EQ(response, "? ERROR binary framing disabled");
+  EXPECT_FALSE(client.ReadLine(&response));
+
+  // Text connections are untouched by the strict mode.
+  rpc::Client fresh;
+  ASSERT_TRUE(ConnectTo(&fresh, server));
+  ASSERT_TRUE(fresh.Request("a mb4 4", &response));
+  EXPECT_EQ(response.rfind("a mb4,4,ok", 0), 0u) << response;
+}
+
+TEST(TcpServer, MalformedBinaryFramesAnswerErrorAndClose) {
+  exec::ThreadPool pool(1);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer::Options opts = ServerOptions(&service, &pool);
+  opts.max_line_bytes = 64;
+  rpc::TcpServer server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // A frame length below the 8-byte id minimum is malformed.
+  {
+    rpc::Client client;
+    ASSERT_TRUE(ConnectTo(&client, server, rpc::FramingKind::kBinary));
+    ASSERT_TRUE(client.SendRaw(std::string("\x03\x00\x00\x00", 4)));
+    std::string response;
+    ASSERT_TRUE(client.ReadLine(&response));
+    EXPECT_EQ(response, "0 ERROR binary frame length 3 < 8");
+    EXPECT_FALSE(client.ReadLine(&response));
+  }
+  // A payload past max_line_bytes is oversized — rejected from the length
+  // prefix alone, before the payload arrives.
+  {
+    rpc::Client client;
+    ASSERT_TRUE(ConnectTo(&client, server, rpc::FramingKind::kBinary));
+    ASSERT_TRUE(client.SendRaw(std::string("\xff\x00\x00\x00", 4)));
+    std::string response;
+    ASSERT_TRUE(client.ReadLine(&response));
+    EXPECT_EQ(response, "0 ERROR binary frame payload exceeds 64 bytes");
+    EXPECT_FALSE(client.ReadLine(&response));
+  }
+  EXPECT_EQ(server.stats().frames_oversized, 2u);
+
+  // A torn binary frame (EOF mid-frame) is discarded without an error.
+  {
+    rpc::Client client;
+    ASSERT_TRUE(ConnectTo(&client, server, rpc::FramingKind::kBinary));
+    std::string wire;
+    rpc::Framing::Create(rpc::FramingKind::kBinary)->Encode("7", "mb4 4", &wire);
+    ASSERT_TRUE(client.SendRaw(wire.substr(0, wire.size() - 2)));
+    client.CloseSend();
+    std::string response;
+    EXPECT_FALSE(client.ReadLine(&response));  // no response, clean EOF
+  }
+  EXPECT_EQ(server.stats().frames_oversized, 2u);
+
+  // The server is unharmed.
+  rpc::Client fresh;
+  ASSERT_TRUE(ConnectTo(&fresh, server, rpc::FramingKind::kBinary));
+  std::string response;
+  ASSERT_TRUE(fresh.Request("9 mb4 4", &response));
+  EXPECT_EQ(response.rfind("9 mb4,4,ok", 0), 0u) << response;
 }
 
 TEST(TcpServer, MultipleClientsInterleaveAndEveryRequestIsAnswered) {
@@ -284,6 +508,101 @@ TEST(TcpServer, GracefulDrainAnswersEveryAdmittedRequest) {
   EXPECT_FALSE(late.Connect("127.0.0.1", server.port(), &late_error));
 }
 
+TEST(TcpServer, DrainUnderBurstLoadAnswersEveryAdmittedRequest) {
+  // The multi-reactor drain correctness bar: Shutdown while 64 clients are
+  // mid-burst across 4 reactors must answer every admitted request (result,
+  // BUSY or TIMEOUT — never silence) and then close every connection.
+  exec::ThreadPool pool(2);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer::Options opts = ServerOptions(&service, &pool);
+  opts.reactors = 4;
+  opts.max_inflight = 4096;  // sized above the offered window
+  rpc::TcpServer server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  constexpr int kClients = 64;
+  constexpr int kPerClient = 4;
+  // Plug the pool so every request is still in flight when the drain starts.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  pool.Submit([gate] { gate.wait(); });
+  pool.Submit([gate] { gate.wait(); });
+
+  std::atomic<int> answered{0};
+  std::atomic<int> read_failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    const rpc::FramingKind framing = (c % 2) != 0 ? rpc::FramingKind::kBinary
+                                                  : rpc::FramingKind::kText;
+    threads.emplace_back([c, framing, &server, &answered, &read_failures] {
+      rpc::Client client;
+      if (!ConnectTo(&client, server, framing)) {
+        read_failures.fetch_add(kPerClient);
+        return;
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::uint64_t id = static_cast<std::uint64_t>(c) * 100 + i + 1;
+        client.SendLine(std::to_string(id) + " mb4 " +
+                        std::to_string(2 + (c + i) % 5));
+      }
+      std::string response;
+      int got = 0;
+      while (got < kPerClient && client.ReadLine(&response)) {
+        EXPECT_NE(response.find(' '), std::string::npos) << response;
+        ++got;
+      }
+      answered.fetch_add(got);
+      if (got < kPerClient) read_failures.fetch_add(kPerClient - got);
+    });
+  }
+
+  WaitForSubmitted(server, kClients * kPerClient);
+  std::thread shutdown([&server] { server.Shutdown(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  release.set_value();
+  shutdown.join();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(answered.load(), kClients * kPerClient);
+  EXPECT_EQ(read_failures.load(), 0);
+  const rpc::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_submitted,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.requests_completed + stats.requests_timed_out,
+            stats.requests_submitted);
+  EXPECT_EQ(stats.active_connections, 0u);
+}
+
+TEST(TcpServer, SingleAcceptorFallbackSpreadsConnectionsRoundRobin) {
+  exec::ThreadPool pool(1);
+  serve::SolverService service(ServiceOptions(&pool));
+  rpc::TcpServer::Options opts = ServerOptions(&service, &pool);
+  opts.reactors = 3;
+  opts.force_single_acceptor = true;
+  rpc::TcpServer server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  EXPECT_TRUE(server.single_acceptor());
+
+  // Sequential connections with a round trip each: the handoff is
+  // round-robin, so 6 connections land 2 on each of the 3 reactors.
+  std::vector<rpc::Client> clients(6);
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    ASSERT_TRUE(ConnectTo(&clients[i], server));
+    std::string response;
+    ASSERT_TRUE(clients[i].Request(std::to_string(i) + " mb4 4", &response));
+    EXPECT_NE(response.find(",ok,"), std::string::npos) << response;
+  }
+  const std::vector<rpc::ServerStats> per = server.ReactorStats();
+  ASSERT_EQ(per.size(), 3u);
+  for (std::size_t r = 0; r < per.size(); ++r) {
+    EXPECT_EQ(per[r].connections_accepted, 2u) << "reactor " << r;
+  }
+  EXPECT_EQ(server.stats().connections_accepted, 6u);
+}
+
 TEST(TcpServer, OversizedFrameIsRejectedAndConnectionClosed) {
   exec::ThreadPool pool(1);
   serve::SolverService service(ServiceOptions(&pool));
@@ -362,10 +681,13 @@ TEST(TcpServer, MalformedRequestsAnswerErrorAndKeepTheConnection) {
   EXPECT_EQ(response.rfind("c mb4,4,ok", 0), 0u) << response;
 }
 
-TEST(TcpServer, StatsVerbReportsLiveCounters) {
+TEST(TcpServer, StatsVerbReportsLiveCountersWithReactorBreakdown) {
   exec::ThreadPool pool(1);
   serve::SolverService service(ServiceOptions(&pool));
-  rpc::TcpServer server(ServerOptions(&service, &pool));
+  rpc::TcpServer::Options opts = ServerOptions(&service, &pool);
+  opts.reactors = 2;
+  opts.force_single_acceptor = true;  // deterministic placement
+  rpc::TcpServer server(std::move(opts));
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
 
@@ -377,7 +699,8 @@ TEST(TcpServer, StatsVerbReportsLiveCounters) {
   EXPECT_EQ(response.rfind("s STATS ", 0), 0u) << response;
   for (const char* field :
        {"accepted=1", "submitted=1", "completed=1", "rejected=0",
-        "cache_hits=0", "solved=1", "p50_ms=", "p99_ms="}) {
+        "cache_hits=0", "solved=1", "p50_ms=", "p99_ms=", "reactors=2",
+        "r0_active=", "r0_submitted=", "r1_completed="}) {
     EXPECT_NE(response.find(field), std::string::npos)
         << "missing " << field << " in: " << response;
   }
@@ -418,6 +741,117 @@ TEST(TcpServer, ShutdownIsIdempotentAndSafeFromManyThreads) {
   }
   for (std::thread& t : threads) t.join();
   server.Shutdown();  // and once more after it has fully stopped
+}
+
+// ---- Client robustness -----------------------------------------------------
+
+TEST(Client, ReceiveDeadlineBoundsADripFeedingServer) {
+  // Regression: a per-read SO_RCVTIMEO never fires against a server that
+  // drips one byte per interval, so a wedged-but-trickling peer could hold
+  // the client forever. The deadline is total, not per-read.
+  RawServer raw;
+  ASSERT_TRUE(raw.Listen());
+  std::atomic<bool> stop{false};
+  std::thread dripper([&raw, &stop] {
+    const int fd = raw.Accept();
+    if (fd < 0) return;
+    while (!stop.load()) {
+      if (::send(fd, "x", 1, MSG_NOSIGNAL) <= 0) break;  // never a newline
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ::close(fd);
+  });
+
+  rpc::Client client;
+  rpc::Client::ConnectOptions options;
+  options.recv_timeout_ms = 150;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", raw.port(), &error, options))
+      << error;
+  const auto start = std::chrono::steady_clock::now();
+  std::string line;
+  EXPECT_FALSE(client.ReadLine(&line));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 100);
+  EXPECT_LT(elapsed.count(), 5'000);  // bounded despite the steady drip
+  stop.store(true);
+  client.Close();
+  dripper.join();
+}
+
+TEST(Client, ServerKilledMidResponseFailsTheReadInsteadOfHanging) {
+  RawServer raw;
+  ASSERT_TRUE(raw.Listen());
+  std::thread killer([&raw] {
+    const int fd = raw.Accept();
+    if (fd < 0) return;
+    char buf[256];
+    [[maybe_unused]] const ssize_t n = ::read(fd, buf, sizeof(buf));
+    // Half a response — no terminating newline — then a hard close.
+    [[maybe_unused]] const ssize_t m =
+        ::send(fd, "a mb4,8,ok", 10, MSG_NOSIGNAL);
+    ::close(fd);
+  });
+
+  rpc::Client client;
+  rpc::Client::ConnectOptions options;
+  options.recv_timeout_ms = 5'000;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", raw.port(), &error, options))
+      << error;
+  std::string response;
+  EXPECT_FALSE(client.Request("a mb4 8", &response));  // EOF mid-response
+  killer.join();
+}
+
+TEST(Client, ConnectTimeoutFailsInsteadOfBlocking) {
+  // A listener that never accepts, with its backlog saturated: the kernel
+  // drops further SYNs, so an untimed connect would block through the full
+  // SYN-retransmission schedule (minutes). The connect timeout must bound
+  // it instead.
+  RawServer raw;
+  ASSERT_TRUE(raw.Listen());  // backlog 1, never accepted
+  std::vector<int> plugs;
+  for (int i = 0; i < 8; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, SOCK_NONBLOCK);
+    if (fd < 0) break;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(raw.port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    plugs.push_back(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  rpc::Client client;
+  rpc::Client::ConnectOptions options;
+  options.connect_timeout_ms = 250;
+  std::string error;
+  const auto start = std::chrono::steady_clock::now();
+  const bool connected = client.Connect("127.0.0.1", raw.port(), &error,
+                                        options);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // Either the SYN is dropped and the timeout fires, or this kernel lets
+  // the handshake finish anyway (some sandboxes do); what must never
+  // happen is a multi-minute block on the SYN retransmission schedule.
+  if (!connected) EXPECT_EQ(error, "connect: timed out");
+  EXPECT_LT(elapsed.count(), 5'000);
+  for (const int fd : plugs) ::close(fd);
+
+  // And a refused connect reports the socket error through the same
+  // nonblocking connect + SO_ERROR path instead of succeeding silently.
+  RawServer closed;
+  ASSERT_TRUE(closed.Listen());
+  const std::uint16_t dead_port = closed.port();
+  closed.Close();  // nothing listens here any more
+  rpc::Client refused;
+  error.clear();
+  EXPECT_FALSE(refused.Connect("127.0.0.1", dead_port, &error, options));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(error.rfind("connect: ", 0), 0u) << error;
 }
 
 }  // namespace

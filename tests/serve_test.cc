@@ -215,7 +215,7 @@ TEST(WarmStartIndex, PicksNearestFeatureWithinShape) {
   EXPECT_FALSE(index.Nearest("other-shape", 13.0, &out));
 }
 
-TEST(WarmStartIndex, SameFeatureOverwritesAndCapacityRingEvicts) {
+TEST(WarmStartIndex, SameFeatureOverwritesAndCapacityEvictsLeastRecent) {
   serve::WarmStartIndex index(2);
   model::WarmStart warm;
   warm.comm_delay_ms = 1.0;
@@ -234,6 +234,44 @@ TEST(WarmStartIndex, SameFeatureOverwritesAndCapacityRingEvicts) {
   EXPECT_EQ(index.size(), 2u);
   ASSERT_TRUE(index.Nearest("s", 5.0, &out));
   EXPECT_EQ(out.comm_delay_ms, 3.0);  // 6.0 is now the closest survivor
+}
+
+TEST(WarmStartIndex, RefreshProtectsAnEntryFromEviction) {
+  // Regression: the old ring cursor evicted by slot order, so refreshing a
+  // seed did not renew it — insert 5, insert 6, refresh 5, insert 7 evicted
+  // the just-refreshed 5. Eviction is by last-write recency: 6 must go.
+  serve::WarmStartIndex index(2);
+  model::WarmStart warm;
+  warm.comm_delay_ms = 1.0;
+  index.Insert("s", 5.0, warm);
+  warm.comm_delay_ms = 2.0;
+  index.Insert("s", 6.0, warm);
+  warm.comm_delay_ms = 3.0;
+  index.Insert("s", 5.0, warm);  // refresh renews 5.0
+  warm.comm_delay_ms = 4.0;
+  index.Insert("s", 7.0, warm);  // at capacity: evicts 6.0, not 5.0
+  EXPECT_EQ(index.size(), 2u);
+  model::WarmStart out;
+  ASSERT_TRUE(index.Nearest("s", 5.9, &out));
+  EXPECT_EQ(out.comm_delay_ms, 3.0);  // the refreshed seed survived
+  ASSERT_TRUE(index.Nearest("s", 100.0, &out));
+  EXPECT_EQ(out.comm_delay_ms, 4.0);
+}
+
+TEST(WarmStartIndex, NearestBreaksDistanceTiesTowardTheSmallerFeature) {
+  // The winner of an exact distance tie is a function of the stored
+  // features alone, not of insertion order.
+  for (const bool ascending : {true, false}) {
+    serve::WarmStartIndex index(4);
+    model::WarmStart warm;
+    warm.comm_delay_ms = ascending ? 1.0 : 2.0;
+    index.Insert("s", ascending ? 10.0 : 20.0, warm);
+    warm.comm_delay_ms = ascending ? 2.0 : 1.0;
+    index.Insert("s", ascending ? 20.0 : 10.0, warm);
+    model::WarmStart out;
+    ASSERT_TRUE(index.Nearest("s", 15.0, &out));  // equidistant
+    EXPECT_EQ(out.comm_delay_ms, 1.0) << "ascending=" << ascending;
+  }
 }
 
 TEST(WarmStartIndex, ZeroCapacityDisables) {

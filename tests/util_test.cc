@@ -223,6 +223,29 @@ TEST(Cli, ParseHostPortRejectsMalformedAddresses) {
   EXPECT_EQ(port, -1);
 }
 
+TEST(Cli, ParseHostPortHandlesBracketedIpv6Hosts) {
+  std::string host;
+  int port = -1;
+  ASSERT_TRUE(ParseHostPort("[::1]:8080", &host, &port));
+  EXPECT_EQ(host, "::1");
+  EXPECT_EQ(port, 8080);
+  ASSERT_TRUE(ParseHostPort("[fe80::2%eth0]:7411", &host, &port));
+  EXPECT_EQ(host, "fe80::2%eth0");
+  EXPECT_EQ(port, 7411);
+
+  // Regression: an unbracketed multi-colon host is ambiguous — splitting
+  // "::1:8080" on any single colon silently mis-attributes part of the
+  // address as the port — so it is rejected instead of mis-parsed.
+  EXPECT_FALSE(ParseHostPort("::1:8080", &host, &port));
+  EXPECT_FALSE(ParseHostPort("fe80::2:7411", &host, &port));
+
+  // Malformed bracketed forms.
+  EXPECT_FALSE(ParseHostPort("[]:80", &host, &port));     // empty host
+  EXPECT_FALSE(ParseHostPort("[::1]", &host, &port));     // no port
+  EXPECT_FALSE(ParseHostPort("[::1]8080", &host, &port));  // missing colon
+  EXPECT_FALSE(ParseHostPort("[::1]:", &host, &port));    // empty port
+}
+
 TEST(Cli, ParseSizesNamesTheBadToken) {
   std::vector<int> sizes;
   std::string bad;

@@ -15,10 +15,15 @@
 //                        port 0 binds an ephemeral port, printed on stderr)
 //   --jobs N             solver/dispatch workers (omitted: one per hardware
 //                        thread)
+//   --reactors N         event-loop threads, sharded over the listen port
+//                        via SO_REUSEPORT (default 1)
 //   --max-inflight M     admission bound; further requests answer BUSY
 //                        (default 256)
 //   --idle-timeout-ms T  close connections idle longer than T (default
 //                        60000; 0 disables)
+//   --framing MODE       "text" refuses the 0x00 binary-framing negotiation
+//                        byte; "binary" (the default) accepts it — text
+//                        connections work either way
 //   --no-cache / --no-warm   as in carat_serve
 //
 // On SIGINT/SIGTERM the server stops accepting, finishes every admitted
@@ -43,9 +48,10 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: carat_served [--listen HOST:PORT] [--jobs N] "
-               "[--max-inflight M]\n"
-               "                    [--idle-timeout-ms T] [--no-cache] "
-               "[--no-warm]\n");
+               "[--reactors N]\n"
+               "                    [--max-inflight M] [--idle-timeout-ms T] "
+               "[--framing text|binary]\n"
+               "                    [--no-cache] [--no-warm]\n");
   return 2;
 }
 
@@ -84,6 +90,27 @@ int main(int argc, char** argv) {
                      "--jobs: expected a positive integer, got '%s' "
                      "(omit --jobs for one worker per hardware thread)\n",
                      argv[i]);
+        return Usage();
+      }
+    } else if (arg == "--reactors" && i + 1 < argc) {
+      int reactors = 0;
+      if (!util::ParseJobs(argv[++i], &reactors)) {
+        std::fprintf(stderr,
+                     "--reactors: expected a positive integer, got '%s'\n",
+                     argv[i]);
+        return Usage();
+      }
+      ropts.reactors = static_cast<std::size_t>(reactors);
+    } else if (arg == "--framing" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "text") {
+        ropts.enable_binary_framing = false;
+      } else if (mode == "binary") {
+        ropts.enable_binary_framing = true;
+      } else {
+        std::fprintf(stderr, "--framing: expected 'text' or 'binary', got "
+                             "'%s'\n",
+                     mode.c_str());
         return Usage();
       }
     } else if (arg == "--max-inflight" && i + 1 < argc) {
@@ -131,9 +158,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "carat_served: %s\n", error.c_str());
     return 1;
   }
-  std::fprintf(stderr, "carat_served: listening on %s:%u (%zu workers)\n",
-               host.c_str(), static_cast<unsigned>(server.port()),
-               pool.size());
+  std::fprintf(stderr,
+               "carat_served: listening on %s:%u (%zu workers, %zu "
+               "reactor%s%s)\n",
+               host.c_str(), static_cast<unsigned>(server.port()), pool.size(),
+               server.options().reactors,
+               server.options().reactors == 1 ? "" : "s",
+               server.single_acceptor() && server.options().reactors > 1
+                   ? ", single-acceptor fallback"
+                   : "");
 
   if (::pipe(g_signal_pipe) != 0) {
     std::fprintf(stderr, "carat_served: pipe failed\n");
