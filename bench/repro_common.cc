@@ -1,6 +1,7 @@
 #include "repro_common.h"
 
 #include <cstdio>
+#include <future>
 #include <iostream>
 #include <utility>
 
@@ -19,29 +20,38 @@ std::vector<SweepPoint> RunSweep(
   inputs.reserve(sizes.size());
   for (const int n : sizes) inputs.push_back(make(n).ToModelInput());
 
-  // Model side: one batch through the solving service. Warm starting stays
-  // off so every solve is cold and the results are bit-identical to a plain
-  // CaratModel::Solve() at any jobs value; the service still deduplicates
-  // repeated sizes via its solution cache and reuses per-shape arenas.
+  // Model side: async submissions through the solving service. Warm starting
+  // stays off so every solve is cold and the results are bit-identical to a
+  // plain CaratModel::Solve() at any jobs value; the service still
+  // deduplicates repeated sizes via its solution cache and reuses per-shape
+  // arenas.
   serve::SolverService::Options sopts;
   sopts.threads = jobs <= 0 ? 0 : static_cast<std::size_t>(jobs);
   sopts.warm_start = false;
   serve::SolverService service(std::move(sopts));
-  std::vector<model::ModelSolution> solutions = service.SolveBatch(inputs);
+  std::vector<std::future<model::ModelSolution>> solves;
+  solves.reserve(inputs.size());
+  for (const model::ModelInput& input : inputs) {
+    solves.push_back(service.Submit(input));
+  }
 
   // Testbed side: each point is an independently seeded run; fan out over
-  // the same pool and write results by index so ordering (and every bit of
-  // output) matches jobs == 1.
+  // the same pool — the model solves submitted above interleave with the
+  // testbed replays instead of forming a separate serial phase — and write
+  // results by index so ordering (and every bit of output) matches
+  // jobs == 1.
   exec::ParallelFor(service.pool(), 0, sizes.size(), [&](std::size_t idx) {
     SweepPoint& point = points[idx];
     point.n = sizes[idx];
-    point.model = std::move(solutions[idx]);
     TestbedOptions opts;
     opts.seed = seed;
     opts.warmup_ms = 100'000;
     opts.measure_ms = measure_ms;
     point.sim = RunTestbed(inputs[idx], opts);
   });
+  for (std::size_t idx = 0; idx < solves.size(); ++idx) {
+    points[idx].model = solves[idx].get();
+  }
   return points;
 }
 

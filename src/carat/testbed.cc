@@ -1,8 +1,13 @@
 #include "carat/testbed.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <thread>
 #include <utility>
 
+#include "lock/lock_manager_set.h"
 #include "net/network.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
@@ -23,10 +28,13 @@ using txn::GlobalTxnId;
 using txn::Node;
 using txn::RequestSpec;
 
-// One simulated user TR process and its measurement counters.
+// One simulated user TR process and its measurement counters. The driver is
+// pinned to its home site's shard: every field is only touched from home-site
+// events (remote legs carry no accounting).
 struct UserDriver {
   int home = 0;
   TxnType type = TxnType::kLRO;
+  sim::SitePort port;  // home-site timeline
   util::Rng rng{0};
 
   std::uint64_t commits = 0;
@@ -49,10 +57,47 @@ struct UserDriver {
   }
 };
 
-// Detached 2PC leg: run the task, then signal the join gate.
+// Detached 2PC leg: run the task, then signal the join gate. The leg's last
+// step is a home-site await, so the gate fires in home-site context.
 sim::Process RunLeg(sim::Task<void> task, sim::Gate* gate) {
   co_await task;
   gate->Signal();
+}
+
+// True when some class actually ships requests to other sites; only then can
+// any event cross a site boundary (REMDO/2PC/abort messages and the global
+// probes that chase distributed wait chains).
+bool IsDistributed(const model::ModelInput& input) {
+  for (const model::SiteParams& site : input.sites) {
+    for (TxnType t :
+         {TxnType::kLRO, TxnType::kLU, TxnType::kDROC, TxnType::kDUC}) {
+      const ClassParams& c = site.Class(t);
+      if (c.population > 0 && c.remote_requests > 0) return true;
+    }
+  }
+  return false;
+}
+
+// Shard count actually used for the run. A distributed workload with zero
+// communication delay admits zero-delay cross-site messages, for which no
+// conservative lookahead window exists: such runs are forced serial.
+int PlannedShards(const model::ModelInput& input, int requested) {
+  if (IsDistributed(input) && input.comm_delay_ms <= 0.0) return 1;
+  int shards = requested;
+  if (shards <= 0) {
+    shards = static_cast<int>(std::thread::hardware_concurrency());
+    if (shards <= 0) shards = 1;
+  }
+  return std::clamp(shards, 1, static_cast<int>(input.sites.size()));
+}
+
+// Conservative lookahead: the communication delay for distributed
+// workloads (every cross-site message pays at least one hop), unbounded for
+// purely local ones (no cross-site message ever exists; the kernel asserts
+// that).
+double PlannedLookahead(const model::ModelInput& input) {
+  if (!IsDistributed(input)) return sim::ShardedKernel::kNoLookahead;
+  return input.comm_delay_ms > 0.0 ? input.comm_delay_ms : 0.0;
 }
 
 class Testbed {
@@ -60,40 +105,48 @@ class Testbed {
   Testbed(const model::ModelInput& input, const TestbedOptions& options)
       : input_(input),
         options_(options),
-        network_(sim_, input.comm_delay_ms),
+        kernel_(static_cast<int>(input.sites.size()),
+                PlannedShards(input, options.shards), PlannedLookahead(input)),
+        network_(kernel_, input.comm_delay_ms),
+        registry_(static_cast<int>(input.sites.size())),
+        locks_(kernel_),
         root_rng_(options.seed) {
+    locks_.set_victim_policy(options.victim_policy);
     for (std::size_t i = 0; i < input.sites.size(); ++i) {
-      nodes_.push_back(std::make_unique<Node>(sim_, static_cast<int>(i),
-                                              input.sites[i]));
-      shadow_.emplace_back(nodes_.back()->database().num_records(), 0);
+      const int index = static_cast<int>(i);
+      nodes_.push_back(std::make_unique<Node>(sim::SitePort{&kernel_, index},
+                                              index, input.sites[i],
+                                              &locks_.at(index)));
+    }
+    // Committed-update audit counters, sliced by the crediting coordinator's
+    // home site so CreditCommit stays a home-site write at any shard count.
+    shadow_.resize(nodes_.size());
+    for (auto& slice : shadow_) {
+      for (const auto& node : nodes_) {
+        slice.emplace_back(node->database().num_records(), 0);
+      }
     }
     std::vector<Node*> node_ptrs;
     for (auto& n : nodes_) node_ptrs.push_back(n.get());
     detector_ = std::make_unique<txn::GlobalDeadlockDetector>(
-        sim_, network_, registry_, node_ptrs, options.probe_options);
+        kernel_, network_, registry_, node_ptrs, options.probe_options);
 
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      Node& node = *nodes_[i];
-      node.locks().set_victim_policy(options.victim_policy);
       const int index = static_cast<int>(i);
-      node.locks().on_block = [this, index](GlobalTxnId waiter,
-                                            const std::vector<GlobalTxnId>&
-                                                holders) {
-        registry_.SetWaitingAt(waiter, index);
-        detector_->OnBlock(index, waiter, holders);
-      };
-      node.locks().on_unblock = [this](GlobalTxnId waiter) {
-        registry_.ClearWaiting(waiter);
-      };
+      locks_.at(index).on_block =
+          [this, index](GlobalTxnId waiter,
+                        const std::vector<GlobalTxnId>& holders) {
+            detector_->OnBlock(index, waiter, holders);
+          };
     }
   }
 
   TestbedResult Run() {
     SpawnUsers();
-    detector_->StartWatchdog();
-    sim_.RunUntil(options_.warmup_ms);
+    detector_->StartWatchdogs();
+    kernel_.RunUntil(options_.warmup_ms);
     ResetStats();
-    sim_.RunUntil(options_.warmup_ms + options_.measure_ms);
+    kernel_.RunUntil(options_.warmup_ms + options_.measure_ms);
     return Collect();
   }
 
@@ -109,6 +162,7 @@ class Testbed {
           auto driver = std::make_unique<UserDriver>();
           driver->home = static_cast<int>(i);
           driver->type = t;
+          driver->port = sim::SitePort{&kernel_, driver->home};
           driver->rng = root_rng_.Fork();
           UserProcess(driver.get());
           drivers_.push_back(std::move(driver));
@@ -126,7 +180,8 @@ class Testbed {
 
   // The sequence of requests for one submission: l local and r remote
   // requests, interleaved, each reading (or updating) fresh uniform random
-  // records at its executing node.
+  // records at its executing node. Runs in home-site context; PickRecords
+  // only reads the remote node's immutable sizing parameters.
   std::vector<RequestSpec> BuildPlan(UserDriver* u) {
     const ClassParams& costs = input_.sites[u->home].Class(u->type);
     const bool update = model::IsUpdate(u->type);
@@ -165,18 +220,18 @@ class Testbed {
     const int records_per_commit =
         input_.sites[u->home].Class(u->type).records_accessed();
     for (;;) {
-      const double cycle_start = sim_.now();
+      const double cycle_start = u->port.now();
       bool committed = false;
       Node::PhaseAccounting acct;  // accumulated across retries
       while (!committed) {
-        if (think > 0) co_await sim::Delay{sim_, think};
+        if (think > 0) co_await sim::Delay{u->port, think};
         ++u->submissions;
         committed = co_await RunOnce(u, &acct);
         if (!committed) ++u->aborts;
       }
       ++u->commits;
       u->records_committed += records_per_commit;
-      u->response_ms.Add(sim_.now() - cycle_start);
+      u->response_ms.Add(u->port.now() - cycle_start);
       u->lock_wait_ms.Add(acct.lock_wait_ms);
       u->remote_wait_ms.Add(acct.remote_wait_ms);
       u->commit_wait_ms.Add(acct.commit_wait_ms);
@@ -184,10 +239,13 @@ class Testbed {
   }
 
   // One execution attempt; true on commit, false if aborted by deadlock.
+  // The coroutine changes site only through network hops; everything touched
+  // between hops belongs to the site it is currently at.
   sim::Task<bool> RunOnce(UserDriver* u, Node::PhaseAccounting* acct) {
     Node& home = *nodes_[u->home];
     const ClassParams& costs = input_.sites[u->home].Class(u->type);
-    const GlobalTxnId gid = registry_.NewTxn(u->type, u->home);
+    txn::SiteRegistry& reg = registry_.at(u->home);
+    const GlobalTxnId gid = reg.NewTxn(u->type);
 
     std::vector<bool> touched(nodes_.size(), false);
     touched[u->home] = true;
@@ -216,12 +274,6 @@ class Testbed {
       // Home TM routes the TDO.
       co_await home.TmHandle(costs.tm_cpu_ms);
 
-      if (!touched[req.node]) {
-        touched[req.node] = true;
-        if (exec.dm_pool() != nullptr) co_await exec.dm_pool()->Acquire();
-        exec.locks().StartTxn(gid);
-      }
-
       bool ok;
       if (req.node == u->home) {
         ok = co_await exec.ExecuteRequest(gid, exec_costs, req, acct);
@@ -231,13 +283,30 @@ class Testbed {
         // Like the model's Eq. 21, the slave's lock waits stay *inside* the
         // coordinator's remote wait (so the slave exec gets no accounting;
         // the driver's LW covers home-site waits only).
-        const double rw_start = sim_.now();
-        co_await network_.Hop();                       // REMDO
+        const double rw_start = u->port.now();
+        reg.SetCurrentNode(gid, req.node);  // probe routing: txn moves there
+        co_await network_.Hop(req.node);               // REMDO
+        if (!touched[req.node]) {
+          // First touch: lazy slave DM assignment, at the slave itself.
+          touched[req.node] = true;
+          if (exec.dm_pool() != nullptr) co_await exec.dm_pool()->Acquire();
+          exec.locks().StartTxn(gid);
+        }
         co_await exec.TmHandle(exec_costs.tm_cpu_ms);  // slave TM, inbound
         ok = co_await exec.ExecuteRequest(gid, exec_costs, req, nullptr);
+        if (!ok) {
+          // Deadlock victim at the slave: its DM rolls back and vacates the
+          // node before the failure response ships home (T_ABORT, local
+          // part). The coordinator then aborts the surviving nodes.
+          co_await exec.RollbackAt(gid, exec_costs);
+          exec.locks().EndTxn(gid);
+          if (exec.dm_pool() != nullptr) exec.dm_pool()->Release();
+          touched[req.node] = false;
+        }
         co_await exec.TmHandle(exec_costs.tm_cpu_ms);  // slave TM, REMDO_K
-        co_await network_.Hop();                       // response
-        if (acct != nullptr) acct->remote_wait_ms += sim_.now() - rw_start;
+        co_await network_.Hop(u->home);                // response
+        reg.SetCurrentNode(gid, u->home);
+        if (acct != nullptr) acct->remote_wait_ms += u->port.now() - rw_start;
         co_await home.TmHandle(costs.tm_cpu_ms);       // home TM, REMDO_K
       }
       if (!ok) {
@@ -254,25 +323,24 @@ class Testbed {
       co_await Commit(u, gid, touched, plan, acct);
     }
 
-    for (std::size_t j = 0; j < nodes_.size(); ++j) {
-      if (!touched[j]) continue;
-      nodes_[j]->locks().EndTxn(gid);
-      if (nodes_[j]->dm_pool() != nullptr) nodes_[j]->dm_pool()->Release();
-    }
-    registry_.EndTxn(gid);
+    // Slaves were vacated inside their commit/abort legs; only the home
+    // residue remains.
+    home.locks().EndTxn(gid);
+    if (home.dm_pool() != nullptr) home.dm_pool()->Release();
+    reg.EndTxn(gid);
     co_return !aborted;
   }
 
   // Rollback everywhere after `gid` was chosen as a deadlock victim at
-  // `victim_node` (T_ABORT message flow).
+  // `victim_node` (T_ABORT message flow). A remote victim node already
+  // rolled back inside its request leg; the home site and the surviving
+  // slaves are handled here, from home-site context.
   sim::Task<void> GlobalAbort(UserDriver* u, GlobalTxnId gid, int victim_node,
                               const std::vector<bool>& touched) {
     const ClassParams& costs = input_.sites[u->home].Class(u->type);
     // The victim site rolls back first (its DM got the abort outcome).
-    co_await nodes_[victim_node]->RollbackAt(gid, ExecCosts(*u, victim_node));
-    if (victim_node != u->home) {
-      co_await network_.Hop();                 // abort notification home
-      co_await nodes_[u->home]->TmHandle(costs.tm_cpu_ms);
+    if (victim_node == u->home) {
+      co_await nodes_[u->home]->RollbackAt(gid, costs);
     }
     for (std::size_t j = 0; j < nodes_.size(); ++j) {
       const int node = static_cast<int>(j);
@@ -281,22 +349,34 @@ class Testbed {
         co_await nodes_[j]->RollbackAt(gid, costs);
         continue;
       }
-      co_await network_.Hop();  // T_ABORT
-      co_await nodes_[j]->TmHandle(ExecCosts(*u, node).tm_cpu_ms);
-      co_await nodes_[j]->RollbackAt(gid, ExecCosts(*u, node));
-      co_await network_.Hop();  // ABORT_K
-      co_await nodes_[u->home]->TmHandle(costs.tm_cpu_ms);
+      co_await AbortLeg(u, gid, node);
     }
+  }
+
+  // T_ABORT to one surviving slave: roll back there, vacate the node, and
+  // acknowledge home (ABORT_K).
+  sim::Task<void> AbortLeg(UserDriver* u, GlobalTxnId gid, int j) {
+    Node& slave = *nodes_[j];
+    const ClassParams& scosts = ExecCosts(*u, j);
+    const ClassParams& hcosts = input_.sites[u->home].Class(u->type);
+    co_await network_.Hop(j);  // T_ABORT
+    co_await slave.TmHandle(scosts.tm_cpu_ms);
+    co_await slave.RollbackAt(gid, scosts);
+    slave.locks().EndTxn(gid);
+    if (slave.dm_pool() != nullptr) slave.dm_pool()->Release();
+    co_await network_.Hop(u->home);  // ABORT_K
+    co_await nodes_[u->home]->TmHandle(hcosts.tm_cpu_ms);
   }
 
   // Credits committed updates to the audit counters. Must run exactly when
   // the coordinator's commit record is logged (the 2PC decision point): the
   // end-of-run audit treats the coordinator's commit record as the global
-  // truth for in-doubt participants.
+  // truth for in-doubt participants. Writes only this coordinator's
+  // home-site shadow slice.
   void CreditCommit(const UserDriver& u, const std::vector<RequestSpec>& plan) {
     if (!model::IsUpdate(u.type)) return;
     for (const RequestSpec& req : plan) {
-      for (const db::RecordId r : req.records) ++shadow_[req.node][r];
+      for (const db::RecordId r : req.records) ++shadow_[u.home][req.node][r];
     }
   }
 
@@ -325,13 +405,13 @@ class Testbed {
     }
 
     // --- phase 1: PREPARE (parallel legs) -----------------------------------
-    const double prepare_start = sim_.now();
+    const double prepare_start = u->port.now();
     sim::Gate prepared(static_cast<int>(slaves.size()));
     for (const int j : slaves) {
       RunLeg(PrepareLeg(u, gid, j), &prepared);
     }
     co_await prepared.Wait();
-    if (acct != nullptr) acct->commit_wait_ms += sim_.now() - prepare_start;
+    if (acct != nullptr) acct->commit_wait_ms += u->port.now() - prepare_start;
 
     // Decision: force-write the commit record at the coordinator.
     co_await home.UseCpu(costs.tc_cpu_ms);
@@ -340,13 +420,13 @@ class Testbed {
     co_await home.LogIo(1);
 
     // --- phase 2: COMMIT (parallel legs) ------------------------------------
-    const double commit_start = sim_.now();
+    const double commit_start = u->port.now();
     sim::Gate committed(static_cast<int>(slaves.size()));
     for (const int j : slaves) {
       RunLeg(CommitLeg(u, gid, j), &committed);
     }
     co_await committed.Wait();
-    if (acct != nullptr) acct->commit_wait_ms += sim_.now() - commit_start;
+    if (acct != nullptr) acct->commit_wait_ms += u->port.now() - commit_start;
 
     co_await home.ReleaseLocksAt(gid, costs);
     home.log().Forget(gid);
@@ -357,11 +437,11 @@ class Testbed {
     Node& home = *nodes_[u->home];
     const ClassParams& scosts = ExecCosts(*u, j);
     const ClassParams& hcosts = input_.sites[u->home].Class(u->type);
-    co_await network_.Hop();                // PREPARE
+    co_await network_.Hop(j);               // PREPARE
     co_await slave.TmHandle(scosts.tm_cpu_ms);
     slave.log().LogPrepare(gid);
     co_await slave.LogIo(1);                // forced prepare record
-    co_await network_.Hop();                // YES vote
+    co_await network_.Hop(u->home);         // YES vote
     co_await home.TmHandle(hcosts.tm_cpu_ms);
   }
 
@@ -370,13 +450,15 @@ class Testbed {
     Node& home = *nodes_[u->home];
     const ClassParams& scosts = ExecCosts(*u, j);
     const ClassParams& hcosts = input_.sites[u->home].Class(u->type);
-    co_await network_.Hop();                // COMMIT
+    co_await network_.Hop(j);               // COMMIT
     co_await slave.TmHandle(scosts.tm_cpu_ms);
     slave.log().LogCommit(gid);
     co_await slave.LogIo(1);                // commit record
     co_await slave.ReleaseLocksAt(gid, scosts);
     slave.log().Forget(gid);
-    co_await network_.Hop();                // COMMIT_K
+    slave.locks().EndTxn(gid);  // the slave's part of the txn is over
+    if (slave.dm_pool() != nullptr) slave.dm_pool()->Release();
+    co_await network_.Hop(u->home);         // COMMIT_K
     co_await home.TmHandle(hcosts.tm_cpu_ms);
   }
 
@@ -387,7 +469,7 @@ class Testbed {
     for (auto& driver : drivers_) driver->ResetStats();
     network_.ResetStats();
     detector_->ResetStats();
-    events_at_reset_ = sim_.events_executed();
+    events_at_reset_ = kernel_.events_executed();
   }
 
   bool AuditDatabase() const {
@@ -402,11 +484,16 @@ class Testbed {
     };
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       // Undo in-flight transactions on a copy, then compare with the audit
-      // counters: exactly the committed increments must remain.
+      // counters: exactly the committed increments must remain. The audit
+      // count for a record sums every coordinator's home-site slice.
       db::Database copy = nodes_[i]->database();
       nodes_[i]->log().Recover(&copy, committed_anywhere);
       for (db::RecordId r = 0; r < copy.num_records(); ++r) {
-        if (copy.Read(r) != static_cast<db::RecordValue>(shadow_[i][r])) {
+        std::uint64_t expected = 0;
+        for (std::size_t h = 0; h < shadow_.size(); ++h) {
+          expected += shadow_[h][i][r];
+        }
+        if (copy.Read(r) != static_cast<db::RecordValue>(expected)) {
           return false;
         }
       }
@@ -418,7 +505,7 @@ class Testbed {
     TestbedResult result;
     result.ok = true;
     result.measured_ms = options_.measure_ms;
-    result.events = sim_.events_executed() - events_at_reset_;
+    result.events = kernel_.events_executed() - events_at_reset_;
     result.network_messages = network_.messages();
     result.global_deadlocks = detector_->global_deadlocks();
     result.probes_sent = detector_->probes_sent();
@@ -486,16 +573,32 @@ class Testbed {
 
   const model::ModelInput& input_;
   TestbedOptions options_;
-  sim::Simulation sim_;
+  sim::ShardedKernel kernel_;
   net::Network network_;
-  txn::TxnRegistry registry_;
+  txn::TxnRegistrySet registry_;
+  lock::LockManagerSet locks_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<std::vector<std::uint32_t>> shadow_;  // committed update counts
+  // Committed update counts: [coordinator home][node][record].
+  std::vector<std::vector<std::vector<std::uint32_t>>> shadow_;
   std::unique_ptr<txn::GlobalDeadlockDetector> detector_;
   std::vector<std::unique_ptr<UserDriver>> drivers_;
   util::Rng root_rng_;
   std::uint64_t events_at_reset_ = 0;
 };
+
+void AppendHexU64(std::string* out, std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  *out += buf;
+  *out += ' ';
+}
+
+void AppendBitsF64(std::string* out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendHexU64(out, bits);
+}
 
 }  // namespace
 
@@ -509,6 +612,49 @@ double TestbedResult::TotalRecordsPerSec() const {
   double total = 0.0;
   for (const NodeResult& n : nodes) total += n.records_per_s;
   return total;
+}
+
+std::string TestbedResultFingerprint(const TestbedResult& result) {
+  std::string out;
+  out += result.ok ? "ok " : "fail ";
+  out += result.error;
+  out += '\n';
+  AppendBitsF64(&out, result.measured_ms);
+  AppendHexU64(&out, result.events);
+  AppendHexU64(&out, result.network_messages);
+  AppendHexU64(&out, result.global_deadlocks);
+  AppendHexU64(&out, result.probes_sent);
+  out += result.database_consistent ? "consistent" : "INCONSISTENT";
+  out += '\n';
+  for (const NodeResult& nr : result.nodes) {
+    out += nr.name;
+    out += ' ';
+    AppendBitsF64(&out, nr.cpu_utilization);
+    AppendBitsF64(&out, nr.db_disk_utilization);
+    AppendBitsF64(&out, nr.log_disk_utilization);
+    AppendBitsF64(&out, nr.dio_per_s);
+    AppendBitsF64(&out, nr.txn_per_s);
+    AppendBitsF64(&out, nr.records_per_s);
+    AppendHexU64(&out, nr.lock_requests);
+    AppendHexU64(&out, nr.lock_blocks);
+    AppendHexU64(&out, nr.local_deadlocks);
+    AppendBitsF64(&out, nr.buffer_hit_ratio);
+    AppendHexU64(&out, nr.dm_pool_waits);
+    for (const TypeResult& tr : nr.types) {
+      out += tr.present ? "+" : "-";
+      AppendHexU64(&out, tr.commits);
+      AppendHexU64(&out, tr.submissions);
+      AppendHexU64(&out, tr.aborts);
+      AppendBitsF64(&out, tr.throughput_per_s);
+      AppendBitsF64(&out, tr.abort_prob);
+      AppendBitsF64(&out, tr.response_ms);
+      AppendBitsF64(&out, tr.lock_wait_ms);
+      AppendBitsF64(&out, tr.remote_wait_ms);
+      AppendBitsF64(&out, tr.commit_wait_ms);
+    }
+    out += '\n';
+  }
+  return out;
 }
 
 TestbedResult RunTestbed(const model::ModelInput& input,

@@ -34,6 +34,13 @@ struct TestbedOptions {
   /// Simulated measurement window (ms).
   double measure_ms = 1'000'000;
 
+  /// Event shards (threads) for the sharded kernel: 1 = serial (default),
+  /// 0 = hardware concurrency. Clamped to the site count. Results are
+  /// byte-identical at any value for the same seed; when the workload is
+  /// distributed with zero communication delay there is no conservative
+  /// lookahead and the run is forced serial.
+  int shards = 1;
+
   lock::VictimPolicy victim_policy = lock::VictimPolicy::kRequester;
   txn::GlobalDeadlockDetector::Options probe_options;
 };
@@ -98,6 +105,11 @@ struct TestbedResult {
 /// parameters are used when remote requests execute at a node.
 TestbedResult RunTestbed(const model::ModelInput& input,
                          const TestbedOptions& options = {});
+
+/// Bit-exact textual digest of every field of `result` (doubles rendered as
+/// hex bit patterns). Two results are byte-identical iff their fingerprints
+/// compare equal; used to enforce the shards=1 vs shards=N invariant.
+std::string TestbedResultFingerprint(const TestbedResult& result);
 
 }  // namespace carat
 

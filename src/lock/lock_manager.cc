@@ -254,6 +254,14 @@ bool LockManager::CancelWait(TxnId txn) {
   return false;
 }
 
+std::vector<TxnId> LockManager::WaitingTxns() const {
+  std::vector<TxnId> out;
+  out.reserve(waiting_on_.size());
+  for (const auto& [txn, granule] : waiting_on_) out.push_back(txn);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 bool LockManager::Holds(TxnId txn, db::GranuleId granule, LockMode mode) const {
   const auto it = held_.find(txn);
   if (it == held_.end()) return false;

@@ -42,7 +42,7 @@ enum class VictimPolicy {
 
 class LockManager {
  public:
-  explicit LockManager(sim::Simulation& sim) : sim_(sim) {}
+  explicit LockManager(sim::SitePort sim) : sim_(sim) {}
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
@@ -68,6 +68,10 @@ class LockManager {
 
   /// True if `txn` is queued for some lock.
   bool IsWaiting(TxnId txn) const { return waiting_on_.contains(txn); }
+
+  /// Transactions currently queued for some lock, in ascending id order so
+  /// watchdog sweeps are deterministic regardless of hash-map layout.
+  std::vector<TxnId> WaitingTxns() const;
 
   /// Transactions that `txn` currently waits for: conflicting holders plus
   /// conflicting earlier waiters on the same granule. Empty if not waiting.
@@ -145,7 +149,7 @@ class LockManager {
                                const std::vector<TxnId>& first_hops) const;
   TxnId ChooseVictim(TxnId requester, const std::vector<TxnId>& cycle) const;
 
-  sim::Simulation& sim_;
+  sim::SitePort sim_;
   VictimPolicy victim_policy_ = VictimPolicy::kRequester;
   std::unordered_map<db::GranuleId, GranuleLock> table_;
   std::unordered_map<TxnId, std::unordered_map<db::GranuleId, LockMode>> held_;

@@ -5,11 +5,19 @@
 // neglects it). The network here charges a fixed one-way delay per message
 // hop and counts traffic; qn/ethernet.h can supply a contention-aware alpha
 // for sensitivity studies.
+//
+// A hop is also the only way a process changes site: the awaiter always
+// suspends and re-schedules the coroutine on the destination site's
+// timeline, so the resumed code runs on (and may touch the state of) the
+// destination shard. Message counts are kept per sending site so sharded
+// runs never contend on a shared counter.
 
 #ifndef CARAT_NET_NETWORK_H_
 #define CARAT_NET_NETWORK_H_
 
+#include <coroutine>
 #include <cstdint>
+#include <memory>
 
 #include "sim/simulation.h"
 
@@ -18,32 +26,54 @@ namespace carat::net {
 /// Message-hop accounting and delay.
 class Network {
  public:
-  Network(sim::Simulation& sim, double one_way_delay_ms)
-      : sim_(sim), delay_ms_(one_way_delay_ms) {}
+  Network(sim::ShardedKernel& kernel, double one_way_delay_ms)
+      : kernel_(kernel),
+        delay_ms_(one_way_delay_ms),
+        sent_(std::make_unique<Counter[]>(
+            static_cast<std::size_t>(kernel.num_sites()))) {}
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// One message hop between two nodes: counts the message and delays the
-  /// caller by alpha. Usage: co_await net.Hop();
-  sim::Delay Hop() {
-    ++messages_;
-    return sim::Delay{sim_, delay_ms_};
-  }
+  struct HopAwaiter {
+    Network& net;
+    int dest_site;
 
-  /// Round trip (request + reply), counting two messages.
-  sim::Delay RoundTrip() {
-    messages_ += 2;
-    return sim::Delay{sim_, 2.0 * delay_ms_};
+    bool await_ready() const noexcept { return false; }  // always switch site
+    void await_suspend(std::coroutine_handle<> h) const {
+      net.kernel_.Schedule(dest_site, net.delay_ms_, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// One message hop to `dest_site`: counts the message against the sending
+  /// site, delays the caller by alpha, and resumes it on the destination
+  /// site's timeline. Usage: co_await net.Hop(dest);
+  HopAwaiter Hop(int dest_site) {
+    const int from = kernel_.current_site();
+    ++sent_[from >= 0 ? from : dest_site].value;
+    return HopAwaiter{*this, dest_site};
   }
 
   double one_way_delay_ms() const { return delay_ms_; }
-  std::uint64_t messages() const { return messages_; }
-  void ResetStats() { messages_ = 0; }
+
+  /// Total messages sent, summed over sites. Not safe during RunUntil.
+  std::uint64_t messages() const {
+    std::uint64_t total = 0;
+    for (int s = 0; s < kernel_.num_sites(); ++s) total += sent_[s].value;
+    return total;
+  }
+  void ResetStats() {
+    for (int s = 0; s < kernel_.num_sites(); ++s) sent_[s].value = 0;
+  }
 
  private:
-  sim::Simulation& sim_;
+  struct alignas(64) Counter {
+    std::uint64_t value = 0;
+  };
+
+  sim::ShardedKernel& kernel_;
   double delay_ms_;
-  std::uint64_t messages_ = 0;
+  std::unique_ptr<Counter[]> sent_;
 };
 
 }  // namespace carat::net

@@ -119,6 +119,7 @@ bool ExactMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
       const double* qprev = q + (state - ws->strides[k]) * num_centers;
       double* res = residence + k * num_centers;
       double total = 0.0;
+#pragma omp simd reduction(+ : total)
       for (std::size_t m = 0; m < num_centers; ++m) {
         const double r = demands[m] * (1.0 + qmul[m] * qprev[m]);
         res[m] = r;
@@ -129,14 +130,17 @@ bool ExactMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
       x[k] = denom > 0.0 ? static_cast<double>(n[k]) / denom : 0.0;
     }
 
+    // Accumulate chain by chain (unit-stride axpy) rather than center by
+    // center (strided gather) so the loop vectorizes.
     double* qhere = q + state * num_centers;
-    for (std::size_t m = 0; m < num_centers; ++m) {
-      double qm = 0.0;
-      for (std::size_t k = 0; k < num_chains; ++k) {
-        if (n[k] == 0) continue;
-        qm += x[k] * residence[k * num_centers + m];
-      }
-      qhere[m] = qm;
+#pragma omp simd
+    for (std::size_t m = 0; m < num_centers; ++m) qhere[m] = 0.0;
+    for (std::size_t k = 0; k < num_chains; ++k) {
+      if (n[k] == 0) continue;
+      const double xk = x[k];
+      const double* res = residence + k * num_centers;
+#pragma omp simd
+      for (std::size_t m = 0; m < num_centers; ++m) qhere[m] += xk * res[m];
     }
   }
 
@@ -162,6 +166,7 @@ bool ExactMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
       const double* qprev = q + (full - ws->strides[k]) * num_centers;
       const double* demands = chain.demands.data();
       double total = 0.0;
+#pragma omp simd reduction(+ : total)
       for (std::size_t m = 0; m < num_centers; ++m) {
         const double r = demands[m] * (1.0 + qmul[m] * qprev[m]);
         res[m] = r;
@@ -222,10 +227,13 @@ bool SchweitzerMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
     ++ws->iterations;
     // Per-center totals, hoisting the O(chains) "queue seen on arrival" sum
     // out of the per-chain loop: chain k sees qsum[m] - qkm[k][m] / n_k.
+#pragma omp simd
     for (std::size_t m = 0; m < num_centers; ++m) qsum[m] = 0.0;
-    for (std::size_t k = 0; k < num_chains; ++k)
-      for (std::size_t m = 0; m < num_centers; ++m)
-        qsum[m] += qkm[k * num_centers + m];
+    for (std::size_t k = 0; k < num_chains; ++k) {
+      const double* qrow = qkm + k * num_centers;
+#pragma omp simd
+      for (std::size_t m = 0; m < num_centers; ++m) qsum[m] += qrow[m];
+    }
 
     double max_delta = 0.0;
     for (std::size_t k = 0; k < num_chains; ++k) {
@@ -240,6 +248,7 @@ bool SchweitzerMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
       const double* qrow = qkm + k * num_centers;
       double* res = residence + k * num_centers;
       double total = 0.0;
+#pragma omp simd reduction(+ : total)
       for (std::size_t m = 0; m < num_centers; ++m) {
         // Schweitzer estimate of the queue seen on arrival by chain k.
         const double seen = qsum[m] - qrow[m] * inv_nk;
@@ -251,10 +260,14 @@ bool SchweitzerMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
       x[k] = denom > 0.0 ? nk / denom : 0.0;
     }
     for (std::size_t k = 0; k < num_chains; ++k) {
+      const double xk = x[k];
+      const double* res = residence + k * num_centers;
+      double* qrow = qkm + k * num_centers;
+#pragma omp simd reduction(max : max_delta)
       for (std::size_t m = 0; m < num_centers; ++m) {
-        const double next = x[k] * residence[k * num_centers + m];
-        max_delta = std::max(max_delta, std::fabs(next - qkm[k * num_centers + m]));
-        qkm[k * num_centers + m] = next;
+        const double next = xk * res[m];
+        max_delta = std::max(max_delta, std::fabs(next - qrow[m]));
+        qrow[m] = next;
       }
     }
     if (max_delta < tolerance) break;

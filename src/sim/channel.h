@@ -18,7 +18,7 @@ namespace carat::sim {
 template <typename T>
 class Channel {
  public:
-  explicit Channel(Simulation& sim) : sim_(sim) {}
+  explicit Channel(SitePort sim) : sim_(sim) {}
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
@@ -56,7 +56,7 @@ class Channel {
   Receiver Receive() { return Receiver{*this}; }
 
  private:
-  Simulation& sim_;
+  SitePort sim_;
   std::deque<T> queue_;
   std::coroutine_handle<> receiver_ = nullptr;
 };

@@ -1,0 +1,120 @@
+// Small-buffer callable for simulation events.
+//
+// The kernel schedules millions of events per run, almost all of which are
+// coroutine resumptions (one coroutine_handle, 8 bytes) or tiny completion
+// lambdas (a this-pointer plus a few words). std::function heap-allocates
+// for anything beyond its SSO and drags in RTTI; SmallFn stores callables up
+// to kInlineSize bytes inline and only falls back to the heap for oversized
+// state. Move-only, invoke-once-or-more, no allocation on the hot path.
+
+#ifndef CARAT_SIM_EVENT_H_
+#define CARAT_SIM_EVENT_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace carat::sim {
+
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Decayed = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Decayed) <= kInlineSize &&
+                  alignof(Decayed) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      ::new (static_cast<void*>(buffer_)) Decayed(std::forward<F>(fn));
+      ops_ = &InlineOps<Decayed>::ops;
+    } else {
+      // Oversized or over-aligned callable: one heap cell, pointer inline.
+      ::new (static_cast<void*>(buffer_))
+          Decayed*(new Decayed(std::forward<F>(fn)));
+      ops_ = &HeapOps<Decayed>::ops;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { MoveFrom(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { Reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buffer_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void* storage);
+  };
+
+  template <typename F>
+  struct InlineOps {
+    static void Invoke(void* storage) { (*std::launder(static_cast<F*>(storage)))(); }
+    static void Relocate(void* dst, void* src) {
+      F* from = std::launder(static_cast<F*>(src));
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void Destroy(void* storage) {
+      std::launder(static_cast<F*>(storage))->~F();
+    }
+    static constexpr Ops ops = {&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F* Ptr(void* storage) {
+      return *std::launder(static_cast<F**>(storage));
+    }
+    static void Invoke(void* storage) { (*Ptr(storage))(); }
+    static void Relocate(void* dst, void* src) {
+      ::new (dst) F*(Ptr(src));
+    }
+    static void Destroy(void* storage) { delete Ptr(storage); }
+    static constexpr Ops ops = {&Invoke, &Relocate, &Destroy};
+  };
+
+  void MoveFrom(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buffer_, other.buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace carat::sim
+
+#endif  // CARAT_SIM_EVENT_H_

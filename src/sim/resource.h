@@ -17,7 +17,7 @@ namespace carat::sim {
 /// `service_ms` of simulated time.
 class FcfsResource {
  public:
-  FcfsResource(Simulation& sim, std::string name)
+  FcfsResource(SitePort sim, std::string name)
       : sim_(sim), name_(std::move(name)) {}
   FcfsResource(const FcfsResource&) = delete;
   FcfsResource& operator=(const FcfsResource&) = delete;
@@ -60,7 +60,7 @@ class FcfsResource {
   void Enqueue(std::coroutine_handle<> h, double service_ms);
   void StartNext();
 
-  Simulation& sim_;
+  SitePort sim_;
   std::string name_;
   std::deque<Waiter> queue_;
   bool busy_ = false;

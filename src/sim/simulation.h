@@ -1,74 +1,158 @@
-// Discrete-event simulation kernel.
+// Discrete-event simulation kernel, sharded by site.
 //
 // The testbed processes (user TRs, TM servers, DM servers, the commit and
-// deadlock machinery) are C++20 coroutines driven by a single event queue.
-// Events are arbitrary callbacks, so resources and channels can chain work
-// (complete one service, start the next) without helper coroutines.
-// Time is in milliseconds, matching the model.
+// deadlock machinery) are C++20 coroutines driven by event heaps. Events are
+// arbitrary callbacks, so resources and channels can chain work (complete one
+// service, start the next) without helper coroutines. Time is in
+// milliseconds, matching the model.
+//
+// The kernel owns one timeline per CARAT *site* and runs sites on up to
+// `num_shards` OS threads (site -> shard is `site % num_shards`). Shards
+// synchronize conservatively: the inter-site communication delay is the
+// lookahead L, every cross-site message pays at least L, and each BSP round
+// executes only events strictly below GVT + L (GVT = min heap head across
+// shards). No rollback is ever needed, and because cross-shard delivery is
+// ordered by the (time, origin site, origin seq) key -- never by thread
+// arrival -- the per-site event sequences are byte-identical at any shard
+// count, including the serial num_shards == 1 path.
 
 #ifndef CARAT_SIM_SIMULATION_H_
 #define CARAT_SIM_SIMULATION_H_
 
+#include <barrier>
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <vector>
+
+#include "sim/event.h"
 
 namespace carat::sim {
 
-/// The simulation clock and event queue. Ties break in schedule order, so
-/// runs are fully deterministic.
-class Simulation {
+class ShardedKernel {
  public:
-  Simulation() = default;
-  Simulation(const Simulation&) = delete;
-  Simulation& operator=(const Simulation&) = delete;
+  static constexpr double kNoLookahead =
+      std::numeric_limits<double>::infinity();
 
-  /// Current simulated time (ms).
-  double now() const { return now_; }
+  /// `lookahead_ms` is the minimum delay every cross-site message must pay.
+  /// Pass kNoLookahead (infinity) when the workload provably never sends
+  /// cross-site events: shards then free-run to the horizon, and any
+  /// cross-site Schedule trips an assert. `lookahead_ms == 0` is only legal
+  /// with `num_shards == 1` (no conservative window exists).
+  ShardedKernel(int num_sites, int num_shards, double lookahead_ms);
+  ShardedKernel(const ShardedKernel&) = delete;
+  ShardedKernel& operator=(const ShardedKernel&) = delete;
+  ~ShardedKernel();
 
-  /// Schedules `fn` to run after `delay` ms (>= 0).
-  void Schedule(double delay, std::function<void()> fn);
+  int num_sites() const { return num_sites_; }
+  int num_shards() const { return num_shards_; }
+  double lookahead_ms() const { return lookahead_ms_; }
 
-  /// Schedules a coroutine resumption after `delay` ms.
-  void Schedule(double delay, std::coroutine_handle<> handle) {
-    Schedule(delay, [handle]() { handle.resume(); });
+  /// Current simulated time (ms) on `site`'s timeline. Site clocks advance
+  /// independently during a run and are aligned to `until` afterwards.
+  double now(int site) const { return per_site_[site].clock; }
+
+  /// Schedules `fn` on `site`'s timeline after `delay` ms (>= 0, non-NaN;
+  /// enforced). When called from inside an event, the sending site's clock
+  /// and sequence counter stamp the event; cross-site sends must pay at
+  /// least the lookahead (enforced).
+  void Schedule(int site, double delay, SmallFn fn);
+
+  /// Schedules a coroutine resumption on `site`'s timeline.
+  void Schedule(int site, double delay, std::coroutine_handle<> handle) {
+    Schedule(site, delay, SmallFn([handle]() { handle.resume(); }));
   }
 
-  /// Runs events until the queue empties or the clock passes `until`.
-  /// Events scheduled beyond `until` remain pending.
+  /// Runs events until every heap empties or passes `until`. Events
+  /// scheduled beyond `until` remain pending. Spawns `num_shards - 1`
+  /// worker threads for the duration of the call; shard 0 runs on the
+  /// caller. Serial when num_shards == 1.
   void RunUntil(double until);
 
-  /// Executes the single next event. Returns false if the queue is empty.
-  bool Step();
+  /// Total events executed so far, summed over sites. Identical for the
+  /// same seed at any shard count. Not safe to call during RunUntil.
+  std::uint64_t events_executed() const;
 
-  /// Number of events executed so far.
-  std::uint64_t events_executed() const { return events_executed_; }
+  /// Site of the event currently executing on this thread in this kernel,
+  /// or -1 when called from outside event execution.
+  int current_site() const;
 
  private:
   struct Event {
     double time;
-    std::uint64_t seq;
-    std::function<void()> fn;
+    std::int32_t site;         // destination timeline
+    std::int32_t origin_site;  // stamping site (delivery-order key)
+    std::uint64_t origin_seq;
+    SmallFn fn;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  // Min-heap order: (time, origin_site, origin_seq). The pair
+  // (origin_site, origin_seq) is unique, so the order is total and the pop
+  // sequence is independent of heap insertion order.
+  static bool After(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.origin_site != b.origin_site) return a.origin_site > b.origin_site;
+    return a.origin_seq > b.origin_seq;
+  }
+
+  struct alignas(64) PerSite {
+    double clock = 0.0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t executed = 0;
   };
 
-  double now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  struct alignas(64) Shard {
+    std::vector<Event> heap;  // binary heap ordered by After()
+    double head = 0.0;        // published heap-head time, +inf when empty
+    std::mutex inbox_mu;
+    std::vector<Event> inbox;  // cross-shard sends, drained each round
+  };
+
+  struct Completion {
+    ShardedKernel* kernel;
+    double until;
+    void operator()() noexcept { kernel->ComputeHorizon(until); }
+  };
+  using Barrier = std::barrier<Completion>;
+
+  void PushLocal(Shard& shard, Event ev);
+  void ExecuteOne(Shard& shard);
+  void RunSerial(double until);
+  void RunShard(int shard_index, double until, Barrier& barrier);
+  void ComputeHorizon(double until) noexcept;
+
+  const int num_sites_;
+  const int num_shards_;
+  const double lookahead_ms_;
+  std::unique_ptr<PerSite[]> per_site_;
+  std::unique_ptr<Shard[]> shards_;
+  // Round state, written only by the barrier completion step.
+  double horizon_ = 0.0;
+  bool done_ = false;
 };
 
-/// Awaitable: suspend the current process for `delay` ms.
+/// Value handle onto one site's timeline: everything a site-local process or
+/// resource needs from the kernel. Copyable, 16 bytes.
+struct SitePort {
+  ShardedKernel* kernel = nullptr;
+  int site = 0;
+
+  double now() const { return kernel->now(site); }
+  void Schedule(double delay, SmallFn fn) const {
+    kernel->Schedule(site, delay, std::move(fn));
+  }
+  void Schedule(double delay, std::coroutine_handle<> handle) const {
+    kernel->Schedule(site, delay, handle);
+  }
+};
+
+/// Awaitable: suspend the current process for `delay` ms on its own site's
+/// timeline (zero/negative delays complete inline; same-site only -- site
+/// hops go through net::Network, which always suspends).
 ///   co_await Delay{sim, 5.0};
 struct Delay {
-  Simulation& sim;
+  SitePort sim;
   double delay_ms;
 
   bool await_ready() const noexcept { return delay_ms <= 0.0; }
@@ -76,6 +160,26 @@ struct Delay {
     sim.Schedule(delay_ms, h);
   }
   void await_resume() const noexcept {}
+};
+
+/// Single-site, single-shard facade over ShardedKernel preserving the
+/// original serial API. Converts implicitly to its site-0 SitePort, so the
+/// primitives (Delay, FcfsResource, FifoMutex, ...) accept it directly.
+class Simulation : public ShardedKernel {
+ public:
+  Simulation() : ShardedKernel(/*num_sites=*/1, /*num_shards=*/1,
+                               /*lookahead_ms=*/0.0) {}
+
+  double now() const { return ShardedKernel::now(0); }
+
+  void Schedule(double delay, SmallFn fn) {
+    ShardedKernel::Schedule(0, delay, std::move(fn));
+  }
+  void Schedule(double delay, std::coroutine_handle<> handle) {
+    ShardedKernel::Schedule(0, delay, handle);
+  }
+
+  operator SitePort() { return SitePort{this, 0}; }  // NOLINT
 };
 
 }  // namespace carat::sim

@@ -15,7 +15,7 @@ namespace carat::sim {
 /// single TM server process handling one message at a time).
 class FifoMutex {
  public:
-  explicit FifoMutex(Simulation& sim) : sim_(sim) {}
+  explicit FifoMutex(SitePort sim) : sim_(sim) {}
   FifoMutex(const FifoMutex&) = delete;
   FifoMutex& operator=(const FifoMutex&) = delete;
 
@@ -52,7 +52,7 @@ class FifoMutex {
   std::size_t waiters() const { return waiters_.size(); }
 
  private:
-  Simulation& sim_;
+  SitePort sim_;
   bool locked_ = false;
   std::deque<std::coroutine_handle<>> waiters_;
 };
@@ -61,7 +61,7 @@ class FifoMutex {
 /// server, held by a transaction for its lifetime at the node).
 class CountingSemaphore {
  public:
-  CountingSemaphore(Simulation& sim, int permits)
+  CountingSemaphore(SitePort sim, int permits)
       : sim_(sim), available_(permits) {}
   CountingSemaphore(const CountingSemaphore&) = delete;
   CountingSemaphore& operator=(const CountingSemaphore&) = delete;
@@ -106,7 +106,7 @@ class CountingSemaphore {
   }
 
  private:
-  Simulation& sim_;
+  SitePort sim_;
   int available_;
   std::deque<std::coroutine_handle<>> waiters_;
   std::uint64_t acquires_ = 0;

@@ -18,6 +18,10 @@ struct TxnDescriptor {
   GlobalTxnId gid = 0;
   model::TxnType user_type = model::TxnType::kLRO;  ///< LRO/LU/DROC/DUC
   int home_node = 0;
+  /// Node where the transaction currently operates (there is at most one
+  /// active request per transaction). Maintained by the coordinator TM at
+  /// the home site; probe routing reads it there.
+  int current_node = 0;
 };
 
 }  // namespace carat::txn

@@ -4,7 +4,8 @@
 
 namespace carat::txn {
 
-Node::Node(sim::Simulation& sim, int index, const model::SiteParams& params)
+Node::Node(sim::SitePort sim, int index, const model::SiteParams& params,
+           lock::LockManager* locks)
     : sim_(sim),
       index_(index),
       params_(params),
@@ -22,7 +23,10 @@ Node::Node(sim::Simulation& sim, int index, const model::SiteParams& params)
                    ? std::make_unique<sim::CountingSemaphore>(
                          sim, params.dm_pool_size)
                    : nullptr),
-      locks_(sim),
+      owned_locks_(locks == nullptr
+                       ? std::make_unique<lock::LockManager>(sim)
+                       : nullptr),
+      locks_(locks == nullptr ? owned_locks_.get() : locks),
       tm_mutex_(sim) {}
 
 sim::Task<void> Node::TmHandle(double cpu_ms) {
@@ -59,7 +63,7 @@ sim::Task<bool> Node::ExecuteRequest(GlobalTxnId gid,
     co_await cpu_.Use(costs.lr_cpu_ms);
     const double before_lock = sim_.now();
     const lock::LockOutcome outcome =
-        co_await locks_.Acquire(gid, granule, mode);
+        co_await locks_->Acquire(gid, granule, mode);
     if (acct != nullptr) acct->lock_wait_ms += sim_.now() - before_lock;
     if (outcome == lock::LockOutcome::kAborted) {
       co_return false;  // deadlock victim; caller rolls back everywhere
@@ -103,11 +107,11 @@ sim::Task<void> Node::RollbackAt(GlobalTxnId gid,
 sim::Task<void> Node::ReleaseLocksAt(GlobalTxnId gid,
                                      const model::ClassParams& costs) {
   // UL phase: unlock processing proportional to the locks held here.
-  const double locks_held = static_cast<double>(locks_.HeldCount(gid));
+  const double locks_held = static_cast<double>(locks_->HeldCount(gid));
   if (locks_held > 0) {
     co_await cpu_.Use(costs.unlock_cpu_per_lock_ms * locks_held);
   }
-  locks_.ReleaseAll(gid);
+  locks_->ReleaseAll(gid);
 }
 
 std::vector<db::RecordId> Node::PickRecords(int count, util::Rng* rng) const {
@@ -142,7 +146,7 @@ void Node::ResetStats() {
   cpu_.ResetStats();
   db_disk_.ResetStats();
   if (log_disk_) log_disk_->ResetStats();
-  locks_.ResetStats();
+  locks_->ResetStats();
   if (buffer_) buffer_->ResetStats();
   if (dm_pool_) dm_pool_->ResetStats();
 }

@@ -33,7 +33,12 @@ struct RequestSpec {
 /// A node of the testbed.
 class Node {
  public:
-  Node(sim::Simulation& sim, int index, const model::SiteParams& params);
+  /// `locks` may point at an externally owned lock manager (the testbed's
+  /// per-site LockManagerSet); when null the node owns its own instance
+  /// (standalone/unit-test use). Either way the manager must live on the
+  /// same site timeline as `sim`.
+  Node(sim::SitePort sim, int index, const model::SiteParams& params,
+       lock::LockManager* locks = nullptr);
 
   int index() const { return index_; }
   const model::SiteParams& params() const { return params_; }
@@ -85,14 +90,14 @@ class Node {
                                  const model::ClassParams& costs);
 
   // --- facilities -----------------------------------------------------------
-  sim::Simulation& simulation() { return sim_; }
+  sim::SitePort simulation() const { return sim_; }
   sim::FcfsResource& cpu() { return cpu_; }
   sim::FcfsResource& db_disk() { return db_disk_; }
   sim::FcfsResource& log_disk() { return log_disk_ ? *log_disk_ : db_disk_; }
   bool has_separate_log_disk() const { return log_disk_ != nullptr; }
   db::Database& database() { return database_; }
   wal::Log& log() { return log_; }
-  lock::LockManager& locks() { return locks_; }
+  lock::LockManager& locks() { return *locks_; }
   sim::FifoMutex& tm_mutex() { return tm_mutex_; }
 
   /// Null when the node runs without a buffer (the paper's configuration).
@@ -107,7 +112,7 @@ class Node {
   void ResetStats();
 
  private:
-  sim::Simulation& sim_;
+  sim::SitePort sim_;
   int index_;
   model::SiteParams params_;
   sim::FcfsResource cpu_;
@@ -117,7 +122,8 @@ class Node {
   std::unique_ptr<db::BufferPool> buffer_;  // null => no buffer
   std::unique_ptr<sim::CountingSemaphore> dm_pool_;  // null => unlimited
   wal::Log log_;
-  lock::LockManager locks_;
+  std::unique_ptr<lock::LockManager> owned_locks_;  // null => external
+  lock::LockManager* locks_;
   sim::FifoMutex tm_mutex_;
 };
 
