@@ -5,13 +5,20 @@
 //      numerically identical to the serial one, and
 //   2. the exact / Schweitzer MVA hot path with a reused MvaWorkspace,
 //      counting heap allocations per call via a global operator-new hook
-//      (must be zero once the workspace is warm).
+//      (must be zero once the workspace is warm), and
+//   3. the lockstep SoA batch Schweitzer kernel against the scalar kernel on
+//      the same scenarios: 8 lanes of a representative site network with
+//      per-lane demand skews, measured as interleaved medians to shrug off
+//      shared-host noise. The batch must be bit-identical per lane AND at
+//      least 2x the scalar solve rate — this gate is armed on every host
+//      (single-core included: the win is SIMD lanes, not threads).
 //
 // Results land in BENCH_solver.json (cwd) so successive PRs can track the
 // numbers. Usage: perf_solver [--jobs N] [--out FILE]
 //
-// Note: speedup is bounded by the host's core count; the acceptance target
-// (>= 3x at --jobs 8) presumes >= 8 hardware threads.
+// Note: the thread-sweep speedup is bounded by the host's core count; its
+// gate (>= 1.5x) arms only when the host has >= 4 hardware threads. The
+// batch-vs-scalar gate is thread-independent and always armed.
 
 #include <atomic>
 #include <chrono>
@@ -23,9 +30,12 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+
 #include "exec/thread_pool.h"
 #include "model/solver.h"
 #include "qn/mva.h"
+#include "qn/mva_batch.h"
 #include "workload/spec.h"
 
 // ---- Global allocation counter ---------------------------------------------
@@ -138,6 +148,115 @@ struct MvaBench {
   std::uint64_t allocs_per_call = 0;
 };
 
+// ---- Lockstep batch vs scalar Schweitzer. ----------------------------------
+
+struct BatchBench {
+  double scalar_solves_per_s = 0.0;
+  double batch_solves_per_s = 0.0;
+  double speedup = 0.0;
+  bool bit_identical = false;
+  std::uint64_t batch_allocs_per_call = 0;
+};
+
+bool SameSolutionBits(const carat::qn::Solution& a,
+                      const carat::qn::Solution& b) {
+  auto same = [](const std::vector<double>& x, const std::vector<double>& y) {
+    return x.size() == y.size() &&
+           (x.empty() ||
+            std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) == 0);
+  };
+  if (!(same(a.throughput, b.throughput) &&
+        same(a.response_time, b.response_time) &&
+        same(a.queue_length, b.queue_length) &&
+        same(a.utilization, b.utilization))) {
+    return false;
+  }
+  if (a.residence.size() != b.residence.size()) return false;
+  for (std::size_t k = 0; k < a.residence.size(); ++k) {
+    if (!same(a.residence[k], b.residence[k])) return false;
+  }
+  return true;
+}
+
+// W lanes of the representative site network with per-lane demand skews
+// (the serving layer's sweep pattern: same shape, different parameters).
+// Cold Schweitzer solves on both paths; interleaved reps with a median pick
+// so a noisy neighbor on a shared host cannot flip the comparison.
+BatchBench BenchBatchSchweitzer() {
+  using namespace carat::qn;
+  constexpr std::size_t kLanes = kMvaBatchLaneWidth;
+  std::vector<ClosedNetwork> nets;
+  std::vector<const ClosedNetwork*> ptrs;
+  for (std::size_t w = 0; w < kLanes; ++w) {
+    nets.push_back(MakeSiteNetwork(/*population=*/64));
+    for (Chain& chain : nets.back().chains) {
+      for (double& d : chain.demands) d *= 1.0 + 0.03 * w;
+    }
+  }
+  for (const ClosedNetwork& net : nets) ptrs.push_back(&net);
+
+  std::vector<MvaWorkspace> scalar_ws(kLanes);
+  BatchMvaWorkspace batch_ws;
+
+  const auto scalar_pass = [&] {
+    for (std::size_t w = 0; w < kLanes; ++w) {
+      SchweitzerMvaInPlace(nets[w], &scalar_ws[w], /*tolerance=*/1e-9,
+                           /*max_iterations=*/10000, /*warm_start=*/false);
+    }
+  };
+  const auto batch_pass = [&] {
+    SchweitzerMvaBatchInPlace(ptrs.data(), kLanes, &batch_ws,
+                              /*tolerance=*/1e-9, /*max_iterations=*/10000,
+                              /*warm_start=*/false);
+  };
+
+  BatchBench out;
+  // Warm the workspaces, then verify per-lane bit-identity (all Solution
+  // fields and iteration counts) before timing anything.
+  scalar_pass();
+  batch_pass();
+  out.bit_identical = true;
+  for (std::size_t w = 0; w < kLanes; ++w) {
+    out.bit_identical =
+        out.bit_identical &&
+        SameSolutionBits(scalar_ws[w].solution, batch_ws.solutions[w]) &&
+        scalar_ws[w].iterations == batch_ws.iterations[w];
+  }
+
+  const std::uint64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  batch_pass();
+  out.batch_allocs_per_call =
+      g_allocations.load(std::memory_order_relaxed) - allocs_before;
+
+  constexpr int kReps = 9;
+  constexpr int kCallsPerRep = 300;
+  std::vector<double> scalar_rates, batch_rates, ratios;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Clock::time_point start = Clock::now();
+    for (int i = 0; i < kCallsPerRep; ++i) scalar_pass();
+    const double scalar_ms = ElapsedMs(start);
+    start = Clock::now();
+    for (int i = 0; i < kCallsPerRep; ++i) batch_pass();
+    const double batch_ms = ElapsedMs(start);
+    const double solves = static_cast<double>(kCallsPerRep) * kLanes;
+    scalar_rates.push_back(scalar_ms > 0.0 ? solves / scalar_ms * 1000.0
+                                           : 0.0);
+    batch_rates.push_back(batch_ms > 0.0 ? solves / batch_ms * 1000.0 : 0.0);
+    ratios.push_back(scalar_ms > 0.0 && batch_ms > 0.0
+                         ? scalar_ms / batch_ms
+                         : 0.0);
+  }
+  const auto median = [](std::vector<double>* v) {
+    std::sort(v->begin(), v->end());
+    return (*v)[v->size() / 2];
+  };
+  out.scalar_solves_per_s = median(&scalar_rates);
+  out.batch_solves_per_s = median(&batch_rates);
+  out.speedup = median(&ratios);
+  return out;
+}
+
 template <typename Solve>
 MvaBench BenchMva(const Solve& solve, int iterations) {
   MvaBench out;
@@ -199,6 +318,10 @@ int main(int argc, char** argv) {
     identical = std::memcmp(&serial[i], &parallel[i], sizeof(double)) == 0;
   }
   const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  // The thread-sweep gate arms only with real parallel headroom (the same
+  // policy as perf_testbed): on a 1-2 core host the sweep still runs, and
+  // identical_output is still enforced, but the speedup is informational.
+  const bool sweep_gate_armed = hw >= 4;
 
   // ---- MVA hot path with a reused workspace. -------------------------------
   const carat::qn::ClosedNetwork exact_net = MakeSiteNetwork(/*population=*/4);
@@ -219,6 +342,9 @@ int main(int argc, char** argv) {
       },
       2000);
 
+  // ---- Lockstep batch vs scalar Schweitzer (gate armed on every host). -----
+  const BatchBench batch = BenchBatchSchweitzer();
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -235,6 +361,7 @@ int main(int argc, char** argv) {
                "    \"serial_ms\": %.3f,\n"
                "    \"parallel_ms\": %.3f,\n"
                "    \"speedup\": %.3f,\n"
+               "    \"speedup_gate_armed\": %s,\n"
                "    \"identical_output\": %s\n"
                "  },\n"
                "  \"exact_mva_workspace\": {\n"
@@ -244,13 +371,29 @@ int main(int argc, char** argv) {
                "  \"schweitzer_mva_workspace\": {\n"
                "    \"solves_per_s\": %.1f,\n"
                "    \"allocs_per_call_warm\": %llu\n"
+               "  },\n"
+               "  \"batch_schweitzer\": {\n"
+               "    \"lane_width\": %zu,\n"
+               "    \"simd_double_lanes\": %zu,\n"
+               "    \"scalar_solves_per_s\": %.1f,\n"
+               "    \"batch_solves_per_s\": %.1f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"speedup_gate_armed\": true,\n"
+               "    \"bit_identical\": %s,\n"
+               "    \"allocs_per_call_warm\": %llu\n"
                "  }\n"
                "}\n",
                hw, jobs, serial_ms, parallel_ms, speedup,
+               sweep_gate_armed ? "true" : "false",
                identical ? "true" : "false", exact.solves_per_s,
                static_cast<unsigned long long>(exact.allocs_per_call),
                approx.solves_per_s,
-               static_cast<unsigned long long>(approx.allocs_per_call));
+               static_cast<unsigned long long>(approx.allocs_per_call),
+               static_cast<std::size_t>(carat::qn::kMvaBatchLaneWidth),
+               carat::qn::MvaCompiledSimdDoubleLanes(),
+               batch.scalar_solves_per_s, batch.batch_solves_per_s,
+               batch.speedup, batch.bit_identical ? "true" : "false",
+               static_cast<unsigned long long>(batch.batch_allocs_per_call));
   std::fclose(f);
 
   std::printf(
@@ -265,9 +408,40 @@ int main(int argc, char** argv) {
       "schweitzer MVA (warm workspace): %.0f solves/s, %llu allocs/call\n",
       approx.solves_per_s,
       static_cast<unsigned long long>(approx.allocs_per_call));
+  std::printf(
+      "batch schweitzer (%zu lanes, %zu simd double lanes): scalar %.0f "
+      "solves/s, batch %.0f solves/s, speedup %.2fx, identical=%s, "
+      "%llu allocs/call\n",
+      static_cast<std::size_t>(carat::qn::kMvaBatchLaneWidth),
+      carat::qn::MvaCompiledSimdDoubleLanes(), batch.scalar_solves_per_s,
+      batch.batch_solves_per_s, batch.speedup,
+      batch.bit_identical ? "yes" : "NO",
+      static_cast<unsigned long long>(batch.batch_allocs_per_call));
   if (!identical) return 1;
   if (exact.allocs_per_call != 0 || approx.allocs_per_call != 0) {
     std::fprintf(stderr, "FAIL: warm-workspace MVA solve allocated\n");
+    return 1;
+  }
+  if (sweep_gate_armed && speedup < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: sweep speedup %.2fx < 1.5x with %u hardware "
+                 "threads\n",
+                 speedup, hw);
+    return 1;
+  }
+  if (!batch.bit_identical) {
+    std::fprintf(stderr, "FAIL: batch lanes not bit-identical to scalar\n");
+    return 1;
+  }
+  if (batch.batch_allocs_per_call != 0) {
+    std::fprintf(stderr, "FAIL: warm-workspace batch solve allocated\n");
+    return 1;
+  }
+  if (batch.speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: batch speedup %.2fx < 2.0x at lane width %zu\n",
+                 batch.speedup,
+                 static_cast<std::size_t>(carat::qn::kMvaBatchLaneWidth));
     return 1;
   }
   return 0;

@@ -20,20 +20,18 @@ std::vector<SweepPoint> RunSweep(
   inputs.reserve(sizes.size());
   for (const int n : sizes) inputs.push_back(make(n).ToModelInput());
 
-  // Model side: async submissions through the solving service. Warm starting
-  // stays off so every solve is cold and the results are bit-identical to a
-  // plain CaratModel::Solve() at any jobs value; the service still
-  // deduplicates repeated sizes via its solution cache and reuses per-shape
-  // arenas.
+  // Model side: one non-blocking batch submission through the solving
+  // service. The sweep's same-shape points solve in lockstep SoA blocks
+  // (SubmitBatch groups by shape), which is bit-identical per point to a
+  // plain CaratModel::Solve() — warm starting stays off so every solve is
+  // cold — while the service still deduplicates repeated sizes via its
+  // solution cache and reuses per-shape batch arenas.
   serve::SolverService::Options sopts;
   sopts.threads = jobs <= 0 ? 0 : static_cast<std::size_t>(jobs);
   sopts.warm_start = false;
   serve::SolverService service(std::move(sopts));
-  std::vector<std::future<model::ModelSolution>> solves;
-  solves.reserve(inputs.size());
-  for (const model::ModelInput& input : inputs) {
-    solves.push_back(service.Submit(input));
-  }
+  std::vector<std::future<model::ModelSolution>> solves =
+      service.SubmitBatch(inputs);
 
   // Testbed side: each point is an independently seeded run; fan out over
   // the same pool — the model solves submitted above interleave with the

@@ -10,6 +10,7 @@
 #include "model/transition.h"
 #include "model/yao.h"
 #include "qn/mva.h"
+#include "qn/mva_batch.h"
 
 namespace carat::model {
 
@@ -65,6 +66,24 @@ struct SiteNetwork {
   qn::MvaWorkspace ws;
   bool mva_ok = true;
   std::string mva_error;
+};
+
+// Iteration-invariant coupling lists (they depend only on chain presence):
+// slaves[i][c] holds the sites with a slave chain serving coordinator type c
+// at site i, coords[j][c] the sites with a coordinator chain of type c
+// driving site j's slave chain; c = 0 for DRO, 1 for DU.
+struct CouplingLists {
+  std::vector<std::array<std::vector<std::size_t>, 2>> slaves;
+  std::vector<std::array<std::vector<std::size_t>, 2>> coords;
+
+  const std::vector<std::size_t>& SlaveSitesOf(std::size_t i,
+                                               TxnType coord) const {
+    return slaves[i][coord == TxnType::kDROC ? 0 : 1];
+  }
+  const std::vector<std::size_t>& CoordinatorSitesOf(std::size_t j,
+                                                     TxnType slave) const {
+    return coords[j][slave == TxnType::kDROS ? 0 : 1];
+  }
 };
 
 double Damp(double old_value, double new_value, double damping) {
@@ -133,6 +152,550 @@ void BuildShapeKey(const ModelInput& input, std::string* key) {
   }
 }
 
+// ---- Fixed-point building blocks. -----------------------------------------
+// SolveInto and SolveBatchInto are the same algorithm: one scenario's solve
+// is a sequence of these per-scenario steps plus the per-site MVA solves.
+// The batch driver runs each step per lane and swaps the scalar MVA call for
+// the lockstep batch kernels, so lane w's floating-point op sequence is
+// exactly the scalar solve's — that (plus the batch kernels' own bit-identity
+// contract) is why a batch solve is bit-identical per lane to SolveInto.
+
+// Workload-independent quantities: presence, q(t) (Yao) and N_lk(t) (Eq. 2).
+void InitWorkloadInvariants(const ModelInput& input,
+                            std::vector<SiteState>* st) {
+  const std::size_t num_sites = input.sites.size();
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    const SiteParams& site = input.sites[i];
+    for (TxnType t : kAllTxnTypes) {
+      const ClassParams& c = site.Class(t);
+      ClassState& cs = (*st)[i].cls[Index(t)];
+      cs.present = c.population > 0;
+      if (!cs.present) continue;
+      // Local requests drive the I/O and locking at this site; a
+      // coordinator's remote requests are handled by its slave chains.
+      // Every record access is a granule I/O (q), but only the first touch
+      // of a granule is a fresh lock: N_lk counts distinct granules (Yao,
+      // skew-aware) and lock_ratio rescales the per-LR blocking chance.
+      if (c.local_requests > 0) {
+        cs.q = c.records_per_request;
+        cs.nlk = YaoExpectedBlocksSkewed(
+            site.total_records(), site.num_granules,
+            static_cast<long long>(c.local_requests) * c.records_per_request,
+            SkewOf(site));
+        const double accesses =
+            static_cast<double>(c.local_requests) * c.records_per_request;
+        cs.lock_ratio = accesses > 0 ? cs.nlk / accesses : 1.0;
+      }
+    }
+  }
+}
+
+// Per-site MVA networks (Fig. 2). The center/chain structure is
+// iteration-invariant; only the demands are rewritten each iteration before
+// the (possibly concurrent) MVA solves.
+void BuildSiteNetworks(const ModelInput& input,
+                       const std::vector<SiteState>& st,
+                       std::vector<SiteNetwork>* nets) {
+  const std::size_t num_sites = input.sites.size();
+  nets->clear();
+  nets->resize(num_sites);
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    const SiteParams& site = input.sites[i];
+    SiteNetwork& sn = (*nets)[i];
+    sn.cpu = sn.net.AddCenter("CPU", qn::CenterKind::kQueueing);
+    sn.disk = sn.net.AddCenter("DISK", qn::CenterKind::kQueueing);
+    if (site.separate_log_disk)
+      sn.log_disk = sn.net.AddCenter("LOG", qn::CenterKind::kQueueing);
+    sn.lw = sn.net.AddCenter("LW", qn::CenterKind::kDelay);
+    sn.rw = sn.net.AddCenter("RW", qn::CenterKind::kDelay);
+    sn.cw = sn.net.AddCenter("CW", qn::CenterKind::kDelay);
+    sn.ut = sn.net.AddCenter("UT", qn::CenterKind::kDelay);
+    for (TxnType t : kAllTxnTypes) {
+      if (!st[i].cls[Index(t)].present) continue;
+      sn.net.AddChain(std::string(Name(t)), site.Class(t).population,
+                      site.think_time_ms);
+      sn.chain_types.push_back(t);
+    }
+  }
+}
+
+// Coupling lists for the request-fraction f(t,i,j) and the cross-site delay
+// sums (requests are split evenly over the slave sites). They depend only on
+// chain presence, so they are shape state.
+void BuildCouplingLists(const ModelInput& input, CouplingLists* coupling) {
+  const std::size_t num_sites = input.sites.size();
+  coupling->slaves.assign(num_sites, {});
+  coupling->coords.assign(num_sites, {});
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    for (TxnType t : {TxnType::kDROC, TxnType::kDUC}) {
+      const std::size_t c = t == TxnType::kDROC ? 0 : 1;
+      const TxnType s = SlaveOf(t);
+      for (std::size_t j = 0; j < num_sites; ++j) {
+        if (j == i) continue;
+        if (input.sites[j].Class(s).population > 0)
+          coupling->slaves[i][c].push_back(j);
+      }
+    }
+    for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
+      const std::size_t c = s == TxnType::kDROS ? 0 : 1;
+      const TxnType t = CoordinatorOf(s);
+      for (std::size_t j = 0; j < num_sites; ++j) {
+        if (j == i) continue;
+        if (input.sites[j].Class(t).population > 0)
+          coupling->coords[i][c].push_back(j);
+      }
+    }
+  }
+}
+
+// Per-solve refresh of the quantities a shape key does not pin down:
+// populations, think times and the buffer model may differ between
+// same-shape inputs.
+void RefreshSolveState(const ModelInput& input,
+                       std::vector<SiteNetwork>* nets) {
+  for (std::size_t i = 0; i < input.sites.size(); ++i) {
+    const SiteParams& site = input.sites[i];
+    SiteNetwork& sn = (*nets)[i];
+    sn.buffer_hit_prob = BufferHitProbability(site);
+    sn.mva_ok = true;
+    for (std::size_t k = 0; k < sn.chain_types.size(); ++k) {
+      sn.net.chains[k].population = site.Class(sn.chain_types[k]).population;
+      sn.net.chains[k].think_time = site.think_time_ms;
+    }
+  }
+}
+
+// Parks a batch lane that is not being solved (input validation or shape
+// mismatch) on a trivially solvable network: zero populations and demands
+// pass validation and solve to zero throughput, so the lane can keep riding
+// in the lockstep blocks without affecting its neighbors.
+void ZeroLaneNetworks(std::vector<SiteNetwork>* nets) {
+  for (SiteNetwork& sn : *nets) {
+    sn.buffer_hit_prob = 0.0;
+    sn.mva_ok = true;
+    for (qn::Chain& chain : sn.net.chains) {
+      chain.population = 0;
+      chain.think_time = 0.0;
+      std::fill(chain.demands.begin(), chain.demands.end(), 0.0);
+    }
+  }
+}
+
+// Seeds the fixed point's state variables (Pb, Pd, Pra and the
+// synchronization delays) from a neighbor's converged values.
+void SeedClassStates(const WarmStart& warm, std::vector<SiteState>* st) {
+  for (std::size_t i = 0; i < st->size(); ++i) {
+    for (TxnType t : kAllTxnTypes) {
+      ClassState& cs = (*st)[i].cls[Index(t)];
+      if (!cs.present) continue;
+      const WarmStart::ClassSeed& seed = warm.sites[i][Index(t)];
+      cs.pb = seed.pb;
+      cs.pd = seed.pd;
+      cs.pra = seed.pra;
+      cs.delays.r_lw_ms = seed.r_lw_ms;
+      cs.delays.r_rw_ms = seed.r_rw_ms;
+      cs.delays.r_cwc_ms = seed.r_cwc_ms;
+      cs.delays.r_cwa_ms = seed.r_cwa_ms;
+    }
+  }
+}
+
+// (1) Visit counts with the current Pb / Pd / Pra. Returns false when a
+// transition system is singular (the caller fails the solve).
+bool StepVisitCounts(const ModelInput& input, std::vector<SiteState>* st) {
+  for (std::size_t i = 0; i < input.sites.size(); ++i) {
+    const SiteParams& site = input.sites[i];
+    for (TxnType t : kAllTxnTypes) {
+      ClassState& cs = (*st)[i].cls[Index(t)];
+      if (!cs.present) continue;
+      const ClassParams& c = site.Class(t);
+      TransitionInputs in;
+      in.local_requests = c.local_requests;
+      in.remote_requests = c.remote_requests;
+      in.io_per_request = cs.q;
+      in.pb = cs.pb * cs.lock_ratio;
+      in.pd = cs.pd;
+      in.pra = cs.pra;
+      const TransitionMatrix p = BuildTransitionMatrix(t, in);
+      if (!SolveVisitCounts(p, &cs.visits)) return false;
+    }
+  }
+  return true;
+}
+
+// (2) sigma, P_a, N_s. Locals and coordinators first (Eq. 3); slaves inherit
+// their coordinators' abort/submission behaviour.
+void StepAbortChain(const ModelInput& input, const SolverOptions& options,
+                    const CouplingLists& coupling,
+                    std::vector<SiteState>* st) {
+  const std::size_t num_sites = input.sites.size();
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    for (TxnType t : kAllTxnTypes) {
+      ClassState& cs = (*st)[i].cls[Index(t)];
+      if (!cs.present || IsSlave(t)) continue;
+      const double pbpd = cs.pb * cs.pd;
+      cs.sigma = SigmaFraction(pbpd, cs.nlk);
+      double pa = 1.0 - std::pow(1.0 - pbpd, cs.nlk);
+      if (IsCoordinator(t)) {
+        const int r = input.sites[i].Class(t).remote_requests;
+        pa = 1.0 - (1.0 - pa) * std::pow(1.0 - cs.pra, r);
+      }
+      cs.pa = std::min(pa, options.max_abort_prob);
+      cs.ns = 1.0 / (1.0 - cs.pa);
+    }
+  }
+  for (std::size_t j = 0; j < num_sites; ++j) {
+    for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
+      ClassState& cs = (*st)[j].cls[Index(s)];
+      if (!cs.present) continue;
+      cs.sigma = SigmaFraction(cs.pb * cs.pd, cs.nlk);
+      // The slave resubmits whenever its global transaction does, so its
+      // N_s matches the (population-weighted) coordinators'.
+      double pa = 0.0, weight = 0.0;
+      for (std::size_t i : coupling.CoordinatorSitesOf(j, s)) {
+        const ClassState& cc = (*st)[i].cls[Index(CoordinatorOf(s))];
+        const double w = input.sites[i].Class(CoordinatorOf(s)).population;
+        pa += w * cc.pa;
+        weight += w;
+      }
+      cs.pa = weight > 0.0 ? std::min(pa / weight, options.max_abort_prob)
+                           : 0.0;
+      cs.ns = 1.0 / (1.0 - cs.pa);
+    }
+  }
+}
+
+// (3a) Demands (Eqs. 5-10) written into site i's network chains.
+void FillSiteDemands(const SiteParams& site, SiteState* si, SiteNetwork* sn) {
+  for (std::size_t k = 0; k < sn->chain_types.size(); ++k) {
+    ClassState& cs = si->cls[Index(sn->chain_types[k])];
+    cs.demands = ComputeDemands(site, sn->chain_types[k], cs.visits, cs.ns,
+                                cs.sigma, cs.nlk, cs.delays,
+                                sn->buffer_hit_prob);
+    std::vector<double>& demands = sn->net.chains[k].demands;
+    demands[sn->cpu] = cs.demands.cpu_ms;
+    demands[sn->disk] = cs.demands.db_disk_ms;
+    if (site.separate_log_disk) demands[sn->log_disk] = cs.demands.log_disk_ms;
+    demands[sn->lw] = cs.demands.lw_ms;
+    demands[sn->rw] = cs.demands.rw_ms;
+    demands[sn->cw] = cs.demands.cw_ms;
+    demands[sn->ut] = cs.demands.ut_ms;
+  }
+}
+
+// (3b) Per-class and per-site readback of site i's MVA solution.
+void ReadSiteSolution(const SiteParams& site, const qn::Solution& sol,
+                      const SiteNetwork& sn, SiteState* si) {
+  for (std::size_t k = 0; k < sn.chain_types.size(); ++k) {
+    ClassState& cs = si->cls[Index(sn.chain_types[k])];
+    cs.x = sol.throughput[k];
+    cs.r = sol.response_time[k];
+  }
+  si->cpu_util = sol.utilization[sn.cpu];
+  si->db_util = sol.utilization[sn.disk];
+  si->log_util = site.separate_log_disk ? sol.utilization[sn.log_disk] : 0.0;
+  si->cpu_q = sol.queue_length[sn.cpu];
+  si->db_q = sol.queue_length[sn.disk];
+  si->log_q = site.separate_log_disk ? sol.queue_length[sn.log_disk]
+                                     : si->db_q;
+}
+
+// (4) Execution durations and locks held (Fig. 3 / Eq. 14).
+void StepDurations(const ModelInput& input, const SolverOptions& options,
+                   std::vector<SiteState>* st) {
+  for (std::size_t i = 0; i < input.sites.size(); ++i) {
+    const SiteParams& site = input.sites[i];
+    for (TxnType t : kAllTxnTypes) {
+      ClassState& cs = (*st)[i].cls[Index(t)];
+      if (!cs.present) continue;
+      // R from MVA covers one commit cycle: (N_s - 1) aborted executions
+      // plus intermediate thinks plus the successful execution. Undo the
+      // cycle structure to recover R_s (DESIGN.md section 4).
+      const double active = std::max(cs.r - cs.demands.ut_ms, 0.0);
+      const double denom = 1.0 + (cs.ns - 1.0) * cs.sigma;
+      cs.rs = denom > 0.0 ? active / denom : active;
+      // Blocking-time basis (Eq. 18): the blocker's execution time
+      // *excluding its own lock waits*. Using the full response here makes
+      // the LW fixed point non-contractive at high contention (waits
+      // inflating waits); the paper's derivation assumes rare blocking, so
+      // the active time is the consistent first-order basis (DESIGN.md §4).
+      const double busy = std::max(
+          cs.r - cs.demands.ut_ms -
+              (1.0 - options.blocker_wait_fraction) * cs.demands.lw_ms,
+          0.0);
+      const double rs_busy = denom > 0.0 ? busy / denom : busy;
+      cs.rexec = cs.pa * cs.sigma * rs_busy + (1.0 - cs.pa) * rs_busy;
+      cs.lh = AverageLocksHeld(cs.nlk, cs.sigma, cs.pa, cs.rs,
+                               site.think_time_ms);
+    }
+  }
+}
+
+// (5) Blocking and deadlock quantities (Eqs. 15-20), damped.
+void StepLockModel(const ModelInput& input, double damping,
+                   std::vector<SiteState>* st) {
+  for (std::size_t i = 0; i < input.sites.size(); ++i) {
+    SiteLockInputs li;
+    li.num_granules = input.sites[i].num_granules;
+    li.contention_factor = SkewOf(input.sites[i]).ContentionFactor();
+    for (TxnType t : kAllTxnTypes) {
+      const ClassState& cs = (*st)[i].cls[Index(t)];
+      li.population[Index(t)] = input.sites[i].Class(t).population;
+      li.locks_held[Index(t)] = cs.lh;
+      li.lock_requests[Index(t)] = cs.nlk;
+    }
+    // First pass: new Pb and per-execution blocking probabilities.
+    std::array<double, kNumTxnTypes> pb_new{}, plw_new{}, rlt{};
+    for (TxnType t : kAllTxnTypes) {
+      const ClassState& cs = (*st)[i].cls[Index(t)];
+      if (!cs.present) continue;
+      pb_new[Index(t)] = BlockingProbability(li, t);
+      plw_new[Index(t)] =
+          BlockAtLeastOnceProbability(pb_new[Index(t)], cs.nlk);
+      rlt[Index(t)] = MeanBlockingTime(cs.nlk, cs.rexec);
+    }
+    li.block_prob_per_execution = plw_new;
+    // Second pass: Pd and R_LW from the new blocking state.
+    for (TxnType t : kAllTxnTypes) {
+      ClassState& cs = (*st)[i].cls[Index(t)];
+      if (!cs.present) continue;
+      const double pd_new = DeadlockVictimProbability(li, t);
+      const double rlw_new = LockWaitDelay(li, t, rlt);
+      cs.pb = Damp(cs.pb, pb_new[Index(t)], damping);
+      cs.pd = Damp(cs.pd, pd_new, damping);
+      cs.plw = plw_new[Index(t)];
+      cs.delays.r_lw_ms = Damp(cs.delays.r_lw_ms, rlw_new, damping);
+    }
+  }
+}
+
+// (5b) Communication Network Model: derive alpha from the current message
+// rate. Each remote request is a message pair; each commit adds two rounds
+// (PREPARE/vote, COMMIT/ack) per slave site.
+void StepEthernet(const ModelInput& input, const SolverOptions& options,
+                  const CouplingLists& coupling, double damping,
+                  const std::vector<SiteState>& st, double* alpha) {
+  double messages_per_ms = 0.0;
+  for (std::size_t i = 0; i < input.sites.size(); ++i) {
+    for (TxnType t : {TxnType::kDROC, TxnType::kDUC}) {
+      const ClassState& cs = st[i].cls[Index(t)];
+      if (!cs.present) continue;
+      const int r = input.sites[i].Class(t).remote_requests;
+      const double slaves =
+          static_cast<double>(coupling.SlaveSitesOf(i, t).size());
+      const double per_commit = cs.ns * 2.0 * r + 4.0 * slaves;
+      messages_per_ms += input.sites[i].Class(t).population > 0
+                             ? cs.x * per_commit
+                             : 0.0;
+    }
+  }
+  const double alpha_new = qn::EthernetMeanDelayMs(
+      *options.ethernet, options.message_bits, messages_per_ms);
+  *alpha = Damp(*alpha, alpha_new, damping);
+}
+
+// (6) Remote-wait and 2PC-wait coupling across sites (Eqs. 21-24, §5.7).
+void StepCrossSiteCoupling(const ModelInput& input,
+                           const CouplingLists& coupling, double alpha,
+                           double damping, std::vector<SiteState>* st) {
+  const std::size_t num_sites = input.sites.size();
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    const SiteParams& site = input.sites[i];
+    // Coordinators.
+    for (TxnType t : {TxnType::kDROC, TxnType::kDUC}) {
+      ClassState& cs = (*st)[i].cls[Index(t)];
+      if (!cs.present) continue;
+      const TxnType s = SlaveOf(t);
+      const std::vector<std::size_t>& slaves = coupling.SlaveSitesOf(i, t);
+      const int r = site.Class(t).remote_requests;
+
+      double slave_busy_sum = 0.0;   // Eq. 21/22 numerator
+      double pra_sum = 0.0;
+      double cwc_max = 0.0, cwa_max = 0.0;
+      for (std::size_t j : slaves) {
+        const ClassState& ss = (*st)[j].cls[Index(s)];
+        slave_busy_sum += std::max(
+            ss.r - ss.demands.rw_ms - ss.demands.ut_ms, 0.0);
+        // Per-remote-request abort probability at the slave: the slave
+        // acquires nlk/l locks per request, each fatal with Pb*Pd.
+        const int ls = input.sites[j].Class(s).local_requests;
+        if (ls > 0) {
+          pra_sum += 1.0 - std::pow(1.0 - ss.pb * ss.pd, ss.nlk / ls);
+        }
+        cwc_max = std::max(
+            cwc_max, CommitProcessingMs(input.sites[j], s, (*st)[j].cpu_q,
+                                        (*st)[j].log_q));
+        cwa_max = std::max(
+            cwa_max, AbortProcessingMs(input.sites[j], s, ss.sigma, ss.nlk,
+                                       (*st)[j].cpu_q, (*st)[j].db_q));
+      }
+      const double rrw_new =
+          slaves.empty() || r <= 0
+              ? 0.0
+              : 2.0 * alpha + slave_busy_sum / (cs.ns * r);
+      const double pra_new =
+          slaves.empty() ? 0.0 : pra_sum / static_cast<double>(slaves.size());
+      // Two round trips for PREPARE/COMMIT plus the slowest slave's commit
+      // processing; one round trip plus rollback on the abort path.
+      const double cwc_new = 4.0 * alpha + cwc_max;
+      const double cwa_new = 2.0 * alpha + cwa_max;
+      cs.delays.r_rw_ms = Damp(cs.delays.r_rw_ms, rrw_new, damping);
+      cs.pra = Damp(cs.pra, pra_new, damping);
+      cs.delays.r_cwc_ms = Damp(cs.delays.r_cwc_ms, cwc_new, damping);
+      cs.delays.r_cwa_ms = Damp(cs.delays.r_cwa_ms, cwa_new, damping);
+    }
+    // Slaves.
+    for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
+      ClassState& cs = (*st)[i].cls[Index(s)];
+      if (!cs.present) continue;
+      const TxnType t = CoordinatorOf(s);
+      const std::vector<std::size_t>& coords =
+          coupling.CoordinatorSitesOf(i, s);
+      const int ls = site.Class(s).local_requests;
+
+      double rrw_sum = 0.0, pra_sum = 0.0, cwc_sum = 0.0, weight = 0.0;
+      for (std::size_t ci : coords) {
+        const ClassState& cc = (*st)[ci].cls[Index(t)];
+        const double w = input.sites[ci].Class(t).population;
+        const double f =
+            1.0 /
+            std::max<std::size_t>(coupling.SlaveSitesOf(ci, t).size(), 1);
+        // Eq. 23/24: coordinator response minus the remote waits it spends
+        // on this slave site and its think time, spread over the requests.
+        const double avail = std::max(
+            cc.r - cc.demands.rw_ms * f - cc.demands.ut_ms, 0.0);
+        if (ls > 0 && cs.ns > 0.0)
+          rrw_sum += w * avail / (cs.ns * ls);
+        // Abort signals reaching the slave stem from coordinator-side
+        // deadlocks, spread over the slave's l+1 remote waits.
+        const double pa_coord_local =
+            1.0 - std::pow(1.0 - cc.pb * cc.pd, cc.nlk);
+        pra_sum += w * (1.0 - std::pow(1.0 - pa_coord_local,
+                                       1.0 / (ls + 1.0)));
+        cwc_sum += w * CommitProcessingMs(input.sites[ci], t,
+                                          (*st)[ci].cpu_q, (*st)[ci].log_q);
+        weight += w;
+      }
+      const double rrw_new = weight > 0.0 ? rrw_sum / weight : 0.0;
+      const double pra_new = weight > 0.0 ? pra_sum / weight : 0.0;
+      // Slave CWC: waiting for the coordinator's commit decision (one
+      // round trip plus the coordinator's commit force-write).
+      const double cwc_new =
+          weight > 0.0 ? 2.0 * alpha + cwc_sum / weight : 0.0;
+      cs.delays.r_rw_ms = Damp(cs.delays.r_rw_ms, rrw_new, damping);
+      cs.pra = Damp(cs.pra, pra_new, damping);
+      cs.delays.r_cwc_ms = Damp(cs.delays.r_cwc_ms, cwc_new, damping);
+      cs.delays.r_cwa_ms = Damp(cs.delays.r_cwa_ms, 2.0 * alpha,
+                                damping);
+    }
+  }
+}
+
+// (7) Convergence test on throughputs: max relative change, updating prev_x.
+double ThroughputDelta(const std::vector<SiteState>& st,
+                       std::vector<double>* prev_x) {
+  double max_rel_delta = 0.0;
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    for (TxnType t : kAllTxnTypes) {
+      const ClassState& cs = st[i].cls[Index(t)];
+      const std::size_t idx = i * kNumTxnTypes + Index(t);
+      const double denom = std::max(std::fabs(cs.x), 1e-12);
+      max_rel_delta =
+          std::max(max_rel_delta, std::fabs(cs.x - (*prev_x)[idx]) / denom);
+      (*prev_x)[idx] = cs.x;
+    }
+  }
+  return max_rel_delta;
+}
+
+// Exports the converged state for future warm starts.
+void ExportWarm(const std::vector<SiteState>& st, double alpha,
+                WarmStart* warm_out) {
+  warm_out->comm_delay_ms = alpha;
+  warm_out->sites.assign(st.size(), {});
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    for (TxnType t : kAllTxnTypes) {
+      const ClassState& cs = st[i].cls[Index(t)];
+      WarmStart::ClassSeed& seed = warm_out->sites[i][Index(t)];
+      seed.present = cs.present;
+      if (!cs.present) continue;
+      seed.pb = cs.pb;
+      seed.pd = cs.pd;
+      seed.pra = cs.pra;
+      seed.r_lw_ms = cs.delays.r_lw_ms;
+      seed.r_rw_ms = cs.delays.r_rw_ms;
+      seed.r_cwc_ms = cs.delays.r_cwc_ms;
+      seed.r_cwa_ms = cs.delays.r_cwa_ms;
+    }
+  }
+}
+
+// Assembles the converged state into the caller's solution. assign() (rather
+// than resize) value-resets every slot while keeping the vector's and the
+// name strings' capacity, so a reused `out` of the same site count allocates
+// nothing.
+void AssembleSolution(const ModelInput& input, const std::vector<SiteState>& st,
+                      bool converged, int iterations, double alpha,
+                      ModelSolution* out) {
+  const std::size_t num_sites = input.sites.size();
+  out->converged = converged;
+  out->iterations = iterations;
+  out->comm_delay_ms = alpha;
+  out->sites.assign(num_sites, SiteSolution{});
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    const SiteParams& site = input.sites[i];
+    SiteSolution& ss = out->sites[i];
+    ss.name = site.name;
+    ss.cpu_utilization = st[i].cpu_util;
+    ss.db_disk_utilization = st[i].db_util;
+    ss.log_disk_utilization = st[i].log_util;
+    // Every disk operation transfers one block at block_io_ms, so the I/O
+    // rate follows from utilization (the paper derives its modeled DIO the
+    // same way).
+    ss.dio_per_s =
+        (st[i].db_util + st[i].log_util) / site.block_io_ms * 1000.0;
+    for (TxnType t : kAllTxnTypes) {
+      const ClassState& cs = st[i].cls[Index(t)];
+      ClassSolution& c = ss.classes[Index(t)];
+      c.present = cs.present;
+      if (!cs.present) continue;
+      c.throughput_per_s = cs.x * 1000.0;
+      c.response_ms = cs.r;
+      c.pa = cs.pa;
+      c.ns = cs.ns;
+      c.pb = cs.pb;
+      c.pd = cs.pd;
+      c.plw = cs.plw;
+      c.lh = cs.lh;
+      c.nlk = cs.nlk;
+      c.sigma = cs.sigma;
+      c.io_per_request = cs.q;
+      c.r_lw_ms = cs.delays.r_lw_ms;
+      c.r_rw_ms = cs.delays.r_rw_ms;
+      c.r_cw_ms = cs.delays.r_cwc_ms;
+      c.d_lw_ms = cs.demands.lw_ms;
+      c.d_rw_ms = cs.demands.rw_ms;
+      c.d_cw_ms = cs.demands.cw_ms;
+      if (!IsSlave(t)) {
+        const ClassParams& cp = site.Class(t);
+        ss.txn_per_s += c.throughput_per_s;
+        ss.records_per_s += c.throughput_per_s *
+                            cp.total_requests() * cp.records_per_request;
+      }
+    }
+  }
+}
+
+// Resets the solve-status fields of `out` the way SolveInto's prologue does.
+void ResetSolution(ModelSolution* out) {
+  out->ok = false;
+  out->converged = false;
+  out->iterations = 0;
+  out->warm_started = false;
+  out->error.clear();
+  out->comm_delay_ms = 0.0;
+}
+
 }  // namespace
 
 // Cross-solve state reused by SolveInto: everything whose size depends only
@@ -145,18 +708,50 @@ struct SolveArena::Impl {
   std::vector<SiteState> st;
   std::vector<SiteNetwork> nets;
   std::vector<double> prev_x;
-  // Iteration-invariant coupling lists (they depend only on chain presence):
-  // slaves[i][c] holds the sites with a slave chain serving coordinator type
-  // c at site i, coords[j][c] the sites with a coordinator chain of type c
-  // driving site j's slave chain; c = 0 for DRO, 1 for DU.
-  std::vector<std::array<std::vector<std::size_t>, 2>> slaves;
-  std::vector<std::array<std::vector<std::size_t>, 2>> coords;
+  CouplingLists coupling;
 };
 
 SolveArena::SolveArena() : impl_(std::make_unique<Impl>()) {}
 SolveArena::~SolveArena() = default;
 SolveArena::SolveArena(SolveArena&&) noexcept = default;
 SolveArena& SolveArena::operator=(SolveArena&&) noexcept = default;
+
+// Cross-solve state of SolveBatchInto: per-lane solve state (each lane is
+// one scenario's SolveInto state) plus the shared per-site lockstep MVA
+// workspaces. Lane w's column in site_ws[i] retains that lane's Schweitzer
+// queue lengths across solves exactly like SolveArena retains its single
+// site workspace.
+struct BatchSolveArena::Impl {
+  std::string shape;
+  std::string shape_scratch;
+  std::string lane_scratch;
+
+  struct Lane {
+    std::vector<SiteState> st;
+    std::vector<SiteNetwork> nets;
+    std::vector<double> prev_x;
+    double alpha = 0.0;
+    double damping = 0.0;
+    bool active = false;     // still iterating
+    bool failed = false;     // input rejected or a solve step failed
+    bool converged = false;
+    int iterations = 0;
+  };
+  std::vector<Lane> lanes;
+  CouplingLists coupling;
+  std::vector<qn::BatchMvaWorkspace> site_ws;
+  // [site * lanes + lane] network pointers handed to the batch kernels, and
+  // the per-site outcome of the current iteration's MVA sweep.
+  std::vector<const qn::ClosedNetwork*> net_ptrs;
+  std::vector<unsigned char> site_ok;
+  std::vector<std::string> site_error;
+};
+
+BatchSolveArena::BatchSolveArena() : impl_(std::make_unique<Impl>()) {}
+BatchSolveArena::~BatchSolveArena() = default;
+BatchSolveArena::BatchSolveArena(BatchSolveArena&&) noexcept = default;
+BatchSolveArena& BatchSolveArena::operator=(BatchSolveArena&&) noexcept =
+    default;
 
 std::string SolveShapeKey(const ModelInput& input) {
   std::string key;
@@ -206,12 +801,7 @@ ModelSolution CaratModel::Solve(const SolverOptions& options,
 void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
                            const WarmStart* warm, ModelSolution* out,
                            WarmStart* warm_out) const {
-  out->ok = false;
-  out->converged = false;
-  out->iterations = 0;
-  out->warm_started = false;
-  out->error.clear();
-  out->comm_delay_ms = 0.0;
+  ResetSolution(out);
   if (!input_.Validate(&out->error)) {
     out->sites.clear();
     return;
@@ -230,32 +820,7 @@ void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
   double alpha = input_.comm_delay_ms;
   std::vector<SiteState>& st = ar.st;
   st.assign(num_sites, SiteState{});
-
-  // ---- Workload-independent quantities: q(t) (Yao) and N_lk(t) (Eq. 2). ----
-  for (std::size_t i = 0; i < num_sites; ++i) {
-    const SiteParams& site = input_.sites[i];
-    for (TxnType t : kAllTxnTypes) {
-      const ClassParams& c = site.Class(t);
-      ClassState& cs = st[i].cls[Index(t)];
-      cs.present = c.population > 0;
-      if (!cs.present) continue;
-      // Local requests drive the I/O and locking at this site; a
-      // coordinator's remote requests are handled by its slave chains.
-      // Every record access is a granule I/O (q), but only the first touch
-      // of a granule is a fresh lock: N_lk counts distinct granules (Yao,
-      // skew-aware) and lock_ratio rescales the per-LR blocking chance.
-      if (c.local_requests > 0) {
-        cs.q = c.records_per_request;
-        cs.nlk = YaoExpectedBlocksSkewed(
-            site.total_records(), site.num_granules,
-            static_cast<long long>(c.local_requests) * c.records_per_request,
-            SkewOf(site));
-        const double accesses =
-            static_cast<double>(c.local_requests) * c.records_per_request;
-        cs.lock_ratio = accesses > 0 ? cs.nlk / accesses : 1.0;
-      }
-    }
-  }
+  InitWorkloadInvariants(input_, &st);
 
   // ---- Shape-keyed arena state. --------------------------------------------
   // The per-site networks, the coupling lists and every other shape-sized
@@ -265,80 +830,11 @@ void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
   BuildShapeKey(input_, &ar.shape_scratch);
   if (ar.shape != ar.shape_scratch) {
     ar.shape = ar.shape_scratch;
-
-    // Per-site MVA networks (Fig. 2). The center/chain structure is
-    // iteration-invariant; only the demands are rewritten each iteration
-    // before the (possibly concurrent) MVA solves.
-    ar.nets.clear();
-    ar.nets.resize(num_sites);
-    for (std::size_t i = 0; i < num_sites; ++i) {
-      const SiteParams& site = input_.sites[i];
-      SiteNetwork& sn = ar.nets[i];
-      sn.cpu = sn.net.AddCenter("CPU", qn::CenterKind::kQueueing);
-      sn.disk = sn.net.AddCenter("DISK", qn::CenterKind::kQueueing);
-      if (site.separate_log_disk)
-        sn.log_disk = sn.net.AddCenter("LOG", qn::CenterKind::kQueueing);
-      sn.lw = sn.net.AddCenter("LW", qn::CenterKind::kDelay);
-      sn.rw = sn.net.AddCenter("RW", qn::CenterKind::kDelay);
-      sn.cw = sn.net.AddCenter("CW", qn::CenterKind::kDelay);
-      sn.ut = sn.net.AddCenter("UT", qn::CenterKind::kDelay);
-      for (TxnType t : kAllTxnTypes) {
-        if (!st[i].cls[Index(t)].present) continue;
-        sn.net.AddChain(std::string(Name(t)), site.Class(t).population,
-                        site.think_time_ms);
-        sn.chain_types.push_back(t);
-      }
-    }
-
-    // Coupling lists for the request-fraction f(t,i,j) and the cross-site
-    // delay sums (requests are split evenly over the slave sites). They
-    // depend only on chain presence, so they are shape state.
-    ar.slaves.assign(num_sites, {});
-    ar.coords.assign(num_sites, {});
-    for (std::size_t i = 0; i < num_sites; ++i) {
-      for (TxnType t : {TxnType::kDROC, TxnType::kDUC}) {
-        const std::size_t c = t == TxnType::kDROC ? 0 : 1;
-        const TxnType s = SlaveOf(t);
-        for (std::size_t j = 0; j < num_sites; ++j) {
-          if (j == i) continue;
-          if (input_.sites[j].Class(s).population > 0)
-            ar.slaves[i][c].push_back(j);
-        }
-      }
-      for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
-        const std::size_t c = s == TxnType::kDROS ? 0 : 1;
-        const TxnType t = CoordinatorOf(s);
-        for (std::size_t j = 0; j < num_sites; ++j) {
-          if (j == i) continue;
-          if (input_.sites[j].Class(t).population > 0)
-            ar.coords[i][c].push_back(j);
-        }
-      }
-    }
+    BuildSiteNetworks(input_, st, &ar.nets);
+    BuildCouplingLists(input_, &ar.coupling);
   }
   std::vector<SiteNetwork>& nets = ar.nets;
-  auto slave_sites_of = [&ar](std::size_t i, TxnType coord)
-      -> const std::vector<std::size_t>& {
-    return ar.slaves[i][coord == TxnType::kDROC ? 0 : 1];
-  };
-  auto coordinator_sites_of = [&ar](std::size_t j, TxnType slave)
-      -> const std::vector<std::size_t>& {
-    return ar.coords[j][slave == TxnType::kDROS ? 0 : 1];
-  };
-
-  // Per-solve refresh of the quantities a shape key does not pin down:
-  // populations, think times and the buffer model may differ between
-  // same-shape inputs.
-  for (std::size_t i = 0; i < num_sites; ++i) {
-    const SiteParams& site = input_.sites[i];
-    SiteNetwork& sn = nets[i];
-    sn.buffer_hit_prob = BufferHitProbability(site);
-    sn.mva_ok = true;
-    for (std::size_t k = 0; k < sn.chain_types.size(); ++k) {
-      sn.net.chains[k].population = site.Class(sn.chain_types[k]).population;
-      sn.net.chains[k].think_time = site.think_time_ms;
-    }
-  }
+  RefreshSolveState(input_, &nets);
 
   // ---- Warm-start seeding. -------------------------------------------------
   // A compatible seed initializes the fixed point's state variables (Pb, Pd,
@@ -350,20 +846,7 @@ void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
   out->warm_started = seeded;
   if (seeded) {
     if (options.ethernet.has_value()) alpha = warm->comm_delay_ms;
-    for (std::size_t i = 0; i < num_sites; ++i) {
-      for (TxnType t : kAllTxnTypes) {
-        ClassState& cs = st[i].cls[Index(t)];
-        if (!cs.present) continue;
-        const WarmStart::ClassSeed& seed = warm->sites[i][Index(t)];
-        cs.pb = seed.pb;
-        cs.pd = seed.pd;
-        cs.pra = seed.pra;
-        cs.delays.r_lw_ms = seed.r_lw_ms;
-        cs.delays.r_rw_ms = seed.r_rw_ms;
-        cs.delays.r_cwc_ms = seed.r_cwc_ms;
-        cs.delays.r_cwa_ms = seed.r_cwa_ms;
-      }
-    }
+    SeedClassStates(*warm, &st);
   } else {
     for (SiteNetwork& sn : nets) sn.ws.qkm.clear();
   }
@@ -380,65 +863,15 @@ void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
   for (iteration = 1; iteration <= options.max_iterations; ++iteration) {
     if (iteration % 100 == 0) damping = std::max(damping * 0.5, 0.02);
     // (1) Visit counts with the current Pb / Pd / Pra.
-    for (std::size_t i = 0; i < num_sites; ++i) {
-      const SiteParams& site = input_.sites[i];
-      for (TxnType t : kAllTxnTypes) {
-        ClassState& cs = st[i].cls[Index(t)];
-        if (!cs.present) continue;
-        const ClassParams& c = site.Class(t);
-        TransitionInputs in;
-        in.local_requests = c.local_requests;
-        in.remote_requests = c.remote_requests;
-        in.io_per_request = cs.q;
-        in.pb = cs.pb * cs.lock_ratio;
-        in.pd = cs.pd;
-        in.pra = cs.pra;
-        const TransitionMatrix p = BuildTransitionMatrix(t, in);
-        if (!SolveVisitCounts(p, &cs.visits)) {
-          out->error = "visit-count system singular";
-          out->ok = false;
-          out->sites.clear();
-          return;
-        }
-      }
+    if (!StepVisitCounts(input_, &st)) {
+      out->error = "visit-count system singular";
+      out->ok = false;
+      out->sites.clear();
+      return;
     }
 
-    // (2) sigma, P_a, N_s. Locals and coordinators first (Eq. 3); slaves
-    // inherit their coordinators' abort/submission behaviour.
-    for (std::size_t i = 0; i < num_sites; ++i) {
-      for (TxnType t : kAllTxnTypes) {
-        ClassState& cs = st[i].cls[Index(t)];
-        if (!cs.present || IsSlave(t)) continue;
-        const double pbpd = cs.pb * cs.pd;
-        cs.sigma = SigmaFraction(pbpd, cs.nlk);
-        double pa = 1.0 - std::pow(1.0 - pbpd, cs.nlk);
-        if (IsCoordinator(t)) {
-          const int r = input_.sites[i].Class(t).remote_requests;
-          pa = 1.0 - (1.0 - pa) * std::pow(1.0 - cs.pra, r);
-        }
-        cs.pa = std::min(pa, options.max_abort_prob);
-        cs.ns = 1.0 / (1.0 - cs.pa);
-      }
-    }
-    for (std::size_t j = 0; j < num_sites; ++j) {
-      for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
-        ClassState& cs = st[j].cls[Index(s)];
-        if (!cs.present) continue;
-        cs.sigma = SigmaFraction(cs.pb * cs.pd, cs.nlk);
-        // The slave resubmits whenever its global transaction does, so its
-        // N_s matches the (population-weighted) coordinators'.
-        double pa = 0.0, weight = 0.0;
-        for (std::size_t i : coordinator_sites_of(j, s)) {
-          const ClassState& cc = st[i].cls[Index(CoordinatorOf(s))];
-          const double w = input_.sites[i].Class(CoordinatorOf(s)).population;
-          pa += w * cc.pa;
-          weight += w;
-        }
-        cs.pa = weight > 0.0 ? std::min(pa / weight, options.max_abort_prob)
-                             : 0.0;
-        cs.ns = 1.0 / (1.0 - cs.pa);
-      }
-    }
+    // (2) sigma, P_a, N_s.
+    StepAbortChain(input_, options, ar.coupling, &st);
 
     // (3) Demands (Eqs. 5-10) and per-site MVA solve. Each site's network
     // depends only on that site's state from steps (1)-(2), so the solves
@@ -447,21 +880,7 @@ void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
     const auto solve_site = [&](std::size_t i) {
       const SiteParams& site = input_.sites[i];
       SiteNetwork& sn = nets[i];
-      for (std::size_t k = 0; k < sn.chain_types.size(); ++k) {
-        ClassState& cs = st[i].cls[Index(sn.chain_types[k])];
-        cs.demands = ComputeDemands(site, sn.chain_types[k], cs.visits, cs.ns,
-                                    cs.sigma, cs.nlk, cs.delays,
-                                    sn.buffer_hit_prob);
-        std::vector<double>& demands = sn.net.chains[k].demands;
-        demands[sn.cpu] = cs.demands.cpu_ms;
-        demands[sn.disk] = cs.demands.db_disk_ms;
-        if (site.separate_log_disk)
-          demands[sn.log_disk] = cs.demands.log_disk_ms;
-        demands[sn.lw] = cs.demands.lw_ms;
-        demands[sn.rw] = cs.demands.rw_ms;
-        demands[sn.cw] = cs.demands.cw_ms;
-        demands[sn.ut] = cs.demands.ut_ms;
-      }
+      FillSiteDemands(site, &st[i], &sn);
 
       // Warm-start from the previous iteration's queue lengths: the fixed
       // point moves the demands only slightly per iteration, so large-
@@ -474,21 +893,7 @@ void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
                                          /*max_iterations=*/10000,
                                          /*warm_start=*/true, &sn.mva_error);
       if (!sn.mva_ok) return;
-
-      const qn::Solution& sol = sn.ws.solution;
-      for (std::size_t k = 0; k < sn.chain_types.size(); ++k) {
-        ClassState& cs = st[i].cls[Index(sn.chain_types[k])];
-        cs.x = sol.throughput[k];
-        cs.r = sol.response_time[k];
-      }
-      st[i].cpu_util = sol.utilization[sn.cpu];
-      st[i].db_util = sol.utilization[sn.disk];
-      st[i].log_util =
-          site.separate_log_disk ? sol.utilization[sn.log_disk] : 0.0;
-      st[i].cpu_q = sol.queue_length[sn.cpu];
-      st[i].db_q = sol.queue_length[sn.disk];
-      st[i].log_q = site.separate_log_disk ? sol.queue_length[sn.log_disk]
-                                           : st[i].db_q;
+      ReadSiteSolution(site, sn.ws.solution, sn, &st[i]);
     };
     if (options.pool == nullptr) {
       // Run inline rather than through ParallelFor: wrapping the lambda in a
@@ -508,269 +913,247 @@ void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
     }
 
     // (4) Execution durations and locks held (Fig. 3 / Eq. 14).
-    for (std::size_t i = 0; i < num_sites; ++i) {
-      const SiteParams& site = input_.sites[i];
-      for (TxnType t : kAllTxnTypes) {
-        ClassState& cs = st[i].cls[Index(t)];
-        if (!cs.present) continue;
-        // R from MVA covers one commit cycle: (N_s - 1) aborted executions
-        // plus intermediate thinks plus the successful execution. Undo the
-        // cycle structure to recover R_s (DESIGN.md section 4).
-        const double active = std::max(cs.r - cs.demands.ut_ms, 0.0);
-        const double denom = 1.0 + (cs.ns - 1.0) * cs.sigma;
-        cs.rs = denom > 0.0 ? active / denom : active;
-        // Blocking-time basis (Eq. 18): the blocker's execution time
-        // *excluding its own lock waits*. Using the full response here makes
-        // the LW fixed point non-contractive at high contention (waits
-        // inflating waits); the paper's derivation assumes rare blocking, so
-        // the active time is the consistent first-order basis (DESIGN.md §4).
-        const double busy = std::max(
-            cs.r - cs.demands.ut_ms -
-                (1.0 - options.blocker_wait_fraction) * cs.demands.lw_ms,
-            0.0);
-        const double rs_busy = denom > 0.0 ? busy / denom : busy;
-        cs.rexec = cs.pa * cs.sigma * rs_busy + (1.0 - cs.pa) * rs_busy;
-        cs.lh = AverageLocksHeld(cs.nlk, cs.sigma, cs.pa, cs.rs,
-                                 site.think_time_ms);
-      }
-    }
+    StepDurations(input_, options, &st);
 
     // (5) Blocking and deadlock quantities (Eqs. 15-20), damped.
-    for (std::size_t i = 0; i < num_sites; ++i) {
-      SiteLockInputs li;
-      li.num_granules = input_.sites[i].num_granules;
-      li.contention_factor = SkewOf(input_.sites[i]).ContentionFactor();
-      for (TxnType t : kAllTxnTypes) {
-        const ClassState& cs = st[i].cls[Index(t)];
-        li.population[Index(t)] = input_.sites[i].Class(t).population;
-        li.locks_held[Index(t)] = cs.lh;
-        li.lock_requests[Index(t)] = cs.nlk;
-      }
-      // First pass: new Pb and per-execution blocking probabilities.
-      std::array<double, kNumTxnTypes> pb_new{}, plw_new{}, rlt{};
-      for (TxnType t : kAllTxnTypes) {
-        const ClassState& cs = st[i].cls[Index(t)];
-        if (!cs.present) continue;
-        pb_new[Index(t)] = BlockingProbability(li, t);
-        plw_new[Index(t)] =
-            BlockAtLeastOnceProbability(pb_new[Index(t)], cs.nlk);
-        rlt[Index(t)] = MeanBlockingTime(cs.nlk, cs.rexec);
-      }
-      li.block_prob_per_execution = plw_new;
-      // Second pass: Pd and R_LW from the new blocking state.
-      for (TxnType t : kAllTxnTypes) {
-        ClassState& cs = st[i].cls[Index(t)];
-        if (!cs.present) continue;
-        const double pd_new = DeadlockVictimProbability(li, t);
-        const double rlw_new = LockWaitDelay(li, t, rlt);
-        cs.pb = Damp(cs.pb, pb_new[Index(t)], damping);
-        cs.pd = Damp(cs.pd, pd_new, damping);
-        cs.plw = plw_new[Index(t)];
-        cs.delays.r_lw_ms = Damp(cs.delays.r_lw_ms, rlw_new, damping);
-      }
-    }
+    StepLockModel(input_, damping, &st);
 
-    // (5b) Communication Network Model: derive alpha from the current
-    // message rate. Each remote request is a message pair; each commit adds
-    // two rounds (PREPARE/vote, COMMIT/ack) per slave site.
+    // (5b) Communication Network Model.
     if (options.ethernet.has_value()) {
-      double messages_per_ms = 0.0;
-      for (std::size_t i = 0; i < num_sites; ++i) {
-        for (TxnType t : {TxnType::kDROC, TxnType::kDUC}) {
-          const ClassState& cs = st[i].cls[Index(t)];
-          if (!cs.present) continue;
-          const int r = input_.sites[i].Class(t).remote_requests;
-          const double slaves =
-              static_cast<double>(slave_sites_of(i, t).size());
-          const double per_commit = cs.ns * 2.0 * r + 4.0 * slaves;
-          messages_per_ms += input_.sites[i].Class(t).population > 0
-                                 ? cs.x * per_commit
-                                 : 0.0;
-        }
-      }
-      const double alpha_new = qn::EthernetMeanDelayMs(
-          *options.ethernet, options.message_bits, messages_per_ms);
-      alpha = Damp(alpha, alpha_new, damping);
+      StepEthernet(input_, options, ar.coupling, damping, st, &alpha);
     }
 
-    // (6) Remote-wait and 2PC-wait coupling across sites (Eqs. 21-24, §5.7).
-    for (std::size_t i = 0; i < num_sites; ++i) {
-      const SiteParams& site = input_.sites[i];
-      // Coordinators.
-      for (TxnType t : {TxnType::kDROC, TxnType::kDUC}) {
-        ClassState& cs = st[i].cls[Index(t)];
-        if (!cs.present) continue;
-        const TxnType s = SlaveOf(t);
-        const std::vector<std::size_t>& slaves = slave_sites_of(i, t);
-        const int r = site.Class(t).remote_requests;
-
-        double slave_busy_sum = 0.0;   // Eq. 21/22 numerator
-        double pra_sum = 0.0;
-        double cwc_max = 0.0, cwa_max = 0.0;
-        for (std::size_t j : slaves) {
-          const ClassState& ss = st[j].cls[Index(s)];
-          slave_busy_sum += std::max(
-              ss.r - ss.demands.rw_ms - ss.demands.ut_ms, 0.0);
-          // Per-remote-request abort probability at the slave: the slave
-          // acquires nlk/l locks per request, each fatal with Pb*Pd.
-          const int ls = input_.sites[j].Class(s).local_requests;
-          if (ls > 0) {
-            pra_sum += 1.0 - std::pow(1.0 - ss.pb * ss.pd, ss.nlk / ls);
-          }
-          cwc_max = std::max(
-              cwc_max, CommitProcessingMs(input_.sites[j], s, st[j].cpu_q,
-                                          st[j].log_q));
-          cwa_max = std::max(
-              cwa_max, AbortProcessingMs(input_.sites[j], s, ss.sigma, ss.nlk,
-                                         st[j].cpu_q, st[j].db_q));
-        }
-        const double rrw_new =
-            slaves.empty() || r <= 0
-                ? 0.0
-                : 2.0 * alpha + slave_busy_sum / (cs.ns * r);
-        const double pra_new =
-            slaves.empty() ? 0.0 : pra_sum / static_cast<double>(slaves.size());
-        // Two round trips for PREPARE/COMMIT plus the slowest slave's commit
-        // processing; one round trip plus rollback on the abort path.
-        const double cwc_new = 4.0 * alpha + cwc_max;
-        const double cwa_new = 2.0 * alpha + cwa_max;
-        cs.delays.r_rw_ms = Damp(cs.delays.r_rw_ms, rrw_new, damping);
-        cs.pra = Damp(cs.pra, pra_new, damping);
-        cs.delays.r_cwc_ms = Damp(cs.delays.r_cwc_ms, cwc_new, damping);
-        cs.delays.r_cwa_ms = Damp(cs.delays.r_cwa_ms, cwa_new, damping);
-      }
-      // Slaves.
-      for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
-        ClassState& cs = st[i].cls[Index(s)];
-        if (!cs.present) continue;
-        const TxnType t = CoordinatorOf(s);
-        const std::vector<std::size_t>& coords = coordinator_sites_of(i, s);
-        const int ls = site.Class(s).local_requests;
-
-        double rrw_sum = 0.0, pra_sum = 0.0, cwc_sum = 0.0, weight = 0.0;
-        for (std::size_t ci : coords) {
-          const ClassState& cc = st[ci].cls[Index(t)];
-          const double w = input_.sites[ci].Class(t).population;
-          const double f =
-              1.0 / std::max<std::size_t>(slave_sites_of(ci, t).size(), 1);
-          // Eq. 23/24: coordinator response minus the remote waits it spends
-          // on this slave site and its think time, spread over the requests.
-          const double avail = std::max(
-              cc.r - cc.demands.rw_ms * f - cc.demands.ut_ms, 0.0);
-          if (ls > 0 && cs.ns > 0.0)
-            rrw_sum += w * avail / (cs.ns * ls);
-          // Abort signals reaching the slave stem from coordinator-side
-          // deadlocks, spread over the slave's l+1 remote waits.
-          const double pa_coord_local =
-              1.0 - std::pow(1.0 - cc.pb * cc.pd, cc.nlk);
-          pra_sum += w * (1.0 - std::pow(1.0 - pa_coord_local,
-                                         1.0 / (ls + 1.0)));
-          cwc_sum += w * CommitProcessingMs(input_.sites[ci], t,
-                                            st[ci].cpu_q, st[ci].log_q);
-          weight += w;
-        }
-        const double rrw_new = weight > 0.0 ? rrw_sum / weight : 0.0;
-        const double pra_new = weight > 0.0 ? pra_sum / weight : 0.0;
-        // Slave CWC: waiting for the coordinator's commit decision (one
-        // round trip plus the coordinator's commit force-write).
-        const double cwc_new =
-            weight > 0.0 ? 2.0 * alpha + cwc_sum / weight : 0.0;
-        cs.delays.r_rw_ms = Damp(cs.delays.r_rw_ms, rrw_new, damping);
-        cs.pra = Damp(cs.pra, pra_new, damping);
-        cs.delays.r_cwc_ms = Damp(cs.delays.r_cwc_ms, cwc_new, damping);
-        cs.delays.r_cwa_ms = Damp(cs.delays.r_cwa_ms, 2.0 * alpha,
-                                  damping);
-      }
-    }
+    // (6) Remote-wait and 2PC-wait coupling across sites.
+    StepCrossSiteCoupling(input_, ar.coupling, alpha, damping, &st);
 
     // (7) Convergence test on throughputs.
-    double max_rel_delta = 0.0;
-    for (std::size_t i = 0; i < num_sites; ++i) {
-      for (TxnType t : kAllTxnTypes) {
-        const ClassState& cs = st[i].cls[Index(t)];
-        const std::size_t idx = i * kNumTxnTypes + Index(t);
-        const double denom = std::max(std::fabs(cs.x), 1e-12);
-        max_rel_delta =
-            std::max(max_rel_delta, std::fabs(cs.x - prev_x[idx]) / denom);
-        prev_x[idx] = cs.x;
-      }
-    }
+    const double max_rel_delta = ThroughputDelta(st, &prev_x);
     if (iteration > 2 && max_rel_delta < options.tolerance) {
       converged = true;
       break;
     }
   }
 
-  // ---- Export the converged state for future warm starts. ------------------
-  if (warm_out != nullptr) {
-    warm_out->comm_delay_ms = alpha;
-    warm_out->sites.assign(num_sites, {});
+  if (warm_out != nullptr) ExportWarm(st, alpha, warm_out);
+  AssembleSolution(input_, st, converged,
+                   std::min(iteration, options.max_iterations), alpha, out);
+}
+
+void CaratModel::SolveBatchInto(const ModelInput* const* inputs,
+                                std::size_t lanes,
+                                const SolverOptions& options,
+                                BatchSolveArena* arena,
+                                const WarmStart* const* seeds,
+                                ModelSolution* const* outs,
+                                WarmStart* const* warm_outs) {
+  if (lanes == 0) return;
+  std::optional<BatchSolveArena> local_arena;
+  if (arena == nullptr) local_arena.emplace();
+  BatchSolveArena::Impl& ar =
+      arena != nullptr ? *arena->impl_ : *local_arena->impl_;
+
+  // ---- Per-lane validation and shape agreement. ----------------------------
+  // Lane 0's shape defines the block; a lane that fails input validation or
+  // disagrees on shape is failed up front and parked on a zeroed network so
+  // the lockstep blocks stay rectangular. (The serving layer groups queries
+  // by SolveShapeKey, so mismatches never occur there.)
+  BuildShapeKey(*inputs[0], &ar.shape_scratch);
+  const std::size_t num_sites = inputs[0]->sites.size();
+  std::size_t reference = lanes;  // first valid lane
+  for (std::size_t w = 0; w < lanes; ++w) {
+    ResetSolution(outs[w]);
+    if (!inputs[w]->Validate(&outs[w]->error)) {
+      outs[w]->sites.clear();
+      continue;
+    }
+    if (w > 0) {
+      BuildShapeKey(*inputs[w], &ar.lane_scratch);
+      if (ar.lane_scratch != ar.shape_scratch) {
+        outs[w]->error = "batch lanes differ in model shape";
+        outs[w]->sites.clear();
+        continue;
+      }
+    }
+    outs[w]->ok = true;
+    if (reference == lanes) reference = w;
+  }
+  if (reference == lanes) return;  // every lane rejected
+
+  // ---- Shape-keyed arena state (see SolveInto). ----------------------------
+  if (ar.shape != ar.shape_scratch || ar.lanes.size() != lanes) {
+    ar.shape = ar.shape_scratch;
+    ar.lanes.resize(lanes);
+    // Presence flags drive the chain layout; derive them from the reference
+    // lane (all valid lanes agree by shape).
+    std::vector<SiteState> ref_st(num_sites);
+    InitWorkloadInvariants(*inputs[reference], &ref_st);
+    for (std::size_t w = 0; w < lanes; ++w) {
+      BuildSiteNetworks(*inputs[reference], ref_st, &ar.lanes[w].nets);
+    }
+    BuildCouplingLists(*inputs[reference], &ar.coupling);
+    // Fresh lockstep workspaces: the retained queue lengths of another shape
+    // must not leak into this one.
+    ar.site_ws.assign(num_sites, qn::BatchMvaWorkspace{});
+  }
+  ar.net_ptrs.resize(num_sites * lanes);
+  ar.site_ok.assign(num_sites, 1);
+  ar.site_error.resize(num_sites);
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    for (std::size_t w = 0; w < lanes; ++w) {
+      ar.net_ptrs[i * lanes + w] = &ar.lanes[w].nets[i].net;
+    }
+  }
+
+  // ---- Per-lane solve state, seeding and refresh. --------------------------
+  std::size_t remaining = 0;
+  for (std::size_t w = 0; w < lanes; ++w) {
+    BatchSolveArena::Impl::Lane& lane = ar.lanes[w];
+    lane.converged = false;
+    lane.iterations = 0;
+    lane.failed = !outs[w]->ok;
+    lane.active = !lane.failed;
+    if (lane.failed) {
+      ZeroLaneNetworks(&lane.nets);
+      for (std::size_t i = 0; i < num_sites; ++i)
+        ar.site_ws[i].InvalidateWarm(w);
+      continue;
+    }
+    ++remaining;
+    lane.st.assign(num_sites, SiteState{});
+    InitWorkloadInvariants(*inputs[w], &lane.st);
+    RefreshSolveState(*inputs[w], &lane.nets);
+    lane.alpha = inputs[w]->comm_delay_ms;
+    lane.damping = options.damping;
+    lane.prev_x.assign(num_sites * kNumTxnTypes, 0.0);
+    const WarmStart* seed = seeds != nullptr ? seeds[w] : nullptr;
+    const bool seeded = seed != nullptr && seed->CompatibleWith(*inputs[w]);
+    outs[w]->warm_started = seeded;
+    if (seeded) {
+      if (options.ethernet.has_value()) lane.alpha = seed->comm_delay_ms;
+      SeedClassStates(*seed, &lane.st);
+    } else {
+      // Cold lane: drop its retained Schweitzer queue lengths, exactly like
+      // the scalar arena's qkm.clear() (the other lanes' columns keep
+      // theirs).
+      for (std::size_t i = 0; i < num_sites; ++i)
+        ar.site_ws[i].InvalidateWarm(w);
+    }
+  }
+
+  // ---- Lockstep fixed-point iteration. -------------------------------------
+  // Each active lane advances through exactly the scalar SolveInto step
+  // sequence; the per-site MVA solves run across lanes through the batch
+  // kernels. A lane that meets the tolerance freezes: its state stops
+  // changing (its MVA lanes keep riding with frozen demands, which is
+  // harmless — nothing reads them back), so its results are bit-identical
+  // to a scalar solve that stopped at the same iteration.
+  for (int iteration = 1;
+       iteration <= options.max_iterations && remaining > 0; ++iteration) {
+    for (std::size_t w = 0; w < lanes; ++w) {
+      BatchSolveArena::Impl::Lane& lane = ar.lanes[w];
+      if (!lane.active) continue;
+      if (iteration % 100 == 0)
+        lane.damping = std::max(lane.damping * 0.5, 0.02);
+      if (!StepVisitCounts(*inputs[w], &lane.st)) {
+        outs[w]->error = "visit-count system singular";
+        outs[w]->ok = false;
+        outs[w]->sites.clear();
+        lane.active = false;
+        lane.failed = true;
+        ZeroLaneNetworks(&lane.nets);
+        --remaining;
+        continue;
+      }
+      StepAbortChain(*inputs[w], options, ar.coupling, &lane.st);
+    }
+    if (remaining == 0) break;
+
+    // (3) Demands and lockstep per-site MVA. Site i's batch touches only
+    // site i's networks and workspace, so sites still parallelize across
+    // the pool exactly like the scalar path.
+    const auto solve_site = [&](std::size_t i) {
+      for (std::size_t w = 0; w < lanes; ++w) {
+        BatchSolveArena::Impl::Lane& lane = ar.lanes[w];
+        if (!lane.active) continue;
+        FillSiteDemands(inputs[w]->sites[i], &lane.st[i], &lane.nets[i]);
+      }
+      const qn::ClosedNetwork* const* ptrs = ar.net_ptrs.data() + i * lanes;
+      qn::BatchMvaWorkspace& ws = ar.site_ws[i];
+      const bool ok =
+          options.use_exact_mva
+              ? qn::SolveMvaBatchInPlace(ptrs, lanes, &ws, 1u << 20,
+                                         /*warm_start=*/true,
+                                         &ar.site_error[i])
+              : qn::SchweitzerMvaBatchInPlace(ptrs, lanes, &ws,
+                                              /*tolerance=*/1e-9,
+                                              /*max_iterations=*/10000,
+                                              /*warm_start=*/true,
+                                              &ar.site_error[i]);
+      ar.site_ok[i] = ok ? 1 : 0;
+      if (!ok) return;
+      for (std::size_t w = 0; w < lanes; ++w) {
+        BatchSolveArena::Impl::Lane& lane = ar.lanes[w];
+        if (!lane.active) continue;
+        ReadSiteSolution(inputs[w]->sites[i], ws.solutions[w], lane.nets[i],
+                         &lane.st[i]);
+      }
+    };
+    if (options.pool == nullptr) {
+      for (std::size_t i = 0; i < num_sites; ++i) solve_site(i);
+    } else {
+      exec::ParallelFor(options.pool, 0, num_sites, solve_site);
+    }
     for (std::size_t i = 0; i < num_sites; ++i) {
-      for (TxnType t : kAllTxnTypes) {
-        const ClassState& cs = st[i].cls[Index(t)];
-        WarmStart::ClassSeed& seed = warm_out->sites[i][Index(t)];
-        seed.present = cs.present;
-        if (!cs.present) continue;
-        seed.pb = cs.pb;
-        seed.pd = cs.pd;
-        seed.pra = cs.pra;
-        seed.r_lw_ms = cs.delays.r_lw_ms;
-        seed.r_rw_ms = cs.delays.r_rw_ms;
-        seed.r_cwc_ms = cs.delays.r_cwc_ms;
-        seed.r_cwa_ms = cs.delays.r_cwa_ms;
+      if (ar.site_ok[i] != 0) continue;
+      // A lockstep MVA failure cannot be attributed to one lane, so it
+      // fails the remaining active lanes of the block. Validated model
+      // inputs never produce invalid site networks, so this is unreachable
+      // in practice.
+      for (std::size_t w = 0; w < lanes; ++w) {
+        BatchSolveArena::Impl::Lane& lane = ar.lanes[w];
+        if (!lane.active) continue;
+        outs[w]->error = "MVA failed: " + ar.site_error[i];
+        outs[w]->ok = false;
+        outs[w]->sites.clear();
+        lane.active = false;
+        lane.failed = true;
+      }
+      remaining = 0;
+    }
+    if (remaining == 0) break;
+
+    for (std::size_t w = 0; w < lanes; ++w) {
+      BatchSolveArena::Impl::Lane& lane = ar.lanes[w];
+      if (!lane.active) continue;
+      StepDurations(*inputs[w], options, &lane.st);
+      StepLockModel(*inputs[w], lane.damping, &lane.st);
+      if (options.ethernet.has_value()) {
+        StepEthernet(*inputs[w], options, ar.coupling, lane.damping, lane.st,
+                     &lane.alpha);
+      }
+      StepCrossSiteCoupling(*inputs[w], ar.coupling, lane.alpha, lane.damping,
+                            &lane.st);
+      const double max_rel_delta = ThroughputDelta(lane.st, &lane.prev_x);
+      lane.iterations = iteration;
+      if (iteration > 2 && max_rel_delta < options.tolerance) {
+        lane.converged = true;
+        lane.active = false;
+        --remaining;
       }
     }
   }
 
-  // ---- Assemble the solution. ----------------------------------------------
-  // assign() (rather than resize) value-resets every slot while keeping the
-  // vector's and the name strings' capacity, so a reused `out` of the same
-  // site count allocates nothing.
-  out->converged = converged;
-  out->iterations = std::min(iteration, options.max_iterations);
-  out->comm_delay_ms = alpha;
-  out->sites.assign(num_sites, SiteSolution{});
-  for (std::size_t i = 0; i < num_sites; ++i) {
-    const SiteParams& site = input_.sites[i];
-    SiteSolution& ss = out->sites[i];
-    ss.name = site.name;
-    ss.cpu_utilization = st[i].cpu_util;
-    ss.db_disk_utilization = st[i].db_util;
-    ss.log_disk_utilization = st[i].log_util;
-    // Every disk operation transfers one block at block_io_ms, so the I/O
-    // rate follows from utilization (the paper derives its modeled DIO the
-    // same way).
-    ss.dio_per_s =
-        (st[i].db_util + st[i].log_util) / site.block_io_ms * 1000.0;
-    for (TxnType t : kAllTxnTypes) {
-      const ClassState& cs = st[i].cls[Index(t)];
-      ClassSolution& c = ss.classes[Index(t)];
-      c.present = cs.present;
-      if (!cs.present) continue;
-      c.throughput_per_s = cs.x * 1000.0;
-      c.response_ms = cs.r;
-      c.pa = cs.pa;
-      c.ns = cs.ns;
-      c.pb = cs.pb;
-      c.pd = cs.pd;
-      c.plw = cs.plw;
-      c.lh = cs.lh;
-      c.nlk = cs.nlk;
-      c.sigma = cs.sigma;
-      c.io_per_request = cs.q;
-      c.r_lw_ms = cs.delays.r_lw_ms;
-      c.r_rw_ms = cs.delays.r_rw_ms;
-      c.r_cw_ms = cs.delays.r_cwc_ms;
-      c.d_lw_ms = cs.demands.lw_ms;
-      c.d_rw_ms = cs.demands.rw_ms;
-      c.d_cw_ms = cs.demands.cw_ms;
-      if (!IsSlave(t)) {
-        const ClassParams& cp = site.Class(t);
-        ss.txn_per_s += c.throughput_per_s;
-        ss.records_per_s += c.throughput_per_s *
-                            cp.total_requests() * cp.records_per_request;
-      }
+  // ---- Export and assemble per lane. ---------------------------------------
+  for (std::size_t w = 0; w < lanes; ++w) {
+    BatchSolveArena::Impl::Lane& lane = ar.lanes[w];
+    if (lane.failed) continue;
+    if (warm_outs != nullptr && warm_outs[w] != nullptr) {
+      ExportWarm(lane.st, lane.alpha, warm_outs[w]);
     }
+    AssembleSolution(*inputs[w], lane.st, lane.converged,
+                     lane.converged ? lane.iterations
+                                    : options.max_iterations,
+                     lane.alpha, outs[w]);
   }
 }
 

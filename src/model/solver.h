@@ -11,6 +11,7 @@
 #define CARAT_MODEL_SOLVER_H_
 
 #include <array>
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <string>
@@ -163,6 +164,23 @@ class SolveArena {
 /// can share a SolveArena and are candidates for warm-start seeding.
 std::string SolveShapeKey(const ModelInput& input);
 
+/// Reusable cross-solve state of CaratModel::SolveBatchInto: one lane of
+/// SolveArena-equivalent state per scenario plus the shared per-site lockstep
+/// MVA workspaces (qn::BatchMvaWorkspace). Keyed to the batch's shape and
+/// lane count; an arena must not be used by two batch solves concurrently.
+class BatchSolveArena {
+ public:
+  BatchSolveArena();
+  ~BatchSolveArena();
+  BatchSolveArena(BatchSolveArena&&) noexcept;
+  BatchSolveArena& operator=(BatchSolveArena&&) noexcept;
+
+ private:
+  friend class CaratModel;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// The model. Construct with a validated ModelInput and call Solve().
 class CaratModel {
  public:
@@ -186,6 +204,30 @@ class CaratModel {
   void SolveInto(const SolverOptions& options, SolveArena* arena,
                  const WarmStart* warm, ModelSolution* out,
                  WarmStart* warm_out = nullptr) const;
+
+  /// Lockstep batch solve: advances `lanes` same-shape scenarios through the
+  /// fixed point together, solving every site's MVA across all scenarios via
+  /// the SoA batch kernels (qn/mva_batch.h). Lane w's ModelSolution is
+  /// bit-identical to `CaratModel(*inputs[w]).SolveInto(...)` with the same
+  /// options and seed: each lane executes exactly the scalar step sequence
+  /// and the batch MVA kernels are bit-identical per lane by contract. A
+  /// lane that converges early freezes while the others continue. (The
+  /// identity assumes matching retained MVA warm state — e.g. both arenas
+  /// fresh. After a batch solve, an early-frozen lane's retained Schweitzer
+  /// state includes post-freeze refinement at frozen demands, so a later
+  /// *seeded* re-solve through the same arena reaches the same fixed point
+  /// within tolerance rather than bit-exactly.)
+  ///
+  /// `inputs` and `outs` are arrays of `lanes` pointers; `seeds` and
+  /// `warm_outs` may be nullptr (or hold per-lane nullptrs). All lanes must
+  /// share a SolveShapeKey — a mismatched lane fails with an error and does
+  /// not disturb its neighbors. `arena` may be nullptr for a throwaway.
+  static void SolveBatchInto(const ModelInput* const* inputs,
+                             std::size_t lanes, const SolverOptions& options,
+                             BatchSolveArena* arena,
+                             const WarmStart* const* seeds,
+                             ModelSolution* const* outs,
+                             WarmStart* const* warm_outs = nullptr);
 
   const ModelInput& input() const { return input_; }
 

@@ -11,21 +11,11 @@ void SetError(std::string* error, const char* msg) {
   if (error != nullptr) *error = msg;
 }
 
-// Precomputes the per-center queueing multiplier mask so the inner loops can
-// use `r = d * (1 + mask[m] * q[m])` for every center kind: the mask is 1.0
-// at queueing centers (arrival-theorem inflation applies) and 0.0 at delay
-// centers (residence is the bare demand), which removes the CenterKind
-// branch from the O(states x chains x centers) hot loops.
-void FillQueueingMask(const ClosedNetwork& net, std::vector<double>* qmul) {
-  qmul->resize(net.centers.size());
-  for (std::size_t m = 0; m < net.centers.size(); ++m) {
-    (*qmul)[m] = net.centers[m].kind == CenterKind::kQueueing ? 1.0 : 0.0;
-  }
-}
+}  // namespace
 
-// Fills the non-queue-length parts of `sol` from per-chain throughputs and
-// flattened residence times (chain * num_centers + center) at the full
-// population. Reuses `sol`'s storage; allocation-free once warm.
+namespace internal {
+
+// Reuses `sol`'s storage; allocation-free once warm.
 void FinishSolution(const ClosedNetwork& net, const std::vector<double>& x,
                     const std::vector<double>& residence, Solution* sol) {
   const std::size_t num_chains = net.chains.size();
@@ -49,6 +39,13 @@ void FinishSolution(const ClosedNetwork& net, const std::vector<double>& x,
     }
   }
 }
+
+}  // namespace internal
+
+namespace {
+
+using internal::FillQueueingMask;
+using internal::FinishSolution;
 
 }  // namespace
 
@@ -118,13 +115,17 @@ bool ExactMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
       const double* demands = chain.demands.data();
       const double* qprev = q + (state - ws->strides[k]) * num_centers;
       double* res = residence + k * num_centers;
-      double total = 0.0;
-#pragma omp simd reduction(+ : total)
+      // The residence computation vectorizes; the total is summed in a
+      // separate *sequential* loop so the accumulation order is pinned
+      // (lowest center first). The batch kernels (mva_batch.cc) replay the
+      // same order per lane, which is what makes batch solves bit-identical
+      // to this scalar path.
+#pragma omp simd
       for (std::size_t m = 0; m < num_centers; ++m) {
-        const double r = demands[m] * (1.0 + qmul[m] * qprev[m]);
-        res[m] = r;
-        total += r;
+        res[m] = demands[m] * (1.0 + qmul[m] * qprev[m]);
       }
+      double total = 0.0;
+      for (std::size_t m = 0; m < num_centers; ++m) total += res[m];
       const double denom = chain.think_time + total;
       // Chains with zero total demand and zero think contribute nothing.
       x[k] = denom > 0.0 ? static_cast<double>(n[k]) / denom : 0.0;
@@ -165,13 +166,12 @@ bool ExactMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
       const std::size_t full = num_states - 1;
       const double* qprev = q + (full - ws->strides[k]) * num_centers;
       const double* demands = chain.demands.data();
-      double total = 0.0;
-#pragma omp simd reduction(+ : total)
+#pragma omp simd
       for (std::size_t m = 0; m < num_centers; ++m) {
-        const double r = demands[m] * (1.0 + qmul[m] * qprev[m]);
-        res[m] = r;
-        total += r;
+        res[m] = demands[m] * (1.0 + qmul[m] * qprev[m]);
       }
+      double total = 0.0;
+      for (std::size_t m = 0; m < num_centers; ++m) total += res[m];
       const double denom = chain.think_time + total;
       x[k] = denom > 0.0 ? chain.population / denom : 0.0;
     }
@@ -247,15 +247,17 @@ bool SchweitzerMvaInPlace(const ClosedNetwork& net, MvaWorkspace* ws,
       const double* demands = chain.demands.data();
       const double* qrow = qkm + k * num_centers;
       double* res = residence + k * num_centers;
-      double total = 0.0;
-#pragma omp simd reduction(+ : total)
+      // Elementwise part vectorizes; the total is summed sequentially so the
+      // accumulation order is pinned and the batch kernel can replay it per
+      // lane (see the bit-identity note in ExactMvaInPlace).
+#pragma omp simd
       for (std::size_t m = 0; m < num_centers; ++m) {
         // Schweitzer estimate of the queue seen on arrival by chain k.
         const double seen = qsum[m] - qrow[m] * inv_nk;
-        const double r = demands[m] * (1.0 + qmul[m] * seen);
-        res[m] = r;
-        total += r;
+        res[m] = demands[m] * (1.0 + qmul[m] * seen);
       }
+      double total = 0.0;
+      for (std::size_t m = 0; m < num_centers; ++m) total += res[m];
       const double denom = chain.think_time + total;
       x[k] = denom > 0.0 ? nk / denom : 0.0;
     }

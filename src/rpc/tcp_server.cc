@@ -247,14 +247,16 @@ std::string TcpServer::BuildStatsBody() const {
   LatencyHistogram merged;
   for (const auto& reactor : reactors_) reactor->MergeLatency(&merged);
   const serve::ServiceStats service = options_.service->stats();
-  char buf[640];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "STATS accepted=%llu active=%llu submitted=%llu completed=%llu "
       "rejected=%llu timed_out=%llu parse_errors=%llu oversized=%llu "
       "idle_disconnects=%llu cache_hits=%llu coalesced=%llu solved=%llu "
       "warm_started=%llu total_iterations=%llu cache_evictions=%llu "
-      "cache_expirations=%llu p50_ms=%.3f p99_ms=%.3f",
+      "cache_expirations=%llu batched=%llu batch_blocks=%llu "
+      "batch_lanes_filled=%llu batch_scalar_tail=%llu "
+      "p50_ms=%.3f p99_ms=%.3f",
       static_cast<unsigned long long>(agg.connections_accepted),
       static_cast<unsigned long long>(agg.active_connections),
       static_cast<unsigned long long>(agg.requests_submitted),
@@ -271,6 +273,10 @@ std::string TcpServer::BuildStatsBody() const {
       static_cast<unsigned long long>(service.total_iterations),
       static_cast<unsigned long long>(service.cache_evictions),
       static_cast<unsigned long long>(service.cache_expirations),
+      static_cast<unsigned long long>(service.batched),
+      static_cast<unsigned long long>(service.batch_blocks),
+      static_cast<unsigned long long>(service.batch_lanes_filled),
+      static_cast<unsigned long long>(service.batch_scalar_tail),
       merged.PercentileMs(50.0), merged.PercentileMs(99.0));
   std::string out = buf;
   out += " reactors=" + std::to_string(reactors_.size());

@@ -105,13 +105,105 @@ model::ModelSolution SolverService::SolveSync(
   return RunSolve(key, std::move(input), effective);
 }
 
+std::vector<std::future<model::ModelSolution>> SolverService::SubmitBatch(
+    std::vector<model::ModelInput> inputs) {
+  return SubmitBatch(std::move(inputs), options_.solver);
+}
+
+std::vector<std::future<model::ModelSolution>> SolverService::SubmitBatch(
+    std::vector<model::ModelInput> inputs,
+    const model::SolverOptions& solver) {
+  const std::size_t n = inputs.size();
+  std::vector<std::future<model::ModelSolution>> futures;
+  futures.reserve(n);
+
+  // Fresh queries (cache miss, not coalesced) grouped by solve shape,
+  // preserving submission order within each group.
+  struct Fresh {
+    std::string key;
+    model::ModelInput input;
+  };
+  std::unordered_map<std::string, std::vector<Fresh>> groups;
+  std::vector<const std::string*> group_order;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (model::ModelInput& input : inputs) {
+      std::string key = CanonicalKey(input, solver);
+      std::promise<model::ModelSolution> promise;
+      futures.push_back(promise.get_future());
+      ++stats_.submitted;
+      if (const model::ModelSolution* hit = cache_.Get(key)) {
+        ++stats_.cache_hits;
+        promise.set_value(*hit);
+        continue;
+      }
+      const auto it = pending_.find(key);
+      if (it != pending_.end()) {
+        // Coalesces onto the in-flight solve — including onto an earlier
+        // identical query of this very batch.
+        ++stats_.coalesced;
+        it->second.push_back(std::move(promise));
+        continue;
+      }
+      pending_[key].push_back(std::move(promise));
+      ++in_flight_;
+      std::string shape = model::SolveShapeKey(input);
+      std::vector<Fresh>& group = groups[shape];
+      if (group.empty()) group_order.push_back(&groups.find(shape)->first);
+      group.push_back(Fresh{std::move(key), std::move(input)});
+    }
+
+    const std::size_t width = options_.batch_lane_width;
+    for (const std::string* shape : group_order) {
+      const std::vector<Fresh>& group = groups[*shape];
+      if (width >= 2) {
+        const std::size_t blocks = group.size() / width;
+        stats_.batch_scalar_tail += group.size() - blocks * width;
+      }
+    }
+  }
+
+  // Cut each shape group into full lane blocks; the ragged remainder takes
+  // the scalar path. Scheduling happens outside the lock.
+  const std::size_t width = options_.batch_lane_width;
+  for (const std::string* shape : group_order) {
+    std::vector<Fresh>& group = groups[*shape];
+    std::size_t pos = 0;
+    if (width >= 2) {
+      while (group.size() - pos >= width) {
+        std::vector<std::string> keys;
+        std::vector<model::ModelInput> block;
+        keys.reserve(width);
+        block.reserve(width);
+        for (std::size_t w = 0; w < width; ++w, ++pos) {
+          keys.push_back(std::move(group[pos].key));
+          block.push_back(std::move(group[pos].input));
+        }
+        pool_->Submit([this, shape = *shape, keys = std::move(keys),
+                       block = std::move(block), solver]() mutable {
+          RunBatchSolve(shape, std::move(keys), std::move(block), solver);
+        });
+      }
+    }
+    for (; pos < group.size(); ++pos) {
+      pool_->Submit([this, key = std::move(group[pos].key),
+                     input = std::move(group[pos].input), solver]() mutable {
+        try {
+          RunSolve(key, std::move(input), solver);
+        } catch (...) {
+          // Waiters already received the exception inside RunSolve.
+        }
+      });
+    }
+  }
+  return futures;
+}
+
 std::vector<model::ModelSolution> SolverService::SolveBatch(
     std::vector<model::ModelInput> inputs) {
-  std::vector<std::future<model::ModelSolution>> futures;
-  futures.reserve(inputs.size());
-  for (model::ModelInput& input : inputs) {
-    futures.push_back(Submit(std::move(input)));
-  }
+  std::vector<std::future<model::ModelSolution>> futures =
+      SubmitBatch(std::move(inputs));
   std::vector<model::ModelSolution> solutions;
   solutions.reserve(futures.size());
   for (std::future<model::ModelSolution>& f : futures) {
@@ -151,6 +243,107 @@ std::unique_ptr<SolverService::Slot> SolverService::CheckOutSlot(
 void SolverService::ReturnSlot(const std::string& shape,
                                std::unique_ptr<Slot> slot) {
   slots_[shape].push_back(std::move(slot));
+}
+
+std::unique_ptr<SolverService::BatchSlot> SolverService::CheckOutBatchSlot(
+    const std::string& shape) {
+  std::vector<std::unique_ptr<BatchSlot>>& free = batch_slots_[shape];
+  if (free.empty()) return std::make_unique<BatchSlot>();
+  std::unique_ptr<BatchSlot> slot = std::move(free.back());
+  free.pop_back();
+  return slot;
+}
+
+void SolverService::ReturnBatchSlot(const std::string& shape,
+                                    std::unique_ptr<BatchSlot> slot) {
+  batch_slots_[shape].push_back(std::move(slot));
+}
+
+void SolverService::RunBatchSolve(const std::string& shape,
+                                  std::vector<std::string> keys,
+                                  std::vector<model::ModelInput> inputs,
+                                  const model::SolverOptions& solver) {
+  const std::size_t lanes = keys.size();
+  std::vector<std::promise<model::ModelSolution>> waiters;
+  try {
+    std::unique_ptr<BatchSlot> slot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slot = CheckOutBatchSlot(shape);
+      slot->outs.resize(lanes);
+      slot->seeds.resize(lanes);
+      slot->warm_outs.resize(lanes);
+      slot->features.resize(lanes);
+      slot->seeded.resize(lanes);
+      slot->in_ptrs.resize(lanes);
+      slot->seed_ptrs.resize(lanes);
+      slot->out_ptrs.resize(lanes);
+      slot->warm_ptrs.resize(lanes);
+      for (std::size_t w = 0; w < lanes; ++w) {
+        slot->features[w] = WarmFeature(inputs[w]);
+        slot->seeded[w] =
+            warm_index_.Nearest(shape, slot->features[w], &slot->seeds[w])
+                ? 1
+                : 0;
+      }
+    }
+    for (std::size_t w = 0; w < lanes; ++w) {
+      slot->in_ptrs[w] = &inputs[w];
+      slot->seed_ptrs[w] = slot->seeded[w] != 0 ? &slot->seeds[w] : nullptr;
+      slot->out_ptrs[w] = &slot->outs[w];
+      slot->warm_ptrs[w] = &slot->warm_outs[w];
+    }
+
+    model::CaratModel::SolveBatchInto(slot->in_ptrs.data(), lanes, solver,
+                                      &slot->arena, slot->seed_ptrs.data(),
+                                      slot->out_ptrs.data(),
+                                      slot->warm_ptrs.data());
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batch_blocks;
+    stats_.batched += lanes;
+    stats_.batch_lanes_filled += lanes;
+    for (std::size_t w = 0; w < lanes; ++w) {
+      const model::ModelSolution& out = slot->outs[w];
+      if (out.ok) {
+        cache_.Put(keys[w], out);
+        if (out.converged) {
+          warm_index_.Insert(shape, slot->features[w], slot->warm_outs[w]);
+        }
+      }
+      ++stats_.solved;
+      if (out.warm_started) ++stats_.warm_started;
+      stats_.total_iterations += static_cast<std::uint64_t>(out.iterations);
+
+      const auto it = pending_.find(keys[w]);
+      waiters = std::move(it->second);
+      pending_.erase(it);
+      for (std::promise<model::ModelSolution>& p : waiters) {
+        p.set_value(out);
+      }
+      waiters.clear();
+    }
+    ReturnBatchSlot(shape, std::move(slot));
+    // Last touch of shared state (see RunSolve): the destructor may run as
+    // soon as in_flight_ reaches zero.
+    in_flight_ -= lanes;
+    if (in_flight_ == 0) idle_cv_.notify_all();
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& key : keys) {
+      const auto it = pending_.find(key);
+      if (it == pending_.end()) continue;
+      waiters = std::move(it->second);
+      pending_.erase(it);
+      for (std::promise<model::ModelSolution>& p : waiters) {
+        p.set_exception(error);
+      }
+      waiters.clear();
+    }
+    in_flight_ -= lanes;
+    if (in_flight_ == 0) idle_cv_.notify_all();
+  }
 }
 
 model::ModelSolution SolverService::RunSolve(

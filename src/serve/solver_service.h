@@ -52,6 +52,15 @@ struct ServiceStats {
   std::uint64_t total_iterations = 0;  ///< fixed-point iterations, summed
   std::uint64_t cache_evictions = 0;   ///< dropped for the entry/byte bound
   std::uint64_t cache_expirations = 0; ///< dropped past the cache ttl
+  std::uint64_t batched = 0;           ///< queries solved in lockstep blocks
+  std::uint64_t batch_blocks = 0;      ///< lockstep batch blocks executed
+  /// Lanes occupied across all blocks. Blocks are always cut at exactly
+  /// batch_lane_width, so this equals `batched` today; it is tracked
+  /// separately so a future ragged-block policy stays observable.
+  std::uint64_t batch_lanes_filled = 0;
+  /// Queries that missed the cache but fell to the scalar solve path because
+  /// their shape group's remainder was smaller than a full lane block.
+  std::uint64_t batch_scalar_tail = 0;
 };
 
 class SolverService {
@@ -75,6 +84,13 @@ class SolverService {
     /// Seed solves from the nearest converged neighbor. Off, every solve is
     /// cold and therefore bit-identical to CaratModel::Solve().
     bool warm_start = true;
+    /// Lane width for lockstep batch solving (SubmitBatch/SolveBatch): fresh
+    /// same-shape queries are grouped into blocks of exactly this many lanes
+    /// and solved together through CaratModel::SolveBatchInto; the ragged
+    /// remainder of each shape group takes the scalar path. 0 or 1 disables
+    /// batching. Per-lane results are bit-identical either way, so this is
+    /// purely a throughput knob.
+    std::size_t batch_lane_width = 4;
     /// Solver options applied to every query (also folded into cache keys).
     model::SolverOptions solver;
   };
@@ -109,8 +125,21 @@ class SolverService {
   model::ModelSolution SolveSync(model::ModelInput input,
                                  const model::SolverOptions* solver = nullptr);
 
+  /// Schedules a batch of queries, returning one future per input in input
+  /// order. Each query still gets the full cache / coalescing / warm-start
+  /// treatment; the fresh (cache-missing, non-coalesced) queries are grouped
+  /// by solve shape and solved in lockstep blocks of
+  /// Options::batch_lane_width lanes through the SoA batch kernels. Shapes
+  /// never mix within a block; ragged group remainders solve scalar.
+  std::vector<std::future<model::ModelSolution>> SubmitBatch(
+      std::vector<model::ModelInput> inputs);
+  std::vector<std::future<model::ModelSolution>> SubmitBatch(
+      std::vector<model::ModelInput> inputs,
+      const model::SolverOptions& solver);
+
   /// Solves a batch, returning solutions in input order. Blocks until every
-  /// query in the batch has an answer; queries are scheduled concurrently.
+  /// query in the batch has an answer; queries are scheduled concurrently
+  /// (via SubmitBatch, so same-shape queries solve in lockstep).
   std::vector<model::ModelSolution> SolveBatch(
       std::vector<model::ModelInput> inputs);
 
@@ -141,6 +170,21 @@ class SolverService {
     model::WarmStart warm_out;
   };
 
+  /// A batch arena plus reusable per-lane buffers, checked out per lockstep
+  /// block. Pooled per shape key like Slot.
+  struct BatchSlot {
+    model::BatchSolveArena arena;
+    std::vector<model::ModelSolution> outs;
+    std::vector<model::WarmStart> seeds;
+    std::vector<model::WarmStart> warm_outs;
+    std::vector<double> features;
+    std::vector<unsigned char> seeded;
+    std::vector<const model::ModelInput*> in_ptrs;
+    std::vector<const model::WarmStart*> seed_ptrs;
+    std::vector<model::ModelSolution*> out_ptrs;
+    std::vector<model::WarmStart*> warm_ptrs;
+  };
+
   std::future<model::ModelSolution> SubmitWith(
       model::ModelInput input, const model::SolverOptions& solver);
 
@@ -152,8 +196,17 @@ class SolverService {
                                 model::ModelInput input,
                                 const model::SolverOptions& solver);
 
+  /// Solves one lockstep block of same-shape fresh queries on the calling
+  /// thread and fulfills every waiter of every lane's key.
+  void RunBatchSolve(const std::string& shape, std::vector<std::string> keys,
+                     std::vector<model::ModelInput> inputs,
+                     const model::SolverOptions& solver);
+
   std::unique_ptr<Slot> CheckOutSlot(const std::string& shape);
   void ReturnSlot(const std::string& shape, std::unique_ptr<Slot> slot);
+  std::unique_ptr<BatchSlot> CheckOutBatchSlot(const std::string& shape);
+  void ReturnBatchSlot(const std::string& shape,
+                       std::unique_ptr<BatchSlot> slot);
 
   Options options_;
   std::unique_ptr<exec::ThreadPool> owned_pool_;
@@ -167,6 +220,8 @@ class SolverService {
   /// Shape key -> free slots. Checked-out slots are owned by the running
   /// task; a slot is never shared between concurrent solves.
   std::unordered_map<std::string, std::vector<std::unique_ptr<Slot>>> slots_;
+  std::unordered_map<std::string, std::vector<std::unique_ptr<BatchSlot>>>
+      batch_slots_;
   /// Canonical key -> waiters for the solve currently computing that key.
   std::unordered_map<std::string,
                      std::vector<std::promise<model::ModelSolution>>>

@@ -1,0 +1,263 @@
+// Lockstep batch solving at the model layer: CaratModel::SolveBatchInto must
+// produce per-lane ModelSolutions bit-identical to scalar SolveInto runs of
+// the same inputs. The qn-layer tests (mva_batch_test) prove the kernels'
+// lane identity; these tests prove the fixed-point driver preserves it —
+// per-lane damping decay, per-lane freezing, warm seeding and the Ethernet
+// coupling all included.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "model/solver.h"
+#include "workload/spec.h"
+
+namespace carat::model {
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void ExpectBitIdentical(const ModelSolution& got, const ModelSolution& want,
+                        const std::string& tag) {
+  SCOPED_TRACE(tag);
+  ASSERT_EQ(got.ok, want.ok);
+  EXPECT_EQ(got.converged, want.converged);
+  EXPECT_EQ(got.iterations, want.iterations);
+  EXPECT_EQ(got.warm_started, want.warm_started);
+  EXPECT_EQ(got.error, want.error);
+  EXPECT_TRUE(SameBits(got.comm_delay_ms, want.comm_delay_ms));
+  ASSERT_EQ(got.sites.size(), want.sites.size());
+  for (std::size_t i = 0; i < got.sites.size(); ++i) {
+    const SiteSolution& g = got.sites[i];
+    const SiteSolution& w = want.sites[i];
+    EXPECT_EQ(g.name, w.name);
+    EXPECT_TRUE(SameBits(g.cpu_utilization, w.cpu_utilization));
+    EXPECT_TRUE(SameBits(g.db_disk_utilization, w.db_disk_utilization));
+    EXPECT_TRUE(SameBits(g.log_disk_utilization, w.log_disk_utilization));
+    EXPECT_TRUE(SameBits(g.dio_per_s, w.dio_per_s));
+    EXPECT_TRUE(SameBits(g.txn_per_s, w.txn_per_s));
+    EXPECT_TRUE(SameBits(g.records_per_s, w.records_per_s));
+    for (TxnType t : kAllTxnTypes) {
+      const ClassSolution& gc = g.Class(t);
+      const ClassSolution& wc = w.Class(t);
+      EXPECT_EQ(gc.present, wc.present);
+      EXPECT_TRUE(SameBits(gc.throughput_per_s, wc.throughput_per_s));
+      EXPECT_TRUE(SameBits(gc.response_ms, wc.response_ms));
+      EXPECT_TRUE(SameBits(gc.pa, wc.pa));
+      EXPECT_TRUE(SameBits(gc.ns, wc.ns));
+      EXPECT_TRUE(SameBits(gc.pb, wc.pb));
+      EXPECT_TRUE(SameBits(gc.pd, wc.pd));
+      EXPECT_TRUE(SameBits(gc.plw, wc.plw));
+      EXPECT_TRUE(SameBits(gc.lh, wc.lh));
+      EXPECT_TRUE(SameBits(gc.nlk, wc.nlk));
+      EXPECT_TRUE(SameBits(gc.sigma, wc.sigma));
+      EXPECT_TRUE(SameBits(gc.r_lw_ms, wc.r_lw_ms));
+      EXPECT_TRUE(SameBits(gc.r_rw_ms, wc.r_rw_ms));
+      EXPECT_TRUE(SameBits(gc.r_cw_ms, wc.r_cw_ms));
+      EXPECT_TRUE(SameBits(gc.d_lw_ms, wc.d_lw_ms));
+      EXPECT_TRUE(SameBits(gc.d_rw_ms, wc.d_rw_ms));
+      EXPECT_TRUE(SameBits(gc.d_cw_ms, wc.d_cw_ms));
+    }
+  }
+}
+
+// A request-size sweep of one workload family: same shape (chain presence),
+// different demands per lane — the serving layer's common batch pattern.
+std::vector<ModelInput> SweepInputs(const char* family,
+                                    const std::vector<int>& ns) {
+  std::vector<ModelInput> inputs;
+  for (int n : ns) {
+    workload::WorkloadSpec wl;
+    const std::string f(family);
+    if (f == "lb8") wl = workload::MakeLB8(n);
+    else if (f == "mb4") wl = workload::MakeMB4(n);
+    else if (f == "mb8") wl = workload::MakeMB8(n);
+    else wl = workload::MakeUB6(n);
+    inputs.push_back(wl.ToModelInput());
+  }
+  return inputs;
+}
+
+struct BatchRun {
+  std::vector<ModelSolution> outs;
+  std::vector<WarmStart> warms;
+};
+
+BatchRun RunBatch(const std::vector<ModelInput>& inputs,
+                  const SolverOptions& options,
+                  const std::vector<const WarmStart*>* seeds = nullptr) {
+  const std::size_t lanes = inputs.size();
+  BatchRun run;
+  run.outs.resize(lanes);
+  run.warms.resize(lanes);
+  std::vector<const ModelInput*> in_ptrs(lanes);
+  std::vector<ModelSolution*> out_ptrs(lanes);
+  std::vector<WarmStart*> warm_ptrs(lanes);
+  for (std::size_t w = 0; w < lanes; ++w) {
+    in_ptrs[w] = &inputs[w];
+    out_ptrs[w] = &run.outs[w];
+    warm_ptrs[w] = &run.warms[w];
+  }
+  BatchSolveArena arena;
+  CaratModel::SolveBatchInto(in_ptrs.data(), lanes, options, &arena,
+                             seeds != nullptr ? seeds->data() : nullptr,
+                             out_ptrs.data(), warm_ptrs.data());
+  return run;
+}
+
+ModelSolution RunScalar(const ModelInput& input, const SolverOptions& options,
+                        const WarmStart* seed = nullptr,
+                        WarmStart* warm_out = nullptr) {
+  ModelSolution out;
+  SolveArena arena;
+  CaratModel(input).SolveInto(options, &arena, seed, &out, warm_out);
+  return out;
+}
+
+TEST(ModelBatch, BitIdenticalToScalarAcrossWorkloadSweeps) {
+  for (const char* family : {"lb8", "mb4", "mb8", "ub6"}) {
+    const std::vector<ModelInput> inputs =
+        SweepInputs(family, {4, 6, 8, 12, 16, 20});
+    const SolverOptions options;
+    const BatchRun batch = RunBatch(inputs, options);
+    for (std::size_t w = 0; w < inputs.size(); ++w) {
+      ExpectBitIdentical(batch.outs[w], RunScalar(inputs[w], options),
+                         std::string(family) + " lane " + std::to_string(w));
+    }
+  }
+}
+
+TEST(ModelBatch, SchweitzerOnlyOptionTakesLockstepPath) {
+  // use_exact_mva = false forces SchweitzerMvaBatchInPlace at every site —
+  // the pure lockstep path with no per-lane dispatch decisions.
+  SolverOptions options;
+  options.use_exact_mva = false;
+  const std::vector<ModelInput> inputs = SweepInputs("mb8", {4, 8, 12, 20});
+  const BatchRun batch = RunBatch(inputs, options);
+  for (std::size_t w = 0; w < inputs.size(); ++w) {
+    ExpectBitIdentical(batch.outs[w], RunScalar(inputs[w], options),
+                       "schweitzer lane " + std::to_string(w));
+  }
+}
+
+TEST(ModelBatch, LanesFreezeAtDifferentIterationCounts) {
+  // Request sizes 4 vs 20 converge after different iteration counts; each
+  // frozen lane must report exactly its scalar twin's count.
+  const std::vector<ModelInput> inputs = SweepInputs("ub6", {4, 8, 20});
+  const SolverOptions options;
+  const BatchRun batch = RunBatch(inputs, options);
+  std::vector<int> iters;
+  for (std::size_t w = 0; w < inputs.size(); ++w) {
+    const ModelSolution scalar = RunScalar(inputs[w], options);
+    EXPECT_TRUE(batch.outs[w].converged);
+    EXPECT_EQ(batch.outs[w].iterations, scalar.iterations);
+    iters.push_back(batch.outs[w].iterations);
+  }
+  EXPECT_NE(iters.front(), iters.back());
+}
+
+TEST(ModelBatch, WarmSeededBatchMatchesWarmSeededScalar) {
+  // Converge a sweep, then re-solve a shifted sweep seeded from it. Fresh
+  // arenas on both sides keep the retained-MVA state equal (empty), so the
+  // seeded trajectories must coincide bitwise.
+  const SolverOptions options;
+  const std::vector<ModelInput> first = SweepInputs("mb4", {4, 8, 12, 16});
+  const std::vector<ModelInput> second = SweepInputs("mb4", {6, 10, 14, 18});
+  const BatchRun cold = RunBatch(first, options);
+  std::vector<const WarmStart*> seeds;
+  for (const WarmStart& w : cold.warms) seeds.push_back(&w);
+  const BatchRun warm = RunBatch(second, options, &seeds);
+  for (std::size_t w = 0; w < second.size(); ++w) {
+    const ModelSolution scalar =
+        RunScalar(second[w], options, &cold.warms[w]);
+    EXPECT_TRUE(warm.outs[w].warm_started);
+    ExpectBitIdentical(warm.outs[w], scalar,
+                       "warm lane " + std::to_string(w));
+  }
+}
+
+TEST(ModelBatch, EthernetCouplingStaysBitIdentical) {
+  SolverOptions options;
+  options.ethernet = qn::EthernetParams{};
+  const std::vector<ModelInput> inputs = SweepInputs("mb8", {4, 8, 16});
+  const BatchRun batch = RunBatch(inputs, options);
+  for (std::size_t w = 0; w < inputs.size(); ++w) {
+    ExpectBitIdentical(batch.outs[w], RunScalar(inputs[w], options),
+                       "ethernet lane " + std::to_string(w));
+  }
+}
+
+TEST(ModelBatch, ThreadPoolSolveIsBitIdenticalToSerial) {
+  exec::ThreadPool pool(3);
+  SolverOptions serial;
+  SolverOptions pooled;
+  pooled.pool = &pool;
+  const std::vector<ModelInput> inputs = SweepInputs("ub6", {4, 8, 12, 16});
+  const BatchRun a = RunBatch(inputs, serial);
+  const BatchRun b = RunBatch(inputs, pooled);
+  for (std::size_t w = 0; w < inputs.size(); ++w) {
+    ExpectBitIdentical(b.outs[w], a.outs[w],
+                       "pooled lane " + std::to_string(w));
+  }
+}
+
+TEST(ModelBatch, InvalidLaneRidesAlongWithoutDisturbingNeighbors) {
+  std::vector<ModelInput> inputs = SweepInputs("mb4", {4, 8, 12});
+  inputs[1].sites[0].classes[0].population = -1;  // fails validation
+  const SolverOptions options;
+  const BatchRun batch = RunBatch(inputs, options);
+  EXPECT_FALSE(batch.outs[1].ok);
+  EXPECT_EQ(batch.outs[1].error, "negative population");
+  for (std::size_t w : {std::size_t{0}, std::size_t{2}}) {
+    ExpectBitIdentical(batch.outs[w], RunScalar(inputs[w], options),
+                       "neighbor lane " + std::to_string(w));
+  }
+}
+
+TEST(ModelBatch, MixedShapeLaneFailsWithoutDisturbingNeighbors) {
+  std::vector<ModelInput> inputs = SweepInputs("mb4", {4, 8, 12});
+  inputs[2] = SweepInputs("lb8", {8})[0];  // different chain presence
+  const SolverOptions options;
+  const BatchRun batch = RunBatch(inputs, options);
+  EXPECT_FALSE(batch.outs[2].ok);
+  EXPECT_EQ(batch.outs[2].error, "batch lanes differ in model shape");
+  for (std::size_t w : {std::size_t{0}, std::size_t{1}}) {
+    ExpectBitIdentical(batch.outs[w], RunScalar(inputs[w], options),
+                       "neighbor lane " + std::to_string(w));
+  }
+}
+
+TEST(ModelBatch, ReusedArenaSolvesColdBlocksBitIdentically) {
+  // Back-to-back unseeded blocks through one arena must each match fresh
+  // scalar solves: cold lanes invalidate their retained Schweitzer columns
+  // exactly like the scalar arena's qkm.clear().
+  const SolverOptions options;
+  const std::vector<ModelInput> first = SweepInputs("mb8", {4, 8, 12, 16});
+  const std::vector<ModelInput> second = SweepInputs("mb8", {20, 6, 10, 14});
+  BatchSolveArena arena;
+  for (const std::vector<ModelInput>* block : {&first, &second}) {
+    const std::size_t lanes = block->size();
+    std::vector<ModelSolution> outs(lanes);
+    std::vector<const ModelInput*> in_ptrs(lanes);
+    std::vector<ModelSolution*> out_ptrs(lanes);
+    for (std::size_t w = 0; w < lanes; ++w) {
+      in_ptrs[w] = &(*block)[w];
+      out_ptrs[w] = &outs[w];
+    }
+    CaratModel::SolveBatchInto(in_ptrs.data(), lanes, options, &arena,
+                               nullptr, out_ptrs.data());
+    for (std::size_t w = 0; w < lanes; ++w) {
+      ExpectBitIdentical(outs[w], RunScalar((*block)[w], options),
+                         "reused-arena lane " + std::to_string(w));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace carat::model

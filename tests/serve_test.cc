@@ -553,5 +553,176 @@ TEST(SolverService, ClearCacheForcesResolve) {
   EXPECT_EQ(service.stats().solved, 2u);
 }
 
+// ------------------------------------------------- lockstep batch solving ---
+
+TEST(SolverService, SubmitBatchSolvesLockstepBlocksBitIdentically) {
+  // 11 same-shape queries at lane width 4: two full lockstep blocks plus a
+  // ragged tail of three scalar solves. Every answer must match a direct
+  // cold CaratModel::Solve() bit for bit.
+  std::vector<model::ModelInput> inputs;
+  for (const int n : {2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}) {
+    inputs.push_back(workload::MakeMB4(n).ToModelInput());
+  }
+  std::vector<model::ModelSolution> direct;
+  for (const model::ModelInput& input : inputs) {
+    direct.push_back(model::CaratModel(input).Solve());
+  }
+
+  serve::SolverService::Options opts;
+  opts.threads = 2;
+  opts.warm_start = false;
+  opts.batch_lane_width = 4;
+  serve::SolverService service(std::move(opts));
+  std::vector<std::future<model::ModelSolution>> futures =
+      service.SubmitBatch(inputs);
+  ASSERT_EQ(futures.size(), inputs.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectIdentical(futures[i].get(), direct[i]);
+  }
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 11u);
+  EXPECT_EQ(stats.solved, 11u);
+  EXPECT_EQ(stats.batch_blocks, 2u);
+  EXPECT_EQ(stats.batched, 8u);
+  EXPECT_EQ(stats.batch_lanes_filled, 8u);
+  EXPECT_EQ(stats.batch_scalar_tail, 3u);
+}
+
+TEST(SolverService, SubmitBatchGroupsByShapeAndNeverMixesBlocks) {
+  // Interleaved mb4 / lb8 queries: the groups are cut per shape, so each
+  // family forms its own block (4 lanes) plus its own tail (2 scalars).
+  std::vector<model::ModelInput> inputs;
+  for (const int n : {2, 4, 6, 8, 10, 12}) {
+    inputs.push_back(workload::MakeMB4(n).ToModelInput());
+    inputs.push_back(workload::MakeLB8(n).ToModelInput());
+  }
+  std::vector<model::ModelSolution> direct;
+  for (const model::ModelInput& input : inputs) {
+    direct.push_back(model::CaratModel(input).Solve());
+  }
+
+  serve::SolverService::Options opts;
+  opts.threads = 3;
+  opts.warm_start = false;
+  opts.batch_lane_width = 4;
+  serve::SolverService service(std::move(opts));
+  const std::vector<model::ModelSolution> got = service.SolveBatch(inputs);
+  ASSERT_EQ(got.size(), inputs.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectIdentical(got[i], direct[i]);
+  }
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batch_blocks, 2u);
+  EXPECT_EQ(stats.batched, 8u);
+  EXPECT_EQ(stats.batch_scalar_tail, 4u);
+}
+
+TEST(SolverService, SubmitBatchCoalescesDuplicatesAndUsesTheCache) {
+  serve::SolverService::Options opts;
+  opts.threads = 2;
+  opts.warm_start = false;
+  opts.batch_lane_width = 4;
+  serve::SolverService service(std::move(opts));
+
+  const model::ModelInput a = workload::MakeMB4(4).ToModelInput();
+  const model::ModelInput b = workload::MakeMB4(8).ToModelInput();
+  std::vector<std::future<model::ModelSolution>> futures =
+      service.SubmitBatch({a, a, b, a});
+  std::vector<model::ModelSolution> got;
+  for (std::future<model::ModelSolution>& f : futures) got.push_back(f.get());
+  ExpectIdentical(got[0], got[1]);
+  ExpectIdentical(got[0], got[3]);
+  {
+    const serve::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.solved, 2u);      // a and b, once each
+    EXPECT_EQ(stats.coalesced, 2u);   // the duplicate a's
+    EXPECT_EQ(stats.batched, 0u);     // 2 fresh < lane width -> scalar tail
+    EXPECT_EQ(stats.batch_scalar_tail, 2u);
+  }
+  const std::vector<model::ModelSolution> replay = service.SolveBatch({a, b});
+  ExpectIdentical(replay[0], got[0]);
+  ExpectIdentical(replay[1], got[2]);
+  EXPECT_EQ(service.stats().cache_hits, 2u);
+  EXPECT_EQ(service.stats().solved, 2u);
+}
+
+TEST(SolverService, BatchLaneWidthZeroDisablesLockstepBatching) {
+  std::vector<model::ModelInput> inputs;
+  for (const int n : {2, 4, 6, 8}) {
+    inputs.push_back(workload::MakeMB4(n).ToModelInput());
+  }
+  serve::SolverService::Options opts;
+  opts.threads = 2;
+  opts.warm_start = false;
+  opts.batch_lane_width = 0;
+  serve::SolverService service(std::move(opts));
+  const std::vector<model::ModelSolution> got = service.SolveBatch(inputs);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectIdentical(got[i], model::CaratModel(inputs[i]).Solve());
+  }
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.solved, 4u);
+  EXPECT_EQ(stats.batched, 0u);
+  EXPECT_EQ(stats.batch_blocks, 0u);
+  EXPECT_EQ(stats.batch_scalar_tail, 0u);
+}
+
+TEST(SolverService, WarmStartedBatchBlocksReachTheSameFixedPoint) {
+  // With warm starting on, a second nearby sweep seeds its lanes from the
+  // first sweep's converged states: same fixed point within tolerance, and
+  // the warm_started counter proves the seeds were used.
+  serve::SolverService::Options opts;
+  opts.threads = 2;
+  opts.warm_start = true;
+  opts.batch_lane_width = 4;
+  serve::SolverService service(std::move(opts));
+
+  std::vector<model::ModelInput> first, second;
+  for (const int n : {4, 6, 8, 10}) {
+    first.push_back(workload::MakeMB8(n).ToModelInput());
+    second.push_back(workload::MakeMB8(n + 1).ToModelInput());
+  }
+  const std::vector<model::ModelSolution> cold = service.SolveBatch(first);
+  for (const model::ModelSolution& s : cold) ASSERT_TRUE(s.converged);
+  const std::vector<model::ModelSolution> warm = service.SolveBatch(second);
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_TRUE(warm[i].ok);
+    ASSERT_TRUE(warm[i].converged);
+    const model::ModelSolution direct =
+        model::CaratModel(second[i]).Solve(service.options().solver);
+    EXPECT_NEAR(warm[i].TotalTxnPerSec(), direct.TotalTxnPerSec(),
+                1e-6 * std::max(1.0, direct.TotalTxnPerSec()));
+  }
+  EXPECT_EQ(service.stats().batch_blocks, 2u);
+  EXPECT_GT(service.stats().warm_started, 0u);
+}
+
+TEST(SolverService, InvalidInputInsideABatchBlockFailsOnlyItsLane) {
+  std::vector<model::ModelInput> inputs;
+  for (const int n : {2, 4, 6, 8}) {
+    inputs.push_back(workload::MakeMB4(n).ToModelInput());
+  }
+  // A negative request count fails validation but keeps the chain-presence
+  // pattern, so the lane genuinely rides inside the lockstep block.
+  inputs[2].sites[0].classes[0].local_requests = -1;
+  serve::SolverService::Options opts;
+  opts.threads = 2;
+  opts.warm_start = false;
+  opts.batch_lane_width = 4;
+  serve::SolverService service(std::move(opts));
+  const std::vector<model::ModelSolution> got = service.SolveBatch(inputs);
+  EXPECT_FALSE(got[2].ok);
+  EXPECT_EQ(got[2].error, "negative request count");
+  EXPECT_EQ(service.stats().batched, 4u);
+  for (std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    SCOPED_TRACE(i);
+    ExpectIdentical(got[i], model::CaratModel(inputs[i]).Solve());
+  }
+}
+
 }  // namespace
 }  // namespace carat

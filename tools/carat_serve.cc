@@ -145,7 +145,8 @@ int main(int argc, char** argv) {
         stderr,
         "submitted=%llu cache_hits=%llu coalesced=%llu solved=%llu "
         "warm_started=%llu total_iterations=%llu cache_evictions=%llu "
-        "cache_expirations=%llu\n",
+        "cache_expirations=%llu batched=%llu batch_blocks=%llu "
+        "batch_lanes_filled=%llu batch_scalar_tail=%llu\n",
         static_cast<unsigned long long>(stats.submitted),
         static_cast<unsigned long long>(stats.cache_hits),
         static_cast<unsigned long long>(stats.coalesced),
@@ -153,7 +154,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.warm_started),
         static_cast<unsigned long long>(stats.total_iterations),
         static_cast<unsigned long long>(stats.cache_evictions),
-        static_cast<unsigned long long>(stats.cache_expirations));
+        static_cast<unsigned long long>(stats.cache_expirations),
+        static_cast<unsigned long long>(stats.batched),
+        static_cast<unsigned long long>(stats.batch_blocks),
+        static_cast<unsigned long long>(stats.batch_lanes_filled),
+        static_cast<unsigned long long>(stats.batch_scalar_tail));
   }
   return input_error ? 1 : 0;
 }

@@ -20,6 +20,12 @@
 // sweep point (serve warm-start index). That reduces fixed-point iterations
 // but makes the low-order bits of the model rows depend on solve completion
 // order, so it is off by default where reproducibility is the point.
+//
+// --batch solves the sweep's same-shape model points in lockstep SoA blocks
+// (serve batch lanes over the SIMD batch MVA kernels). Per-point results are
+// bit-identical to the scalar path, so this is purely a throughput knob; it
+// is opt-in here so the default tool behaviour stays byte-for-byte what it
+// was before batching existed.
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +44,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: carat_sweep [--workload lb8|mb4|mb8|ub6] "
                "[--sizes 4,8,...] [--seed N] [--measure-s S] [--jobs N] "
-               "[--warm]\n");
+               "[--warm] [--batch]\n");
   return 2;
 }
 
@@ -64,6 +70,7 @@ int main(int argc, char** argv) {
   double measure_s = 2000.0;
   int jobs = 0;  // 0: --jobs omitted, one worker per hardware thread
   bool warm = false;
+  bool batch = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -90,6 +97,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--warm") {
       warm = true;
+    } else if (arg == "--batch") {
+      batch = true;
     } else {
       return Usage();
     }
@@ -121,6 +130,7 @@ int main(int argc, char** argv) {
   serve::SolverService::Options sopts;
   sopts.threads = static_cast<std::size_t>(jobs);  // 0 = hardware threads
   sopts.warm_start = warm;
+  if (!batch) sopts.batch_lane_width = 0;  // --batch opts into lockstep lanes
   serve::SolverService service(std::move(sopts));
 
   // Model side: one batch through the service (inputs are copied; the
