@@ -1,0 +1,102 @@
+// Coordinator for a multi-process distributed testbed run.
+//
+// RunDistributed spawns one carat_sited process per site, walks them through
+// the handshake (HELLO / CONFIG / PEERS / ALPHA / START / DRAINED / FINISH /
+// REPORT / SHUTDOWN; see dist/wire.h), aggregates the per-site reports, and
+// optionally cross-checks the aggregate throughput, response time and
+// restart probability against the in-process RunTestbed reference run with
+// the *measured* communication delay alpha fed in as comm_delay_ms — the
+// distributed system and the event simulation execute the same protocol
+// over the same cost tables, so they must agree within the (stochastic +
+// scheduling-jitter) tolerances below.
+
+#ifndef CARAT_DIST_COORDINATOR_H_
+#define CARAT_DIST_COORDINATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dist/engine.h"
+#include "dist/wire.h"
+
+namespace carat::dist {
+
+struct DistRunOptions {
+  wire::DistConfig config;
+
+  /// Real-time windows each site runs (milliseconds of wall clock).
+  double warmup_real_ms = 1500.0;
+  double measure_real_ms = 6000.0;
+  double drain_timeout_ms = 20'000.0;
+
+  /// Path to the carat_sited binary; empty resolves CARAT_SITED_BIN, then
+  /// the running executable's directory, then its ../tools sibling.
+  std::string sited_bin;
+
+  /// Cross-check against the in-process reference. The tolerances absorb
+  /// two independent noise sources: the finite distributed sample (a few
+  /// thousand commits) and wall-clock scheduling jitter on loaded CI
+  /// machines. Calibration: loopback 2-site mb8 runs land within ~10% on
+  /// throughput; the bounds leave 3x headroom.
+  bool check = true;
+  double tol_throughput_rel = 0.35;
+  double tol_response_rel = 0.45;
+  double tol_restart_abs = 0.10;
+
+  /// Reference-run virtual window (ms); long enough for tight statistics.
+  double ref_warmup_vms = 50'000.0;
+  double ref_measure_vms = 500'000.0;
+
+  /// Invoked right after START ships, with each site's mesh endpoint
+  /// ("host:port" by site index) — the hook drives external load (the load
+  /// generator, benchmarks) while the sites' measurement window runs.
+  std::function<void(const std::vector<std::string>& mesh_endpoints)>
+      during_measure;
+};
+
+struct DistRunResult {
+  bool ok = false;
+  std::string error;
+
+  /// Measured link delay: mean real RTT over all site pairs, and the
+  /// virtual one-way delay fed to the reference model.
+  double alpha_rtt_real_ms = 0.0;
+  double alpha_virtual_ms = 0.0;
+
+  std::vector<EngineReport> reports;  ///< by site
+  double measured_vms = 0.0;          ///< mean site measurement window
+
+  // Aggregates over resident users (virtual time base).
+  std::uint64_t commits = 0;
+  std::uint64_t submissions = 0;
+  std::uint64_t aborts = 0;
+  double dist_txn_per_s = 0.0;
+  double dist_response_ms = 0.0;
+  double dist_restart_prob = 0.0;
+  std::uint64_t global_deadlocks = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t ext_commits = 0;
+  bool all_drained = false;
+  bool all_audits_ok = false;
+
+  // Reference run and the comparison (when options.check).
+  bool checked = false;
+  double ref_txn_per_s = 0.0;
+  double ref_response_ms = 0.0;
+  double ref_restart_prob = 0.0;
+  double throughput_rel_err = 0.0;
+  double response_rel_err = 0.0;
+  double restart_abs_err = 0.0;
+  bool within_tolerance = false;
+};
+
+/// Resolves the carat_sited binary (see DistRunOptions::sited_bin); empty
+/// string when none of the candidates exists.
+std::string ResolveSitedBinary();
+
+DistRunResult RunDistributed(const DistRunOptions& options);
+
+}  // namespace carat::dist
+
+#endif  // CARAT_DIST_COORDINATOR_H_

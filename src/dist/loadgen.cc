@@ -1,0 +1,214 @@
+#include "dist/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "dist/wire.h"
+#include "rpc/client.h"
+#include "util/cli.h"
+
+namespace carat::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char* TypeToken(const std::string& type, std::uint64_t k) {
+  if (type == "lro") return "LRO";
+  if (type == "lu") return "LU";
+  if (type == "dro") return "DRO";
+  if (type == "du") return "DU";
+  switch (k % 4) {  // mix
+    case 0: return "LRO";
+    case 1: return "LU";
+    case 2: return "DRO";
+    default: return "DU";
+  }
+}
+
+struct Conn {
+  rpc::Client client;
+  std::uint64_t first = 0;   ///< this connection's ops: first, first+stride,..
+  std::uint64_t stride = 1;
+  std::uint64_t assigned = 0;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int in_flight = 0;
+  bool failed = false;
+
+  std::uint64_t completed = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t errors = 0;
+  double latency_sum_ms = 0.0;
+  rpc::LatencyHistogram hist;
+
+  std::thread sender;
+  std::thread receiver;
+};
+
+}  // namespace
+
+LoadgenResult RunLoadgen(const LoadgenOptions& options) {
+  LoadgenResult result;
+  if (options.targets.empty()) {
+    result.error = "no targets";
+    return result;
+  }
+  if (options.rate_per_s <= 0.0 || options.connections < 1 ||
+      options.ops_in_flight < 1) {
+    result.error = "rate, connections and ops_in_flight must be positive";
+    return result;
+  }
+  const std::uint64_t total =
+      options.total_ops > 0
+          ? options.total_ops
+          : static_cast<std::uint64_t>(options.rate_per_s *
+                                       options.duration_s);
+  if (total == 0) {
+    result.error = "empty schedule";
+    return result;
+  }
+  const std::chrono::duration<double> interval(1.0 / options.rate_per_s);
+  const std::uint64_t conns =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(options.connections),
+                              total);
+
+  std::vector<std::unique_ptr<Conn>> pool;
+  for (std::uint64_t c = 0; c < conns; ++c) {
+    auto conn = std::make_unique<Conn>();
+    conn->first = c;
+    conn->stride = conns;
+    conn->assigned = (total - c + conns - 1) / conns;
+    const std::string& target =
+        options.targets[static_cast<std::size_t>(c % options.targets.size())];
+    std::string host;
+    int port = 0;
+    if (!util::ParseHostPort(target.c_str(), &host, &port,
+                             util::PortZeroPolicy::kReject)) {
+      result.error = "bad target: " + target;
+      return result;
+    }
+    rpc::Client::ConnectOptions copts;
+    copts.framing = rpc::FramingKind::kBinary;
+    copts.recv_timeout_ms = options.recv_timeout_ms;
+    copts.connect_timeout_ms = options.connect_timeout_ms;
+    copts.connect_attempts = 20;
+    copts.reconnect_backoff_ms = 100;
+    std::string error;
+    if (!conn->client.Connect(host, static_cast<std::uint16_t>(port), &error,
+                              copts)) {
+      result.error = "connect " + target + ": " + error;
+      return result;
+    }
+    pool.push_back(std::move(conn));
+  }
+
+  // The fixed schedule: operation k is due at start + k * interval, on
+  // connection k % conns. The small lead-in keeps the first arrivals from
+  // being born late.
+  const Clock::time_point start = Clock::now() + std::chrono::milliseconds(20);
+  const std::string ops = std::to_string(options.ops_per_txn);
+
+  for (auto& conn : pool) {
+    Conn* c = conn.get();
+    c->sender = std::thread([c, &options, &ops, start, interval, total] {
+      for (std::uint64_t k = c->first; k < total; k += c->stride) {
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<Clock::duration>(interval * k));
+        {
+          std::unique_lock<std::mutex> lock(c->mu);
+          c->cv.wait(lock, [&] {
+            return c->in_flight < options.ops_in_flight || c->failed;
+          });
+          if (c->failed) return;
+          ++c->in_flight;
+        }
+        std::string line = std::to_string(k);
+        line += " TXN ";
+        line += TypeToken(options.type, k);
+        line += ' ';
+        line += ops;
+        if (!c->client.SendLine(line)) {
+          std::lock_guard<std::mutex> lock(c->mu);
+          c->failed = true;
+          return;
+        }
+      }
+    });
+    c->receiver = std::thread([c, start, interval] {
+      std::string line;
+      while (c->completed + c->errors < c->assigned) {
+        if (!c->client.ReadLine(&line)) {
+          std::lock_guard<std::mutex> lock(c->mu);
+          c->errors = c->assigned - c->completed;
+          c->failed = true;
+          c->cv.notify_all();
+          return;
+        }
+        wire::TokenReader reader(line);
+        std::uint64_t k = 0;
+        std::string_view verb;
+        std::uint64_t gid = 0;
+        int commits = 0;
+        int retries = 0;
+        if (!reader.NextU64(&k) || !reader.Next(&verb) || verb != "TXN_K" ||
+            !reader.NextU64(&gid) || !reader.NextInt(&commits) ||
+            !reader.NextInt(&retries)) {
+          continue;  // stray frame (not one of ours)
+        }
+        // Latency from the *scheduled* arrival, reconstructed from the id.
+        const Clock::time_point due =
+            start + std::chrono::duration_cast<Clock::duration>(interval * k);
+        const std::chrono::duration<double, std::milli> latency =
+            Clock::now() - due;
+        const double ms = latency.count() > 0.0 ? latency.count() : 0.0;
+        c->hist.Record(static_cast<std::uint64_t>(ms * 1000.0));
+        c->latency_sum_ms += ms;
+        ++c->completed;
+        c->committed += static_cast<std::uint64_t>(commits);
+        c->retries += static_cast<std::uint64_t>(retries);
+        std::lock_guard<std::mutex> lock(c->mu);
+        --c->in_flight;
+        c->cv.notify_all();
+      }
+    });
+  }
+
+  for (auto& conn : pool) {
+    conn->sender.join();
+    conn->receiver.join();
+  }
+  const std::chrono::duration<double> elapsed = Clock::now() - start;
+
+  result.scheduled = total;
+  for (auto& conn : pool) {
+    result.completed += conn->completed;
+    result.committed += conn->committed;
+    result.retries += conn->retries;
+    result.errors += conn->errors;
+    result.histogram.Merge(conn->hist);
+    result.mean_ms += conn->latency_sum_ms;
+  }
+  result.elapsed_s = elapsed.count();
+  if (result.elapsed_s > 0) {
+    result.achieved_per_s =
+        static_cast<double>(result.completed) / result.elapsed_s;
+  }
+  if (result.completed > 0) result.mean_ms /= result.completed;
+  result.p50_ms = result.histogram.PercentileMs(50.0);
+  result.p95_ms = result.histogram.PercentileMs(95.0);
+  result.p99_ms = result.histogram.PercentileMs(99.0);
+  result.ok = result.errors == 0 && result.completed == result.scheduled;
+  if (!result.ok && result.error.empty()) {
+    result.error = "some operations received no response";
+  }
+  return result;
+}
+
+}  // namespace carat::dist

@@ -1,0 +1,81 @@
+// Open-loop load generator for the distributed testbed.
+//
+// Drives TXN frames at a fixed arrival schedule: the k-th operation is due
+// at start + k/rate, and its latency is measured from that *scheduled* time,
+// not from when it was actually written to the socket — so when the system
+// falls behind, the queueing delay the late operations suffered shows up in
+// the percentiles instead of being silently absorbed (the classic
+// coordinated-omission error of closed-loop "send, wait, send" drivers).
+// A bounded in-flight window per connection keeps the generator itself from
+// hoarding unbounded memory; window-full time counts against latency like
+// any other queueing.
+//
+// Each connection runs a sender thread (paces the schedule, frames TXN with
+// the operation index as the frame id) and a receiver thread (matches TXN_K
+// frames by id, records latency into a per-connection
+// rpc::LatencyHistogram). The per-connection histograms are Merge()d into
+// one distribution at the end.
+
+#ifndef CARAT_DIST_LOADGEN_H_
+#define CARAT_DIST_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpc/latency_histogram.h"
+
+namespace carat::dist {
+
+struct LoadgenOptions {
+  /// Site mesh endpoints ("host:port"); connections round-robin over them.
+  std::vector<std::string> targets;
+
+  /// Total client connections (one sender + one receiver thread each).
+  int connections = 2;
+
+  /// In-flight window per connection (ops sent but not yet answered).
+  int ops_in_flight = 8;
+
+  /// Requests per transaction (the TXN frame's second operand).
+  int ops_per_txn = 8;
+
+  /// lro | lu | dro | du | mix (mix cycles through all four).
+  std::string type = "mix";
+
+  /// Aggregate arrival rate (operations per real second) and run length.
+  /// total_ops overrides rate*duration when > 0.
+  double rate_per_s = 200.0;
+  double duration_s = 2.0;
+  std::uint64_t total_ops = 0;
+
+  int connect_timeout_ms = 5000;
+  int recv_timeout_ms = 60'000;
+};
+
+struct LoadgenResult {
+  bool ok = false;
+  std::string error;
+
+  std::uint64_t scheduled = 0;  ///< arrivals in the fixed schedule
+  std::uint64_t completed = 0;  ///< TXN_K frames received
+  std::uint64_t committed = 0;
+  std::uint64_t retries = 0;  ///< deadlock restarts reported by the sites
+  std::uint64_t errors = 0;   ///< scheduled ops with no response
+
+  double elapsed_s = 0.0;
+  double achieved_per_s = 0.0;  ///< completed / elapsed
+
+  /// Coordinated-omission-free latency distribution (scheduled -> reply).
+  rpc::LatencyHistogram histogram;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
+LoadgenResult RunLoadgen(const LoadgenOptions& options);
+
+}  // namespace carat::dist
+
+#endif  // CARAT_DIST_LOADGEN_H_

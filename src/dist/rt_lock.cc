@@ -1,0 +1,265 @@
+#include "dist/rt_lock.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace carat::dist {
+
+using lock::LockMode;
+using lock::LockOutcome;
+
+namespace {
+
+bool Conflicts(LockMode a, LockMode b) {
+  return a == LockMode::kExclusive || b == LockMode::kExclusive;
+}
+
+}  // namespace
+
+bool RtLockManager::CompatibleWithHolders(const GranuleLock& gl, TxnId txn,
+                                          LockMode mode) const {
+  for (const Holder& h : gl.holders) {
+    if (h.txn == txn) continue;
+    if (Conflicts(h.mode, mode)) return false;
+  }
+  return true;
+}
+
+void RtLockManager::Grant(TxnId txn, db::GranuleId granule, LockMode mode) {
+  GranuleLock& gl = table_[granule];
+  auto& held = held_[txn];
+  auto it = held.find(granule);
+  if (it != held.end()) {
+    // Re-entrant: strengthen the existing hold in place.
+    if (mode == LockMode::kExclusive && it->second == LockMode::kShared) {
+      it->second = LockMode::kExclusive;
+      for (Holder& h : gl.holders) {
+        if (h.txn == txn) h.mode = LockMode::kExclusive;
+      }
+    }
+    return;
+  }
+  held.emplace(granule, mode);
+  gl.holders.push_back(Holder{txn, mode});
+}
+
+bool RtLockManager::TryGrantNow(TxnId txn, db::GranuleId granule,
+                                LockMode mode) {
+  GranuleLock& gl = table_[granule];
+  auto held_it = held_.find(txn);
+  const bool holds_already =
+      held_it != held_.end() && held_it->second.count(granule) > 0;
+  if (holds_already) {
+    const LockMode held_mode = held_it->second[granule];
+    if (held_mode == LockMode::kExclusive || mode == LockMode::kShared) {
+      return true;  // already at least as strong
+    }
+    // S -> X upgrade: only when no other holder conflicts (upgrades jump the
+    // queue; our transactions never mix modes, so this path is defensive).
+    if (CompatibleWithHolders(gl, txn, mode)) {
+      Grant(txn, granule, mode);
+      return true;
+    }
+    return false;
+  }
+  if (!gl.queue.empty()) return false;  // FIFO fairness: no overtaking
+  if (!CompatibleWithHolders(gl, txn, mode)) return false;
+  Grant(txn, granule, mode);
+  return true;
+}
+
+std::vector<TxnId> RtLockManager::ConflictsOf(const GranuleLock& gl, TxnId txn,
+                                              LockMode mode,
+                                              std::size_t queue_limit) const {
+  std::vector<TxnId> out;
+  for (const Holder& h : gl.holders) {
+    if (h.txn != txn && Conflicts(h.mode, mode)) out.push_back(h.txn);
+  }
+  const std::size_t limit = std::min(queue_limit, gl.queue.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const WaiterPtr& w = gl.queue[i];
+    if (w->txn != txn && Conflicts(w->mode, mode)) out.push_back(w->txn);
+  }
+  return out;
+}
+
+std::vector<TxnId> RtLockManager::WaitingForLocked(TxnId txn) const {
+  const auto wait_it = waiting_on_.find(txn);
+  if (wait_it == waiting_on_.end()) return {};
+  const auto table_it = table_.find(wait_it->second);
+  if (table_it == table_.end()) return {};
+  const GranuleLock& gl = table_it->second;
+  std::size_t position = gl.queue.size();
+  LockMode mode = LockMode::kShared;
+  for (std::size_t i = 0; i < gl.queue.size(); ++i) {
+    if (gl.queue[i]->txn == txn) {
+      position = i;
+      mode = gl.queue[i]->mode;
+      break;
+    }
+  }
+  if (position == gl.queue.size()) return {};
+  return ConflictsOf(gl, txn, mode, position);
+}
+
+bool RtLockManager::ClosesCycle(TxnId start,
+                                const std::vector<TxnId>& first_hops) const {
+  // Iterative DFS over the local wait-for graph.
+  std::vector<TxnId> stack(first_hops.rbegin(), first_hops.rend());
+  std::unordered_set<TxnId> visited;
+  while (!stack.empty()) {
+    const TxnId t = stack.back();
+    stack.pop_back();
+    if (t == start) return true;
+    if (!visited.insert(t).second) continue;
+    for (const TxnId next : WaitingForLocked(t)) stack.push_back(next);
+  }
+  return false;
+}
+
+LockOutcome RtLockManager::Acquire(TxnId txn, db::GranuleId granule,
+                                   LockMode mode) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++requests_;
+  if (TryGrantNow(txn, granule, mode)) return LockOutcome::kGranted;
+
+  GranuleLock& gl = table_[granule];
+  // About to wait behind every current holder and queued waiter: a local
+  // cycle through this request means deadlock, and the requester dies (the
+  // testbed's victim policy).
+  const std::vector<TxnId> first_hops =
+      ConflictsOf(gl, txn, mode, gl.queue.size());
+  if (ClosesCycle(txn, first_hops)) {
+    ++local_deadlocks_;
+    return LockOutcome::kAborted;
+  }
+
+  ++blocks_;
+  WaiterPtr waiter = std::make_shared<Waiter>();
+  waiter->txn = txn;
+  waiter->mode = mode;
+  gl.queue.push_back(waiter);
+  waiting_on_[txn] = granule;
+
+  if (on_block) {
+    // Release the table mutex around the callback: it sends probe messages
+    // and charges TM/CPU resources. The wait predicate below absorbs any
+    // grant or cancellation that lands meanwhile.
+    lock.unlock();
+    on_block(txn, first_hops);
+    lock.lock();
+  }
+  waiter->cv.wait(lock, [&] { return waiter->decided; });
+  return waiter->outcome;
+}
+
+void RtLockManager::ProcessQueue(db::GranuleId granule) {
+  const auto it = table_.find(granule);
+  if (it == table_.end()) return;
+  GranuleLock& gl = it->second;
+  while (!gl.queue.empty()) {
+    const WaiterPtr& w = gl.queue.front();
+    if (!CompatibleWithHolders(gl, w->txn, w->mode)) break;
+    WaiterPtr granted = w;
+    gl.queue.pop_front();
+    Grant(granted->txn, granule, granted->mode);
+    waiting_on_.erase(granted->txn);
+    granted->decided = true;
+    granted->outcome = LockOutcome::kGranted;
+    granted->cv.notify_one();
+  }
+  if (gl.holders.empty() && gl.queue.empty()) table_.erase(it);
+}
+
+void RtLockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto held_it = held_.find(txn);
+  if (held_it == held_.end()) return;
+  std::vector<db::GranuleId> granules;
+  granules.reserve(held_it->second.size());
+  for (const auto& [granule, mode] : held_it->second) granules.push_back(granule);
+  held_.erase(held_it);
+  for (const db::GranuleId granule : granules) {
+    GranuleLock& gl = table_[granule];
+    gl.holders.erase(std::remove_if(gl.holders.begin(), gl.holders.end(),
+                                    [&](const Holder& h) {
+                                      return h.txn == txn;
+                                    }),
+                     gl.holders.end());
+    ProcessQueue(granule);
+  }
+}
+
+bool RtLockManager::CancelWait(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto wait_it = waiting_on_.find(txn);
+  if (wait_it == waiting_on_.end()) return false;
+  const db::GranuleId granule = wait_it->second;
+  waiting_on_.erase(wait_it);
+  GranuleLock& gl = table_[granule];
+  for (auto it = gl.queue.begin(); it != gl.queue.end(); ++it) {
+    if ((*it)->txn != txn) continue;
+    WaiterPtr cancelled = *it;
+    gl.queue.erase(it);
+    cancelled->decided = true;
+    cancelled->outcome = LockOutcome::kAborted;
+    cancelled->cv.notify_one();
+    break;
+  }
+  ++cancelled_waits_;
+  // Removing a queued waiter can unblock compatible waiters behind it.
+  ProcessQueue(granule);
+  return true;
+}
+
+bool RtLockManager::IsWaiting(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_on_.count(txn) > 0;
+}
+
+std::vector<TxnId> RtLockManager::WaitingTxns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TxnId> out;
+  out.reserve(waiting_on_.size());
+  for (const auto& [txn, granule] : waiting_on_) out.push_back(txn);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TxnId> RtLockManager::WaitingFor(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WaitingForLocked(txn);
+}
+
+std::size_t RtLockManager::HeldCount(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+std::uint64_t RtLockManager::requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_;
+}
+
+std::uint64_t RtLockManager::blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_;
+}
+
+std::uint64_t RtLockManager::local_deadlocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return local_deadlocks_;
+}
+
+std::uint64_t RtLockManager::cancelled_waits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_waits_;
+}
+
+void RtLockManager::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  requests_ = blocks_ = local_deadlocks_ = cancelled_waits_ = 0;
+}
+
+}  // namespace carat::dist

@@ -1,0 +1,129 @@
+// Blocking two-phase-locking lock manager for the distributed testbed.
+//
+// Thread-blocking mirror of lock::LockManager (the coroutine/virtual-time
+// implementation used by the in-process testbed): shared/exclusive locks at
+// granule granularity, strict FIFO wait queues, local deadlock detection by
+// cycle search over the site's transaction-wait-for graph when a request
+// blocks, and cancellable waits so a transaction chosen as a *global*
+// deadlock victim (by a cross-site probe) resumes with kAborted. The victim
+// policy is the testbed's: the requester whose wait would close the cycle
+// dies.
+//
+// Acquire() blocks the calling thread on a per-waiter condition variable —
+// in the distributed runtime every transaction leg is a real thread, so
+// blocking the thread *is* the lock wait. All bookkeeping is under one
+// mutex; the on_block callback is invoked with the mutex released so it may
+// send probe messages and charge resources.
+
+#ifndef CARAT_DIST_RT_LOCK_H_
+#define CARAT_DIST_RT_LOCK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "lock/lock_manager.h"
+
+namespace carat::dist {
+
+using TxnId = std::uint64_t;
+
+class RtLockManager {
+ public:
+  RtLockManager() = default;
+  RtLockManager(const RtLockManager&) = delete;
+  RtLockManager& operator=(const RtLockManager&) = delete;
+
+  /// Blocks until the lock is granted or the wait is cancelled. kAborted
+  /// means the requester was chosen as a local deadlock victim or cancelled
+  /// by CancelWait (global victim); no lock was acquired.
+  lock::LockOutcome Acquire(TxnId txn, db::GranuleId granule,
+                            lock::LockMode mode);
+
+  /// Releases every lock held by `txn` and grants eligible waiters.
+  void ReleaseAll(TxnId txn);
+
+  /// Cancels `txn`'s pending wait, resuming it with kAborted. False if it
+  /// was not waiting.
+  bool CancelWait(TxnId txn);
+
+  bool IsWaiting(TxnId txn) const;
+
+  /// Waiting transactions in ascending id order (deterministic watchdog
+  /// sweeps).
+  std::vector<TxnId> WaitingTxns() const;
+
+  /// Transactions `txn` waits for: conflicting holders plus conflicting
+  /// earlier waiters on its granule. Empty if not waiting.
+  std::vector<TxnId> WaitingFor(TxnId txn) const;
+
+  std::size_t HeldCount(TxnId txn) const;
+
+  /// Invoked (mutex released) whenever a request blocks and the local cycle
+  /// check found no local deadlock; launches global probes.
+  std::function<void(TxnId waiter, std::vector<TxnId> holders)> on_block;
+
+  std::uint64_t requests() const;
+  std::uint64_t blocks() const;
+  std::uint64_t local_deadlocks() const;
+  std::uint64_t cancelled_waits() const;
+  void ResetStats();
+
+ private:
+  struct Waiter {
+    TxnId txn;
+    lock::LockMode mode;
+    bool decided = false;
+    lock::LockOutcome outcome = lock::LockOutcome::kGranted;
+    std::condition_variable cv;
+  };
+  using WaiterPtr = std::shared_ptr<Waiter>;
+
+  struct Holder {
+    TxnId txn;
+    lock::LockMode mode;
+  };
+  struct GranuleLock {
+    std::vector<Holder> holders;
+    std::deque<WaiterPtr> queue;
+  };
+
+  bool CompatibleWithHolders(const GranuleLock& gl, TxnId txn,
+                             lock::LockMode mode) const;
+  /// Immediate-grant check including FIFO fairness and re-entrant holds;
+  /// mutates the table on success.
+  bool TryGrantNow(TxnId txn, db::GranuleId granule, lock::LockMode mode);
+  void Grant(TxnId txn, db::GranuleId granule, lock::LockMode mode);
+  /// Grants queued waiters that became eligible (strict FIFO).
+  void ProcessQueue(db::GranuleId granule);
+  /// Conflicting predecessors of a request: conflicting holders plus
+  /// conflicting waiters among the first `queue_limit` queue entries.
+  std::vector<TxnId> ConflictsOf(const GranuleLock& gl, TxnId txn,
+                                 lock::LockMode mode,
+                                 std::size_t queue_limit) const;
+  std::vector<TxnId> WaitingForLocked(TxnId txn) const;
+  /// True if the local wait-for graph would contain a cycle through `start`
+  /// once `start` waits for `first_hops`.
+  bool ClosesCycle(TxnId start, const std::vector<TxnId>& first_hops) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<db::GranuleId, GranuleLock> table_;
+  std::unordered_map<TxnId, std::unordered_map<db::GranuleId, lock::LockMode>>
+      held_;
+  std::unordered_map<TxnId, db::GranuleId> waiting_on_;
+
+  std::uint64_t requests_ = 0;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t local_deadlocks_ = 0;
+  std::uint64_t cancelled_waits_ = 0;
+};
+
+}  // namespace carat::dist
+
+#endif  // CARAT_DIST_RT_LOCK_H_

@@ -1,0 +1,43 @@
+// One CARAT site as an OS process.
+//
+// The daemon owns a site's SiteEngine plus its network face: a
+// rpc::MessageServer bound to an ephemeral mesh port (peers and load
+// generators connect here) and a control connection *to* the coordinator
+// (child dials parent, so the coordinator never parses ports from pipes —
+// the HELLO message carries the mesh port).
+//
+// Startup handshake (see dist/wire.h for the message set):
+//   1. bind mesh port, connect to the coordinator, send HELLO.
+//   2. receive CONFIG, build the engine.
+//   3. receive PEERS; dial every higher-indexed site (SITE i identifies us)
+//      and wait until every lower-indexed site has dialed in.
+//   4. measure each outgoing link's RTT with PING/PONG round trips and
+//      report the medians' sum via ALPHA (each unordered pair is measured
+//      exactly once, by its lower side).
+//   5. on START: run users for the real-time warm-up + measurement window,
+//      then report DRAINED; on FINISH: drain in-flight slave legs, audit,
+//      REPORT; on SHUTDOWN: tear down and exit.
+
+#ifndef CARAT_DIST_SITE_DAEMON_H_
+#define CARAT_DIST_SITE_DAEMON_H_
+
+#include <string>
+
+namespace carat::dist {
+
+struct SiteDaemonOptions {
+  std::string coordinator_host = "127.0.0.1";
+  int coordinator_port = 0;
+  int site = 0;
+  /// Bounds every wait on coordinator traffic; a silent coordinator past
+  /// this means it died and the daemon exits instead of leaking.
+  int control_timeout_ms = 120'000;
+};
+
+/// Runs the site daemon until SHUTDOWN (or a protocol/connect failure).
+/// Returns a process exit code; failures are described on stderr.
+int RunSiteDaemon(const SiteDaemonOptions& options);
+
+}  // namespace carat::dist
+
+#endif  // CARAT_DIST_SITE_DAEMON_H_

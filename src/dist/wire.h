@@ -1,0 +1,116 @@
+// Wire message vocabulary for the distributed testbed.
+//
+// All messages ride rpc's length-prefixed binary framing (rpc/framing.h);
+// the frame id is 0 on site-to-site and control links (correlation is by
+// the global transaction id inside the payload) and the caller's request
+// index on load-generator links (TXN / TXN_K). Payloads are space-separated
+// ASCII tokens, verb first:
+//
+//   control (site <-> coordinator, site connects):
+//     HELLO site=<i> port=<mesh port>          site -> coordinator
+//     CONFIG <DistConfig key=value tokens>     coordinator -> site
+//     PEERS <host:port> ...                    coordinator -> site (by index)
+//     ALPHA rtt_ms=<median real RTT>           site -> coordinator
+//     START warmup_ms=<real> measure_ms=<real> coordinator -> site
+//     DRAINED site=<i>                         site -> coordinator
+//     FINISH                                   coordinator -> site
+//     REPORT <key=value tokens>                site -> coordinator
+//     SHUTDOWN                                 coordinator -> site
+//
+//   mesh (site <-> site, lower index connects to higher):
+//     SITE <i>                       identifies the connecting site
+//     PING <k> / PONG <k>            alpha measurement round trips
+//     REMDO <gid> <type> <r1,r2,..>  remote request (type = coordinator's)
+//     REMDO_K <gid> <0|1>            remote request done (0 = victim)
+//     PREPARE <gid> / VOTE <gid>     2PC phase 1
+//     COMMIT <gid> / COMMIT_K <gid>  2PC phase 2
+//     TABORT <gid> / ABORT_K <gid>   global abort leg
+//     PROBE <initiator> <initiator_site> <target> <hops> <max_gid>
+//     VICTIM <gid>                   global deadlock: cancel gid's wait
+//
+//   client (load generator -> any site's mesh port):
+//     TXN <LRO|LU|DRO|DU> <requests>                  frame id = request index
+//     TXN_K <gid> <commits> <retries> <response_vms>  echoes the frame id
+
+#ifndef CARAT_DIST_WIRE_H_
+#define CARAT_DIST_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "model/params.h"
+#include "workload/spec.h"
+
+namespace carat::dist::wire {
+
+/// Sequential token reader over a space-separated payload.
+class TokenReader {
+ public:
+  explicit TokenReader(std::string_view body) : body_(body) {}
+
+  /// Next token; false at end of payload.
+  bool Next(std::string_view* token);
+  bool NextU64(std::uint64_t* value);
+  bool NextInt(int* value);
+  bool NextDouble(double* value);
+
+ private:
+  std::string_view body_;
+  std::size_t pos_ = 0;
+};
+
+/// Appends " key=value" (exact round-trip for doubles via %.17g).
+void AppendKv(std::string* out, std::string_view key, std::string_view value);
+void AppendKv(std::string* out, std::string_view key, std::int64_t value);
+void AppendKv(std::string* out, std::string_view key, std::uint64_t value);
+void AppendKv(std::string* out, std::string_view key, double value);
+
+/// Parses "k=v" tokens into a map; tokens without '=' are skipped.
+std::unordered_map<std::string, std::string> ParseKv(std::string_view body);
+
+/// Typed lookups into a ParseKv map; false (and untouched output) when the
+/// key is missing or malformed.
+bool KvU64(const std::unordered_map<std::string, std::string>& kv,
+           const std::string& key, std::uint64_t* value);
+bool KvInt(const std::unordered_map<std::string, std::string>& kv,
+           const std::string& key, int* value);
+bool KvDouble(const std::unordered_map<std::string, std::string>& kv,
+              const std::string& key, double* value);
+
+/// Renders record ids as "r1,r2,...", and back.
+std::string JoinRecords(const std::vector<db::RecordId>& records);
+bool SplitRecords(std::string_view token, std::vector<db::RecordId>* records);
+
+/// Everything a site process needs to reconstruct the workload: the named
+/// paper workload plus the overridable sizing knobs. Shipped in CONFIG.
+struct DistConfig {
+  std::string workload = "mb8";  ///< lb8 | mb4 | mb8 | ub6
+  int requests_per_txn = 8;      ///< n
+  int sites = 2;
+  int num_granules = 3000;
+  int records_per_granule = 6;
+  int dm_pool_size = 0;
+  double think_time_ms = 0.0;
+  std::uint64_t seed = 1;
+  double scale = 0.1;  ///< real ms per virtual ms
+  bool spawn_users = true;
+  double probe_cpu_ms = 1.0;
+  double reprobe_interval_ms = 200.0;  ///< virtual
+  int max_probe_hops = 64;
+
+  std::string Encode() const;  ///< "key=value ..." (no verb)
+  static bool Decode(std::string_view body, DistConfig* out,
+                     std::string* error);
+
+  /// The workload spec with this config's overrides applied.
+  workload::WorkloadSpec ToSpec() const;
+  model::ModelInput ToModelInput() const { return ToSpec().ToModelInput(); }
+};
+
+}  // namespace carat::dist::wire
+
+#endif  // CARAT_DIST_WIRE_H_

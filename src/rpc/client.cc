@@ -10,7 +10,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace carat::rpc {
 
@@ -85,6 +87,20 @@ bool Client::Connect(const std::string& host, std::uint16_t port,
 
 bool Client::Connect(const std::string& host, std::uint16_t port,
                      std::string* error, const ConnectOptions& options) {
+  const int attempts = options.connect_attempts < 1 ? 1
+                                                    : options.connect_attempts;
+  for (int attempt = 0;; ++attempt) {
+    if (ConnectOnce(host, port, error, options)) return true;
+    if (attempt + 1 >= attempts) return false;
+    if (options.reconnect_backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.reconnect_backoff_ms));
+    }
+  }
+}
+
+bool Client::ConnectOnce(const std::string& host, std::uint16_t port,
+                         std::string* error, const ConnectOptions& options) {
   Close();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {

@@ -41,6 +41,15 @@ class Client {
     int connect_timeout_ms = 0;
     /// kBinary sends the 0x00 negotiation byte immediately after connect.
     FramingKind framing = FramingKind::kText;
+    /// Total connect attempts (>= 1). Attempts past the first wait
+    /// `reconnect_backoff_ms` between tries, so a caller can survive a peer
+    /// that is slow to bind its listen socket (a freshly spawned site
+    /// process, a restarting server). Default: a single attempt — the
+    /// pre-existing fail-fast behaviour.
+    int connect_attempts = 1;
+    /// Pause between connect attempts (ms); only meaningful with
+    /// connect_attempts > 1.
+    int reconnect_backoff_ms = 100;
   };
 
   Client() = default;
@@ -50,7 +59,9 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   /// Connects to a numeric IPv4 `host` ("localhost" is accepted) and sets
-  /// TCP_NODELAY.
+  /// TCP_NODELAY. With connect_attempts > 1, failed attempts retry after
+  /// `reconnect_backoff_ms` until the attempt budget is spent; `*error`
+  /// reports the last failure.
   bool Connect(const std::string& host, std::uint16_t port, std::string* error,
                const ConnectOptions& options);
 
@@ -85,6 +96,10 @@ class Client {
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  /// One connect attempt (the pre-backoff Connect body).
+  bool ConnectOnce(const std::string& host, std::uint16_t port,
+                   std::string* error, const ConnectOptions& options);
 
   /// Blocks until at least one more byte is appended to buf_. False on
   /// EOF, error, or (when `has_deadline`) the deadline passing.

@@ -1,0 +1,211 @@
+#include "rpc/message_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace carat::rpc {
+
+namespace {
+
+bool WriteAll(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+MessageServer::Connection::Connection(int fd, std::uint64_t index)
+    : fd_(fd), index_(index) {}
+
+MessageServer::Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool MessageServer::Connection::Send(const std::string& id,
+                                     const std::string& body) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (fd_ < 0 || framing_ == nullptr) return false;
+  std::string wire;
+  framing_->Encode(id, body, &wire);
+  return WriteAll(fd_, wire.data(), wire.size());
+}
+
+void MessageServer::Connection::Close() {
+  // Shutdown (not close) so a concurrent Send/read fails cleanly instead of
+  // racing a reused descriptor; the fd itself is closed by the destructor.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+MessageServer::MessageServer(Options options, Handler handler,
+                             CloseHandler on_close)
+    : options_(std::move(options)),
+      handler_(std::move(handler)),
+      on_close_(std::move(on_close)) {}
+
+MessageServer::~MessageServer() { Shutdown(); }
+
+bool MessageServer::Start(std::string* error) {
+  if (started_) {
+    *error = "MessageServer::Start called twice";
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  const std::string host =
+      options_.host == "localhost" ? "127.0.0.1" : options_.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "not a numeric IPv4 listen address: '" + options_.host + "'";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  // Surface the kernel-assigned port (Options::port == 0 binds ephemeral).
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    *error = std::string("getsockname: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  if (::pipe(wake_pipe_) != 0) {
+    *error = std::string("pipe: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void MessageServer::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int pr = ::poll(fds, 2, -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // Shutdown woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ConnectionPtr conn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      conn = std::make_shared<Connection>(fd, next_index_++);
+      connections_.push_back(conn);
+    }
+    conn->reader_ = std::thread([this, conn] { ReadLoop(conn); });
+  }
+}
+
+void MessageServer::ReadLoop(const ConnectionPtr& conn) {
+  std::string buf;
+  std::vector<Framing::Message> messages;
+  bool negotiated = false;
+  char chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, error or Close()'s shutdown
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (!negotiated) {
+      // The very first byte picks the framing (0x00 = binary); doing it
+      // under the write mutex publishes framing_ to concurrent Send()ers.
+      negotiated = true;
+      const FramingKind kind = buf[0] == kBinaryFramingByte
+                                   ? FramingKind::kBinary
+                                   : FramingKind::kText;
+      if (kind == FramingKind::kBinary) buf.erase(0, 1);
+      std::lock_guard<std::mutex> lock(conn->write_mu_);
+      conn->kind_ = kind;
+      conn->framing_ = Framing::Create(kind);
+    }
+    messages.clear();
+    std::string decode_error;
+    const bool ok = conn->framing_->Decode(&buf, options_.max_body_bytes,
+                                           &messages, &decode_error);
+    for (const Framing::Message& m : messages) handler_(conn, m.id, m.body);
+    if (!ok) break;  // oversized/malformed frame: tear the connection down
+  }
+  if (on_close_) on_close_(conn);
+  conn->Close();
+}
+
+void MessageServer::Shutdown() {
+  if (!started_) return;
+  std::vector<ConnectionPtr> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    connections = connections_;
+  }
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  accept_thread_.join();
+  for (const ConnectionPtr& conn : connections) conn->Close();
+  for (const ConnectionPtr& conn : connections) {
+    if (conn->reader_.joinable()) conn->reader_.join();
+  }
+  {
+    // Connections accepted between the snapshot and the accept thread
+    // exiting are already closed (stopping_ was observed under mu_).
+    std::lock_guard<std::mutex> lock(mu_);
+    connections_.clear();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+}
+
+}  // namespace carat::rpc

@@ -1,0 +1,140 @@
+// Generic framed-message TCP server for peer-to-peer protocols.
+//
+// rpc::TcpServer is a request/response front-end hard-wired to the solver
+// service: its reactors parse the serve:: query grammar and dispatch to a
+// thread pool. The distributed testbed needs the *wire* half of that —
+// framing negotiation, length-prefixed binary frames, per-connection
+// ordering — without the solver coupling, and with the freedom to push
+// frames in either direction at any time (site processes exchange REMDO /
+// PREPARE / COMMIT / probe traffic that is not request/response shaped).
+//
+// MessageServer provides exactly that: it accepts connections, negotiates
+// the framing per connection by the first byte (0x00 = binary, anything
+// else = text; see rpc/framing.h), and invokes a handler for every decoded
+// frame. The handler receives a Connection handle whose Send() is
+// thread-safe and usable at any later time from any thread, so replies and
+// server-initiated pushes share one path. One reader thread per connection
+// keeps per-peer FIFO ordering trivially (the TCP stream *is* the queue);
+// the expected peer count here is small (a handful of sites plus load
+// generator connections), so thread-per-connection is the simple and
+// sufficient choice — the epoll reactors remain the high-fan-in front-end.
+//
+// Listening on port 0 binds a kernel-assigned ephemeral port and surfaces
+// it through port() after Start(), so multi-process tests and the carat_dist
+// coordinator can spawn site processes without port races.
+
+#ifndef CARAT_RPC_MESSAGE_SERVER_H_
+#define CARAT_RPC_MESSAGE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/framing.h"
+
+namespace carat::rpc {
+
+class MessageServer {
+ public:
+  /// One accepted connection. Handed to the handler as a shared_ptr so the
+  /// daemon may retain it and Send() later (peer links, async replies).
+  class Connection {
+   public:
+    Connection(int fd, std::uint64_t index);
+    ~Connection();
+    Connection(const Connection&) = delete;
+    Connection& operator=(const Connection&) = delete;
+
+    /// Writes one frame in the connection's negotiated framing. Thread-safe
+    /// (serialized by a per-connection write mutex). For binary peers `id`
+    /// must be the decimal rendering of a u64. False on any write error or
+    /// after the connection closed.
+    bool Send(const std::string& id, const std::string& body);
+
+    /// Half-closes the socket; the reader thread then winds down.
+    void Close();
+
+    /// Server-unique index (accept order).
+    std::uint64_t index() const { return index_; }
+
+    /// Negotiated framing; valid once the first byte arrived.
+    FramingKind framing() const { return kind_; }
+
+   private:
+    friend class MessageServer;
+
+    int fd_;
+    const std::uint64_t index_;
+    FramingKind kind_ = FramingKind::kText;
+    std::unique_ptr<Framing> framing_;
+    std::mutex write_mu_;
+    std::thread reader_;
+  };
+
+  using ConnectionPtr = std::shared_ptr<Connection>;
+
+  /// Invoked on the connection's reader thread for every decoded frame, in
+  /// stream order. Long-running work must be dispatched elsewhere — while
+  /// the handler runs, no further frame from this connection is decoded
+  /// (that ordering is what the site protocol relies on for per-peer FIFO).
+  using Handler = std::function<void(const ConnectionPtr&,
+                                     const std::string& id,
+                                     const std::string& body)>;
+
+  /// Invoked once per connection after its last frame (EOF, error or
+  /// shutdown), on the reader thread.
+  using CloseHandler = std::function<void(const ConnectionPtr&)>;
+
+  struct Options {
+    /// Numeric IPv4 listen address ("localhost" = 127.0.0.1).
+    std::string host = "127.0.0.1";
+    /// 0 binds a kernel-assigned ephemeral port; read it from port().
+    std::uint16_t port = 0;
+    /// Longest accepted text line / binary payload.
+    std::size_t max_body_bytes = 1 << 20;
+  };
+
+  MessageServer(Options options, Handler handler,
+                CloseHandler on_close = nullptr);
+  ~MessageServer();
+
+  MessageServer(const MessageServer&) = delete;
+  MessageServer& operator=(const MessageServer&) = delete;
+
+  /// Binds, listens, starts the accept thread. False with a message on any
+  /// socket failure. Call at most once.
+  bool Start(std::string* error);
+
+  /// The bound port (the kernel's pick when Options::port was 0). Valid
+  /// after Start().
+  std::uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent.
+  void Shutdown();
+
+ private:
+  void AcceptLoop();
+  void ReadLoop(const ConnectionPtr& conn);
+
+  Options options_;
+  Handler handler_;
+  CloseHandler on_close_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe that unblocks the accept poll
+  bool started_ = false;
+  std::thread accept_thread_;
+  std::mutex mu_;  ///< guards connections_ and stopping_
+  bool stopping_ = false;
+  std::vector<ConnectionPtr> connections_;
+  std::uint64_t next_index_ = 0;
+};
+
+}  // namespace carat::rpc
+
+#endif  // CARAT_RPC_MESSAGE_SERVER_H_

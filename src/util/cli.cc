@@ -41,7 +41,8 @@ bool ParseJobs(const char* arg, int* jobs) {
   return true;
 }
 
-bool ParseHostPort(const char* arg, std::string* host, int* port) {
+bool ParseHostPort(const char* arg, std::string* host, int* port,
+                   PortZeroPolicy port_zero) {
   if (arg == nullptr || *arg == '\0') return false;
   const std::string text = arg;
   std::string parsed_host;
@@ -66,6 +67,7 @@ bool ParseHostPort(const char* arg, std::string* host, int* port) {
   char* end = nullptr;
   const long value = std::strtol(text.c_str() + colon + 1, &end, 10);
   if (*end != '\0' || value < 0 || value > 65535) return false;
+  if (value == 0 && port_zero == PortZeroPolicy::kReject) return false;
   *host = std::move(parsed_host);
   *port = static_cast<int>(value);
   return true;

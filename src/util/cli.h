@@ -24,14 +24,25 @@ bool ParseSizes(const char* arg, std::vector<int>* sizes,
 /// an explicit zero is far more likely a scripting bug than a request.)
 bool ParseJobs(const char* arg, int* jobs);
 
+/// Whether ParseHostPort accepts port 0. Listen endpoints want it (0 asks
+/// the kernel for an ephemeral port, surfaced by the server after bind);
+/// connect endpoints never do — a client dialing port 0 is always a
+/// scripting bug, so strict callers reject it at parse time.
+enum class PortZeroPolicy {
+  kAllow,   ///< listen endpoints: 0 = kernel-assigned ephemeral port
+  kReject,  ///< connect endpoints: 0 is a usage error
+};
+
 /// Parses a "HOST:PORT" or "[HOST]:PORT" listen/connect endpoint. HOST must
 /// be nonempty (validation of the address bytes is left to the socket
 /// layer) and PORT an integer in [0, 65535] — 0 is a kernel-assigned
-/// ephemeral port. Hosts containing colons (IPv6 literals like "::1") must
-/// be bracketed: "[::1]:8080" yields host "::1"; an unbracketed multi-colon
-/// input is ambiguous and rejected rather than silently mis-split. Trailing
-/// garbage, an empty host and a missing colon/port all return false.
-bool ParseHostPort(const char* arg, std::string* host, int* port);
+/// ephemeral port, accepted only under PortZeroPolicy::kAllow. Hosts
+/// containing colons (IPv6 literals like "::1") must be bracketed:
+/// "[::1]:8080" yields host "::1"; an unbracketed multi-colon input is
+/// ambiguous and rejected rather than silently mis-split. Trailing garbage,
+/// an empty host and a missing colon/port all return false.
+bool ParseHostPort(const char* arg, std::string* host, int* port,
+                   PortZeroPolicy port_zero = PortZeroPolicy::kAllow);
 
 }  // namespace carat::util
 

@@ -23,9 +23,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +40,7 @@
 #include "rpc/client.h"
 #include "rpc/framing.h"
 #include "rpc/latency_histogram.h"
+#include "rpc/message_server.h"
 #include "rpc/tcp_server.h"
 #include "serve/query.h"
 #include "serve/solver_service.h"
@@ -852,6 +856,135 @@ TEST(Client, ConnectTimeoutFailsInsteadOfBlocking) {
   EXPECT_FALSE(refused.Connect("127.0.0.1", dead_port, &error, options));
   EXPECT_FALSE(error.empty());
   EXPECT_EQ(error.rfind("connect: ", 0), 0u) << error;
+}
+
+// ---- Client reconnect-with-backoff ----------------------------------------
+
+TEST(Client, ReconnectBackoffSurvivesALateBindingListener) {
+  // Reserve a port, free it, and only re-listen after a delay: a
+  // single-attempt connect must fail, a budgeted one must land once the
+  // listener appears (the carat_sited spawn pattern — the coordinator's
+  // children race it to their listen sockets).
+  RawServer probe;
+  ASSERT_TRUE(probe.Listen());
+  const std::uint16_t port = probe.port();
+  probe.Close();
+
+  rpc::Client::ConnectOptions one;
+  one.connect_timeout_ms = 250;
+  one.connect_attempts = 1;
+  std::string error;
+  rpc::Client fail_fast;
+  EXPECT_FALSE(fail_fast.Connect("127.0.0.1", port, &error, one));
+
+  std::unique_ptr<rpc::MessageServer> late;
+  std::thread binder([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    rpc::MessageServer::Options mopts;
+    mopts.port = port;
+    late = std::make_unique<rpc::MessageServer>(
+        mopts, [](const rpc::MessageServer::ConnectionPtr& conn,
+                  const std::string& id, const std::string& body) {
+          conn->Send(id, "echo " + body);
+        });
+    std::string bind_error;
+    ASSERT_TRUE(late->Start(&bind_error)) << bind_error;
+  });
+
+  rpc::Client::ConnectOptions patient;
+  patient.connect_timeout_ms = 250;
+  patient.connect_attempts = 40;
+  patient.reconnect_backoff_ms = 50;
+  patient.recv_timeout_ms = 5'000;
+  patient.framing = rpc::FramingKind::kBinary;
+  rpc::Client client;
+  EXPECT_TRUE(client.Connect("127.0.0.1", port, &error, patient)) << error;
+  binder.join();
+
+  ASSERT_TRUE(client.SendLine("7 ping"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "7 echo ping");
+  late->Shutdown();
+}
+
+// ---- MessageServer (peer-to-peer framed push) ------------------------------
+
+TEST(MessageServer, SurfacesEphemeralPortAndPushesBothWays) {
+  rpc::MessageServer::ConnectionPtr peer;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::string> got;
+  rpc::MessageServer server(
+      rpc::MessageServer::Options{},  // port 0: kernel-assigned
+      [&](const rpc::MessageServer::ConnectionPtr& conn, const std::string& id,
+          const std::string& body) {
+        std::lock_guard<std::mutex> lock(mu);
+        peer = conn;
+        got.push_back(id + "|" + body);
+        cv.notify_all();
+      });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_NE(server.port(), 0);  // the ephemeral pick is visible
+
+  rpc::Client::ConnectOptions copts;
+  copts.framing = rpc::FramingKind::kBinary;
+  copts.recv_timeout_ms = 5'000;
+  rpc::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error, copts));
+  ASSERT_TRUE(client.SendLine("3 REMDO 42"));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return !got.empty(); }));
+    EXPECT_EQ(got[0], "3|REMDO 42");
+  }
+  // Server-initiated push on the retained connection handle: the pattern
+  // site daemons use for unsolicited mesh traffic.
+  ASSERT_TRUE(peer->Send("0", "PROBE 1 0 2"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "0 PROBE 1 0 2");
+  server.Shutdown();
+}
+
+// ---- LatencyHistogram::Merge edge cases ------------------------------------
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentityBothWays) {
+  rpc::LatencyHistogram populated, empty;
+  for (int i = 0; i < 50; ++i) populated.Record(1'000);
+  const double p50 = populated.PercentileMs(50.0);
+
+  populated.Merge(empty);  // empty into populated: a no-op
+  EXPECT_EQ(populated.count(), 50u);
+  EXPECT_EQ(populated.PercentileMs(50.0), p50);
+
+  rpc::LatencyHistogram target;
+  target.Merge(populated);  // populated into empty: exact copy
+  EXPECT_EQ(target.count(), 50u);
+  EXPECT_EQ(target.overflow_count(), 0u);
+  EXPECT_EQ(target.PercentileMs(50.0), p50);
+
+  rpc::LatencyHistogram both;
+  both.Merge(rpc::LatencyHistogram{});  // empty into empty
+  EXPECT_EQ(both.count(), 0u);
+  EXPECT_EQ(both.PercentileMs(99.0), 0.0);
+}
+
+TEST(LatencyHistogram, MergeAddsOverflowBucketsAcrossInstances) {
+  rpc::LatencyHistogram a, b;
+  a.Record(~std::uint64_t{0});
+  a.Record(3'000'000'000'000);
+  b.Record(~std::uint64_t{0});
+  for (int i = 0; i < 7; ++i) b.Record(2'000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 10u);
+  EXPECT_EQ(a.overflow_count(), 3u);  // 2 + 1, kept distinct from the counts
+  // The clamped tail stays in the distribution: the top percentile reads
+  // the last bucket, the median the 2 ms cluster.
+  EXPECT_GT(a.PercentileMs(99.0), 1'000'000.0);
+  EXPECT_LT(a.PercentileMs(50.0), 10.0);
 }
 
 }  // namespace

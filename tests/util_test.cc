@@ -246,6 +246,25 @@ TEST(Cli, ParseHostPortHandlesBracketedIpv6Hosts) {
   EXPECT_FALSE(ParseHostPort("[::1]:", &host, &port));    // empty port
 }
 
+TEST(Cli, ParseHostPortPortZeroPolicy) {
+  std::string host;
+  int port = -1;
+  // Listen endpoints: 0 asks the kernel for an ephemeral port.
+  ASSERT_TRUE(ParseHostPort("127.0.0.1:0", &host, &port,
+                            PortZeroPolicy::kAllow));
+  EXPECT_EQ(port, 0);
+  // Connect endpoints: a client dialing port 0 is always a scripting bug.
+  host = "unchanged";
+  port = -1;
+  EXPECT_FALSE(ParseHostPort("127.0.0.1:0", &host, &port,
+                             PortZeroPolicy::kReject));
+  EXPECT_EQ(host, "unchanged");
+  EXPECT_EQ(port, -1);
+  ASSERT_TRUE(ParseHostPort("127.0.0.1:7411", &host, &port,
+                            PortZeroPolicy::kReject));
+  EXPECT_EQ(port, 7411);
+}
+
 TEST(Cli, ParseSizesNamesTheBadToken) {
   std::vector<int> sizes;
   std::string bad;

@@ -1,0 +1,136 @@
+// carat_loadgen - open-loop load generator for carat_sited mesh ports.
+//
+// Fires TXN frames at a fixed arrival schedule and reports
+// coordinated-omission-free latency percentiles: every operation's latency
+// is measured from its *scheduled* arrival time, so back-pressure shows up
+// in the tail instead of silently stretching the schedule (see
+// src/dist/loadgen.h).
+//
+//   $ carat_loadgen --connect 127.0.0.1:40001 --connect 127.0.0.1:40002 \
+//       --rate 200 --duration-s 3 --type mix --ops-per-txn 8
+//   scheduled=600 completed=600 committed=600 retries=4 errors=0
+//   rate: asked 200.0/s achieved 199.3/s over 3.01s
+//   latency (CO-free): p50 41.2 ms  p95 87.6 ms  p99 120.4 ms  mean 47.1 ms
+//
+// Flags:
+//   --connect HOST:PORT  a site's mesh endpoint; repeatable (required)
+//   --connections N      client connections, round-robin over targets (2)
+//   --ops-in-flight W    per-connection in-flight window (8)
+//   --ops-per-txn N      requests per transaction (8)
+//   --type T             lro | lu | dro | du | mix (mix)
+//   --rate R             aggregate arrivals per second (200)
+//   --duration-s D       schedule length in seconds (2)
+//   --total-ops N        exact schedule size, overrides rate*duration
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dist/loadgen.h"
+#include "util/cli.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: carat_loadgen --connect HOST:PORT [--connect ...]\n"
+      "                     [--connections N] [--ops-in-flight W]\n"
+      "                     [--ops-per-txn N] [--type lro|lu|dro|du|mix]\n"
+      "                     [--rate R] [--duration-s D] [--total-ops N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace carat;
+
+  dist::LoadgenOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      std::string host;
+      int port = 0;
+      if (!util::ParseHostPort(argv[++i], &host, &port,
+                               util::PortZeroPolicy::kReject)) {
+        std::fprintf(stderr, "--connect: expected HOST:PORT (port > 0), got "
+                             "'%s'\n",
+                     argv[i]);
+        return Usage();
+      }
+      options.targets.emplace_back(argv[i]);
+    } else if (arg == "--connections" && i + 1 < argc) {
+      if (!util::ParseJobs(argv[++i], &options.connections)) {
+        std::fprintf(stderr, "--connections: expected a positive integer\n");
+        return Usage();
+      }
+    } else if (arg == "--ops-in-flight" && i + 1 < argc) {
+      if (!util::ParseJobs(argv[++i], &options.ops_in_flight)) {
+        std::fprintf(stderr, "--ops-in-flight: expected a positive integer\n");
+        return Usage();
+      }
+    } else if (arg == "--ops-per-txn" && i + 1 < argc) {
+      if (!util::ParseJobs(argv[++i], &options.ops_per_txn)) {
+        std::fprintf(stderr, "--ops-per-txn: expected a positive integer\n");
+        return Usage();
+      }
+    } else if (arg == "--type" && i + 1 < argc) {
+      options.type = argv[++i];
+      if (options.type != "lro" && options.type != "lu" &&
+          options.type != "dro" && options.type != "du" &&
+          options.type != "mix") {
+        std::fprintf(stderr, "--type: expected lro|lu|dro|du|mix\n");
+        return Usage();
+      }
+    } else if (arg == "--rate" && i + 1 < argc) {
+      char* end = nullptr;
+      options.rate_per_s = std::strtod(argv[++i], &end);
+      if (*argv[i] == '\0' || *end != '\0' || options.rate_per_s <= 0.0) {
+        std::fprintf(stderr, "--rate: expected a positive rate\n");
+        return Usage();
+      }
+    } else if (arg == "--duration-s" && i + 1 < argc) {
+      char* end = nullptr;
+      options.duration_s = std::strtod(argv[++i], &end);
+      if (*argv[i] == '\0' || *end != '\0' || options.duration_s <= 0.0) {
+        std::fprintf(stderr, "--duration-s: expected a positive duration\n");
+        return Usage();
+      }
+    } else if (arg == "--total-ops" && i + 1 < argc) {
+      char* end = nullptr;
+      options.total_ops = std::strtoull(argv[++i], &end, 10);
+      if (*argv[i] == '\0' || *end != '\0') {
+        std::fprintf(stderr, "--total-ops: expected an integer\n");
+        return Usage();
+      }
+    } else {
+      return Usage();
+    }
+  }
+  if (options.targets.empty()) {
+    std::fprintf(stderr, "carat_loadgen: at least one --connect is required\n");
+    return Usage();
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);
+  const dist::LoadgenResult result = dist::RunLoadgen(options);
+  std::printf("scheduled=%llu completed=%llu committed=%llu retries=%llu "
+              "errors=%llu\n",
+              static_cast<unsigned long long>(result.scheduled),
+              static_cast<unsigned long long>(result.completed),
+              static_cast<unsigned long long>(result.committed),
+              static_cast<unsigned long long>(result.retries),
+              static_cast<unsigned long long>(result.errors));
+  std::printf("rate: asked %.1f/s achieved %.1f/s over %.2fs\n",
+              options.rate_per_s, result.achieved_per_s, result.elapsed_s);
+  std::printf("latency (CO-free): p50 %.1f ms  p95 %.1f ms  p99 %.1f ms  "
+              "mean %.1f ms\n",
+              result.p50_ms, result.p95_ms, result.p99_ms, result.mean_ms);
+  if (!result.ok) {
+    std::fprintf(stderr, "carat_loadgen: %s\n", result.error.c_str());
+    return 1;
+  }
+  return 0;
+}

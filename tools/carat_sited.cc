@@ -1,0 +1,68 @@
+// carat_sited - one CARAT site as an OS process.
+//
+// Spawned by the carat_dist coordinator (or a test harness); not normally
+// run by hand. The daemon binds an ephemeral mesh port, dials the
+// coordinator, and reports the port in its HELLO — so the parent never
+// parses ports out of pipes and there are no bind races. Everything else
+// (workload, scale, windows) arrives over the control link; see
+// src/dist/wire.h for the protocol and src/dist/site_daemon.h for the
+// lifecycle.
+//
+// Flags:
+//   --coordinator HOST:PORT  control endpoint to dial (required)
+//   --site N                 this process's site index (required)
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dist/site_daemon.h"
+#include "util/cli.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, "usage: carat_sited --coordinator HOST:PORT --site N\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace carat;
+
+  dist::SiteDaemonOptions options;
+  options.site = -1;
+  bool have_coordinator = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--coordinator" && i + 1 < argc) {
+      if (!util::ParseHostPort(argv[++i], &options.coordinator_host,
+                               &options.coordinator_port,
+                               util::PortZeroPolicy::kReject)) {
+        std::fprintf(stderr, "--coordinator: expected HOST:PORT, got '%s'\n",
+                     argv[i]);
+        return Usage();
+      }
+      have_coordinator = true;
+    } else if (arg == "--site" && i + 1 < argc) {
+      char* end = nullptr;
+      const long site = std::strtol(argv[++i], &end, 10);
+      if (*argv[i] == '\0' || *end != '\0' || site < 0 || site > 1024) {
+        std::fprintf(stderr, "--site: expected an index in [0, 1024], got "
+                             "'%s'\n",
+                     argv[i]);
+        return Usage();
+      }
+      options.site = static_cast<int>(site);
+    } else {
+      return Usage();
+    }
+  }
+  if (!have_coordinator || options.site < 0) return Usage();
+
+  // A peer or load generator dropping its connection must not kill the site.
+  std::signal(SIGPIPE, SIG_IGN);
+  return dist::RunSiteDaemon(options);
+}
