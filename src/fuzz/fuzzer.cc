@@ -1,0 +1,129 @@
+#include "fuzz/fuzzer.h"
+
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace carat::fuzz {
+
+namespace {
+
+std::string SanitizeForFilename(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? "scenario" : out;
+}
+
+}  // namespace
+
+FuzzReport RunFuzz(const FuzzOptions& opts, std::ostream* log) {
+  FuzzReport report;
+  util::Rng rng(opts.seed);
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_s = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  for (int index = 0; index < opts.num_scenarios; ++index) {
+    if (opts.time_budget_s > 0 && elapsed_s() > opts.time_budget_s) {
+      if (log != nullptr)
+        *log << "time budget exhausted after " << report.scenarios
+             << " scenarios\n";
+      break;
+    }
+    Scenario s = GenerateScenario(&rng, opts.gen);
+    s.name = "s" + std::to_string(opts.seed) + "-" + std::to_string(index);
+
+    CheckOptions check = opts.check;
+    check.with_testbed =
+        opts.testbed_every > 0 && index % opts.testbed_every == 0;
+    if (check.with_testbed) ++report.testbed_scenarios;
+    ++report.scenarios;
+
+    std::vector<Violation> violations =
+        CheckScenario(s, check, &report.stats);
+    for (Violation& v : violations) {
+      if (log != nullptr)
+        *log << "VIOLATION " << RuleName(v.rule) << " on " << s.name << ": "
+             << v.detail << "\n";
+      if (opts.minimize) {
+        v.scenario = MinimizeScenario(v.scenario, v.rule, check, opts.min);
+        // Re-derive the detail for the minimized form (it may differ).
+        std::string detail;
+        if (!CheckRule(v.scenario, v.rule, check, &detail)) v.detail = detail;
+        if (log != nullptr)
+          *log << "  minimized to " << v.scenario.input.sites.size()
+               << " site(s): " << v.detail << "\n";
+      }
+      if (!opts.findings_dir.empty()) {
+        const std::string path = WriteFinding(opts.findings_dir, v);
+        if (!path.empty()) report.finding_files.push_back(path);
+        if (log != nullptr) *log << "  wrote " << path << "\n";
+      }
+      report.violations.push_back(std::move(v));
+    }
+    if (log != nullptr && (index + 1) % 500 == 0) {
+      *log << (index + 1) << " scenarios, " << report.stats.checked
+           << " checks, " << report.violations.size() << " violations\n";
+    }
+  }
+  return report;
+}
+
+std::vector<Violation> ReplayScenario(const Scenario& s,
+                                      const CheckOptions& copts,
+                                      CheckStats* stats) {
+  return CheckScenario(s, copts, stats);
+}
+
+bool LoadScenarioFile(const std::string& path, Scenario* out,
+                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!Parse(buf.str(), out, error)) {
+    if (error != nullptr) *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+bool WriteScenarioFile(const std::string& path, const Scenario& s,
+                       const std::string& comment_header) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  if (!comment_header.empty()) {
+    std::istringstream lines(comment_header);
+    std::string line;
+    while (std::getline(lines, line)) out << "# " << line << "\n";
+  }
+  out << Serialize(s);
+  return static_cast<bool>(out);
+}
+
+std::string WriteFinding(const std::string& dir, const Violation& v) {
+  const std::string path = dir + "/" + RuleName(v.rule) + "-" +
+                           SanitizeForFilename(v.scenario.name) + ".scn";
+  std::ostringstream header;
+  header << "carat_fuzz finding\n"
+         << "rule: " << RuleName(v.rule) << "\n"
+         << "detail: " << v.detail << "\n"
+         << "replay: carat_fuzz --replay <this file> --testbed\n";
+  if (!WriteScenarioFile(path, v.scenario, header.str())) return "";
+  return path;
+}
+
+}  // namespace carat::fuzz

@@ -1,0 +1,216 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "workload/spec.h"
+
+namespace carat::fuzz {
+
+namespace {
+
+using model::ClassParams;
+using model::SiteParams;
+using model::TxnType;
+
+// Table 2 basic costs for one class, jittered around the paper's values.
+// `scale` is a per-site multiplier (heterogeneous hardware), `jitter` draws
+// a fresh +/-25% factor per field. The I/O counts stay at the paper's
+// structural values (1 read; updates add journal + database writes) and
+// dmio_disk_ms keeps the documented identity ios * block_io_ms.
+void FillJitteredCosts(const workload::CostTable& base, double block_io_ms,
+                       double scale, util::Rng* rng, TxnType t,
+                       ClassParams* c) {
+  auto jitter = [&](double v) { return v * scale * rng->NextLogUniform(0.8, 1.25); };
+  const bool update = model::IsUpdate(t);
+  const bool distributed = !model::IsLocal(t);
+  c->u_cpu_ms = jitter(base.u_cpu);
+  c->tm_cpu_ms = jitter(distributed ? base.tm_cpu_distributed : base.tm_cpu_local);
+  c->dm_cpu_ms = jitter(update ? base.dm_cpu_update : base.dm_cpu_read);
+  c->lr_cpu_ms = jitter(base.lr_cpu);
+  c->dmio_cpu_ms = jitter(update ? base.dmio_cpu_update : base.dmio_cpu_read);
+  c->dmio_read_ios = base.ios_read;
+  c->dmio_write_ios = update ? base.ios_update - base.ios_read : 0.0;
+  c->dmio_disk_ms =
+      (c->dmio_read_ios + c->dmio_write_ios) * block_io_ms;
+  c->DeriveDefaults(t);
+}
+
+int LogUniformInt(util::Rng* rng, int lo, int hi) {
+  const double v = rng->NextLogUniform(static_cast<double>(lo),
+                                       static_cast<double>(hi) + 0.999);
+  return std::clamp(static_cast<int>(v), lo, hi);
+}
+
+}  // namespace
+
+Scenario GenerateScenario(util::Rng* rng, const GeneratorOptions& opts) {
+  Scenario s;
+  s.name = "gen";
+  s.testbed_seed = (*rng)() | 1;  // nonzero
+
+  const int num_sites = static_cast<int>(
+      rng->NextIntIn(opts.min_sites, std::max(opts.min_sites, opts.max_sites)));
+  const bool distributed_possible = opts.allow_distributed && num_sites >= 2;
+  const bool read_only = !opts.allow_update || rng->NextDouble() < 0.15;
+
+  // Shared workload shape. requests_per_txn >= 2 so coordinators always have
+  // both a local and a remote share.
+  const int requests_per_txn =
+      static_cast<int>(rng->NextIntIn(2, std::max(2, opts.max_requests_per_txn)));
+  const int records_per_request = static_cast<int>(rng->NextIntIn(1, 6));
+  const int l_dist = (requests_per_txn + 1) / 2;
+  const int r_dist = requests_per_txn - l_dist;
+  const int other_sites = num_sites > 1 ? num_sites - 1 : 1;
+
+  // Lock-contention tier: the number of granules relative to the aggregate
+  // lock demand is what moves Pb across its whole range.
+  const double tier = rng->NextDouble();
+  int num_granules;
+  if (tier < 0.4) num_granules = LogUniformInt(rng, 3000, 30000);       // low
+  else if (tier < 0.8) num_granules = LogUniformInt(rng, 800, 3000);    // mid
+  else num_granules = LogUniformInt(rng, 150, 800);                     // high
+
+  // records_per_granule = 1 makes Yao's formula degenerate (q = k exactly),
+  // which the granule-invariance rule needs; give it extra mass for
+  // read-only scenarios where that rule applies.
+  static constexpr int kGranuleSizes[] = {1, 2, 4, 6, 8};
+  int records_per_granule;
+  bool free_unlock = false;  // zero UL cost; see kGranuleInvariance
+  if (read_only && rng->NextDouble() < 0.5) {
+    records_per_granule = 1;
+    // The testbed half of the granule-invariance rule needs the UL phase
+    // free as well (its CPU cost is per *distinct* granule, and collision
+    // rates depend on the granule count).
+    free_unlock = rng->NextDouble() < 0.5;
+  } else {
+    records_per_granule = kGranuleSizes[rng->NextBounded(5)];
+  }
+
+  s.input.comm_delay_ms =
+      (distributed_possible && opts.allow_comm_delay && rng->NextDouble() < 0.5)
+          ? rng->NextLogUniform(0.05, 10.0)
+          : 0.0;
+
+  const workload::CostTable base_costs;
+  int total_users = 0;
+  std::vector<int> dro_at(num_sites, 0), du_at(num_sites, 0);
+
+  for (int i = 0; i < num_sites; ++i) {
+    SiteParams site;
+    site.name = std::string("Node-") + static_cast<char>('A' + i);
+    site.num_granules = num_granules;
+    site.records_per_granule = records_per_granule;
+    site.block_io_ms = rng->NextLogUniform(8.0, 60.0);
+    site.separate_log_disk = rng->NextDouble() < 0.2;
+    site.think_time_ms = (opts.allow_think && rng->NextDouble() < 0.4)
+                             ? rng->NextLogUniform(50.0, 2000.0)
+                             : 0.0;
+    if (opts.allow_skew && rng->NextDouble() < 0.25) {
+      site.hot_data_fraction = rng->NextLogUniform(0.02, 0.3);
+      site.hot_access_fraction =
+          site.hot_data_fraction +
+          (0.95 - site.hot_data_fraction) * rng->NextDouble();
+    }
+    if (opts.allow_buffer && rng->NextDouble() < 0.2) {
+      site.buffer_blocks = std::max(
+          1, static_cast<int>(num_granules * rng->NextLogUniform(0.05, 0.4)));
+    }
+    site.dm_pool_size = 0;  // unlimited, like the paper's experiments
+
+    const double site_scale = rng->NextLogUniform(0.5, 2.0);
+    const int max_pop = std::max(1, opts.max_population);
+    const int lro_pop = static_cast<int>(rng->NextIntIn(0, max_pop));
+    const int lu_pop = read_only ? 0 : static_cast<int>(rng->NextIntIn(0, max_pop));
+    const int dro_pop =
+        distributed_possible ? static_cast<int>(rng->NextIntIn(0, max_pop)) : 0;
+    const int du_pop = (distributed_possible && !read_only)
+                           ? static_cast<int>(rng->NextIntIn(0, max_pop))
+                           : 0;
+    dro_at[i] = dro_pop;
+    du_at[i] = du_pop;
+    total_users += lro_pop + lu_pop + dro_pop + du_pop;
+
+    ClassParams& lro = site.Class(TxnType::kLRO);
+    lro.population = lro_pop;
+    lro.local_requests = requests_per_txn;
+    lro.records_per_request = records_per_request;
+    FillJitteredCosts(base_costs, site.block_io_ms, site_scale, rng,
+                      TxnType::kLRO, &lro);
+
+    ClassParams& lu = site.Class(TxnType::kLU);
+    lu.population = lu_pop;
+    lu.local_requests = requests_per_txn;
+    lu.records_per_request = records_per_request;
+    FillJitteredCosts(base_costs, site.block_io_ms, site_scale, rng,
+                      TxnType::kLU, &lu);
+
+    ClassParams& droc = site.Class(TxnType::kDROC);
+    droc.population = dro_pop;
+    droc.local_requests = l_dist;
+    droc.remote_requests = r_dist;
+    droc.records_per_request = records_per_request;
+    FillJitteredCosts(base_costs, site.block_io_ms, site_scale, rng,
+                      TxnType::kDROC, &droc);
+
+    ClassParams& duc = site.Class(TxnType::kDUC);
+    duc.population = du_pop;
+    duc.local_requests = l_dist;
+    duc.remote_requests = r_dist;
+    duc.records_per_request = records_per_request;
+    FillJitteredCosts(base_costs, site.block_io_ms, site_scale, rng,
+                      TxnType::kDUC, &duc);
+
+    // Slave chains are filled in a second pass, once every site's
+    // distributed user counts are known.
+    ClassParams& dros = site.Class(TxnType::kDROS);
+    dros.records_per_request = records_per_request;
+    FillJitteredCosts(base_costs, site.block_io_ms, site_scale, rng,
+                      TxnType::kDROS, &dros);
+    ClassParams& dus = site.Class(TxnType::kDUS);
+    dus.records_per_request = records_per_request;
+    FillJitteredCosts(base_costs, site.block_io_ms, site_scale, rng,
+                      TxnType::kDUS, &dus);
+
+    s.input.sites.push_back(std::move(site));
+  }
+
+  if (total_users == 0) {
+    // Degenerate draw: give site 0 one local read-only user.
+    s.input.sites[0].Class(TxnType::kLRO).population = 1;
+  }
+  if (free_unlock) {
+    for (SiteParams& site : s.input.sites)
+      for (TxnType t : model::kAllTxnTypes)
+        site.Class(t).unlock_cpu_per_lock_ms = 0.0;
+  }
+
+  // Second pass: one slave chain per site serving the *other* sites'
+  // distributed users, remote requests split evenly (workload/spec.cc
+  // convention).
+  if (r_dist > 0) {
+    for (int i = 0; i < num_sites; ++i) {
+      int dro_elsewhere = 0, du_elsewhere = 0;
+      for (int j = 0; j < num_sites; ++j) {
+        if (j == i) continue;
+        dro_elsewhere += dro_at[j];
+        du_elsewhere += du_at[j];
+      }
+      ClassParams& dros = s.input.sites[i].Class(TxnType::kDROS);
+      dros.population = dro_elsewhere;
+      dros.local_requests =
+          dro_elsewhere > 0 ? std::max(r_dist / other_sites, 1) : 0;
+      ClassParams& dus = s.input.sites[i].Class(TxnType::kDUS);
+      dus.population = du_elsewhere;
+      dus.local_requests =
+          du_elsewhere > 0 ? std::max(r_dist / other_sites, 1) : 0;
+    }
+  }
+
+  assert(s.input.Validate());
+  return s;
+}
+
+}  // namespace carat::fuzz

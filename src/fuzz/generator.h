@@ -1,0 +1,41 @@
+// Seeded random scenario generation.
+//
+// GenerateScenario draws one valid CARAT configuration from a util::Rng. The
+// distribution is tuned for oracle coverage, not realism: contention tiers
+// span lock-thrashing to contention-free, populations stay small enough that
+// every site solves by exact MVA (so the exact-vs-Schweitzer differential is
+// always available), and special regimes the metamorphic rules need
+// (read-only workloads, records_per_granule = 1, single-site, think time,
+// skew, buffer) each get fixed probability mass. Everything is derived from
+// the Rng stream alone — same seed, same scenario, on every platform.
+
+#ifndef CARAT_FUZZ_GENERATOR_H_
+#define CARAT_FUZZ_GENERATOR_H_
+
+#include "fuzz/scenario.h"
+#include "util/random.h"
+
+namespace carat::fuzz {
+
+struct GeneratorOptions {
+  int min_sites = 1;
+  int max_sites = 3;
+  /// Per-class user population bound (slave-chain populations are derived
+  /// and can reach max_population * 2 * (max_sites - 1)).
+  int max_population = 3;
+  int max_requests_per_txn = 12;
+  bool allow_distributed = true;
+  bool allow_update = true;   ///< false forces read-only workloads
+  bool allow_skew = true;
+  bool allow_buffer = true;
+  bool allow_think = true;
+  bool allow_comm_delay = true;
+};
+
+/// Draws one scenario. The result always passes ModelInput::Validate and has
+/// at least one user class with population > 0.
+Scenario GenerateScenario(util::Rng* rng, const GeneratorOptions& opts = {});
+
+}  // namespace carat::fuzz
+
+#endif  // CARAT_FUZZ_GENERATOR_H_

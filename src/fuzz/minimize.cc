@@ -1,0 +1,238 @@
+#include "fuzz/minimize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace carat::fuzz {
+
+namespace {
+
+using model::ClassParams;
+using model::ModelInput;
+using model::SiteParams;
+using model::TxnType;
+
+// Zeroes slave chains that lost their last coordinator (site or class
+// removal can orphan them, which Validate rejects).
+void RepairSlaves(ModelInput* input) {
+  for (std::size_t j = 0; j < input->sites.size(); ++j) {
+    for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
+      if (input->sites[j].Class(s).population == 0) continue;
+      int coordinators = 0;
+      for (std::size_t i = 0; i < input->sites.size(); ++i) {
+        if (i == j) continue;
+        coordinators += input->sites[i].Class(CoordinatorOf(s)).population;
+      }
+      if (coordinators == 0) input->sites[j].Class(s) = ClassParams{};
+    }
+  }
+}
+
+bool HasUsers(const ModelInput& input) {
+  for (const SiteParams& site : input.sites)
+    for (TxnType t : model::kAllTxnTypes)
+      if (site.Class(t).population > 0) return true;
+  return false;
+}
+
+// One shrink attempt: a transformed copy, or nullopt when the move does not
+// apply / would produce an invalid scenario.
+using Move = std::function<std::optional<Scenario>(const Scenario&)>;
+
+std::optional<Scenario> Finish(Scenario cand) {
+  RepairSlaves(&cand.input);
+  if (!HasUsers(cand.input) || !cand.input.Validate()) return std::nullopt;
+  return cand;
+}
+
+std::vector<Move> BuildMoves(const Scenario& shape_hint) {
+  std::vector<Move> moves;
+
+  // Drop one site (by current index; moves are re-derived every round).
+  for (std::size_t drop = 0; drop < shape_hint.input.sites.size(); ++drop) {
+    moves.push_back([drop](const Scenario& s) -> std::optional<Scenario> {
+      if (s.input.sites.size() <= 1 || drop >= s.input.sites.size())
+        return std::nullopt;
+      Scenario cand = s;
+      cand.input.sites.erase(cand.input.sites.begin() +
+                             static_cast<std::ptrdiff_t>(drop));
+      return Finish(std::move(cand));
+    });
+  }
+
+  // Drop one class everywhere, then per (site, class).
+  for (TxnType t : model::kAllTxnTypes) {
+    moves.push_back([t](const Scenario& s) -> std::optional<Scenario> {
+      Scenario cand = s;
+      bool changed = false;
+      for (SiteParams& site : cand.input.sites) {
+        if (site.Class(t).population > 0) {
+          site.Class(t) = ClassParams{};
+          changed = true;
+        }
+      }
+      if (!changed) return std::nullopt;
+      return Finish(std::move(cand));
+    });
+  }
+  for (std::size_t i = 0; i < shape_hint.input.sites.size(); ++i) {
+    for (TxnType t : model::kAllTxnTypes) {
+      moves.push_back([i, t](const Scenario& s) -> std::optional<Scenario> {
+        if (i >= s.input.sites.size()) return std::nullopt;
+        Scenario cand = s;
+        if (cand.input.sites[i].Class(t).population == 0) return std::nullopt;
+        cand.input.sites[i].Class(t) = ClassParams{};
+        return Finish(std::move(cand));
+      });
+    }
+  }
+
+  // Halve populations / requests / records; shrink granules.
+  auto for_each_class = [](Scenario s, auto fn) -> std::optional<Scenario> {
+    bool changed = false;
+    for (SiteParams& site : s.input.sites)
+      for (TxnType t : model::kAllTxnTypes)
+        if (site.Class(t).population > 0) changed |= fn(&site.Class(t));
+    if (!changed) return std::nullopt;
+    return Finish(std::move(s));
+  };
+  moves.push_back([for_each_class](const Scenario& s) {
+    return for_each_class(s, [](ClassParams* c) {
+      if (c->population <= 1) return false;
+      c->population /= 2;
+      return true;
+    });
+  });
+  moves.push_back([for_each_class](const Scenario& s) {
+    return for_each_class(s, [](ClassParams* c) {
+      bool changed = false;
+      if (c->local_requests > 1) {
+        c->local_requests /= 2;
+        changed = true;
+      }
+      if (c->remote_requests > 1) {
+        c->remote_requests /= 2;
+        changed = true;
+      }
+      return changed;
+    });
+  });
+  moves.push_back([for_each_class](const Scenario& s) {
+    return for_each_class(s, [](ClassParams* c) {
+      if (c->records_per_request <= 1) return false;
+      c->records_per_request = 1;
+      return true;
+    });
+  });
+  moves.push_back([](const Scenario& s) -> std::optional<Scenario> {
+    Scenario cand = s;
+    bool changed = false;
+    for (SiteParams& site : cand.input.sites) {
+      if (site.num_granules > 64) {
+        site.num_granules /= 2;
+        changed = true;
+      }
+    }
+    if (!changed) return std::nullopt;
+    return Finish(std::move(cand));
+  });
+
+  // Clear optional features.
+  moves.push_back([](const Scenario& s) -> std::optional<Scenario> {
+    Scenario cand = s;
+    bool changed = false;
+    for (SiteParams& site : cand.input.sites) {
+      if (site.think_time_ms != 0.0) { site.think_time_ms = 0.0; changed = true; }
+      if (site.hot_data_fraction != 0.0 || site.hot_access_fraction != 0.0) {
+        site.hot_data_fraction = site.hot_access_fraction = 0.0;
+        changed = true;
+      }
+      if (site.buffer_blocks != 0) { site.buffer_blocks = 0; changed = true; }
+      if (site.separate_log_disk) { site.separate_log_disk = false; changed = true; }
+      if (site.records_per_granule != 1) { site.records_per_granule = 1; changed = true; }
+    }
+    if (cand.input.comm_delay_ms != 0.0) {
+      cand.input.comm_delay_ms = 0.0;
+      changed = true;
+    }
+    if (!changed) return std::nullopt;
+    return Finish(std::move(cand));
+  });
+
+  // Round every cost to one significant digit (repro readability), then try
+  // forcing them all to a single flat value.
+  auto round1 = [](double v) {
+    if (v == 0.0) return 0.0;
+    const double mag = std::pow(10.0, std::floor(std::log10(std::fabs(v))));
+    return std::round(v / mag) * mag;
+  };
+  moves.push_back([round1](const Scenario& s) -> std::optional<Scenario> {
+    Scenario cand = s;
+    bool changed = false;
+    auto touch = [&](double* v) {
+      const double r = round1(*v);
+      if (r != *v) { *v = r; changed = true; }
+    };
+    for (SiteParams& site : cand.input.sites) {
+      touch(&site.block_io_ms);
+      touch(&site.think_time_ms);
+      for (TxnType t : model::kAllTxnTypes) {
+        ClassParams& c = site.Class(t);
+        touch(&c.u_cpu_ms); touch(&c.tm_cpu_ms); touch(&c.dm_cpu_ms);
+        touch(&c.lr_cpu_ms); touch(&c.dmio_cpu_ms); touch(&c.dmio_disk_ms);
+        touch(&c.init_cpu_ms); touch(&c.tc_cpu_ms); touch(&c.ta_fixed_cpu_ms);
+        touch(&c.ta_cpu_per_granule_ms); touch(&c.unlock_cpu_per_lock_ms);
+      }
+    }
+    touch(&cand.input.comm_delay_ms);
+    if (!changed) return std::nullopt;
+    return Finish(std::move(cand));
+  });
+
+  // Shrink the measurement window (testbed-backed rules re-run faster and
+  // repro files replay faster).
+  moves.push_back([](const Scenario& s) -> std::optional<Scenario> {
+    if (s.measure_ms <= 50'000.0) return std::nullopt;
+    Scenario cand = s;
+    cand.measure_ms /= 2;
+    cand.warmup_ms = std::min(cand.warmup_ms, cand.measure_ms / 4);
+    return Finish(std::move(cand));
+  });
+
+  return moves;
+}
+
+}  // namespace
+
+Scenario MinimizeScenario(const Scenario& start, Rule rule,
+                          const CheckOptions& opts,
+                          const MinimizeOptions& mopts, int* evals_used) {
+  Scenario best = start;
+  int evals = 0;
+  auto still_violates = [&](const Scenario& cand) {
+    ++evals;
+    return !CheckRule(cand, rule, opts);
+  };
+
+  bool progress = true;
+  while (progress && evals < mopts.max_evals) {
+    progress = false;
+    for (const Move& move : BuildMoves(best)) {
+      if (evals >= mopts.max_evals) break;
+      std::optional<Scenario> cand = move(best);
+      if (!cand.has_value()) continue;
+      if (still_violates(*cand)) {
+        best = std::move(*cand);
+        progress = true;
+      }
+    }
+  }
+  best.name = start.name + "-min";
+  if (evals_used != nullptr) *evals_used = evals;
+  return best;
+}
+
+}  // namespace carat::fuzz

@@ -1,0 +1,36 @@
+// Delta-debugging shrinker for relation violations.
+//
+// Given a scenario that violates a rule, MinimizeScenario greedily applies
+// structure-shrinking moves (drop a site, drop a class, halve populations
+// and request counts, zero optional features, round costs) and keeps each
+// move only if the shrunk scenario still violates the same rule. Every
+// candidate is revalidated (ModelInput::Validate) before evaluation, with
+// slave/coordinator consistency repaired after site and class removals, so
+// the minimizer never leaves the valid-scenario space the generator draws
+// from. The result is the scenario written to docs/findings/.
+
+#ifndef CARAT_FUZZ_MINIMIZE_H_
+#define CARAT_FUZZ_MINIMIZE_H_
+
+#include "fuzz/relations.h"
+#include "fuzz/scenario.h"
+
+namespace carat::fuzz {
+
+struct MinimizeOptions {
+  /// Upper bound on rule evaluations (each one or two model solves, plus
+  /// testbed runs for testbed-backed rules).
+  int max_evals = 300;
+};
+
+/// Shrinks `start` (which must violate `rule` under `opts`) while the
+/// violation persists. Returns the smallest violating scenario found;
+/// `evals_used`, when non-null, reports how many rule evaluations ran.
+Scenario MinimizeScenario(const Scenario& start, Rule rule,
+                          const CheckOptions& opts,
+                          const MinimizeOptions& mopts = {},
+                          int* evals_used = nullptr);
+
+}  // namespace carat::fuzz
+
+#endif  // CARAT_FUZZ_MINIMIZE_H_

@@ -1,0 +1,60 @@
+// Floating-point comparison helpers with explicit tolerance semantics.
+//
+// Every comparison in the tree that is not bit-exact should say which of the
+// two regimes it means:
+//
+//   ApproxAbs(a, b, abs_tol)   |a - b| <= abs_tol. For quantities with a
+//                              natural scale (probabilities, utilizations).
+//   ApproxRel(a, b, rel_tol)   |a - b| <= rel_tol * max(|a|, |b|). Symmetric
+//                              in a and b (no privileged "expected" value),
+//                              so it composes with metamorphic checks where
+//                              neither side is the reference.
+//
+// ApproxRelAbs combines them (relative with an absolute floor) for values
+// that legitimately pass through zero. Equal values — including equal
+// infinities and signed zeros — always compare true; NaN never does.
+
+#ifndef CARAT_UTIL_APPROX_H_
+#define CARAT_UTIL_APPROX_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace carat::util {
+
+/// Symmetric relative difference |a - b| / max(|a|, |b|); 0 when a == b
+/// (including both zero). Infinite when exactly one side is infinite.
+inline double RelDiff(double a, double b) {
+  if (a == b) return 0.0;
+  if (std::isinf(a) || std::isinf(b)) {
+    return std::numeric_limits<double>::infinity();  // not NaN from inf/inf
+  }
+  const double m = std::max(std::fabs(a), std::fabs(b));
+  return m > 0.0 ? std::fabs(a - b) / m : 0.0;
+}
+
+/// True iff |a - b| <= abs_tol (or a == b). NaN compares false.
+inline bool ApproxAbs(double a, double b, double abs_tol) {
+  if (a == b) return true;
+  return std::fabs(a - b) <= abs_tol;  // false for NaN / mixed infinities
+}
+
+/// True iff |a - b| <= rel_tol * max(|a|, |b|) (or a == b). NaN and mixed
+/// infinities compare false.
+inline bool ApproxRel(double a, double b, double rel_tol) {
+  if (a == b) return true;
+  if (std::isinf(a) || std::isinf(b)) return false;
+  return std::fabs(a - b) <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+/// Relative comparison with an absolute floor, for values that pass through
+/// zero: |a - b| <= max(rel_tol * max(|a|, |b|), abs_floor).
+inline bool ApproxRelAbs(double a, double b, double rel_tol,
+                         double abs_floor) {
+  return ApproxAbs(a, b, abs_floor) || ApproxRel(a, b, rel_tol);
+}
+
+}  // namespace carat::util
+
+#endif  // CARAT_UTIL_APPROX_H_

@@ -11,6 +11,31 @@
 
 namespace carat::util {
 
+/// SplitMix64: the minimal 64-bit generator used to expand seeds (and as a
+/// tiny standalone stream where a full xoshiro state is overkill). Pure
+/// integer arithmetic, so its output sequence is identical on every platform
+/// (pinned by util_test).
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed = 0) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
 /// xoshiro256** PRNG, seeded via SplitMix64. Satisfies
 /// UniformRandomBitGenerator.
 class Rng {
@@ -21,14 +46,8 @@ class Rng {
 
   void Seed(std::uint64_t seed) {
     // SplitMix64 expansion of the seed into the four state words.
-    auto next = [&seed]() {
-      seed += 0x9E3779B97F4A7C15ULL;
-      std::uint64_t z = seed;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-      return z ^ (z >> 31);
-    };
-    for (auto& w : state_) w = next();
+    SplitMix64 sm(seed);
+    for (auto& w : state_) w = sm();
   }
 
   static constexpr result_type min() { return 0; }
@@ -66,6 +85,22 @@ class Rng {
       }
     }
     return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi], both bounds inclusive; requires lo <= hi.
+  std::int64_t NextIntIn(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    NextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Log-uniformly distributed double in [lo, hi): the exponent is uniform,
+  /// so each decade gets equal probability mass. Requires 0 < lo <= hi; the
+  /// natural distribution for scale parameters (service times, granule
+  /// counts) whose interesting range spans orders of magnitude.
+  double NextLogUniform(double lo, double hi) {
+    if (lo >= hi) return lo;
+    const double llo = std::log(lo);
+    return std::exp(llo + NextDouble() * (std::log(hi) - llo));
   }
 
   /// Exponentially distributed sample with the given mean.

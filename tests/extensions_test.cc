@@ -8,6 +8,7 @@
 #include "db/buffer_pool.h"
 #include "model/solver.h"
 #include "model/yao.h"
+#include "util/approx.h"
 #include "workload/spec.h"
 
 namespace carat {
@@ -184,9 +185,8 @@ TEST(TestbedExtensions, ModelTracksSimUnderModerateSkew) {
   const TestbedResult s = RunTestbed(input, FastOptions());
   ASSERT_TRUE(m.ok);
   ASSERT_TRUE(s.ok);
-  const double rel =
-      std::abs(m.TotalTxnPerSec() - s.TotalTxnPerSec()) / s.TotalTxnPerSec();
-  EXPECT_LT(rel, 0.3);
+  EXPECT_TRUE(util::ApproxRel(m.TotalTxnPerSec(), s.TotalTxnPerSec(), 0.3))
+      << m.TotalTxnPerSec() << " vs " << s.TotalTxnPerSec();
 }
 
 TEST(TestbedExtensions, ModelTracksSimWithBuffer) {
@@ -197,9 +197,8 @@ TEST(TestbedExtensions, ModelTracksSimWithBuffer) {
   const TestbedResult s = RunTestbed(input, FastOptions());
   ASSERT_TRUE(m.ok);
   ASSERT_TRUE(s.ok);
-  const double rel =
-      std::abs(m.TotalTxnPerSec() - s.TotalTxnPerSec()) / s.TotalTxnPerSec();
-  EXPECT_LT(rel, 0.35);
+  EXPECT_TRUE(util::ApproxRel(m.TotalTxnPerSec(), s.TotalTxnPerSec(), 0.35))
+      << m.TotalTxnPerSec() << " vs " << s.TotalTxnPerSec();
 }
 
 }  // namespace

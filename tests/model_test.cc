@@ -9,6 +9,7 @@
 #include "model/solver.h"
 #include "model/transition.h"
 #include "model/yao.h"
+#include "util/approx.h"
 #include "workload/spec.h"
 
 namespace carat::model {
@@ -283,7 +284,7 @@ TEST(Solver, DistributedThroughputSymmetricAcrossTwoEqualNodes) {
   ASSERT_TRUE(sol.ok) << sol.error;
   const double a = sol.sites[0].Class(TxnType::kDROC).throughput_per_s;
   const double b = sol.sites[1].Class(TxnType::kDROC).throughput_per_s;
-  EXPECT_NEAR(a, b, 1e-6 + 0.01 * a);
+  EXPECT_TRUE(util::ApproxRelAbs(a, b, 0.01, 1e-6)) << a << " vs " << b;
 }
 
 TEST(Solver, ReadOnlyOutperformsUpdates) {
@@ -359,8 +360,9 @@ TEST(Solver, SchweitzerOptionProducesSimilarResults) {
   const ModelSolution approx = CaratModel(wl.ToModelInput()).Solve(approx_opts);
   ASSERT_TRUE(exact.ok);
   ASSERT_TRUE(approx.ok);
-  EXPECT_NEAR(approx.TotalTxnPerSec(), exact.TotalTxnPerSec(),
-              0.15 * exact.TotalTxnPerSec());
+  EXPECT_TRUE(util::ApproxRel(approx.TotalTxnPerSec(),
+                              exact.TotalTxnPerSec(), 0.15))
+      << approx.TotalTxnPerSec() << " vs " << exact.TotalTxnPerSec();
 }
 
 TEST(Solver, EthernetModelSuppliesNegligibleAlphaAtTenMbps) {
@@ -376,8 +378,9 @@ TEST(Solver, EthernetModelSuppliesNegligibleAlphaAtTenMbps) {
   EXPECT_GT(sol.comm_delay_ms, 0.5);
   EXPECT_LT(sol.comm_delay_ms, 2.0);
   const ModelSolution base = CaratModel(wl.ToModelInput()).Solve();
-  EXPECT_NEAR(sol.TotalTxnPerSec(), base.TotalTxnPerSec(),
-              0.02 * base.TotalTxnPerSec());
+  EXPECT_TRUE(util::ApproxRel(sol.TotalTxnPerSec(),
+                              base.TotalTxnPerSec(), 0.02))
+      << sol.TotalTxnPerSec() << " vs " << base.TotalTxnPerSec();
 }
 
 TEST(Solver, SlowNetworkHurtsDistributedTypesOnly) {
@@ -575,8 +578,9 @@ TEST(SolverWarmStart, SeededSolveConvergesToSameFixedPointInFewerIterations) {
   EXPECT_TRUE(warmed.warm_started);
   EXPECT_TRUE(warmed.converged);
   EXPECT_LT(warmed.iterations, cold.iterations);
-  EXPECT_NEAR(warmed.TotalTxnPerSec(), cold.TotalTxnPerSec(),
-              1e-5 * cold.TotalTxnPerSec());
+  EXPECT_TRUE(util::ApproxRel(warmed.TotalTxnPerSec(),
+                              cold.TotalTxnPerSec(), 1e-5))
+      << warmed.TotalTxnPerSec() << " vs " << cold.TotalTxnPerSec();
 }
 
 TEST(SolverWarmStart, IncompatibleSeedSilentlyStartsCold) {

@@ -14,11 +14,13 @@
 
 #include <gtest/gtest.h>
 
+#include "fuzz/generator.h"
 #include "model/solver.h"
 #include "serve/key.h"
 #include "serve/solution_cache.h"
 #include "serve/solver_service.h"
 #include "serve/warm_index.h"
+#include "util/random.h"
 #include "workload/spec.h"
 
 namespace carat {
@@ -722,6 +724,43 @@ TEST(SolverService, InvalidInputInsideABatchBlockFailsOnlyItsLane) {
     SCOPED_TRACE(i);
     ExpectIdentical(got[i], model::CaratModel(inputs[i]).Solve());
   }
+}
+
+TEST(SolverService, SubmitBatchMatchesSubmitOnRandomMixedShapes) {
+  // Differential check against generator-drawn inputs instead of the
+  // hand-picked workload families above: 24 scenarios of random shape
+  // (1-3 sites, arbitrary class mix, log disks, think times), so the batch
+  // grouping has to cope with many small shape families and ragged tails.
+  // With the cache off, SubmitBatch must be bit-identical to one-at-a-time
+  // Submit — both reduce to cold solves of the same inputs.
+  util::Rng rng(20260808);
+  std::vector<model::ModelInput> inputs;
+  for (int i = 0; i < 24; ++i) {
+    inputs.push_back(fuzz::GenerateScenario(&rng).input);
+  }
+
+  serve::SolverService::Options batch_opts;
+  batch_opts.threads = 2;
+  batch_opts.use_cache = false;
+  batch_opts.warm_start = false;
+  batch_opts.batch_lane_width = 4;
+  serve::SolverService batch_service(std::move(batch_opts));
+  std::vector<std::future<model::ModelSolution>> futures =
+      batch_service.SubmitBatch(inputs);
+  ASSERT_EQ(futures.size(), inputs.size());
+
+  serve::SolverService::Options scalar_opts;
+  scalar_opts.threads = 2;
+  scalar_opts.use_cache = false;
+  scalar_opts.warm_start = false;
+  serve::SolverService scalar_service(std::move(scalar_opts));
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectIdentical(futures[i].get(), scalar_service.Submit(inputs[i]).get());
+  }
+  EXPECT_EQ(batch_service.stats().solved, inputs.size());
+  EXPECT_EQ(scalar_service.stats().solved, inputs.size());
 }
 
 }  // namespace

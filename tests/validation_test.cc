@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "carat/testbed.h"
+#include "util/approx.h"
 #include "model/solver.h"
 #include "workload/spec.h"
 
@@ -32,12 +33,6 @@ Pair Solve(const workload::WorkloadSpec& wl, std::uint64_t seed = 1) {
   return p;
 }
 
-// Relative deviation |a-b| / max(a, b).
-double RelDev(double a, double b) {
-  const double m = std::max(std::fabs(a), std::fabs(b));
-  return m > 0 ? std::fabs(a - b) / m : 0.0;
-}
-
 class ValidationTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ValidationTest, ModelTracksTestbedAtModerateContention) {
@@ -58,12 +53,12 @@ TEST_P(ValidationTest, ModelTracksTestbedAtModerateContention) {
     const auto& s = p.sim.nodes[i];
     // The paper reports agreement within roughly 10-25%; we allow 25% for
     // throughput and utilizations at the moderate-contention design point.
-    EXPECT_LT(RelDev(m.txn_per_s, s.txn_per_s), 0.25)
+    EXPECT_LT(util::RelDiff(m.txn_per_s, s.txn_per_s), 0.25)
         << wl.name << " node " << i << " XPUT model=" << m.txn_per_s
         << " sim=" << s.txn_per_s;
-    EXPECT_LT(RelDev(m.cpu_utilization, s.cpu_utilization), 0.25)
+    EXPECT_LT(util::RelDiff(m.cpu_utilization, s.cpu_utilization), 0.25)
         << wl.name << " node " << i;
-    EXPECT_LT(RelDev(m.dio_per_s, s.dio_per_s), 0.25)
+    EXPECT_LT(util::RelDiff(m.dio_per_s, s.dio_per_s), 0.25)
         << wl.name << " node " << i;
   }
 }
@@ -159,10 +154,10 @@ TEST(Validation, ThreeNodeClusterAgreesToo) {
   ASSERT_TRUE(p.sim.database_consistent);
   ASSERT_EQ(p.sim.nodes.size(), 3u);
   for (std::size_t i = 0; i < 3; ++i) {
-    EXPECT_LT(RelDev(p.model.sites[i].txn_per_s, p.sim.nodes[i].txn_per_s),
+    EXPECT_LT(util::RelDiff(p.model.sites[i].txn_per_s, p.sim.nodes[i].txn_per_s),
               0.25)
         << "node " << i;
-    EXPECT_LT(RelDev(p.model.sites[i].dio_per_s, p.sim.nodes[i].dio_per_s),
+    EXPECT_LT(util::RelDiff(p.model.sites[i].dio_per_s, p.sim.nodes[i].dio_per_s),
               0.25)
         << "node " << i;
   }
@@ -195,7 +190,7 @@ TEST(Validation, ResponseTimesTrackPerType) {
       const double model_r = p.model.sites[i].Class(t).response_ms;
       const double sim_r = p.sim.nodes[i].Type(t).response_ms;
       ASSERT_GT(sim_r, 0.0) << Name(t);
-      EXPECT_LT(RelDev(model_r, sim_r), 0.30)
+      EXPECT_LT(util::RelDiff(model_r, sim_r), 0.30)
           << Name(t) << " node " << i << " model=" << model_r
           << " sim=" << sim_r;
     }
@@ -213,13 +208,13 @@ TEST(Validation, DelayCenterDecompositionTracksMeasuredWaits) {
     const auto& m_duc = p.model.sites[i].Class(TxnType::kDUC);
     const auto& s_duc = p.sim.nodes[i].Type(TxnType::kDUC);
     EXPECT_GT(s_duc.remote_wait_ms, 0.0);
-    EXPECT_LT(RelDev(m_duc.d_rw_ms, s_duc.remote_wait_ms), 0.35)
+    EXPECT_LT(util::RelDiff(m_duc.d_rw_ms, s_duc.remote_wait_ms), 0.35)
         << "node " << i << " D_RW model=" << m_duc.d_rw_ms
         << " sim=" << s_duc.remote_wait_ms;
     // Commit wait: one 2PC synchronization per commit, order of the slave
     // commit processing (~2 forced writes).
     EXPECT_GT(s_duc.commit_wait_ms, 0.0);
-    EXPECT_LT(RelDev(m_duc.d_cw_ms, s_duc.commit_wait_ms), 0.6)
+    EXPECT_LT(util::RelDiff(m_duc.d_cw_ms, s_duc.commit_wait_ms), 0.6)
         << "node " << i << " D_CW model=" << m_duc.d_cw_ms
         << " sim=" << s_duc.commit_wait_ms;
     // Local transactions never wait remotely or for commit rounds.
@@ -244,7 +239,7 @@ TEST(Validation, ModelLockQuantitiesMatchSimCounters) {
     const double model_pb = p.model.sites[i].Class(TxnType::kLU).pb;
     EXPECT_GT(measured_pb, 0.0);
     EXPECT_GT(model_pb, 0.0);
-    EXPECT_LT(RelDev(measured_pb, model_pb), 0.75)
+    EXPECT_LT(util::RelDiff(measured_pb, model_pb), 0.75)
         << "node " << i << " measured=" << measured_pb
         << " model=" << model_pb;
   }
