@@ -1,0 +1,243 @@
+// perf_hier - hierarchical site-class solving perf trajectory (DESIGN.md
+// §14). Three self-checking measurements, all on the MB4 workload whose
+// alternating disk speeds give exactly 2 site classes at any node count:
+//
+//   1. flat vs collapsed solve at 1024 sites, interleaved median-of-9
+//      through warm arenas. The collapsed solve runs the fixed point over 2
+//      representatives instead of 1024 sites; the gate (armed on every
+//      host — the win is algorithmic, not parallel) requires >= 3x, and the
+//      two solutions must be bit-identical.
+//   2. a 4096-site / 2-class collapsed Schweitzer solve under a hard
+//      wall-clock budget. Headroom is ~30x on an idle host; tripping it
+//      means the per-site work crept back into the iteration loop.
+//   3. marginal per-iteration cost, isolated by differencing fixed-
+//      iteration runs (tolerance 0, 400 vs 200 iterations): per-solve
+//      O(sites) work — class detection, seeding, expansion, assembly —
+//      cancels in the delta, leaving pure fixed-point stepping. The gate
+//      requires the 4096-site marginal cost within 2.5x of the 1024-site
+//      one: O(classes) stepping is flat in the site count (both inputs
+//      have 2 classes), while O(sites) stepping would quadruple.
+//
+// An 8-class variant at 1024 sites is reported (unagated) to show the cost
+// scales with the class count. Results land in BENCH_hier.json.
+// Usage: perf_hier [--out FILE]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fuzz/scenario.h"
+#include "model/solver.h"
+#include "workload/spec.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using carat::model::CaratModel;
+using carat::model::ModelInput;
+using carat::model::ModelSolution;
+using carat::model::SolveArena;
+using carat::model::SolverOptions;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+ModelInput MakeInput(int num_nodes, int num_classes) {
+  carat::workload::WorkloadSpec spec = carat::workload::MakeMB4(4, num_nodes);
+  // One block-I/O speed per class, cycled over the nodes.
+  spec.block_io_ms.clear();
+  for (int c = 0; c < num_classes; ++c)
+    spec.block_io_ms.push_back(28.0 + 12.0 * (c % 2) + 3.0 * (c / 2));
+  return spec.ToModelInput();
+}
+
+SolverOptions HierOptions(bool collapse) {
+  SolverOptions opts;
+  opts.use_exact_mva = false;  // slave populations are in the thousands
+  opts.collapse_site_classes = collapse;
+  return opts;
+}
+
+// Median-of-`reps` warm-arena solve time. The first (cold) solve builds the
+// arena and is discarded.
+double TimedSolveMs(const CaratModel& model, const SolverOptions& opts,
+                    int reps, ModelSolution* out) {
+  SolveArena arena;
+  model.SolveInto(opts, &arena, nullptr, out);
+  std::vector<double> ms;
+  for (int r = 0; r < reps; ++r) {
+    const Clock::time_point start = Clock::now();
+    model.SolveInto(opts, &arena, nullptr, out);
+    ms.push_back(ElapsedMs(start));
+  }
+  return Median(ms);
+}
+
+// Marginal cost of one fixed-point iteration: difference of two
+// fixed-iteration runs (tolerance 0 never converges, so the iteration count
+// is exactly max_iterations), which cancels every per-solve O(sites) term.
+double MarginalIterUs(const CaratModel& model, int reps) {
+  constexpr int kShort = 200, kLong = 400;
+  SolverOptions opts = HierOptions(true);
+  opts.tolerance = 0.0;
+  SolveArena arena;
+  ModelSolution out;
+  opts.max_iterations = kLong;
+  model.SolveInto(opts, &arena, nullptr, &out);  // cold
+  std::vector<double> us;
+  for (int r = 0; r < reps; ++r) {
+    opts.max_iterations = kShort;
+    Clock::time_point start = Clock::now();
+    model.SolveInto(opts, &arena, nullptr, &out);
+    const double short_ms = ElapsedMs(start);
+    opts.max_iterations = kLong;
+    start = Clock::now();
+    model.SolveInto(opts, &arena, nullptr, &out);
+    const double long_ms = ElapsedMs(start);
+    us.push_back((long_ms - short_ms) * 1000.0 / (kLong - kShort));
+  }
+  return Median(us);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_hier.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_hier [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  // ---- 1. Flat vs collapsed at 1024 sites, interleaved. --------------------
+  constexpr int kReps = 9;
+  const ModelInput input1k = MakeInput(1024, 2);
+  const CaratModel model1k(input1k);
+  ModelSolution flat_sol, hier_sol;
+  std::vector<double> flat_ms_v, hier_ms_v;
+  {
+    SolveArena flat_arena, hier_arena;
+    model1k.SolveInto(HierOptions(false), &flat_arena, nullptr, &flat_sol);
+    model1k.SolveInto(HierOptions(true), &hier_arena, nullptr, &hier_sol);
+    for (int r = 0; r < kReps; ++r) {
+      Clock::time_point start = Clock::now();
+      model1k.SolveInto(HierOptions(false), &flat_arena, nullptr, &flat_sol);
+      flat_ms_v.push_back(ElapsedMs(start));
+      start = Clock::now();
+      model1k.SolveInto(HierOptions(true), &hier_arena, nullptr, &hier_sol);
+      hier_ms_v.push_back(ElapsedMs(start));
+    }
+  }
+  const double flat_ms = Median(flat_ms_v);
+  const double hier_ms = Median(hier_ms_v);
+  const double speedup = hier_ms > 0 ? flat_ms / hier_ms : 0.0;
+
+  if (!flat_sol.ok || !flat_sol.converged || !hier_sol.ok ||
+      !hier_sol.converged) {
+    std::fprintf(stderr, "FAIL: 1024-site solve did not converge\n");
+    return 1;
+  }
+  if (carat::fuzz::ModelSolutionFingerprint(flat_sol) !=
+      carat::fuzz::ModelSolutionFingerprint(hier_sol)) {
+    std::fprintf(stderr,
+                 "FAIL: collapsed solve is not bit-identical to flat\n");
+    return 1;
+  }
+  std::printf("1024 sites / 2 classes: flat %.2f ms, collapsed %.3f ms "
+              "(%.1fx, %d iterations)\n",
+              flat_ms, hier_ms, speedup, hier_sol.iterations);
+  constexpr double kSpeedupFloor = 3.0;
+  if (speedup < kSpeedupFloor) {
+    std::fprintf(stderr, "FAIL: collapsed speedup %.2fx < %.1fx floor\n",
+                 speedup, kSpeedupFloor);
+    return 1;
+  }
+
+  // ---- 2. 4096-site budget. ------------------------------------------------
+  const ModelInput input4k = MakeInput(4096, 2);
+  const CaratModel model4k(input4k);
+  ModelSolution sol4k;
+  const double ms4k = TimedSolveMs(model4k, HierOptions(true), 5, &sol4k);
+  if (!sol4k.ok || !sol4k.converged) {
+    std::fprintf(stderr, "FAIL: 4096-site solve did not converge\n");
+    return 1;
+  }
+  constexpr double kBudgetMs = 500.0;
+  std::printf("4096 sites / 2 classes: %.2f ms (budget %.0f ms)\n", ms4k,
+              kBudgetMs);
+  if (ms4k > kBudgetMs) {
+    std::fprintf(stderr, "FAIL: 4096-site solve %.2f ms > %.0f ms budget\n",
+                 ms4k, kBudgetMs);
+    return 1;
+  }
+
+  // ---- 3. Marginal per-iteration cost. -------------------------------------
+  const double iter_us_1k = MarginalIterUs(model1k, 5);
+  const double iter_us_4k = MarginalIterUs(model4k, 5);
+  const ModelInput input1k8 = MakeInput(1024, 8);
+  const double iter_us_1k8 = MarginalIterUs(CaratModel(input1k8), 5);
+  const double iter_ratio =
+      iter_us_1k > 0 ? iter_us_4k / iter_us_1k : 0.0;
+  std::printf("marginal iteration: %.2f us at 1024 sites, %.2f us at 4096 "
+              "(%.2fx; 4x would be O(sites)), %.2f us at 1024/8 classes\n",
+              iter_us_1k, iter_us_4k, iter_ratio, iter_us_1k8);
+  constexpr double kIterRatioCeiling = 2.5;
+  if (iter_ratio > kIterRatioCeiling) {
+    std::fprintf(stderr,
+                 "FAIL: per-iteration cost grew %.2fx from 1024 to 4096 "
+                 "sites (ceiling %.1fx) — stepping is no longer O(classes)\n",
+                 iter_ratio, kIterRatioCeiling);
+    return 1;
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"perf_hier\",\n"
+               "  \"collapse_1024\": {\n"
+               "    \"flat_ms\": %.3f,\n"
+               "    \"hier_ms\": %.3f,\n"
+               "    \"speedup\": %.2f,\n"
+               "    \"speedup_floor\": %.1f,\n"
+               "    \"speedup_gate_armed\": true,\n"
+               "    \"iterations\": %d,\n"
+               "    \"bit_identical\": true\n"
+               "  },\n"
+               "  \"solve_4096\": {\n"
+               "    \"ms\": %.3f,\n"
+               "    \"budget_ms\": %.1f,\n"
+               "    \"iterations\": %d\n"
+               "  },\n"
+               "  \"marginal_iteration_us\": {\n"
+               "    \"sites_1024_classes_2\": %.3f,\n"
+               "    \"sites_4096_classes_2\": %.3f,\n"
+               "    \"sites_1024_classes_8\": %.3f,\n"
+               "    \"ratio_4096_vs_1024\": %.3f,\n"
+               "    \"ratio_ceiling\": %.1f\n"
+               "  }\n"
+               "}\n",
+               flat_ms, hier_ms, speedup, kSpeedupFloor, hier_sol.iterations,
+               ms4k, kBudgetMs, sol4k.iterations, iter_us_1k, iter_us_4k,
+               iter_us_1k8, iter_ratio, kIterRatioCeiling);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

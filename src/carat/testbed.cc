@@ -36,6 +36,11 @@ struct UserDriver {
   TxnType type = TxnType::kLRO;
   sim::SitePort port;  // home-site timeline
   util::Rng rng{0};
+  // Round-robin cursor over the other nodes for remote requests. Persists
+  // across submissions: restarting at 0 every plan sent every remote
+  // request in the system to the lowest-numbered other nodes, invisible at
+  // the paper's 2 nodes (there is only one) but badly skewed at 16.
+  int remote_rr = 0;
 
   std::uint64_t commits = 0;
   std::uint64_t submissions = 0;
@@ -195,14 +200,15 @@ class Testbed {
     std::vector<RequestSpec> plan;
     int local_left = costs.local_requests;
     int remote_left = costs.remote_requests;
-    int rr = 0;
+
     while (local_left > 0 || remote_left > 0) {
       RequestSpec req;
       if (local_left >= remote_left) {
         req.node = u->home;
         --local_left;
       } else {
-        req.node = remote_nodes[rr++ % remote_nodes.size()];
+        req.node = remote_nodes[static_cast<std::size_t>(u->remote_rr++) %
+                                remote_nodes.size()];
         --remote_left;
       }
       req.update = update;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "workload/spec.h"
@@ -44,6 +46,13 @@ int LogUniformInt(util::Rng* rng, int lo, int hi) {
   return std::clamp(static_cast<int>(v), lo, hi);
 }
 
+// Letter names for the first 26 sites (the legacy scheme every corpus
+// anchor was serialized with), numeric beyond that.
+std::string SiteName(int i) {
+  if (i < 26) return std::string("Node-") + static_cast<char>('A' + i);
+  return "Node-" + std::to_string(i);
+}
+
 }  // namespace
 
 Scenario GenerateScenario(util::Rng* rng, const GeneratorOptions& opts) {
@@ -53,6 +62,21 @@ Scenario GenerateScenario(util::Rng* rng, const GeneratorOptions& opts) {
 
   const int num_sites = static_cast<int>(
       rng->NextIntIn(opts.min_sites, std::max(opts.min_sites, opts.max_sites)));
+  // Class mode (site_classes > 0): draw K <= site_classes site templates and
+  // replicate each to fill num_sites. The legacy mode is the degenerate
+  // members-all-one case, so its Rng stream is untouched.
+  std::vector<int> members;
+  if (opts.site_classes > 0) {
+    const int num_classes = std::min(
+        static_cast<int>(rng->NextIntIn(1, std::max(1, opts.site_classes))),
+        num_sites);
+    members.assign(num_classes, 1);
+    for (int r = num_classes; r < num_sites; ++r) {
+      ++members[rng->NextBounded(static_cast<std::uint64_t>(num_classes))];
+    }
+  } else {
+    members.assign(num_sites, 1);
+  }
   const bool distributed_possible = opts.allow_distributed && num_sites >= 2;
   const bool read_only = !opts.allow_update || rng->NextDouble() < 0.15;
 
@@ -97,10 +121,10 @@ Scenario GenerateScenario(util::Rng* rng, const GeneratorOptions& opts) {
   const workload::CostTable base_costs;
   int total_users = 0;
   std::vector<int> dro_at(num_sites, 0), du_at(num_sites, 0);
+  s.input.sites.reserve(num_sites);
 
-  for (int i = 0; i < num_sites; ++i) {
+  for (std::size_t cls = 0; cls < members.size(); ++cls) {
     SiteParams site;
-    site.name = std::string("Node-") + static_cast<char>('A' + i);
     site.num_granules = num_granules;
     site.records_per_granule = records_per_granule;
     site.block_io_ms = rng->NextLogUniform(8.0, 60.0);
@@ -129,9 +153,6 @@ Scenario GenerateScenario(util::Rng* rng, const GeneratorOptions& opts) {
     const int du_pop = (distributed_possible && !read_only)
                            ? static_cast<int>(rng->NextIntIn(0, max_pop))
                            : 0;
-    dro_at[i] = dro_pop;
-    du_at[i] = du_pop;
-    total_users += lro_pop + lu_pop + dro_pop + du_pop;
 
     ClassParams& lro = site.Class(TxnType::kLRO);
     lro.population = lro_pop;
@@ -174,7 +195,16 @@ Scenario GenerateScenario(util::Rng* rng, const GeneratorOptions& opts) {
     FillJitteredCosts(base_costs, site.block_io_ms, site_scale, rng,
                       TxnType::kDUS, &dus);
 
-    s.input.sites.push_back(std::move(site));
+    // Replicate the template: members differ only in name (so the solver's
+    // byte-identity detection recovers exactly this class structure).
+    for (int m = 0; m < members[cls]; ++m) {
+      const int i = static_cast<int>(s.input.sites.size());
+      dro_at[i] = dro_pop;
+      du_at[i] = du_pop;
+      total_users += lro_pop + lu_pop + dro_pop + du_pop;
+      site.name = SiteName(i);
+      s.input.sites.push_back(site);
+    }
   }
 
   if (total_users == 0) {
@@ -189,21 +219,30 @@ Scenario GenerateScenario(util::Rng* rng, const GeneratorOptions& opts) {
 
   // Second pass: one slave chain per site serving the *other* sites'
   // distributed users, remote requests split evenly (workload/spec.cc
-  // convention).
+  // convention). Slave populations are capped at 2 * max_population so the
+  // per-site MVA population does not grow with the site count — uncapped,
+  // a 1024-site draw would put thousands of slave users at every site. The
+  // cap equals the legacy maximum at the defaults (max_sites = 3:
+  // elsewhere <= 2 * max_population), so default-option draws are
+  // unchanged. Precomputed totals keep the pass O(sites); within one site
+  // class every member sees the same `elsewhere` counts, so replicas stay
+  // byte-identical.
   if (r_dist > 0) {
+    int total_dro = 0, total_du = 0;
+    for (int j = 0; j < num_sites; ++j) {
+      total_dro += dro_at[j];
+      total_du += du_at[j];
+    }
+    const int slave_cap = 2 * std::max(1, opts.max_population);
     for (int i = 0; i < num_sites; ++i) {
-      int dro_elsewhere = 0, du_elsewhere = 0;
-      for (int j = 0; j < num_sites; ++j) {
-        if (j == i) continue;
-        dro_elsewhere += dro_at[j];
-        du_elsewhere += du_at[j];
-      }
+      const int dro_elsewhere = total_dro - dro_at[i];
+      const int du_elsewhere = total_du - du_at[i];
       ClassParams& dros = s.input.sites[i].Class(TxnType::kDROS);
-      dros.population = dro_elsewhere;
+      dros.population = std::min(dro_elsewhere, slave_cap);
       dros.local_requests =
           dro_elsewhere > 0 ? std::max(r_dist / other_sites, 1) : 0;
       ClassParams& dus = s.input.sites[i].Class(TxnType::kDUS);
-      dus.population = du_elsewhere;
+      dus.population = std::min(du_elsewhere, slave_cap);
       dus.local_requests =
           du_elsewhere > 0 ? std::max(r_dist / other_sites, 1) : 0;
     }

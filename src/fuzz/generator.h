@@ -20,9 +20,18 @@ namespace carat::fuzz {
 struct GeneratorOptions {
   int min_sites = 1;
   int max_sites = 3;
-  /// Per-class user population bound (slave-chain populations are derived
-  /// and can reach max_population * 2 * (max_sites - 1)).
+  /// Per-class user population bound. Slave-chain populations are derived
+  /// from the other sites' distributed users and capped at
+  /// 2 * max_population, so per-site load stays bounded as the site count
+  /// grows (the cap is exactly the legacy maximum at the default
+  /// max_sites = 3, so default-option draws are unchanged).
   int max_population = 3;
+  /// When > 0, large-N class mode: the drawn sites are grouped into at most
+  /// this many distinct site classes (templates) and each class is
+  /// replicated to fill the drawn site count — members are identical except
+  /// for their name, so the solver's class detection recovers the partition.
+  /// 0 keeps the legacy behaviour (every site drawn independently).
+  int site_classes = 0;
   int max_requests_per_txn = 12;
   bool allow_distributed = true;
   bool allow_update = true;   ///< false forces read-only workloads

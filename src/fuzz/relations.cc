@@ -805,6 +805,91 @@ bool CheckModelVsTestbed(const Scenario& s, const CheckOptions& opts,
   return true;
 }
 
+// --- rule: site-class replication ------------------------------------------
+
+// Replicates the last site twice (members identical except for the name), so
+// the solver's byte-identity detection finds a three-member class. Two
+// class-A identities must hold on the replicated input (DESIGN.md §14):
+// the hierarchical (collapsed) solve is bit-identical to the flat solve,
+// and within the replicated class every member's solution is bit-identical
+// to the representative's. Neither requires convergence — both paths run
+// the same trajectory, so they stop at the same iteration either way.
+bool CheckClassReplication(const Scenario& s, const CheckOptions& opts,
+                           std::string* detail, bool* applicable) {
+  *applicable = true;
+  constexpr int kCopies = 2;
+  ModelInput rep = s.input;
+  const std::size_t j = rep.sites.size() - 1;
+  for (int k = 0; k < kCopies; ++k) {
+    SiteParams copy = rep.sites[j];
+    copy.name += "-r" + std::to_string(k + 1);
+    rep.sites.push_back(std::move(copy));
+  }
+  std::string err;
+  if (!rep.Validate(&err)) {
+    *detail = "replicated input invalid: " + err;
+    return false;
+  }
+
+  model::SolverOptions flat_opts = opts.solver;
+  flat_opts.collapse_site_classes = false;
+  model::SolverOptions hier_opts = opts.solver;
+  hier_opts.collapse_site_classes = true;
+  const ModelSolution flat = SolveModel(rep, flat_opts);
+  const ModelSolution hier = SolveModel(rep, hier_opts);
+  if (!flat.ok || !hier.ok) {
+    *detail = "solver failed: " + flat.error + hier.error;
+    return false;
+  }
+  if (ModelSolutionFingerprint(flat) != ModelSolutionFingerprint(hier)) {
+    *detail = "collapsed solve differs from the flat solve";
+    return false;
+  }
+
+  Cmp cmp(0.0);  // every comparison below is bitwise
+  for (int k = 0; k < kCopies; ++k) {
+    const SiteSolution& a = flat.sites[j];
+    const SiteSolution& b = flat.sites[j + 1 + static_cast<std::size_t>(k)];
+    const std::string at = "replica " + std::to_string(k + 1);
+    cmp.Bits(at + " cpu_util", a.cpu_utilization, b.cpu_utilization);
+    cmp.Bits(at + " db_util", a.db_disk_utilization, b.db_disk_utilization);
+    cmp.Bits(at + " log_util", a.log_disk_utilization,
+             b.log_disk_utilization);
+    cmp.Bits(at + " dio_per_s", a.dio_per_s, b.dio_per_s);
+    cmp.Bits(at + " txn_per_s", a.txn_per_s, b.txn_per_s);
+    cmp.Bits(at + " records_per_s", a.records_per_s, b.records_per_s);
+    for (TxnType t : model::kAllTxnTypes) {
+      const ClassSolution& ca = a.Class(t);
+      const ClassSolution& cb = b.Class(t);
+      cmp.True(at + " presence of " + std::string(model::Name(t)),
+               ca.present == cb.present);
+      if (!ca.present) continue;
+      const std::string ct = at + " " + std::string(model::Name(t));
+      cmp.Bits(ct + " throughput", ca.throughput_per_s, cb.throughput_per_s);
+      cmp.Bits(ct + " response", ca.response_ms, cb.response_ms);
+      cmp.Bits(ct + " pa", ca.pa, cb.pa);
+      cmp.Bits(ct + " ns", ca.ns, cb.ns);
+      cmp.Bits(ct + " pb", ca.pb, cb.pb);
+      cmp.Bits(ct + " pd", ca.pd, cb.pd);
+      cmp.Bits(ct + " plw", ca.plw, cb.plw);
+      cmp.Bits(ct + " lh", ca.lh, cb.lh);
+      cmp.Bits(ct + " nlk", ca.nlk, cb.nlk);
+      cmp.Bits(ct + " sigma", ca.sigma, cb.sigma);
+      cmp.Bits(ct + " r_lw", ca.r_lw_ms, cb.r_lw_ms);
+      cmp.Bits(ct + " r_rw", ca.r_rw_ms, cb.r_rw_ms);
+      cmp.Bits(ct + " r_cw", ca.r_cw_ms, cb.r_cw_ms);
+      cmp.Bits(ct + " d_lw", ca.d_lw_ms, cb.d_lw_ms);
+      cmp.Bits(ct + " d_rw", ca.d_rw_ms, cb.d_rw_ms);
+      cmp.Bits(ct + " d_cw", ca.d_cw_ms, cb.d_cw_ms);
+    }
+  }
+  if (!cmp.ok()) {
+    *detail = "class members diverge: " + cmp.detail();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 const char* RuleName(Rule r) {
@@ -820,6 +905,7 @@ const char* RuleName(Rule r) {
     case Rule::kServeIdentity: return "serve-identity";
     case Rule::kExactVsSchweitzer: return "exact-vs-schweitzer";
     case Rule::kModelVsTestbed: return "model-vs-testbed";
+    case Rule::kClassReplication: return "class-replication";
   }
   return "?";
 }
@@ -868,6 +954,8 @@ bool CheckRule(const Scenario& s, Rule rule, const CheckOptions& opts,
       return CheckExactVsSchweitzer(s, opts, detail, applicable);
     case Rule::kModelVsTestbed:
       return CheckModelVsTestbed(s, opts, detail, applicable);
+    case Rule::kClassReplication:
+      return CheckClassReplication(s, opts, detail, applicable);
   }
   return true;
 }

@@ -65,14 +65,19 @@ enum class Rule : int {
   kExactVsSchweitzer,
   /// D: the analytical model tracks the testbed within tolerance + CI.
   kModelVsTestbed,
+  /// A: replicating one site class K times yields bit-identical per-site
+  /// solutions within the class, the original sites' solutions unchanged up
+  /// to the coupling multiplicities, and the collapsed (hierarchical) solve
+  /// bit-identical to the flat solve of the replicated input.
+  kClassReplication,
 };
 
-inline constexpr int kNumRules = 11;
+inline constexpr int kNumRules = 12;
 inline constexpr std::array<Rule, kNumRules> kAllRules = {
     Rule::kSitePermutation, Rule::kChainSplit,       Rule::kQnDemandScaling,
     Rule::kModelDemandScaling, Rule::kLockMassScaling, Rule::kGranuleInvariance,
     Rule::kBatchLaneIdentity, Rule::kShardIdentity,  Rule::kServeIdentity,
-    Rule::kExactVsSchweitzer, Rule::kModelVsTestbed,
+    Rule::kExactVsSchweitzer, Rule::kModelVsTestbed, Rule::kClassReplication,
 };
 
 const char* RuleName(Rule r);

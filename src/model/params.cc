@@ -47,15 +47,20 @@ bool ModelInput::Validate(std::string* error) const {
     }
   }
   // Slave populations must have matching coordinators somewhere else.
-  for (std::size_t j = 0; j < sites.size(); ++j) {
-    for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
-      if (sites[j].Class(s).population == 0) continue;
-      int coordinators = 0;
-      for (std::size_t i = 0; i < sites.size(); ++i) {
-        if (i == j) continue;
-        coordinators += sites[i].Class(CoordinatorOf(s)).population;
-      }
-      if (coordinators == 0) return fail("slave chain without any coordinator");
+  // Precomputing the per-type totals keeps this O(sites) — the naive
+  // per-slave rescan was quadratic and its int accumulator could overflow
+  // at thousands of sites. 64-bit totals are safe: populations are ints,
+  // so the sum stays below sites * INT_MAX.
+  for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
+    const TxnType t = CoordinatorOf(s);
+    long long total_coordinators = 0;
+    for (const SiteParams& site : sites) {
+      total_coordinators += site.Class(t).population;
+    }
+    for (const SiteParams& site : sites) {
+      if (site.Class(s).population == 0) continue;
+      if (total_coordinators - site.Class(t).population == 0)
+        return fail("slave chain without any coordinator");
     }
   }
   return true;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "exec/thread_pool.h"
 #include "model/demands.h"
@@ -68,23 +69,242 @@ struct SiteNetwork {
   std::string mva_error;
 };
 
-// Iteration-invariant coupling lists (they depend only on chain presence):
-// slaves[i][c] holds the sites with a slave chain serving coordinator type c
-// at site i, coords[j][c] the sites with a coordinator chain of type c
-// driving site j's slave chain; c = 0 for DRO, 1 for DU.
-struct CouplingLists {
-  std::vector<std::array<std::vector<std::size_t>, 2>> slaves;
-  std::vector<std::array<std::vector<std::size_t>, 2>> coords;
+// ---- Site classes (hierarchical solving, DESIGN.md §14). -------------------
+// Byte-identical sites (every solve-relevant parameter equal; the display
+// name is excluded) form one class. The coupling sums below iterate over
+// classes with multiplicities instead of over peer sites, which keeps the
+// coupling state O(classes) instead of the old O(sites^2) lists and — when
+// collapsing — makes a whole fixed-point iteration O(classes).
 
-  const std::vector<std::size_t>& SlaveSitesOf(std::size_t i,
-                                               TxnType coord) const {
-    return slaves[i][coord == TxnType::kDROC ? 0 : 1];
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t FnvHash(const std::string& s) {
+  std::uint64_t h = kFnvOffset;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
   }
-  const std::vector<std::size_t>& CoordinatorSitesOf(std::size_t j,
-                                                     TxnType slave) const {
-    return coords[j][slave == TxnType::kDROS ? 0 : 1];
+  return h;
+}
+
+void AppendRaw(const void* p, std::size_t n, std::string* out) {
+  out->append(static_cast<const char*>(p), n);
+}
+void AppendF64(double v, std::string* out) { AppendRaw(&v, sizeof(v), out); }
+void AppendI64(long long v, std::string* out) { AppendRaw(&v, sizeof(v), out); }
+
+// Canonical byte image of every SiteParams field the solver reads. Two sites
+// are replicas exactly when their blobs match byte for byte.
+void AppendSiteBlob(const SiteParams& site, std::string* blob) {
+  AppendI64(site.num_granules, blob);
+  AppendI64(site.records_per_granule, blob);
+  AppendF64(site.block_io_ms, blob);
+  blob->push_back(site.separate_log_disk ? '\1' : '\0');
+  AppendF64(site.think_time_ms, blob);
+  AppendF64(site.hot_data_fraction, blob);
+  AppendF64(site.hot_access_fraction, blob);
+  AppendI64(site.buffer_blocks, blob);
+  AppendI64(site.dm_pool_size, blob);
+  for (const ClassParams& c : site.classes) {
+    AppendI64(c.population, blob);
+    AppendI64(c.local_requests, blob);
+    AppendI64(c.remote_requests, blob);
+    AppendI64(c.records_per_request, blob);
+    AppendF64(c.u_cpu_ms, blob);
+    AppendF64(c.tm_cpu_ms, blob);
+    AppendF64(c.dm_cpu_ms, blob);
+    AppendF64(c.lr_cpu_ms, blob);
+    AppendF64(c.dmio_cpu_ms, blob);
+    AppendF64(c.dmio_disk_ms, blob);
+    AppendF64(c.dmio_read_ios, blob);
+    AppendF64(c.dmio_write_ios, blob);
+    AppendF64(c.init_cpu_ms, blob);
+    AppendF64(c.tc_cpu_ms, blob);
+    AppendF64(c.tcio_force_writes, blob);
+    AppendF64(c.ta_fixed_cpu_ms, blob);
+    AppendF64(c.ta_cpu_per_granule_ms, blob);
+    AppendF64(c.taio_ios_per_granule, blob);
+    AppendF64(c.unlock_cpu_per_lock_ms, blob);
+  }
+}
+
+// One site-class partition plus its detection scratch. Class ids are dense
+// and ordered by first occurrence, so on an input of pairwise-distinct sites
+// class k IS site k. Every vector and per-class blob keeps its capacity
+// across solves: re-partitioning a same-size input allocates nothing warm.
+struct ClassPartition {
+  std::vector<std::size_t> class_of_site;  // site -> class
+  std::vector<std::size_t> rep_site;       // class -> first member
+  std::vector<double> class_count;         // class -> member count
+  std::vector<std::uint64_t> hashes;       // class -> blob hash (prefilter)
+  std::vector<std::string> blobs;          // class -> canonical param blob
+  std::string site_blob;                   // per-site scratch
+  // Spec renumbering scratch: (raw id, dense id) pairs, scanned linearly.
+  std::vector<std::pair<std::size_t, std::size_t>> id_map;
+
+  std::size_t num_classes() const { return rep_site.size(); }
+
+  void Clear(std::size_t num_sites) {
+    class_of_site.clear();
+    class_of_site.reserve(num_sites);
+    rep_site.clear();
+    class_count.clear();
+    hashes.clear();
+  }
+  // Registers site i as the representative of a new class whose blob is the
+  // current site_blob. assign() into a retained slot keeps string capacity.
+  std::size_t AddClass(std::size_t i, std::uint64_t hash) {
+    const std::size_t cls = rep_site.size();
+    if (cls < blobs.size()) {
+      blobs[cls].assign(site_blob);
+    } else {
+      blobs.push_back(site_blob);
+    }
+    hashes.push_back(hash);
+    rep_site.push_back(i);
+    class_count.push_back(0.0);
+    return cls;
   }
 };
+
+void DetectClasses(const ModelInput& input, ClassPartition* part) {
+  part->Clear(input.sites.size());
+  for (std::size_t i = 0; i < input.sites.size(); ++i) {
+    part->site_blob.clear();
+    AppendSiteBlob(input.sites[i], &part->site_blob);
+    const std::uint64_t h = FnvHash(part->site_blob);
+    std::size_t cls = part->num_classes();
+    for (std::size_t k = 0; k < part->num_classes(); ++k) {
+      if (part->hashes[k] == h && part->blobs[k] == part->site_blob) {
+        cls = k;
+        break;
+      }
+    }
+    if (cls == part->num_classes()) cls = part->AddClass(i, h);
+    part->class_of_site.push_back(cls);
+    part->class_count[cls] += 1.0;
+  }
+}
+
+// Chain-presence/layout equality between two sites: the coupling topology
+// and the network shape read exactly these bits, so a caller-provided class
+// must be uniform in them (other parameter differences are an approximation
+// the caller opted into; see SiteClassSpec).
+bool SamePresence(const SiteParams& a, const SiteParams& b) {
+  if (a.separate_log_disk != b.separate_log_disk) return false;
+  for (TxnType t : kAllTxnTypes) {
+    if ((a.Class(t).population > 0) != (b.Class(t).population > 0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Adopts a caller-provided partition: renumbers class ids by first
+// occurrence and validates presence/layout uniformity. Returns false with
+// *error set on a malformed spec.
+bool ApplySiteClassSpec(const ModelInput& input, const SiteClassSpec& spec,
+                        ClassPartition* part, std::string* error) {
+  if (spec.class_of_site.size() != input.sites.size()) {
+    *error = "site_classes size does not match the site count";
+    return false;
+  }
+  part->Clear(input.sites.size());
+  part->id_map.clear();
+  for (std::size_t i = 0; i < input.sites.size(); ++i) {
+    const std::size_t raw = spec.class_of_site[i];
+    std::size_t cls = part->num_classes();
+    for (const auto& [known_raw, dense] : part->id_map) {
+      if (known_raw == raw) {
+        cls = dense;
+        break;
+      }
+    }
+    if (cls == part->num_classes()) {
+      part->site_blob.clear();
+      cls = part->AddClass(i, 0);
+      part->id_map.emplace_back(raw, cls);
+    } else if (!SamePresence(input.sites[i],
+                             input.sites[part->rep_site[cls]])) {
+      *error = "site_classes groups sites with different chain presence "
+               "or log-disk layout";
+      return false;
+    }
+    part->class_of_site.push_back(cls);
+    part->class_count[cls] += 1.0;
+  }
+  return true;
+}
+
+// The effective partition of one input under `options`: the explicit spec
+// when provided (validated), byte-identity detection otherwise.
+bool EffectivePartition(const ModelInput& input, const SolverOptions& options,
+                        ClassPartition* part, std::string* error) {
+  if (options.site_classes != nullptr) {
+    return ApplySiteClassSpec(input, *options.site_classes, part, error);
+  }
+  DetectClasses(input, part);
+  return true;
+}
+
+// Iteration-invariant class-level coupling (it depends only on chain
+// presence and the partition): for each distributed chain pair (0 = DRO,
+// 1 = DU), the classes whose slave (resp. coordinator) chain is present with
+// their member counts, plus the total slave-site count. At use, a site's own
+// class contributes multiplicity count - 1 (a site never couples with
+// itself); entries whose multiplicity drops to zero are skipped, which
+// reproduces the flat code's j != i loops exactly.
+struct ClassCoupling {
+  struct Entry {
+    std::size_t cls;
+    double count;
+  };
+  std::array<std::vector<Entry>, 2> slave_classes;
+  std::array<std::vector<Entry>, 2> coord_classes;
+  std::array<double, 2> total_slaves{};
+
+  static std::size_t PairOf(TxnType t) {
+    return t == TxnType::kDROC || t == TxnType::kDROS ? 0 : 1;
+  }
+  // Coupling multiplicity of `e` as seen from a site of class `own`.
+  static double Mult(const Entry& e, std::size_t own) {
+    return e.cls == own ? e.count - 1.0 : e.count;
+  }
+};
+
+void BuildClassCoupling(const ModelInput& input, const ClassPartition& part,
+                        ClassCoupling* coupling) {
+  for (std::size_t c = 0; c < 2; ++c) {
+    coupling->slave_classes[c].clear();
+    coupling->coord_classes[c].clear();
+    coupling->total_slaves[c] = 0.0;
+  }
+  for (std::size_t cls = 0; cls < part.num_classes(); ++cls) {
+    const SiteParams& rep = input.sites[part.rep_site[cls]];
+    const double count = part.class_count[cls];
+    for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
+      if (rep.Class(s).population <= 0) continue;
+      const std::size_t c = ClassCoupling::PairOf(s);
+      coupling->slave_classes[c].push_back({cls, count});
+      coupling->total_slaves[c] += count;
+    }
+    for (TxnType t : {TxnType::kDROC, TxnType::kDUC}) {
+      if (rep.Class(t).population <= 0) continue;
+      coupling->coord_classes[ClassCoupling::PairOf(t)].push_back(
+          {cls, count});
+    }
+  }
+}
+
+// Number of slave sites serving a coordinator chain of type t homed at site
+// i: every site with the matching slave chain except i itself (the flat
+// code's SlaveSitesOf(i, t).size()).
+double SlaveCountFor(const ModelInput& input, const ClassCoupling& coupling,
+                     std::size_t i, TxnType t) {
+  return coupling.total_slaves[ClassCoupling::PairOf(t)] -
+         (input.sites[i].Class(SlaveOf(t)).population > 0 ? 1.0 : 0.0);
+}
 
 double Damp(double old_value, double new_value, double damping) {
   return (1.0 - damping) * old_value + damping * new_value;
@@ -137,18 +357,32 @@ double AbortProcessingMs(const SiteParams& site, TxnType t, double sigma,
 }
 
 // Builds the shape signature: one byte per site packing the six chain
-// presence bits and the log-disk flag. Inputs with equal signatures build
-// identical center/chain structures (only demands, populations and think
-// times differ), so they can share a SolveArena. The total length encodes
-// the site count, so no two shapes collide.
-void BuildShapeKey(const ModelInput& input, std::string* key) {
+// presence bits and the log-disk flag, then the site-class partition (one
+// class id per site, width sized to the site count). Inputs with equal
+// signatures build identical center/chain structures AND identical
+// class/coupling structures (only demands, populations and think times
+// differ), so they can share a SolveArena — and a collapsed input can never
+// alias a same-presence input with a different replication pattern. The
+// total length n * (1 + width(n)) strictly increases with the site count,
+// so no two shapes collide.
+void BuildShapeKey(const ModelInput& input, const ClassPartition& part,
+                   std::string* key) {
   key->clear();
+  const std::size_t n = input.sites.size();
   for (const SiteParams& site : input.sites) {
     unsigned byte = site.separate_log_disk ? 0x40u : 0u;
     for (TxnType t : kAllTxnTypes) {
       if (site.Class(t).population > 0) byte |= 1u << Index(t);
     }
     key->push_back(static_cast<char>(byte));
+  }
+  const int width = n <= 0xff ? 1 : n <= 0xffff ? 2 : 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t cls = part.class_of_site[i];
+    for (int b = 0; b < width; ++b) {
+      key->push_back(static_cast<char>(cls & 0xffu));
+      cls >>= 8;
+    }
   }
 }
 
@@ -159,12 +393,18 @@ void BuildShapeKey(const ModelInput& input, std::string* key) {
 // the lockstep batch kernels, so lane w's floating-point op sequence is
 // exactly the scalar solve's — that (plus the batch kernels' own bit-identity
 // contract) is why a batch solve is bit-identical per lane to SolveInto.
+//
+// Every step takes `units`: the sites the fixed point actually iterates —
+// all of them flat, one representative per class when collapsing. Identical
+// sites have identical trajectories either way (the coupling sums read only
+// class-representative state), so the collapsed trajectory is the flat one
+// restricted to the representatives, bitwise.
 
 // Workload-independent quantities: presence, q(t) (Yao) and N_lk(t) (Eq. 2).
 void InitWorkloadInvariants(const ModelInput& input,
+                            const std::vector<std::size_t>& units,
                             std::vector<SiteState>* st) {
-  const std::size_t num_sites = input.sites.size();
-  for (std::size_t i = 0; i < num_sites; ++i) {
+  for (std::size_t i : units) {
     const SiteParams& site = input.sites[i];
     for (TxnType t : kAllTxnTypes) {
       const ClassParams& c = site.Class(t);
@@ -190,18 +430,20 @@ void InitWorkloadInvariants(const ModelInput& input,
   }
 }
 
-// Per-site MVA networks (Fig. 2). The center/chain structure is
-// iteration-invariant; only the demands are rewritten each iteration before
-// the (possibly concurrent) MVA solves.
+// Per-site MVA networks (Fig. 2), one per solve unit. The center/chain
+// structure is iteration-invariant; only the demands are rewritten each
+// iteration before the (possibly concurrent) MVA solves.
 void BuildSiteNetworks(const ModelInput& input,
                        const std::vector<SiteState>& st,
+                       const std::vector<std::size_t>& units,
                        std::vector<SiteNetwork>* nets) {
-  const std::size_t num_sites = input.sites.size();
   nets->clear();
-  nets->resize(num_sites);
-  for (std::size_t i = 0; i < num_sites; ++i) {
+  nets->resize(units.size());
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const std::size_t i = units[u];
     const SiteParams& site = input.sites[i];
-    SiteNetwork& sn = (*nets)[i];
+    SiteNetwork& sn = (*nets)[u];
+    sn.chain_types.reserve(kNumTxnTypes);
     sn.cpu = sn.net.AddCenter("CPU", qn::CenterKind::kQueueing);
     sn.disk = sn.net.AddCenter("DISK", qn::CenterKind::kQueueing);
     if (site.separate_log_disk)
@@ -219,43 +461,15 @@ void BuildSiteNetworks(const ModelInput& input,
   }
 }
 
-// Coupling lists for the request-fraction f(t,i,j) and the cross-site delay
-// sums (requests are split evenly over the slave sites). They depend only on
-// chain presence, so they are shape state.
-void BuildCouplingLists(const ModelInput& input, CouplingLists* coupling) {
-  const std::size_t num_sites = input.sites.size();
-  coupling->slaves.assign(num_sites, {});
-  coupling->coords.assign(num_sites, {});
-  for (std::size_t i = 0; i < num_sites; ++i) {
-    for (TxnType t : {TxnType::kDROC, TxnType::kDUC}) {
-      const std::size_t c = t == TxnType::kDROC ? 0 : 1;
-      const TxnType s = SlaveOf(t);
-      for (std::size_t j = 0; j < num_sites; ++j) {
-        if (j == i) continue;
-        if (input.sites[j].Class(s).population > 0)
-          coupling->slaves[i][c].push_back(j);
-      }
-    }
-    for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
-      const std::size_t c = s == TxnType::kDROS ? 0 : 1;
-      const TxnType t = CoordinatorOf(s);
-      for (std::size_t j = 0; j < num_sites; ++j) {
-        if (j == i) continue;
-        if (input.sites[j].Class(t).population > 0)
-          coupling->coords[i][c].push_back(j);
-      }
-    }
-  }
-}
-
 // Per-solve refresh of the quantities a shape key does not pin down:
 // populations, think times and the buffer model may differ between
 // same-shape inputs.
 void RefreshSolveState(const ModelInput& input,
+                       const std::vector<std::size_t>& units,
                        std::vector<SiteNetwork>* nets) {
-  for (std::size_t i = 0; i < input.sites.size(); ++i) {
-    const SiteParams& site = input.sites[i];
-    SiteNetwork& sn = (*nets)[i];
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const SiteParams& site = input.sites[units[u]];
+    SiteNetwork& sn = (*nets)[u];
     sn.buffer_hit_prob = BufferHitProbability(site);
     sn.mva_ok = true;
     for (std::size_t k = 0; k < sn.chain_types.size(); ++k) {
@@ -282,9 +496,12 @@ void ZeroLaneNetworks(std::vector<SiteNetwork>* nets) {
 }
 
 // Seeds the fixed point's state variables (Pb, Pd, Pra and the
-// synchronization delays) from a neighbor's converged values.
-void SeedClassStates(const WarmStart& warm, std::vector<SiteState>* st) {
-  for (std::size_t i = 0; i < st->size(); ++i) {
+// synchronization delays) from a neighbor's converged values. Collapsed
+// solves read only the representatives' seeds; member seeds are ignored.
+void SeedClassStates(const WarmStart& warm,
+                     const std::vector<std::size_t>& units,
+                     std::vector<SiteState>* st) {
+  for (std::size_t i : units) {
     for (TxnType t : kAllTxnTypes) {
       ClassState& cs = (*st)[i].cls[Index(t)];
       if (!cs.present) continue;
@@ -302,8 +519,10 @@ void SeedClassStates(const WarmStart& warm, std::vector<SiteState>* st) {
 
 // (1) Visit counts with the current Pb / Pd / Pra. Returns false when a
 // transition system is singular (the caller fails the solve).
-bool StepVisitCounts(const ModelInput& input, std::vector<SiteState>* st) {
-  for (std::size_t i = 0; i < input.sites.size(); ++i) {
+bool StepVisitCounts(const ModelInput& input,
+                     const std::vector<std::size_t>& units,
+                     std::vector<SiteState>* st) {
+  for (std::size_t i : units) {
     const SiteParams& site = input.sites[i];
     for (TxnType t : kAllTxnTypes) {
       ClassState& cs = (*st)[i].cls[Index(t)];
@@ -326,10 +545,10 @@ bool StepVisitCounts(const ModelInput& input, std::vector<SiteState>* st) {
 // (2) sigma, P_a, N_s. Locals and coordinators first (Eq. 3); slaves inherit
 // their coordinators' abort/submission behaviour.
 void StepAbortChain(const ModelInput& input, const SolverOptions& options,
-                    const CouplingLists& coupling,
+                    const ClassPartition& part, const ClassCoupling& coupling,
+                    const std::vector<std::size_t>& units,
                     std::vector<SiteState>* st) {
-  const std::size_t num_sites = input.sites.size();
-  for (std::size_t i = 0; i < num_sites; ++i) {
+  for (std::size_t i : units) {
     for (TxnType t : kAllTxnTypes) {
       ClassState& cs = (*st)[i].cls[Index(t)];
       if (!cs.present || IsSlave(t)) continue;
@@ -344,19 +563,25 @@ void StepAbortChain(const ModelInput& input, const SolverOptions& options,
       cs.ns = 1.0 / (1.0 - cs.pa);
     }
   }
-  for (std::size_t j = 0; j < num_sites; ++j) {
+  for (std::size_t j : units) {
+    const std::size_t own = part.class_of_site[j];
     for (TxnType s : {TxnType::kDROS, TxnType::kDUS}) {
       ClassState& cs = (*st)[j].cls[Index(s)];
       if (!cs.present) continue;
       cs.sigma = SigmaFraction(cs.pb * cs.pd, cs.nlk);
       // The slave resubmits whenever its global transaction does, so its
       // N_s matches the (population-weighted) coordinators'.
+      const TxnType t = CoordinatorOf(s);
       double pa = 0.0, weight = 0.0;
-      for (std::size_t i : coupling.CoordinatorSitesOf(j, s)) {
-        const ClassState& cc = (*st)[i].cls[Index(CoordinatorOf(s))];
-        const double w = input.sites[i].Class(CoordinatorOf(s)).population;
-        pa += w * cc.pa;
-        weight += w;
+      for (const ClassCoupling::Entry& e :
+           coupling.coord_classes[ClassCoupling::PairOf(s)]) {
+        const double m = ClassCoupling::Mult(e, own);
+        if (m <= 0.0) continue;
+        const std::size_t i = part.rep_site[e.cls];
+        const ClassState& cc = (*st)[i].cls[Index(t)];
+        const double mw = m * input.sites[i].Class(t).population;
+        pa += mw * cc.pa;
+        weight += mw;
       }
       cs.pa = weight > 0.0 ? std::min(pa / weight, options.max_abort_prob)
                            : 0.0;
@@ -402,8 +627,9 @@ void ReadSiteSolution(const SiteParams& site, const qn::Solution& sol,
 
 // (4) Execution durations and locks held (Fig. 3 / Eq. 14).
 void StepDurations(const ModelInput& input, const SolverOptions& options,
+                   const std::vector<std::size_t>& units,
                    std::vector<SiteState>* st) {
-  for (std::size_t i = 0; i < input.sites.size(); ++i) {
+  for (std::size_t i : units) {
     const SiteParams& site = input.sites[i];
     for (TxnType t : kAllTxnTypes) {
       ClassState& cs = (*st)[i].cls[Index(t)];
@@ -433,8 +659,9 @@ void StepDurations(const ModelInput& input, const SolverOptions& options,
 
 // (5) Blocking and deadlock quantities (Eqs. 15-20), damped.
 void StepLockModel(const ModelInput& input, double damping,
+                   const std::vector<std::size_t>& units,
                    std::vector<SiteState>* st) {
-  for (std::size_t i = 0; i < input.sites.size(); ++i) {
+  for (std::size_t i : units) {
     SiteLockInputs li;
     li.num_granules = input.sites[i].num_granules;
     li.contention_factor = SkewOf(input.sites[i]).ContentionFactor();
@@ -473,20 +700,21 @@ void StepLockModel(const ModelInput& input, double damping,
 // rate. Each remote request is a message pair; each commit adds two rounds
 // (PREPARE/vote, COMMIT/ack) per slave site.
 void StepEthernet(const ModelInput& input, const SolverOptions& options,
-                  const CouplingLists& coupling, double damping,
-                  const std::vector<SiteState>& st, double* alpha) {
+                  const ClassPartition& part, const ClassCoupling& coupling,
+                  double damping, const std::vector<SiteState>& st,
+                  double* alpha) {
+  // Class-major with the chain types inner: for pairwise-distinct sites
+  // (class k = site k) this is the flat site-major summation order exactly.
   double messages_per_ms = 0.0;
-  for (std::size_t i = 0; i < input.sites.size(); ++i) {
+  for (std::size_t cls = 0; cls < part.num_classes(); ++cls) {
+    const std::size_t i = part.rep_site[cls];
     for (TxnType t : {TxnType::kDROC, TxnType::kDUC}) {
       const ClassState& cs = st[i].cls[Index(t)];
       if (!cs.present) continue;
       const int r = input.sites[i].Class(t).remote_requests;
-      const double slaves =
-          static_cast<double>(coupling.SlaveSitesOf(i, t).size());
+      const double slaves = SlaveCountFor(input, coupling, i, t);
       const double per_commit = cs.ns * 2.0 * r + 4.0 * slaves;
-      messages_per_ms += input.sites[i].Class(t).population > 0
-                             ? cs.x * per_commit
-                             : 0.0;
+      messages_per_ms += part.class_count[cls] * (cs.x * per_commit);
     }
   }
   const double alpha_new = qn::EthernetMeanDelayMs(
@@ -495,32 +723,42 @@ void StepEthernet(const ModelInput& input, const SolverOptions& options,
 }
 
 // (6) Remote-wait and 2PC-wait coupling across sites (Eqs. 21-24, §5.7).
-void StepCrossSiteCoupling(const ModelInput& input,
-                           const CouplingLists& coupling, double alpha,
-                           double damping, std::vector<SiteState>* st) {
-  const std::size_t num_sites = input.sites.size();
-  for (std::size_t i = 0; i < num_sites; ++i) {
+// The peer sums run over class representatives with multiplicity m (own
+// class: count - 1; skipped at zero). For pairwise-distinct sites every
+// m is 1 and the per-term expressions reduce to the flat per-peer ones
+// bitwise — 1.0 * v == v and the addition order is the old site order.
+void StepCrossSiteCoupling(const ModelInput& input, const ClassPartition& part,
+                           const ClassCoupling& coupling, double alpha,
+                           double damping,
+                           const std::vector<std::size_t>& units,
+                           std::vector<SiteState>* st) {
+  for (std::size_t i : units) {
     const SiteParams& site = input.sites[i];
+    const std::size_t own = part.class_of_site[i];
     // Coordinators.
     for (TxnType t : {TxnType::kDROC, TxnType::kDUC}) {
       ClassState& cs = (*st)[i].cls[Index(t)];
       if (!cs.present) continue;
       const TxnType s = SlaveOf(t);
-      const std::vector<std::size_t>& slaves = coupling.SlaveSitesOf(i, t);
+      const double num_slaves = SlaveCountFor(input, coupling, i, t);
       const int r = site.Class(t).remote_requests;
 
       double slave_busy_sum = 0.0;   // Eq. 21/22 numerator
       double pra_sum = 0.0;
       double cwc_max = 0.0, cwa_max = 0.0;
-      for (std::size_t j : slaves) {
+      for (const ClassCoupling::Entry& e :
+           coupling.slave_classes[ClassCoupling::PairOf(t)]) {
+        const double m = ClassCoupling::Mult(e, own);
+        if (m <= 0.0) continue;
+        const std::size_t j = part.rep_site[e.cls];
         const ClassState& ss = (*st)[j].cls[Index(s)];
-        slave_busy_sum += std::max(
+        slave_busy_sum += m * std::max(
             ss.r - ss.demands.rw_ms - ss.demands.ut_ms, 0.0);
         // Per-remote-request abort probability at the slave: the slave
         // acquires nlk/l locks per request, each fatal with Pb*Pd.
         const int ls = input.sites[j].Class(s).local_requests;
         if (ls > 0) {
-          pra_sum += 1.0 - std::pow(1.0 - ss.pb * ss.pd, ss.nlk / ls);
+          pra_sum += m * (1.0 - std::pow(1.0 - ss.pb * ss.pd, ss.nlk / ls));
         }
         cwc_max = std::max(
             cwc_max, CommitProcessingMs(input.sites[j], s, (*st)[j].cpu_q,
@@ -530,11 +768,10 @@ void StepCrossSiteCoupling(const ModelInput& input,
                                        (*st)[j].cpu_q, (*st)[j].db_q));
       }
       const double rrw_new =
-          slaves.empty() || r <= 0
+          num_slaves <= 0.0 || r <= 0
               ? 0.0
               : 2.0 * alpha + slave_busy_sum / (cs.ns * r);
-      const double pra_new =
-          slaves.empty() ? 0.0 : pra_sum / static_cast<double>(slaves.size());
+      const double pra_new = num_slaves <= 0.0 ? 0.0 : pra_sum / num_slaves;
       // Two round trips for PREPARE/COMMIT plus the slowest slave's commit
       // processing; one round trip plus rollback on the abort path.
       const double cwc_new = 4.0 * alpha + cwc_max;
@@ -549,32 +786,33 @@ void StepCrossSiteCoupling(const ModelInput& input,
       ClassState& cs = (*st)[i].cls[Index(s)];
       if (!cs.present) continue;
       const TxnType t = CoordinatorOf(s);
-      const std::vector<std::size_t>& coords =
-          coupling.CoordinatorSitesOf(i, s);
       const int ls = site.Class(s).local_requests;
 
       double rrw_sum = 0.0, pra_sum = 0.0, cwc_sum = 0.0, weight = 0.0;
-      for (std::size_t ci : coords) {
+      for (const ClassCoupling::Entry& e :
+           coupling.coord_classes[ClassCoupling::PairOf(s)]) {
+        const double m = ClassCoupling::Mult(e, own);
+        if (m <= 0.0) continue;
+        const std::size_t ci = part.rep_site[e.cls];
         const ClassState& cc = (*st)[ci].cls[Index(t)];
-        const double w = input.sites[ci].Class(t).population;
+        const double mw = m * input.sites[ci].Class(t).population;
         const double f =
-            1.0 /
-            std::max<std::size_t>(coupling.SlaveSitesOf(ci, t).size(), 1);
+            1.0 / std::max(SlaveCountFor(input, coupling, ci, t), 1.0);
         // Eq. 23/24: coordinator response minus the remote waits it spends
         // on this slave site and its think time, spread over the requests.
         const double avail = std::max(
             cc.r - cc.demands.rw_ms * f - cc.demands.ut_ms, 0.0);
         if (ls > 0 && cs.ns > 0.0)
-          rrw_sum += w * avail / (cs.ns * ls);
+          rrw_sum += mw * avail / (cs.ns * ls);
         // Abort signals reaching the slave stem from coordinator-side
         // deadlocks, spread over the slave's l+1 remote waits.
         const double pa_coord_local =
             1.0 - std::pow(1.0 - cc.pb * cc.pd, cc.nlk);
-        pra_sum += w * (1.0 - std::pow(1.0 - pa_coord_local,
-                                       1.0 / (ls + 1.0)));
-        cwc_sum += w * CommitProcessingMs(input.sites[ci], t,
-                                          (*st)[ci].cpu_q, (*st)[ci].log_q);
-        weight += w;
+        pra_sum += mw * (1.0 - std::pow(1.0 - pa_coord_local,
+                                        1.0 / (ls + 1.0)));
+        cwc_sum += mw * CommitProcessingMs(input.sites[ci], t,
+                                           (*st)[ci].cpu_q, (*st)[ci].log_q);
+        weight += mw;
       }
       const double rrw_new = weight > 0.0 ? rrw_sum / weight : 0.0;
       const double pra_new = weight > 0.0 ? pra_sum / weight : 0.0;
@@ -591,14 +829,16 @@ void StepCrossSiteCoupling(const ModelInput& input,
   }
 }
 
-// (7) Convergence test on throughputs: max relative change, updating prev_x.
+// (7) Convergence test on throughputs: max relative change, updating prev_x
+// (sized units * kNumTxnTypes).
 double ThroughputDelta(const std::vector<SiteState>& st,
+                       const std::vector<std::size_t>& units,
                        std::vector<double>* prev_x) {
   double max_rel_delta = 0.0;
-  for (std::size_t i = 0; i < st.size(); ++i) {
+  for (std::size_t u = 0; u < units.size(); ++u) {
     for (TxnType t : kAllTxnTypes) {
-      const ClassState& cs = st[i].cls[Index(t)];
-      const std::size_t idx = i * kNumTxnTypes + Index(t);
+      const ClassState& cs = st[units[u]].cls[Index(t)];
+      const std::size_t idx = u * kNumTxnTypes + Index(t);
       const double denom = std::max(std::fabs(cs.x), 1e-12);
       max_rel_delta =
           std::max(max_rel_delta, std::fabs(cs.x - (*prev_x)[idx]) / denom);
@@ -606,6 +846,18 @@ double ThroughputDelta(const std::vector<SiteState>& st,
     }
   }
   return max_rel_delta;
+}
+
+// Expands a collapsed solve: copies each class representative's converged
+// state onto the member sites. SiteState is trivially copyable, so the
+// copies allocate nothing; downstream (ExportWarm, AssembleSolution) then
+// runs over the full site vector unchanged.
+void ExpandClassStates(const ClassPartition& part,
+                       std::vector<SiteState>* st) {
+  for (std::size_t i = 0; i < st->size(); ++i) {
+    const std::size_t rep = part.rep_site[part.class_of_site[i]];
+    if (rep != i) (*st)[i] = (*st)[rep];
+  }
 }
 
 // Exports the converged state for future warm starts.
@@ -705,10 +957,12 @@ void ResetSolution(ModelSolution* out) {
 struct SolveArena::Impl {
   std::string shape;
   std::string shape_scratch;
+  ClassPartition part;
+  std::vector<std::size_t> units;
   std::vector<SiteState> st;
   std::vector<SiteNetwork> nets;
   std::vector<double> prev_x;
-  CouplingLists coupling;
+  ClassCoupling coupling;
 };
 
 SolveArena::SolveArena() : impl_(std::make_unique<Impl>()) {}
@@ -738,10 +992,13 @@ struct BatchSolveArena::Impl {
     int iterations = 0;
   };
   std::vector<Lane> lanes;
-  CouplingLists coupling;
+  ClassPartition part;
+  ClassPartition lane_part;
+  std::vector<std::size_t> units;
+  ClassCoupling coupling;
   std::vector<qn::BatchMvaWorkspace> site_ws;
-  // [site * lanes + lane] network pointers handed to the batch kernels, and
-  // the per-site outcome of the current iteration's MVA sweep.
+  // [unit * lanes + lane] network pointers handed to the batch kernels, and
+  // the per-unit outcome of the current iteration's MVA sweep.
   std::vector<const qn::ClosedNetwork*> net_ptrs;
   std::vector<unsigned char> site_ok;
   std::vector<std::string> site_error;
@@ -754,8 +1011,10 @@ BatchSolveArena& BatchSolveArena::operator=(BatchSolveArena&&) noexcept =
     default;
 
 std::string SolveShapeKey(const ModelInput& input) {
+  ClassPartition part;
+  DetectClasses(input, &part);
   std::string key;
-  BuildShapeKey(input, &key);
+  BuildShapeKey(input, part, &key);
   return key;
 }
 
@@ -818,23 +1077,48 @@ void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
   // case it is re-derived from the model's own message rate each iteration
   // (the two-level coupling of Section 3).
   double alpha = input_.comm_delay_ms;
+
+  // ---- Site classes and solve units. ---------------------------------------
+  // The partition drives the class-aggregated coupling sums; with
+  // collapse_site_classes it additionally shrinks the solved set to one
+  // representative per class (expanded back after convergence).
+  if (!EffectivePartition(input_, options, &ar.part, &out->error)) {
+    out->ok = false;
+    out->sites.clear();
+    return;
+  }
+  const bool collapse =
+      options.collapse_site_classes && ar.part.num_classes() < num_sites;
+  std::vector<std::size_t>& units = ar.units;
+  units.clear();
+  units.reserve(collapse ? ar.part.num_classes() : num_sites);
+  if (collapse) {
+    for (std::size_t cls = 0; cls < ar.part.num_classes(); ++cls) {
+      units.push_back(ar.part.rep_site[cls]);
+    }
+  } else {
+    for (std::size_t i = 0; i < num_sites; ++i) units.push_back(i);
+  }
+
   std::vector<SiteState>& st = ar.st;
   st.assign(num_sites, SiteState{});
-  InitWorkloadInvariants(input_, &st);
+  InitWorkloadInvariants(input_, units, &st);
 
   // ---- Shape-keyed arena state. --------------------------------------------
-  // The per-site networks, the coupling lists and every other shape-sized
-  // buffer are rebuilt only when the input's shape signature differs from
-  // the arena's; same-shape re-solves just rewrite populations and demands
-  // in place and allocate nothing.
-  BuildShapeKey(input_, &ar.shape_scratch);
+  // The per-unit networks, the class coupling and every other shape-sized
+  // buffer are rebuilt only when the input's shape signature (presence +
+  // partition + collapse mode) differs from the arena's; same-shape
+  // re-solves just rewrite populations and demands in place and allocate
+  // nothing.
+  BuildShapeKey(input_, ar.part, &ar.shape_scratch);
+  ar.shape_scratch.push_back(collapse ? '\1' : '\0');
   if (ar.shape != ar.shape_scratch) {
     ar.shape = ar.shape_scratch;
-    BuildSiteNetworks(input_, st, &ar.nets);
-    BuildCouplingLists(input_, &ar.coupling);
+    BuildSiteNetworks(input_, st, units, &ar.nets);
+    BuildClassCoupling(input_, ar.part, &ar.coupling);
   }
   std::vector<SiteNetwork>& nets = ar.nets;
-  RefreshSolveState(input_, &nets);
+  RefreshSolveState(input_, units, &nets);
 
   // ---- Warm-start seeding. -------------------------------------------------
   // A compatible seed initializes the fixed point's state variables (Pb, Pd,
@@ -846,14 +1130,15 @@ void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
   out->warm_started = seeded;
   if (seeded) {
     if (options.ethernet.has_value()) alpha = warm->comm_delay_ms;
-    SeedClassStates(*warm, &st);
+    SeedClassStates(*warm, units, &st);
   } else {
     for (SiteNetwork& sn : nets) sn.ws.qkm.clear();
   }
 
   // ---- Fixed-point iteration (Section 6). ----------------------------------
+  const std::size_t num_units = units.size();
   std::vector<double>& prev_x = ar.prev_x;
-  prev_x.assign(num_sites * kNumTxnTypes, 0.0);
+  prev_x.assign(num_units * kNumTxnTypes, 0.0);
   bool converged = false;
   int iteration = 0;
   // High-contention inputs can make the plain damped iteration oscillate;
@@ -863,7 +1148,7 @@ void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
   for (iteration = 1; iteration <= options.max_iterations; ++iteration) {
     if (iteration % 100 == 0) damping = std::max(damping * 0.5, 0.02);
     // (1) Visit counts with the current Pb / Pd / Pra.
-    if (!StepVisitCounts(input_, &st)) {
+    if (!StepVisitCounts(input_, units, &st)) {
       out->error = "visit-count system singular";
       out->ok = false;
       out->sites.clear();
@@ -871,15 +1156,16 @@ void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
     }
 
     // (2) sigma, P_a, N_s.
-    StepAbortChain(input_, options, ar.coupling, &st);
+    StepAbortChain(input_, options, ar.part, ar.coupling, units, &st);
 
     // (3) Demands (Eqs. 5-10) and per-site MVA solve. Each site's network
     // depends only on that site's state from steps (1)-(2), so the solves
     // are independent and run concurrently on options.pool when provided
     // (bit-identical to the serial order — no cross-site reads or writes).
-    const auto solve_site = [&](std::size_t i) {
+    const auto solve_site = [&](std::size_t u) {
+      const std::size_t i = units[u];
       const SiteParams& site = input_.sites[i];
-      SiteNetwork& sn = nets[i];
+      SiteNetwork& sn = nets[u];
       FillSiteDemands(site, &st[i], &sn);
 
       // Warm-start from the previous iteration's queue lengths: the fixed
@@ -899,13 +1185,13 @@ void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
       // Run inline rather than through ParallelFor: wrapping the lambda in a
       // std::function would heap-allocate every iteration, and the serial
       // path is the service's allocation-free warm path.
-      for (std::size_t i = 0; i < num_sites; ++i) solve_site(i);
+      for (std::size_t u = 0; u < num_units; ++u) solve_site(u);
     } else {
-      exec::ParallelFor(options.pool, 0, num_sites, solve_site);
+      exec::ParallelFor(options.pool, 0, num_units, solve_site);
     }
-    for (std::size_t i = 0; i < num_sites; ++i) {
-      if (!nets[i].mva_ok) {
-        out->error = "MVA failed: " + nets[i].mva_error;
+    for (std::size_t u = 0; u < num_units; ++u) {
+      if (!nets[u].mva_ok) {
+        out->error = "MVA failed: " + nets[u].mva_error;
         out->ok = false;
         out->sites.clear();
         return;
@@ -913,27 +1199,30 @@ void CaratModel::SolveInto(const SolverOptions& options, SolveArena* arena,
     }
 
     // (4) Execution durations and locks held (Fig. 3 / Eq. 14).
-    StepDurations(input_, options, &st);
+    StepDurations(input_, options, units, &st);
 
     // (5) Blocking and deadlock quantities (Eqs. 15-20), damped.
-    StepLockModel(input_, damping, &st);
+    StepLockModel(input_, damping, units, &st);
 
     // (5b) Communication Network Model.
     if (options.ethernet.has_value()) {
-      StepEthernet(input_, options, ar.coupling, damping, st, &alpha);
+      StepEthernet(input_, options, ar.part, ar.coupling, damping, st,
+                   &alpha);
     }
 
     // (6) Remote-wait and 2PC-wait coupling across sites.
-    StepCrossSiteCoupling(input_, ar.coupling, alpha, damping, &st);
+    StepCrossSiteCoupling(input_, ar.part, ar.coupling, alpha, damping, units,
+                          &st);
 
     // (7) Convergence test on throughputs.
-    const double max_rel_delta = ThroughputDelta(st, &prev_x);
+    const double max_rel_delta = ThroughputDelta(st, units, &prev_x);
     if (iteration > 2 && max_rel_delta < options.tolerance) {
       converged = true;
       break;
     }
   }
 
+  if (collapse) ExpandClassStates(ar.part, &st);
   if (warm_out != nullptr) ExportWarm(st, alpha, warm_out);
   AssembleSolution(input_, st, converged,
                    std::min(iteration, options.max_iterations), alpha, out);
@@ -953,12 +1242,23 @@ void CaratModel::SolveBatchInto(const ModelInput* const* inputs,
       arena != nullptr ? *arena->impl_ : *local_arena->impl_;
 
   // ---- Per-lane validation and shape agreement. ----------------------------
-  // Lane 0's shape defines the block; a lane that fails input validation or
+  // Lane 0's shape (presence + class partition + collapse mode) defines the
+  // block; a lane that fails input validation, has a malformed class spec or
   // disagrees on shape is failed up front and parked on a zeroed network so
   // the lockstep blocks stay rectangular. (The serving layer groups queries
   // by SolveShapeKey, so mismatches never occur there.)
-  BuildShapeKey(*inputs[0], &ar.shape_scratch);
   const std::size_t num_sites = inputs[0]->sites.size();
+  std::string spec_error;
+  if (!EffectivePartition(*inputs[0], options, &ar.part, &spec_error)) {
+    // Lane 0's spec is malformed; the block still needs a well-defined
+    // reference partition, so fall back to detection (lane 0 itself is
+    // failed below like any other bad-spec lane).
+    DetectClasses(*inputs[0], &ar.part);
+  }
+  BuildShapeKey(*inputs[0], ar.part, &ar.shape_scratch);
+  const bool collapse =
+      options.collapse_site_classes && ar.part.num_classes() < num_sites;
+  ar.shape_scratch.push_back(collapse ? '\1' : '\0');
   std::size_t reference = lanes;  // first valid lane
   for (std::size_t w = 0; w < lanes; ++w) {
     ResetSolution(outs[w]);
@@ -966,18 +1266,35 @@ void CaratModel::SolveBatchInto(const ModelInput* const* inputs,
       outs[w]->sites.clear();
       continue;
     }
-    if (w > 0) {
-      BuildShapeKey(*inputs[w], &ar.lane_scratch);
-      if (ar.lane_scratch != ar.shape_scratch) {
-        outs[w]->error = "batch lanes differ in model shape";
-        outs[w]->sites.clear();
-        continue;
-      }
+    if (!EffectivePartition(*inputs[w], options, &ar.lane_part,
+                            &outs[w]->error)) {
+      outs[w]->sites.clear();
+      continue;
+    }
+    BuildShapeKey(*inputs[w], ar.lane_part, &ar.lane_scratch);
+    ar.lane_scratch.push_back(collapse ? '\1' : '\0');
+    if (ar.lane_scratch != ar.shape_scratch) {
+      outs[w]->error = "batch lanes differ in model shape";
+      outs[w]->sites.clear();
+      continue;
     }
     outs[w]->ok = true;
     if (reference == lanes) reference = w;
   }
   if (reference == lanes) return;  // every lane rejected
+
+  // ---- Solve units (see SolveInto). ----------------------------------------
+  std::vector<std::size_t>& units = ar.units;
+  units.clear();
+  units.reserve(collapse ? ar.part.num_classes() : num_sites);
+  if (collapse) {
+    for (std::size_t cls = 0; cls < ar.part.num_classes(); ++cls) {
+      units.push_back(ar.part.rep_site[cls]);
+    }
+  } else {
+    for (std::size_t i = 0; i < num_sites; ++i) units.push_back(i);
+  }
+  const std::size_t num_units = units.size();
 
   // ---- Shape-keyed arena state (see SolveInto). ----------------------------
   if (ar.shape != ar.shape_scratch || ar.lanes.size() != lanes) {
@@ -986,21 +1303,21 @@ void CaratModel::SolveBatchInto(const ModelInput* const* inputs,
     // Presence flags drive the chain layout; derive them from the reference
     // lane (all valid lanes agree by shape).
     std::vector<SiteState> ref_st(num_sites);
-    InitWorkloadInvariants(*inputs[reference], &ref_st);
+    InitWorkloadInvariants(*inputs[reference], units, &ref_st);
     for (std::size_t w = 0; w < lanes; ++w) {
-      BuildSiteNetworks(*inputs[reference], ref_st, &ar.lanes[w].nets);
+      BuildSiteNetworks(*inputs[reference], ref_st, units, &ar.lanes[w].nets);
     }
-    BuildCouplingLists(*inputs[reference], &ar.coupling);
+    BuildClassCoupling(*inputs[reference], ar.part, &ar.coupling);
     // Fresh lockstep workspaces: the retained queue lengths of another shape
     // must not leak into this one.
-    ar.site_ws.assign(num_sites, qn::BatchMvaWorkspace{});
+    ar.site_ws.assign(num_units, qn::BatchMvaWorkspace{});
   }
-  ar.net_ptrs.resize(num_sites * lanes);
-  ar.site_ok.assign(num_sites, 1);
-  ar.site_error.resize(num_sites);
-  for (std::size_t i = 0; i < num_sites; ++i) {
+  ar.net_ptrs.resize(num_units * lanes);
+  ar.site_ok.assign(num_units, 1);
+  ar.site_error.resize(num_units);
+  for (std::size_t u = 0; u < num_units; ++u) {
     for (std::size_t w = 0; w < lanes; ++w) {
-      ar.net_ptrs[i * lanes + w] = &ar.lanes[w].nets[i].net;
+      ar.net_ptrs[u * lanes + w] = &ar.lanes[w].nets[u].net;
     }
   }
 
@@ -1014,29 +1331,29 @@ void CaratModel::SolveBatchInto(const ModelInput* const* inputs,
     lane.active = !lane.failed;
     if (lane.failed) {
       ZeroLaneNetworks(&lane.nets);
-      for (std::size_t i = 0; i < num_sites; ++i)
-        ar.site_ws[i].InvalidateWarm(w);
+      for (std::size_t u = 0; u < num_units; ++u)
+        ar.site_ws[u].InvalidateWarm(w);
       continue;
     }
     ++remaining;
     lane.st.assign(num_sites, SiteState{});
-    InitWorkloadInvariants(*inputs[w], &lane.st);
-    RefreshSolveState(*inputs[w], &lane.nets);
+    InitWorkloadInvariants(*inputs[w], units, &lane.st);
+    RefreshSolveState(*inputs[w], units, &lane.nets);
     lane.alpha = inputs[w]->comm_delay_ms;
     lane.damping = options.damping;
-    lane.prev_x.assign(num_sites * kNumTxnTypes, 0.0);
+    lane.prev_x.assign(num_units * kNumTxnTypes, 0.0);
     const WarmStart* seed = seeds != nullptr ? seeds[w] : nullptr;
     const bool seeded = seed != nullptr && seed->CompatibleWith(*inputs[w]);
     outs[w]->warm_started = seeded;
     if (seeded) {
       if (options.ethernet.has_value()) lane.alpha = seed->comm_delay_ms;
-      SeedClassStates(*seed, &lane.st);
+      SeedClassStates(*seed, units, &lane.st);
     } else {
       // Cold lane: drop its retained Schweitzer queue lengths, exactly like
       // the scalar arena's qkm.clear() (the other lanes' columns keep
       // theirs).
-      for (std::size_t i = 0; i < num_sites; ++i)
-        ar.site_ws[i].InvalidateWarm(w);
+      for (std::size_t u = 0; u < num_units; ++u)
+        ar.site_ws[u].InvalidateWarm(w);
     }
   }
 
@@ -1054,7 +1371,7 @@ void CaratModel::SolveBatchInto(const ModelInput* const* inputs,
       if (!lane.active) continue;
       if (iteration % 100 == 0)
         lane.damping = std::max(lane.damping * 0.5, 0.02);
-      if (!StepVisitCounts(*inputs[w], &lane.st)) {
+      if (!StepVisitCounts(*inputs[w], units, &lane.st)) {
         outs[w]->error = "visit-count system singular";
         outs[w]->ok = false;
         outs[w]->sites.clear();
@@ -1064,47 +1381,49 @@ void CaratModel::SolveBatchInto(const ModelInput* const* inputs,
         --remaining;
         continue;
       }
-      StepAbortChain(*inputs[w], options, ar.coupling, &lane.st);
+      StepAbortChain(*inputs[w], options, ar.part, ar.coupling, units,
+                     &lane.st);
     }
     if (remaining == 0) break;
 
-    // (3) Demands and lockstep per-site MVA. Site i's batch touches only
-    // site i's networks and workspace, so sites still parallelize across
+    // (3) Demands and lockstep per-site MVA. Unit u's batch touches only
+    // unit u's networks and workspace, so units still parallelize across
     // the pool exactly like the scalar path.
-    const auto solve_site = [&](std::size_t i) {
+    const auto solve_site = [&](std::size_t u) {
+      const std::size_t i = units[u];
       for (std::size_t w = 0; w < lanes; ++w) {
         BatchSolveArena::Impl::Lane& lane = ar.lanes[w];
         if (!lane.active) continue;
-        FillSiteDemands(inputs[w]->sites[i], &lane.st[i], &lane.nets[i]);
+        FillSiteDemands(inputs[w]->sites[i], &lane.st[i], &lane.nets[u]);
       }
-      const qn::ClosedNetwork* const* ptrs = ar.net_ptrs.data() + i * lanes;
-      qn::BatchMvaWorkspace& ws = ar.site_ws[i];
+      const qn::ClosedNetwork* const* ptrs = ar.net_ptrs.data() + u * lanes;
+      qn::BatchMvaWorkspace& ws = ar.site_ws[u];
       const bool ok =
           options.use_exact_mva
               ? qn::SolveMvaBatchInPlace(ptrs, lanes, &ws, 1u << 20,
                                          /*warm_start=*/true,
-                                         &ar.site_error[i])
+                                         &ar.site_error[u])
               : qn::SchweitzerMvaBatchInPlace(ptrs, lanes, &ws,
                                               /*tolerance=*/1e-9,
                                               /*max_iterations=*/10000,
                                               /*warm_start=*/true,
-                                              &ar.site_error[i]);
-      ar.site_ok[i] = ok ? 1 : 0;
+                                              &ar.site_error[u]);
+      ar.site_ok[u] = ok ? 1 : 0;
       if (!ok) return;
       for (std::size_t w = 0; w < lanes; ++w) {
         BatchSolveArena::Impl::Lane& lane = ar.lanes[w];
         if (!lane.active) continue;
-        ReadSiteSolution(inputs[w]->sites[i], ws.solutions[w], lane.nets[i],
+        ReadSiteSolution(inputs[w]->sites[i], ws.solutions[w], lane.nets[u],
                          &lane.st[i]);
       }
     };
     if (options.pool == nullptr) {
-      for (std::size_t i = 0; i < num_sites; ++i) solve_site(i);
+      for (std::size_t u = 0; u < num_units; ++u) solve_site(u);
     } else {
-      exec::ParallelFor(options.pool, 0, num_sites, solve_site);
+      exec::ParallelFor(options.pool, 0, num_units, solve_site);
     }
-    for (std::size_t i = 0; i < num_sites; ++i) {
-      if (ar.site_ok[i] != 0) continue;
+    for (std::size_t u = 0; u < num_units; ++u) {
+      if (ar.site_ok[u] != 0) continue;
       // A lockstep MVA failure cannot be attributed to one lane, so it
       // fails the remaining active lanes of the block. Validated model
       // inputs never produce invalid site networks, so this is unreachable
@@ -1112,7 +1431,7 @@ void CaratModel::SolveBatchInto(const ModelInput* const* inputs,
       for (std::size_t w = 0; w < lanes; ++w) {
         BatchSolveArena::Impl::Lane& lane = ar.lanes[w];
         if (!lane.active) continue;
-        outs[w]->error = "MVA failed: " + ar.site_error[i];
+        outs[w]->error = "MVA failed: " + ar.site_error[u];
         outs[w]->ok = false;
         outs[w]->sites.clear();
         lane.active = false;
@@ -1125,15 +1444,16 @@ void CaratModel::SolveBatchInto(const ModelInput* const* inputs,
     for (std::size_t w = 0; w < lanes; ++w) {
       BatchSolveArena::Impl::Lane& lane = ar.lanes[w];
       if (!lane.active) continue;
-      StepDurations(*inputs[w], options, &lane.st);
-      StepLockModel(*inputs[w], lane.damping, &lane.st);
+      StepDurations(*inputs[w], options, units, &lane.st);
+      StepLockModel(*inputs[w], lane.damping, units, &lane.st);
       if (options.ethernet.has_value()) {
-        StepEthernet(*inputs[w], options, ar.coupling, lane.damping, lane.st,
-                     &lane.alpha);
+        StepEthernet(*inputs[w], options, ar.part, ar.coupling, lane.damping,
+                     lane.st, &lane.alpha);
       }
-      StepCrossSiteCoupling(*inputs[w], ar.coupling, lane.alpha, lane.damping,
-                            &lane.st);
-      const double max_rel_delta = ThroughputDelta(lane.st, &lane.prev_x);
+      StepCrossSiteCoupling(*inputs[w], ar.part, ar.coupling, lane.alpha,
+                            lane.damping, units, &lane.st);
+      const double max_rel_delta =
+          ThroughputDelta(lane.st, units, &lane.prev_x);
       lane.iterations = iteration;
       if (iteration > 2 && max_rel_delta < options.tolerance) {
         lane.converged = true;
@@ -1147,6 +1467,7 @@ void CaratModel::SolveBatchInto(const ModelInput* const* inputs,
   for (std::size_t w = 0; w < lanes; ++w) {
     BatchSolveArena::Impl::Lane& lane = ar.lanes[w];
     if (lane.failed) continue;
+    if (collapse) ExpandClassStates(ar.part, &lane.st);
     if (warm_outs != nullptr && warm_outs[w] != nullptr) {
       ExportWarm(lane.st, lane.alpha, warm_outs[w]);
     }

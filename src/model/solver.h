@@ -83,6 +83,19 @@ struct ModelSolution {
   double TotalRecordsPerSec() const;
 };
 
+/// An explicit site-class partition for hierarchical solving: sites mapped
+/// to the same class are treated as replicas of one representative site
+/// (Thomasian's flow-equivalent aggregation). The solver validates that all
+/// members of a class share the representative's chain-presence pattern and
+/// log-disk layout (the coupling topology depends on those); members whose
+/// *other* parameters differ from the representative's are solved as if they
+/// were the representative — an approximation the caller opts into
+/// (DESIGN.md §14 states the tolerance class). Class ids need not be dense
+/// or ordered; the solver renumbers them by first occurrence.
+struct SiteClassSpec {
+  std::vector<std::size_t> class_of_site;  ///< one entry per site
+};
+
 /// Solver options.
 struct SolverOptions {
   int max_iterations = 500;
@@ -97,6 +110,26 @@ struct SolverOptions {
   /// high contention; 0 uses only active execution time. The default models
   /// convoys partially while keeping the iteration stable (DESIGN.md §4).
   double blocker_wait_fraction = 0.5;
+
+  /// Hierarchical site-class solving (DESIGN.md §14). The solver always
+  /// groups byte-identical sites into classes and couples them through
+  /// class-aggregated sums (the flat per-site-pair coupling lists were
+  /// quadratic in the site count); with this flag set it additionally runs
+  /// the fixed point and the per-site MVA solves over one *representative*
+  /// site per class and expands the class solution to the members, making
+  /// each iteration O(classes) instead of O(sites). Collapsed and flat
+  /// solves of the same input are bit-identical (identical sites have
+  /// identical trajectories either way) except under a warm seed whose
+  /// values differ *within* a class — there the flat trajectory, though not
+  /// the fixed point, can deviate; turn the flag off to reproduce such a
+  /// flat trajectory exactly.
+  bool collapse_site_classes = true;
+
+  /// Optional explicit partition overriding byte-identity class detection.
+  /// Borrowed, not owned; must outlive the solve. When set, its size must
+  /// match the input's site count and every class must be presence-uniform,
+  /// else the solve fails with ok = false.
+  const SiteClassSpec* site_classes = nullptr;
 
   /// Worker pool for solving the per-site MVA networks concurrently inside
   /// each fixed-point iteration. The sites are independent given the
@@ -160,8 +193,12 @@ class SolveArena {
 };
 
 /// Canonical key of the solve-relevant *shape* of an input: site count,
-/// per-site chain presence and log-disk layout. Inputs with equal shape keys
-/// can share a SolveArena and are candidates for warm-start seeding.
+/// per-site chain presence and log-disk layout, plus the detected site-class
+/// partition (byte-identical sites grouped by first occurrence), so a
+/// collapsed 2-class input never shares arenas, warm seeds or batch lanes
+/// with an all-distinct input of the same presence pattern. Inputs with
+/// equal shape keys can share a SolveArena and are candidates for
+/// warm-start seeding.
 std::string SolveShapeKey(const ModelInput& input);
 
 /// Reusable cross-solve state of CaratModel::SolveBatchInto: one lane of

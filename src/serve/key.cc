@@ -95,6 +95,17 @@ std::string CanonicalKey(const model::ModelInput& input,
     AppendF64(options.ethernet->propagation_ms, &key);
   }
   AppendF64(options.message_bits, &key);
+  // Hierarchical solving: the collapse toggle and an explicit class
+  // partition select different solve paths (bit-identical only for
+  // symmetric inputs), so they are part of the key.
+  AppendBool(options.collapse_site_classes, &key);
+  AppendBool(options.site_classes != nullptr, &key);
+  if (options.site_classes != nullptr) {
+    AppendU64(options.site_classes->class_of_site.size(), &key);
+    for (std::size_t cls : options.site_classes->class_of_site) {
+      AppendU64(cls, &key);
+    }
+  }
   return key;
 }
 

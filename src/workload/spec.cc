@@ -1,6 +1,7 @@
 #include "workload/spec.h"
 
 #include <cassert>
+#include <string>
 
 namespace carat::workload {
 
@@ -45,7 +46,10 @@ model::ModelInput WorkloadSpec::ToModelInput() const {
 
   for (int i = 0; i < num_nodes; ++i) {
     model::SiteParams site;
-    site.name = std::string("Node-") + static_cast<char>('A' + i);
+    // Letter names below 26 nodes (the scheme every anchor was recorded
+    // with), numeric beyond — 'A' + i overflows char on large clusters.
+    site.name = i < 26 ? std::string("Node-") + static_cast<char>('A' + i)
+                       : "Node-" + std::to_string(i);
     site.num_granules = num_granules;
     site.records_per_granule = records_per_granule;
     site.block_io_ms = !block_io_ms.empty()

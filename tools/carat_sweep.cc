@@ -44,7 +44,15 @@ int Usage() {
   std::fprintf(stderr,
                "usage: carat_sweep [--workload lb8|mb4|mb8|ub6] "
                "[--sizes 4,8,...] [--seed N] [--measure-s S] [--jobs N] "
-               "[--warm] [--batch]\n");
+               "[--warm] [--batch] [--nodes N] [--site-classes K] [--flat]\n"
+               "  --nodes N         sites per sweep point (default 2, the "
+               "paper's testbed)\n"
+               "  --site-classes K  distinct disk-speed classes cycled over "
+               "the nodes (default 2);\n"
+               "                    the solver collapses each class to one "
+               "representative site\n"
+               "  --flat            solve without class collapse "
+               "(bit-identical, O(sites)/iteration)\n");
   return 2;
 }
 
@@ -71,6 +79,9 @@ int main(int argc, char** argv) {
   int jobs = 0;  // 0: --jobs omitted, one worker per hardware thread
   bool warm = false;
   bool batch = false;
+  int nodes = 2;         // the paper's two-site testbed
+  int site_classes = 2;  // distinct disk-speed classes among the nodes
+  bool flat = false;     // --flat: disable hierarchical class collapse
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,20 +110,35 @@ int main(int argc, char** argv) {
       warm = true;
     } else if (arg == "--batch") {
       batch = true;
+    } else if (arg == "--nodes" && i + 1 < argc) {
+      nodes = std::atoi(argv[++i]);
+      if (nodes < 1) {
+        std::fprintf(stderr, "--nodes: expected a positive integer\n");
+        return Usage();
+      }
+    } else if (arg == "--site-classes" && i + 1 < argc) {
+      site_classes = std::atoi(argv[++i]);
+      if (site_classes < 1) {
+        std::fprintf(stderr, "--site-classes: expected a positive integer\n");
+        return Usage();
+      }
+    } else if (arg == "--flat") {
+      flat = true;
     } else {
       return Usage();
     }
   }
+  if (site_classes > nodes) site_classes = nodes;
 
-  workload::WorkloadSpec (*make)(int) = nullptr;
+  workload::WorkloadSpec (*make)(int, int) = nullptr;
   if (workload == "lb8") {
-    make = [](int n) { return workload::MakeLB8(n); };
+    make = [](int n, int k) { return workload::MakeLB8(n, k); };
   } else if (workload == "mb4") {
-    make = [](int n) { return workload::MakeMB4(n); };
+    make = [](int n, int k) { return workload::MakeMB4(n, k); };
   } else if (workload == "mb8") {
-    make = [](int n) { return workload::MakeMB8(n); };
+    make = [](int n, int k) { return workload::MakeMB8(n, k); };
   } else if (workload == "ub6") {
-    make = [](int n) { return workload::MakeUB6(n); };
+    make = [](int n, int k) { return workload::MakeUB6(n, k); };
   } else {
     std::fprintf(stderr, "unknown workload %s\n", workload.c_str());
     return 2;
@@ -123,13 +149,23 @@ int main(int argc, char** argv) {
   specs.reserve(sizes.size());
   inputs.reserve(sizes.size());
   for (const int n : sizes) {
-    specs.push_back(make(n));
+    specs.push_back(make(n, nodes));
+    if (site_classes != 2) {
+      // One disk speed per class, cycled over the nodes (the default two
+      // alternating speeds are what every spec ships with).
+      specs.back().block_io_ms.clear();
+      for (int c = 0; c < site_classes; ++c) {
+        specs.back().block_io_ms.push_back(28.0 + 12.0 * (c % 2) +
+                                           3.0 * (c / 2));
+      }
+    }
     inputs.push_back(specs.back().ToModelInput());
   }
 
   serve::SolverService::Options sopts;
   sopts.threads = static_cast<std::size_t>(jobs);  // 0 = hardware threads
   sopts.warm_start = warm;
+  sopts.solver.collapse_site_classes = !flat;
   if (!batch) sopts.batch_lane_width = 0;  // --batch opts into lockstep lanes
   serve::SolverService service(std::move(sopts));
 
