@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "cc/cc.h"
 #include "lock/lock_manager_set.h"
 #include "net/network.h"
 #include "sim/process.h"
@@ -117,6 +118,17 @@ class Testbed {
         locks_(kernel_),
         root_rng_(options.seed) {
     locks_.set_victim_policy(options.victim_policy);
+    switch (input.cc_backend) {
+      case cc::BackendKind::kNoWait:
+        locks_.set_conflict_policy(lock::ConflictPolicy::kAbortRequester);
+        break;
+      case cc::BackendKind::kWaitDie:
+        locks_.set_conflict_policy(lock::ConflictPolicy::kWaitDie);
+        break;
+      case cc::BackendKind::k2PL:
+      case cc::BackendKind::kQueue:
+        break;  // ConflictPolicy::kWait: FIFO queues, the 2PL default
+    }
     for (std::size_t i = 0; i < input.sites.size(); ++i) {
       const int index = static_cast<int>(i);
       nodes_.push_back(std::make_unique<Node>(sim::SitePort{&kernel_, index},
@@ -136,19 +148,25 @@ class Testbed {
     detector_ = std::make_unique<txn::GlobalDeadlockDetector>(
         kernel_, network_, registry_, node_ptrs, options.probe_options);
 
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      const int index = static_cast<int>(i);
-      locks_.at(index).on_block =
-          [this, index](GlobalTxnId waiter,
-                        const std::vector<GlobalTxnId>& holders) {
-            detector_->OnBlock(index, waiter, holders);
-          };
+    // Only 2PL can form wait-for cycles; the other backends are deadlock-free
+    // by construction, so their waits never feed the global probe machinery.
+    if (input.cc_backend == cc::BackendKind::k2PL) {
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const int index = static_cast<int>(i);
+        locks_.at(index).on_block =
+            [this, index](GlobalTxnId waiter,
+                          const std::vector<GlobalTxnId>& holders) {
+              detector_->OnBlock(index, waiter, holders);
+            };
+      }
     }
   }
 
   TestbedResult Run() {
     SpawnUsers();
-    detector_->StartWatchdogs();
+    if (input_.cc_backend == cc::BackendKind::k2PL) {
+      detector_->StartWatchdogs();
+    }
     kernel_.RunUntil(options_.warmup_ms);
     ResetStats();
     kernel_.RunUntil(options_.warmup_ms + options_.measure_ms);
@@ -233,7 +251,19 @@ class Testbed {
         if (think > 0) co_await sim::Delay{u->port, think};
         ++u->submissions;
         committed = co_await RunOnce(u, &acct);
-        if (!committed) ++u->aborts;
+        if (!committed) {
+          ++u->aborts;
+          if (cc::IsRestartOriented(input_.cc_backend)) {
+            // Restart backoff, uniform in [0.5, 1.5) x the mean, drawn from
+            // this user's own stream so nobody else's record picks shift.
+            // Credited as lock wait: it is the restart backends' substitute
+            // for queueing at the lock.
+            const double backoff =
+                input_.restart_backoff_ms * (0.5 + u->rng.NextDouble());
+            acct.lock_wait_ms += backoff;
+            co_await sim::Delay{u->port, backoff};
+          }
+        }
       }
       ++u->commits;
       u->records_committed += records_per_commit;
@@ -260,7 +290,34 @@ class Testbed {
     if (home.dm_pool() != nullptr) co_await home.dm_pool()->Acquire();
     home.locks().StartTxn(gid);
 
-    const std::vector<RequestSpec> plan = BuildPlan(u);
+    std::vector<RequestSpec> plan = BuildPlan(u);
+
+    // Queue-oriented backend: run the plan in ascending node order and take
+    // all granule locks a node needs, ascending, on first arrival there.
+    // Every transaction then acquires along the same global (node, granule)
+    // order, so no wait-for cycle can ever form and no abort ever happens.
+    const bool queued = input_.cc_backend == cc::BackendKind::kQueue;
+    std::vector<std::vector<db::GranuleId>> upfront;
+    std::vector<bool> upfront_done;
+    if (queued) {
+      std::stable_sort(plan.begin(), plan.end(),
+                       [](const RequestSpec& a, const RequestSpec& b) {
+                         return a.node < b.node;
+                       });
+      upfront.resize(nodes_.size());
+      upfront_done.assign(nodes_.size(), false);
+      for (const RequestSpec& req : plan) {
+        const auto n = static_cast<std::size_t>(req.node);
+        for (const db::RecordId r : req.records) {
+          upfront[n].push_back(nodes_[n]->database().GranuleOf(r));
+        }
+      }
+      for (auto& granules : upfront) {
+        std::sort(granules.begin(), granules.end());
+        granules.erase(std::unique(granules.begin(), granules.end()),
+                       granules.end());
+      }
+    }
 
     // INIT phase: TBEGIN and DBOPEN handling by the home TM plus DM-server
     // allocation. (Remote DM allocation folds into the first REMDO, like the
@@ -280,9 +337,18 @@ class Testbed {
       // Home TM routes the TDO.
       co_await home.TmHandle(costs.tm_cpu_ms);
 
-      bool ok;
+      bool ok = true;
       if (req.node == u->home) {
-        ok = co_await exec.ExecuteRequest(gid, exec_costs, req, acct);
+        if (queued && !upfront_done[static_cast<std::size_t>(req.node)]) {
+          upfront_done[static_cast<std::size_t>(req.node)] = true;
+          ok = co_await exec.AcquireGranules(
+              gid, upfront[static_cast<std::size_t>(req.node)], req.update,
+              acct);
+        }
+        if (ok) {
+          ok = co_await exec.ExecuteRequest(gid, exec_costs, req, acct,
+                                            /*acquire_locks=*/!queued);
+        }
         co_await home.TmHandle(costs.tm_cpu_ms);  // DOSTEP_K routing
       } else {
         // RW span: from shipping the REMDO until its response is back home.
@@ -299,7 +365,18 @@ class Testbed {
           exec.locks().StartTxn(gid);
         }
         co_await exec.TmHandle(exec_costs.tm_cpu_ms);  // slave TM, inbound
-        ok = co_await exec.ExecuteRequest(gid, exec_costs, req, nullptr);
+        if (queued && !upfront_done[static_cast<std::size_t>(req.node)]) {
+          upfront_done[static_cast<std::size_t>(req.node)] = true;
+          // The slave's upfront waits stay inside the coordinator's remote
+          // wait, like Eq. 21 treats slave lock waits.
+          ok = co_await exec.AcquireGranules(
+              gid, upfront[static_cast<std::size_t>(req.node)], req.update,
+              nullptr);
+        }
+        if (ok) {
+          ok = co_await exec.ExecuteRequest(gid, exec_costs, req, nullptr,
+                                            /*acquire_locks=*/!queued);
+        }
         if (!ok) {
           // Deadlock victim at the slave: its DM rolls back and vacates the
           // node before the failure response ships home (T_ABORT, local

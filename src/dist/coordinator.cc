@@ -38,6 +38,9 @@ bool Executable(const std::string& path) {
 struct SiteState {
   rpc::MessageServer::ConnectionPtr conn;
   int mesh_port = -1;
+  /// CC backend the site reported in HELLO. Absent on the wire means a
+  /// pre-backend daemon, which always ran 2PL.
+  std::string cc = "2pl";
   bool alpha = false;
   double rtt_sum_ms = 0.0;
   int links = 0;
@@ -52,6 +55,16 @@ class Coordinator {
 
   DistRunResult Run() {
     DistRunResult result;
+    if (options_.config.cc != "2pl") {
+      // The distributed engine executes the 2PL+probes protocol; the other
+      // backends run in the in-process testbed only for now. Rejecting here
+      // keeps the CONFIG/HELLO cc plumbing honest until they arrive.
+      result.error = "distributed execution of cc backend '" +
+                     options_.config.cc +
+                     "' is not implemented yet (only 2pl runs distributed; "
+                     "use the in-process testbed for the other backends)";
+      return result;
+    }
     const int sites = options_.config.sites;
     states_.resize(static_cast<std::size_t>(sites));
 
@@ -82,6 +95,18 @@ class Coordinator {
                  30'000)) {
       result.error = "timed out waiting for site HELLOs";
       return Abort(std::move(result));
+    }
+
+    // Backend homogeneity guard: the mesh executes one global CC protocol,
+    // so every site's HELLO must name the configured backend.
+    {
+      std::vector<std::string> site_cc;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const SiteState& s : states_) site_cc.push_back(s.cc);
+      }
+      result.error = wire::CheckMeshBackends(site_cc, options_.config.cc);
+      if (!result.error.empty()) return Abort(std::move(result));
     }
 
     // CONFIG + PEERS to every site; sites then build their mesh.
@@ -186,8 +211,8 @@ class Coordinator {
       }
       if (pid == 0) {
         ::execl(sited.c_str(), "carat_sited", "--coordinator",
-                coord_arg.c_str(), "--site", site_arg.c_str(),
-                static_cast<char*>(nullptr));
+                coord_arg.c_str(), "--site", site_arg.c_str(), "--cc",
+                options_.config.cc.c_str(), static_cast<char*>(nullptr));
         ::_exit(127);  // exec failed
       }
       pids_.push_back(pid);
@@ -257,6 +282,10 @@ class Coordinator {
       }
       states_[static_cast<std::size_t>(site)].conn = conn;
       states_[static_cast<std::size_t>(site)].mesh_port = port;
+      const auto cc_it = kv.find("cc");
+      if (cc_it != kv.end()) {
+        states_[static_cast<std::size_t>(site)].cc = cc_it->second;
+      }
       conn_site_[conn->index()] = site;
       cv_.notify_all();
       return;

@@ -61,6 +61,7 @@ class SiteDaemon {
                      static_cast<std::int64_t>(options_.site));
       wire::AppendKv(&hello, "port",
                      static_cast<std::int64_t>(server_->port()));
+      wire::AppendKv(&hello, "cc", std::string_view(options_.cc));
       if (!control_.SendLine(hello)) return Fail("HELLO send failed");
     }
 
@@ -88,6 +89,8 @@ class SiteDaemon {
         // a site misses a protocol deadline. stderr reaches the operator's
         // terminal through the inherited descriptor.
         std::lock_guard<std::mutex> lock(mu_);
+        std::fprintf(stderr, "carat_sited[site %d]: cc=%s\n", options_.site,
+                     options_.cc.c_str());
         if (engine_ != nullptr) {
           std::fprintf(stderr, "%s", engine_->DebugSnapshot().c_str());
         }
@@ -144,6 +147,11 @@ class SiteDaemon {
     }
     if (options_.site < 0 || options_.site >= config_.sites) {
       return Fail("site index out of range");
+    }
+    if (config_.cc != options_.cc) {
+      return Fail("CONFIG names cc backend '" + config_.cc +
+                  "' but this site runs '" + options_.cc +
+                  "' (mixed-backend meshes are rejected)");
     }
     EngineOptions eopts;
     eopts.site = options_.site;

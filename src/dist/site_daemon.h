@@ -29,6 +29,11 @@ struct SiteDaemonOptions {
   std::string coordinator_host = "127.0.0.1";
   int coordinator_port = 0;
   int site = 0;
+  /// Concurrency-control backend this daemon runs (2pl | nowait | waitdie |
+  /// queue). Reported in HELLO and echoed in DUMP; the coordinator rejects
+  /// the mesh when any site's backend disagrees with the configured one,
+  /// and the daemon refuses a CONFIG naming a different backend.
+  std::string cc = "2pl";
   /// Bounds every wait on coordinator traffic; a silent coordinator past
   /// this means it died and the daemon exits instead of leaking.
   int control_timeout_ms = 120'000;

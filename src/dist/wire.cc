@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "cc/cc.h"
+
 namespace carat::dist::wire {
 
 bool TokenReader::Next(std::string_view* token) {
@@ -137,6 +139,7 @@ bool SplitRecords(std::string_view token, std::vector<db::RecordId>* records) {
 std::string DistConfig::Encode() const {
   std::string out;
   AppendKv(&out, "workload", std::string_view(workload));
+  AppendKv(&out, "cc", std::string_view(cc));
   AppendKv(&out, "n", static_cast<std::int64_t>(requests_per_txn));
   AppendKv(&out, "sites", static_cast<std::int64_t>(sites));
   AppendKv(&out, "granules", static_cast<std::int64_t>(num_granules));
@@ -162,6 +165,15 @@ bool DistConfig::Decode(std::string_view body, DistConfig* out,
     return false;
   }
   config.workload = it->second;
+  // `cc` is optional on the wire (pre-backend coordinators never send it and
+  // mean 2PL), but when present it must name a known backend.
+  const auto cc_it = kv.find("cc");
+  if (cc_it != kv.end()) config.cc = cc_it->second;
+  cc::BackendKind cc_kind;
+  if (!cc::ParseBackend(config.cc, &cc_kind)) {
+    *error = "CONFIG unknown cc backend '" + config.cc + "'";
+    return false;
+  }
   int users = 1;
   const bool ok = KvInt(kv, "n", &config.requests_per_txn) &&
                   KvInt(kv, "sites", &config.sites) &&
@@ -204,7 +216,19 @@ workload::WorkloadSpec DistConfig::ToSpec() const {
   spec.records_per_granule = records_per_granule;
   spec.dm_pool_size = dm_pool_size;
   spec.think_time_ms = think_time_ms;
+  cc::ParseBackend(cc, &spec.cc_backend);  // Decode validated the name
   return spec;
+}
+
+std::string CheckMeshBackends(const std::vector<std::string>& site_cc,
+                              const std::string& config_cc) {
+  for (std::size_t i = 0; i < site_cc.size(); ++i) {
+    if (site_cc[i] == config_cc) continue;
+    return "mixed-backend mesh: site " + std::to_string(i) + " runs cc=" +
+           site_cc[i] + " but the coordinator configured cc=" + config_cc +
+           "; every site must run the same concurrency-control backend";
+  }
+  return "";
 }
 
 }  // namespace carat::dist::wire

@@ -7,7 +7,9 @@
 // ASCII tokens, verb first:
 //
 //   control (site <-> coordinator, site connects):
-//     HELLO site=<i> port=<mesh port>          site -> coordinator
+//     HELLO site=<i> port=<mesh port> cc=<backend>   site -> coordinator
+//       (cc names the site's concurrency-control backend; the coordinator
+//       rejects meshes whose sites disagree with the configured backend)
 //     CONFIG <DistConfig key=value tokens>     coordinator -> site
 //     PEERS <host:port> ...                    coordinator -> site (by index)
 //     ALPHA rtt_ms=<median real RTT>           site -> coordinator
@@ -89,6 +91,7 @@ bool SplitRecords(std::string_view token, std::vector<db::RecordId>* records);
 /// paper workload plus the overridable sizing knobs. Shipped in CONFIG.
 struct DistConfig {
   std::string workload = "mb8";  ///< lb8 | mb4 | mb8 | ub6
+  std::string cc = "2pl";        ///< cc backend: 2pl | nowait | waitdie | queue
   int requests_per_txn = 8;      ///< n
   int sites = 2;
   int num_granules = 3000;
@@ -110,6 +113,14 @@ struct DistConfig {
   workload::WorkloadSpec ToSpec() const;
   model::ModelInput ToModelInput() const { return ToSpec().ToModelInput(); }
 };
+
+/// Mesh homogeneity guard: every site's HELLO-reported CC backend must equal
+/// the coordinator's configured backend — the mesh executes one global
+/// protocol, so a mixed mesh is a configuration error, not a degraded mode.
+/// Returns "" when the mesh is consistent, else a human-readable error
+/// naming the first offending site.
+std::string CheckMeshBackends(const std::vector<std::string>& site_cc,
+                              const std::string& config_cc);
 
 }  // namespace carat::dist::wire
 

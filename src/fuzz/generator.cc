@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cc/cc.h"
 #include "workload/spec.h"
 
 namespace carat::fuzz {
@@ -246,6 +247,13 @@ Scenario GenerateScenario(util::Rng* rng, const GeneratorOptions& opts) {
       dus.local_requests =
           du_elsewhere > 0 ? std::max(r_dist / other_sites, 1) : 0;
     }
+  }
+
+  // Backend draw last: scenarios generated with allow_cc_backends = false
+  // consume exactly the legacy stream.
+  if (opts.allow_cc_backends && rng->NextDouble() >= 0.5) {
+    s.input.cc_backend = cc::kAllBackends[
+        1 + rng->NextBounded(static_cast<std::uint64_t>(cc::kNumBackends - 1))];
   }
 
   assert(s.input.Validate());

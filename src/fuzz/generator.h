@@ -39,6 +39,10 @@ struct GeneratorOptions {
   bool allow_buffer = true;
   bool allow_think = true;
   bool allow_comm_delay = true;
+  /// Half the draws keep the default 2PL backend; the rest sample the other
+  /// cc backends uniformly. The backend is the final Rng draw, so disabling
+  /// it reproduces the pre-backend stream exactly.
+  bool allow_cc_backends = true;
 };
 
 /// Draws one scenario. The result always passes ModelInput::Validate and has

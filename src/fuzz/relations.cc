@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "carat/testbed.h"
+#include "cc/cc.h"
 #include "model/lock_model.h"
 #include "model/yao.h"
 #include "qn/mva.h"
@@ -330,6 +331,7 @@ bool CheckQnDemandScaling(const Scenario& s, const CheckOptions& opts,
 ModelInput ScaleModelTimes(const ModelInput& in, double k) {
   ModelInput out = in;
   out.comm_delay_ms *= k;
+  out.restart_backoff_ms *= k;
   for (SiteParams& site : out.sites) {
     site.block_io_ms *= k;
     site.think_time_ms *= k;
@@ -890,6 +892,186 @@ bool CheckClassReplication(const Scenario& s, const CheckOptions& opts,
   return true;
 }
 
+// --- rule: cc-backend agreement at zero contention -------------------------
+
+// On read-only workloads no lock is ever exclusive, so Pb = 0 exactly for
+// every class and the LW phase is unreachable (its visit count is
+// v(LR) * Pb). The backends differ only in Pd and R_LW — both multiplied by
+// that zero — so every fixed-point trajectory, and with it throughput,
+// response and the abort chain, is bit-identical across backends. (Pd, R_LW
+// and the queue backend's locks-held estimate legitimately differ and are
+// not compared.)
+bool CheckBackendAgreement(const Scenario& s, const CheckOptions& opts,
+                           std::string* detail, bool* applicable) {
+  if (!AllPresentReadOnly(s.input)) return true;
+  *applicable = true;
+  const ModelSolution base = SolveModel(s.input, opts.solver);
+  if (!base.ok) {
+    *detail = "solver failed: " + base.error;
+    return false;
+  }
+  for (cc::BackendKind kind : cc::kAllBackends) {
+    if (kind == s.input.cc_backend) continue;
+    ModelInput variant = s.input;
+    variant.cc_backend = kind;
+    const ModelSolution sol = SolveModel(variant, opts.solver);
+    if (!sol.ok) {
+      *detail = std::string("solver failed for ") + std::string(cc::Name(kind)) +
+                ": " + sol.error;
+      return false;
+    }
+    Cmp cmp(0.0);
+    cmp.True("iteration counts differ", sol.iterations == base.iterations);
+    cmp.True("converged flags differ", sol.converged == base.converged);
+    for (std::size_t i = 0; i < base.sites.size() && cmp.ok(); ++i) {
+      const SiteSolution& sa = base.sites[i];
+      const SiteSolution& sb = sol.sites[i];
+      const std::string at = "site " + std::to_string(i);
+      cmp.Bits(at + " txn_per_s", sa.txn_per_s, sb.txn_per_s);
+      cmp.Bits(at + " cpu_util", sa.cpu_utilization, sb.cpu_utilization);
+      cmp.Bits(at + " db_util", sa.db_disk_utilization,
+               sb.db_disk_utilization);
+      for (TxnType t : model::kAllTxnTypes) {
+        const ClassSolution& ca = sa.Class(t);
+        const ClassSolution& cb = sb.Class(t);
+        if (!ca.present) continue;
+        const std::string ct = at + " " + std::string(model::Name(t));
+        cmp.Bits(ct + " throughput", ca.throughput_per_s, cb.throughput_per_s);
+        cmp.Bits(ct + " response", ca.response_ms, cb.response_ms);
+        cmp.Bits(ct + " pa", ca.pa, cb.pa);
+        cmp.Bits(ct + " ns", ca.ns, cb.ns);
+        cmp.Bits(ct + " pb", ca.pb, cb.pb);
+        cmp.Bits(ct + " plw", ca.plw, cb.plw);
+        cmp.Bits(ct + " d_lw", ca.d_lw_ms, cb.d_lw_ms);
+      }
+    }
+    if (!cmp.ok()) {
+      *detail = std::string(cc::Name(kind)) +
+                " diverges from " + std::string(cc::Name(s.input.cc_backend)) +
+                " on a read-only scenario: " + cmp.detail();
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- rule: queue-backend dominance -----------------------------------------
+
+bool AnyPresentUpdate(const ModelInput& input) {
+  for (const SiteParams& site : input.sites)
+    for (TxnType t : model::kAllTxnTypes)
+      if (site.Class(t).population > 0 && model::IsUpdate(t)) return true;
+  return false;
+}
+
+std::uint64_t TotalCommits(const carat::TestbedResult& r) {
+  std::uint64_t commits = 0;
+  for (const carat::NodeResult& node : r.nodes)
+    for (const carat::TypeResult& tr : node.types)
+      if (tr.present) commits += tr.commits;
+  return commits;
+}
+
+bool CheckBackendDominance(const Scenario& s, const CheckOptions& opts,
+                           std::string* detail, bool* applicable) {
+  (void)opts;
+  if (!AnyPresentUpdate(s.input)) return true;  // nothing ever conflicts
+  *applicable = true;
+  carat::TestbedOptions topts;
+  topts.seed = s.testbed_seed;
+  topts.warmup_ms = s.warmup_ms;
+  topts.measure_ms = s.measure_ms;
+
+  // Exact half: ordered acquisition is deadlock-free by construction and a
+  // queue transaction never aborts.
+  ModelInput queued = s.input;
+  queued.cc_backend = cc::BackendKind::kQueue;
+  const carat::TestbedResult rq = RunTestbed(queued, topts);
+  if (!rq.ok) {
+    *detail = "queue testbed failed: " + rq.error;
+    return false;
+  }
+  if (!rq.database_consistent) {
+    *detail = "queue testbed database INCONSISTENT after run";
+    return false;
+  }
+  std::uint64_t deadlocks = rq.global_deadlocks, aborts = 0;
+  for (const carat::NodeResult& node : rq.nodes) {
+    deadlocks += node.local_deadlocks;
+    for (const carat::TypeResult& tr : node.types)
+      if (tr.present) aborts += tr.aborts;
+  }
+  if (deadlocks != 0 || aborts != 0) {
+    *detail = "queue backend recorded " + std::to_string(deadlocks) +
+              " deadlock victim(s) and " + std::to_string(aborts) +
+              " abort(s); both must be zero";
+    return false;
+  }
+
+  // Comparative half, judged only where it is robust: when 2PL thrashes
+  // (more deadlock victims than commits), the work it wastes re-running
+  // victims dwarfs any convoying the upfront acquisition introduces, so the
+  // deadlock-free backend must commit at least as much.
+  ModelInput locked = s.input;
+  locked.cc_backend = cc::BackendKind::k2PL;
+  const carat::TestbedResult r2 = RunTestbed(locked, topts);
+  if (!r2.ok) {
+    *detail = "2pl testbed failed: " + r2.error;
+    return false;
+  }
+  std::uint64_t victims = r2.global_deadlocks;
+  for (const carat::NodeResult& node : r2.nodes)
+    victims += node.local_deadlocks;
+  const std::uint64_t commits_2pl = TotalCommits(r2);
+  if (victims >= 50 && victims >= commits_2pl) {
+    const std::uint64_t commits_q = TotalCommits(rq);
+    if (commits_q < commits_2pl) {
+      *detail = "thrashing 2PL (" + std::to_string(victims) +
+                " victims) out-committed the queue backend: " +
+                std::to_string(commits_2pl) + " vs " +
+                std::to_string(commits_q);
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- rule: non-2PL sharded testbed vs serial -------------------------------
+
+bool CheckBackendShardIdentity(const Scenario& s, const CheckOptions& opts,
+                               std::string* detail, bool* applicable) {
+  (void)opts;
+  if (s.input.sites.size() < 2) return true;  // shards clamp to site count
+  // One non-2PL backend per scenario, drawn from the seed (deterministic);
+  // kShardIdentity already covers the scenario's own backend.
+  const cc::BackendKind kind =
+      cc::kAllBackends[1 + s.testbed_seed % (cc::kNumBackends - 1)];
+  if (kind == s.input.cc_backend) return true;
+  *applicable = true;
+  ModelInput variant = s.input;
+  variant.cc_backend = kind;
+  carat::TestbedOptions serial;
+  serial.seed = s.testbed_seed;
+  serial.warmup_ms = s.warmup_ms;
+  serial.measure_ms = s.measure_ms;
+  serial.shards = 1;
+  carat::TestbedOptions sharded = serial;
+  sharded.shards = static_cast<int>(s.input.sites.size());
+  const carat::TestbedResult a = RunTestbed(variant, serial);
+  const carat::TestbedResult b = RunTestbed(variant, sharded);
+  if (!a.ok || !b.ok) {
+    *detail = "testbed failed: " + a.error + b.error;
+    return false;
+  }
+  if (TestbedResultFingerprint(a) != TestbedResultFingerprint(b)) {
+    *detail = std::string(cc::Name(kind)) + " shards=" +
+              std::to_string(sharded.shards) +
+              " fingerprint differs from serial";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 const char* RuleName(Rule r) {
@@ -906,12 +1088,16 @@ const char* RuleName(Rule r) {
     case Rule::kExactVsSchweitzer: return "exact-vs-schweitzer";
     case Rule::kModelVsTestbed: return "model-vs-testbed";
     case Rule::kClassReplication: return "class-replication";
+    case Rule::kBackendAgreement: return "backend-agreement";
+    case Rule::kBackendDominance: return "backend-dominance";
+    case Rule::kBackendShardIdentity: return "backend-shard-identity";
   }
   return "?";
 }
 
 bool RuleNeedsTestbed(Rule r) {
-  return r == Rule::kShardIdentity || r == Rule::kModelVsTestbed;
+  return r == Rule::kShardIdentity || r == Rule::kModelVsTestbed ||
+         r == Rule::kBackendDominance || r == Rule::kBackendShardIdentity;
 }
 
 void CheckStats::Merge(const CheckStats& other) {
@@ -956,6 +1142,12 @@ bool CheckRule(const Scenario& s, Rule rule, const CheckOptions& opts,
       return CheckModelVsTestbed(s, opts, detail, applicable);
     case Rule::kClassReplication:
       return CheckClassReplication(s, opts, detail, applicable);
+    case Rule::kBackendAgreement:
+      return CheckBackendAgreement(s, opts, detail, applicable);
+    case Rule::kBackendDominance:
+      return CheckBackendDominance(s, opts, detail, applicable);
+    case Rule::kBackendShardIdentity:
+      return CheckBackendShardIdentity(s, opts, detail, applicable);
   }
   return true;
 }

@@ -70,14 +70,29 @@ enum class Rule : int {
   /// to the coupling multiplicities, and the collapsed (hierarchical) solve
   /// bit-identical to the flat solve of the replicated input.
   kClassReplication,
+  /// A: on read-only scenarios (Pb = 0 exactly) every cc backend's solve is
+  /// bit-identical in throughput, response and abort chain — the backends
+  /// differ only in what a conflict costs, and there are none.
+  kBackendAgreement,
+  /// A (+ count comparison): the queue backend's testbed run records zero
+  /// aborts and zero deadlock victims on any scenario, and commits at least
+  /// as many transactions as 2PL when 2PL is thrashing (more deadlock
+  /// victims than commits).
+  kBackendDominance,
+  /// A: the sharded testbed kernel is byte-identical to serial for a
+  /// non-2PL backend variant of the scenario (the backend is drawn from the
+  /// testbed seed; kShardIdentity covers the scenario's own backend).
+  kBackendShardIdentity,
 };
 
-inline constexpr int kNumRules = 12;
+inline constexpr int kNumRules = 15;
 inline constexpr std::array<Rule, kNumRules> kAllRules = {
     Rule::kSitePermutation, Rule::kChainSplit,       Rule::kQnDemandScaling,
     Rule::kModelDemandScaling, Rule::kLockMassScaling, Rule::kGranuleInvariance,
     Rule::kBatchLaneIdentity, Rule::kShardIdentity,  Rule::kServeIdentity,
     Rule::kExactVsSchweitzer, Rule::kModelVsTestbed, Rule::kClassReplication,
+    Rule::kBackendAgreement, Rule::kBackendDominance,
+    Rule::kBackendShardIdentity,
 };
 
 const char* RuleName(Rule r);

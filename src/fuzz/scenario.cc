@@ -7,6 +7,8 @@
 #include <sstream>
 #include <vector>
 
+#include "cc/cc.h"
+
 namespace carat::fuzz {
 
 namespace {
@@ -87,6 +89,15 @@ std::string Serialize(const Scenario& s) {
   AppendDouble(&out, "warmup_ms", s.warmup_ms);
   AppendDouble(&out, "measure_ms", s.measure_ms);
   AppendDouble(&out, "comm_delay_ms", s.input.comm_delay_ms);
+  // Only non-default backends are emitted, so pre-backend corpus files
+  // still round-trip byte for byte.
+  if (s.input.cc_backend != cc::BackendKind::k2PL) {
+    out += "cc ";
+    out += cc::Name(s.input.cc_backend);
+    out += '\n';
+  }
+  if (s.input.restart_backoff_ms != cc::kRestartBackoffMeanMs)
+    AppendDouble(&out, "restart_backoff_ms", s.input.restart_backoff_ms);
   AppendInt(&out, "sites", static_cast<long long>(s.input.sites.size()));
   for (std::size_t i = 0; i < s.input.sites.size(); ++i) {
     const SiteParams& site = s.input.sites[i];
@@ -300,6 +311,11 @@ bool Parse(const std::string& text, Scenario* out, std::string* error) {
     else if (key == "warmup_ms") { if (!want_f64(&s.warmup_ms)) return false; }
     else if (key == "measure_ms") { if (!want_f64(&s.measure_ms)) return false; }
     else if (key == "comm_delay_ms") { if (!want_f64(&s.input.comm_delay_ms)) return false; }
+    else if (key == "cc") {
+      if (!cc::ParseBackend(rest, &s.input.cc_backend))
+        return fail("unknown cc backend '" + rest + "'");
+    }
+    else if (key == "restart_backoff_ms") { if (!want_f64(&s.input.restart_backoff_ms)) return false; }
     else if (key == "sites") { if (!want_i64(&declared_sites)) return false; }
     else return fail("unknown key '" + key + "'");
   }

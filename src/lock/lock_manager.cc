@@ -159,6 +159,32 @@ bool LockManager::AcquireAwaiter::await_suspend(std::coroutine_handle<> h) {
   ++m.blocks_;
   GranuleLock& gl = m.table_[granule];
 
+  if (m.conflict_policy_ == ConflictPolicy::kAbortRequester) {
+    // No-waiting: a conflict aborts the requester on the spot. Nothing is
+    // ever enqueued, so the wait-for graph stays empty.
+    ++m.conflict_aborts_;
+    outcome = LockOutcome::kAborted;
+    return false;
+  }
+  if (m.conflict_policy_ == ConflictPolicy::kWaitDie) {
+    // Wait-die: wait only when older (smaller id) than every conflicting
+    // holder and queued predecessor; otherwise die. The set a waiter
+    // depends on never grows while it is queued (new requests join behind
+    // it), so this enqueue-time check covers the wait's whole lifetime.
+    for (const TxnId other :
+         m.ConflictsOf(gl, txn, mode, gl.queue.size())) {
+      if (other < txn) {
+        ++m.conflict_aborts_;
+        outcome = LockOutcome::kAborted;
+        return false;
+      }
+    }
+    gl.queue.push_back(Waiter{txn, mode, h, &outcome});
+    m.waiting_on_[txn] = granule;
+    m.ProcessQueue(granule);
+    return true;
+  }
+
   // Local deadlock check before enqueuing: would this wait close a cycle?
   const std::vector<TxnId> hops = m.ConflictsOf(gl, txn, mode, gl.queue.size());
   const std::vector<TxnId> cycle = m.FindCycle(txn, hops);
@@ -280,6 +306,7 @@ void LockManager::ResetStats() {
   blocks_ = 0;
   local_deadlocks_ = 0;
   cancelled_waits_ = 0;
+  conflict_aborts_ = 0;
 }
 
 }  // namespace carat::lock

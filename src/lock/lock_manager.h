@@ -40,6 +40,21 @@ enum class VictimPolicy {
   kOldest,     ///< cycle member with the earliest start time
 };
 
+/// What a request does when it cannot be granted immediately. kWait is the
+/// 2PL behaviour (FIFO wait + local cycle detection); the other two resolve
+/// the conflict on the spot, so no wait-for cycle can ever form and the
+/// deadlock machinery (FindCycle, probes, watchdogs) never runs.
+enum class ConflictPolicy {
+  kWait,            ///< FIFO wait, local deadlock check (2PL)
+  kAbortRequester,  ///< no-waiting: every conflict aborts the requester
+  /// Wait-die: the requester waits only if it is older (smaller transaction
+  /// id — ids are a globally consistent total order, unlike per-site birth
+  /// times) than every transaction it would wait for; otherwise it dies.
+  /// Every wait-for edge then points at a strictly younger transaction, so
+  /// the global wait graph is acyclic by construction.
+  kWaitDie,
+};
+
 class LockManager {
  public:
   explicit LockManager(sim::SitePort sim) : sim_(sim) {}
@@ -89,6 +104,9 @@ class LockManager {
   VictimPolicy victim_policy() const { return victim_policy_; }
   void set_victim_policy(VictimPolicy policy) { victim_policy_ = policy; }
 
+  ConflictPolicy conflict_policy() const { return conflict_policy_; }
+  void set_conflict_policy(ConflictPolicy policy) { conflict_policy_ = policy; }
+
   /// Invoked whenever a request blocks, after the local deadlock check ruled
   /// out a local cycle; used to launch global deadlock probes.
   std::function<void(TxnId waiter, const std::vector<TxnId>& holders)> on_block;
@@ -102,6 +120,9 @@ class LockManager {
   std::uint64_t blocks() const { return blocks_; }
   std::uint64_t local_deadlocks() const { return local_deadlocks_; }
   std::uint64_t cancelled_waits() const { return cancelled_waits_; }
+  /// Requests aborted by a restart-oriented conflict policy (no-waiting or
+  /// wait-die); always 0 under ConflictPolicy::kWait.
+  std::uint64_t conflict_aborts() const { return conflict_aborts_; }
   void ResetStats();
 
   struct AcquireAwaiter {
@@ -151,6 +172,7 @@ class LockManager {
 
   sim::SitePort sim_;
   VictimPolicy victim_policy_ = VictimPolicy::kRequester;
+  ConflictPolicy conflict_policy_ = ConflictPolicy::kWait;
   std::unordered_map<db::GranuleId, GranuleLock> table_;
   std::unordered_map<TxnId, std::unordered_map<db::GranuleId, LockMode>> held_;
   std::unordered_map<TxnId, db::GranuleId> waiting_on_;
@@ -161,6 +183,7 @@ class LockManager {
   std::uint64_t blocks_ = 0;
   std::uint64_t local_deadlocks_ = 0;
   std::uint64_t cancelled_waits_ = 0;
+  std::uint64_t conflict_aborts_ = 0;
 };
 
 }  // namespace carat::lock

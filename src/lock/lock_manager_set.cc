@@ -14,6 +14,10 @@ void LockManagerSet::set_victim_policy(VictimPolicy policy) {
   for (auto& lm : sites_) lm->set_victim_policy(policy);
 }
 
+void LockManagerSet::set_conflict_policy(ConflictPolicy policy) {
+  for (auto& lm : sites_) lm->set_conflict_policy(policy);
+}
+
 std::uint64_t LockManagerSet::requests() const {
   std::uint64_t total = 0;
   for (const auto& lm : sites_) total += lm->requests();
@@ -35,6 +39,12 @@ std::uint64_t LockManagerSet::local_deadlocks() const {
 std::uint64_t LockManagerSet::cancelled_waits() const {
   std::uint64_t total = 0;
   for (const auto& lm : sites_) total += lm->cancelled_waits();
+  return total;
+}
+
+std::uint64_t LockManagerSet::conflict_aborts() const {
+  std::uint64_t total = 0;
+  for (const auto& lm : sites_) total += lm->conflict_aborts();
   return total;
 }
 

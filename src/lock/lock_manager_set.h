@@ -33,12 +33,14 @@ class LockManagerSet {
   }
 
   void set_victim_policy(VictimPolicy policy);
+  void set_conflict_policy(ConflictPolicy policy);
 
   // --- aggregate statistics (sums over sites; not safe during RunUntil) ----
   std::uint64_t requests() const;
   std::uint64_t blocks() const;
   std::uint64_t local_deadlocks() const;
   std::uint64_t cancelled_waits() const;
+  std::uint64_t conflict_aborts() const;
   std::size_t TotalHeld() const;
   void ResetStats();
 

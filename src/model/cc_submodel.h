@@ -1,0 +1,65 @@
+// Pluggable concurrency-control submodels, one per cc::BackendKind: the
+// analytical counterpart of the testbed's CC backends. Each submodel maps
+// the site's current contention state to the four quantities the fixed
+// point iterates — Pb (conflict probability per lock request), Pd (the
+// probability a conflict is fatal, i.e. forces a restart), P_lw (conflicts
+// at least once per execution) and R_LW (mean delay per conflict).
+//
+// - k2PL reproduces the paper's Eqs. 15-20 bitwise (it is the exact
+//   operation sequence the solver ran before backends existed).
+// - kNoWait: every conflict aborts the requester on the spot (Pd = 1) and
+//   costs one restart backoff instead of a queueing delay.
+// - kWaitDie: restarted requesters re-enter with fresh (youngest) ids and
+//   die again on almost any conflict, so more than the uniform-pair half
+//   of the conflicts die (backoff); the survivors wait the 2PL queueing
+//   delay.
+// - kQueue: deterministic ordered acquisition never deadlocks (Pd = 0);
+//   every lock is held from upfront acquisition to commit, so a conflict
+//   waits on a blocker that is mid-residency — half a residency on
+//   average, mixed over blocker classes.
+//
+// Pure functions; the solver damps the outputs (see StepLockModel).
+
+#ifndef CARAT_MODEL_CC_SUBMODEL_H_
+#define CARAT_MODEL_CC_SUBMODEL_H_
+
+#include <array>
+
+#include "cc/cc.h"
+#include "model/lock_model.h"
+#include "model/types.h"
+
+namespace carat::model {
+
+/// Per-type inputs to a CC submodel beyond SiteLockInputs.
+struct CcClassInputs {
+  bool present = false;
+  double nlk = 0.0;    ///< lock requests per execution
+  double rexec = 0.0;  ///< mean execution duration (success/abort mix), ms
+  double rs = 0.0;     ///< successful-execution duration incl. waits, ms
+  double lw = 0.0;     ///< lock-wait demand per commit cycle, ms
+};
+
+/// Per-type outputs, indexed by Index(TxnType); zero for absent types.
+struct CcSiteOutputs {
+  std::array<double, kNumTxnTypes> pb{};
+  std::array<double, kNumTxnTypes> pd{};
+  std::array<double, kNumTxnTypes> plw{};
+  std::array<double, kNumTxnTypes> r_lw{};
+};
+
+/// Solves one site's CC submodel for backend `kind`. `li.locks_held` must
+/// already reflect the backend's holding pattern (the solver's duration
+/// step computes it; see AverageLocksHeld vs the queue backend's
+/// whole-execution holding). `li.block_prob_per_execution` is an output of
+/// this function's first pass and need not be filled by the caller.
+/// `restart_backoff_ms` is ModelInput::restart_backoff_ms (read by the
+/// restart-oriented backends only).
+void SolveCcSite(cc::BackendKind kind, double restart_backoff_ms,
+                 SiteLockInputs li,
+                 const std::array<CcClassInputs, kNumTxnTypes>& cls,
+                 CcSiteOutputs* out);
+
+}  // namespace carat::model
+
+#endif  // CARAT_MODEL_CC_SUBMODEL_H_

@@ -23,6 +23,7 @@ bool ModelInput::Validate(std::string* error) const {
   };
   if (sites.empty()) return fail("no sites");
   if (comm_delay_ms < 0) return fail("negative communication delay");
+  if (restart_backoff_ms < 0) return fail("negative restart backoff");
   for (const SiteParams& site : sites) {
     if (site.num_granules <= 0) return fail("num_granules must be positive");
     if (site.records_per_granule <= 0)

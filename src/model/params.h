@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "cc/cc.h"
 #include "model/types.h"
 
 namespace carat::model {
@@ -143,6 +144,17 @@ struct ModelInput {
   /// paper's two-node Ethernet; see qn/ethernet.h for a model that computes
   /// it under contention.
   double comm_delay_ms = 0.0;
+
+  /// Concurrency-control backend, applied uniformly across the mesh: selects
+  /// the testbed's conflict handling and the model's paired CcSubmodel (see
+  /// model/cc_submodel.h). Defaults to the paper's 2PL + probes.
+  cc::BackendKind cc_backend = cc::BackendKind::k2PL;
+
+  /// Mean restart backoff for the restart-oriented backends (ms): the
+  /// testbed delays a failed submission uniformly on [0.5, 1.5] * mean, the
+  /// CcSubmodel charges the mean per dying conflict. Unused by 2PL/queue.
+  /// A time-dimension input like comm_delay_ms, so k-scaling scales it.
+  double restart_backoff_ms = cc::kRestartBackoffMeanMs;
 
   /// Sanity checks; returns false and sets *error on malformed input.
   bool Validate(std::string* error = nullptr) const;

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdint>
 
+#include "cc/cc.h"
 #include "exec/thread_pool.h"
+#include "model/cc_submodel.h"
 #include "model/demands.h"
 #include "model/lock_model.h"
 #include "model/phases.h"
@@ -362,9 +364,10 @@ double AbortProcessingMs(const SiteParams& site, TxnType t, double sigma,
 // signatures build identical center/chain structures AND identical
 // class/coupling structures (only demands, populations and think times
 // differ), so they can share a SolveArena — and a collapsed input can never
-// alias a same-presence input with a different replication pattern. The
-// total length n * (1 + width(n)) strictly increases with the site count,
-// so no two shapes collide.
+// alias a same-presence input with a different replication pattern. A
+// trailing byte carries the CC backend id. The total length
+// n * (1 + width(n)) + 1 strictly increases with the site count, so no two
+// shapes collide.
 void BuildShapeKey(const ModelInput& input, const ClassPartition& part,
                    std::string* key) {
   key->clear();
@@ -384,6 +387,9 @@ void BuildShapeKey(const ModelInput& input, const ClassPartition& part,
       cls >>= 8;
     }
   }
+  // CC backend id: different backends iterate different fixed points, so
+  // their arenas and warm state must never coalesce.
+  key->push_back(static_cast<char>(static_cast<int>(input.cc_backend)));
 }
 
 // ---- Fixed-point building blocks. -----------------------------------------
@@ -651,13 +657,23 @@ void StepDurations(const ModelInput& input, const SolverOptions& options,
           0.0);
       const double rs_busy = denom > 0.0 ? busy / denom : busy;
       cs.rexec = cs.pa * cs.sigma * rs_busy + (1.0 - cs.pa) * rs_busy;
-      cs.lh = AverageLocksHeld(cs.nlk, cs.sigma, cs.pa, cs.rs,
-                               site.think_time_ms);
+      if (input.cc_backend == cc::BackendKind::kQueue) {
+        // Queue backend: all N_lk locks are taken up front and held for the
+        // whole execution, not grown linearly as Eq. 14 assumes.
+        const double cycle = cs.rs + site.think_time_ms;
+        cs.lh = cycle > 0.0 ? cs.nlk * cs.rs / cycle : cs.nlk;
+      } else {
+        cs.lh = AverageLocksHeld(cs.nlk, cs.sigma, cs.pa, cs.rs,
+                                 site.think_time_ms);
+      }
     }
   }
 }
 
-// (5) Blocking and deadlock quantities (Eqs. 15-20), damped.
+// (5) CC submodel: conflict / restart quantities for the configured backend
+// (Eqs. 15-20 for 2PL; model/cc_submodel.h for the others), damped. The
+// submodel computes undamped values from the current state; damping stays
+// here so every backend shares the solver's convergence behaviour.
 void StepLockModel(const ModelInput& input, double damping,
                    const std::vector<std::size_t>& units,
                    std::vector<SiteState>* st) {
@@ -665,33 +681,25 @@ void StepLockModel(const ModelInput& input, double damping,
     SiteLockInputs li;
     li.num_granules = input.sites[i].num_granules;
     li.contention_factor = SkewOf(input.sites[i]).ContentionFactor();
+    std::array<CcClassInputs, kNumTxnTypes> cls{};
     for (TxnType t : kAllTxnTypes) {
       const ClassState& cs = (*st)[i].cls[Index(t)];
       li.population[Index(t)] = input.sites[i].Class(t).population;
       li.locks_held[Index(t)] = cs.lh;
       li.lock_requests[Index(t)] = cs.nlk;
+      cls[Index(t)] =
+          CcClassInputs{cs.present, cs.nlk, cs.rexec, cs.rs, cs.demands.lw_ms};
     }
-    // First pass: new Pb and per-execution blocking probabilities.
-    std::array<double, kNumTxnTypes> pb_new{}, plw_new{}, rlt{};
-    for (TxnType t : kAllTxnTypes) {
-      const ClassState& cs = (*st)[i].cls[Index(t)];
-      if (!cs.present) continue;
-      pb_new[Index(t)] = BlockingProbability(li, t);
-      plw_new[Index(t)] =
-          BlockAtLeastOnceProbability(pb_new[Index(t)], cs.nlk);
-      rlt[Index(t)] = MeanBlockingTime(cs.nlk, cs.rexec);
-    }
-    li.block_prob_per_execution = plw_new;
-    // Second pass: Pd and R_LW from the new blocking state.
+    CcSiteOutputs cc_out;
+    SolveCcSite(input.cc_backend, input.restart_backoff_ms, li, cls, &cc_out);
     for (TxnType t : kAllTxnTypes) {
       ClassState& cs = (*st)[i].cls[Index(t)];
       if (!cs.present) continue;
-      const double pd_new = DeadlockVictimProbability(li, t);
-      const double rlw_new = LockWaitDelay(li, t, rlt);
-      cs.pb = Damp(cs.pb, pb_new[Index(t)], damping);
-      cs.pd = Damp(cs.pd, pd_new, damping);
-      cs.plw = plw_new[Index(t)];
-      cs.delays.r_lw_ms = Damp(cs.delays.r_lw_ms, rlw_new, damping);
+      cs.pb = Damp(cs.pb, cc_out.pb[Index(t)], damping);
+      cs.pd = Damp(cs.pd, cc_out.pd[Index(t)], damping);
+      cs.plw = cc_out.plw[Index(t)];
+      cs.delays.r_lw_ms =
+          Damp(cs.delays.r_lw_ms, cc_out.r_lw[Index(t)], damping);
     }
   }
 }

@@ -81,6 +81,10 @@ std::string CanonicalKey(const model::ModelInput& input,
   AppendU64(input.sites.size(), &key);
   for (const model::SiteParams& site : input.sites) AppendSite(site, &key);
   AppendF64(input.comm_delay_ms, &key);
+  // CC backend: same sites + costs under different backends solve different
+  // fixed points and must never coalesce in the solution cache.
+  AppendI64(static_cast<int>(input.cc_backend), &key);
+  AppendF64(input.restart_backoff_ms, &key);
 
   AppendI64(options.max_iterations, &key);
   AppendF64(options.tolerance, &key);

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "cc/cc.h"
 #include "workload/spec.h"
 
 namespace carat::serve {
@@ -53,6 +54,15 @@ bool ParseQuery(const std::string& line, Query* query,
         *error = "mva= expects 'exact' or 'approx', got '" + value + "'";
         return false;
       }
+      continue;
+    }
+    if (key == "cc") {
+      cc::BackendKind kind;
+      if (!cc::ParseBackend(value, &kind)) {
+        *error = "cc= expects 2pl|nowait|waitdie|queue, got '" + value + "'";
+        return false;
+      }
+      input->cc_backend = kind;
       continue;
     }
     char* end = nullptr;

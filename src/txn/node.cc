@@ -49,7 +49,8 @@ sim::Task<void> Node::LogIo(int blocks) {
 sim::Task<bool> Node::ExecuteRequest(GlobalTxnId gid,
                                      const model::ClassParams& costs,
                                      const RequestSpec& request,
-                                     PhaseAccounting* acct) {
+                                     PhaseAccounting* acct,
+                                     bool acquire_locks) {
   // DM phase: processing before the first lock request.
   co_await cpu_.Use(costs.dm_cpu_ms);
 
@@ -61,12 +62,14 @@ sim::Task<bool> Node::ExecuteRequest(GlobalTxnId gid,
 
     // LR phase: lock request processing, including local deadlock detection.
     co_await cpu_.Use(costs.lr_cpu_ms);
-    const double before_lock = sim_.now();
-    const lock::LockOutcome outcome =
-        co_await locks_->Acquire(gid, granule, mode);
-    if (acct != nullptr) acct->lock_wait_ms += sim_.now() - before_lock;
-    if (outcome == lock::LockOutcome::kAborted) {
-      co_return false;  // deadlock victim; caller rolls back everywhere
+    if (acquire_locks) {
+      const double before_lock = sim_.now();
+      const lock::LockOutcome outcome =
+          co_await locks_->Acquire(gid, granule, mode);
+      if (acct != nullptr) acct->lock_wait_ms += sim_.now() - before_lock;
+      if (outcome == lock::LockOutcome::kAborted) {
+        co_return false;  // deadlock victim; caller rolls back everywhere
+      }
     }
 
     // DMIO phase. Without a buffer (the paper's configuration) every granule
@@ -85,6 +88,22 @@ sim::Task<bool> Node::ExecuteRequest(GlobalTxnId gid,
 
     // DM phase between lock requests.
     co_await cpu_.Use(costs.dm_cpu_ms);
+  }
+  co_return true;
+}
+
+sim::Task<bool> Node::AcquireGranules(GlobalTxnId gid,
+                                      const std::vector<db::GranuleId>& granules,
+                                      bool update,
+                                      PhaseAccounting* acct) {
+  const lock::LockMode mode =
+      update ? lock::LockMode::kExclusive : lock::LockMode::kShared;
+  for (const db::GranuleId granule : granules) {
+    const double before_lock = sim_.now();
+    const lock::LockOutcome outcome =
+        co_await locks_->Acquire(gid, granule, mode);
+    if (acct != nullptr) acct->lock_wait_ms += sim_.now() - before_lock;
+    if (outcome == lock::LockOutcome::kAborted) co_return false;
   }
   co_return true;
 }

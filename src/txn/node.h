@@ -76,10 +76,28 @@ class Node {
   /// was aborted as a deadlock victim while acquiring a lock; the caller
   /// must then run the global abort. Lock-wait time is credited to `acct`
   /// when provided.
+  ///
+  /// With `acquire_locks` false (the queue-oriented CC backend, which takes
+  /// every granule lock up front via AcquireGranules) the per-record Acquire
+  /// is skipped; the LR-phase CPU is still charged per record, as the
+  /// lock-table lookup that finds the granule already held.
   sim::Task<bool> ExecuteRequest(GlobalTxnId gid,
                                  const model::ClassParams& costs,
                                  const RequestSpec& request,
-                                 PhaseAccounting* acct = nullptr);
+                                 PhaseAccounting* acct = nullptr,
+                                 bool acquire_locks = true);
+
+  /// Queue-oriented backend: acquires `granules` (pre-sorted ascending by
+  /// the caller) for `gid` in order through the normal FIFO lock queues.
+  /// Charges no CPU — the LR phase is still paid per record inside
+  /// ExecuteRequest — so a zero-contention run costs exactly what 2PL does.
+  /// Wait time is credited to `acct` when provided. Returns false only if a
+  /// wait was cancelled (impossible when every transaction follows the same
+  /// global (node, granule) acquisition order).
+  sim::Task<bool> AcquireGranules(GlobalTxnId gid,
+                                  const std::vector<db::GranuleId>& granules,
+                                  bool update,
+                                  PhaseAccounting* acct = nullptr);
 
   /// Rolls `gid` back at this node: undo I/O for each journaled granule,
   /// unlock processing, lock release.

@@ -39,6 +39,7 @@ WorkloadSpec MakeBase(std::string name, int requests_per_txn, int num_nodes) {
 model::ModelInput WorkloadSpec::ToModelInput() const {
   model::ModelInput input;
   input.comm_delay_ms = comm_delay_ms;
+  input.cc_backend = cc_backend;
   const int num_nodes = static_cast<int>(nodes.size());
   const int other_nodes = num_nodes > 1 ? num_nodes - 1 : 1;
   const int l_dist = distributed_local_requests();

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "cc/cc.h"
 #include "model/params.h"
 
 namespace carat::workload {
@@ -66,6 +67,10 @@ struct WorkloadSpec {
   double hot_access_fraction = 0.0;
   int buffer_blocks = 0;
   int dm_pool_size = 0;  ///< 0 = unlimited DM servers per node
+
+  /// Concurrency-control backend (paper: 2PL + probes). Applied uniformly
+  /// to every node of the mesh; see src/cc/cc.h.
+  cc::BackendKind cc_backend = cc::BackendKind::k2PL;
 
   /// Per-node block I/O times; defaults to {28, 40, 28, 40, ...}.
   std::vector<double> block_io_ms;

@@ -24,6 +24,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cc/cc.h"
 #include "dist/coordinator.h"
 #include "dist/engine.h"
 #include "dist/loadgen.h"
@@ -346,6 +347,7 @@ TEST(Wire, RecordListsRoundTripAndRejectGarbage) {
 TEST(Wire, DistConfigSurvivesTheControlChannel) {
   dist::wire::DistConfig config;
   config.workload = "ub6";
+  config.cc = "waitdie";
   config.requests_per_txn = 6;
   config.sites = 4;
   config.num_granules = 48;
@@ -364,6 +366,7 @@ TEST(Wire, DistConfigSurvivesTheControlChannel) {
   ASSERT_TRUE(dist::wire::DistConfig::Decode(config.Encode(), &decoded, &error))
       << error;
   EXPECT_EQ(decoded.workload, config.workload);
+  EXPECT_EQ(decoded.cc, config.cc);
   EXPECT_EQ(decoded.requests_per_txn, config.requests_per_txn);
   EXPECT_EQ(decoded.sites, config.sites);
   EXPECT_EQ(decoded.num_granules, config.num_granules);
@@ -377,9 +380,49 @@ TEST(Wire, DistConfigSurvivesTheControlChannel) {
   EXPECT_DOUBLE_EQ(decoded.reprobe_interval_ms, config.reprobe_interval_ms);
   EXPECT_EQ(decoded.max_probe_hops, config.max_probe_hops);
 
-  // The shipped config must reconstruct the same workload on every site.
+  // The shipped config must reconstruct the same workload on every site,
+  // including the concurrency-control backend.
   const auto spec = decoded.ToSpec();
+  EXPECT_EQ(spec.cc_backend, cc::BackendKind::kWaitDie);
   EXPECT_EQ(spec.ToModelInput().sites.size(), 4u);
+}
+
+TEST(Wire, DistConfigWithoutCcMeansTwoPhaseLocking) {
+  // Pre-backend coordinators never send a cc token; the decoder must treat
+  // that as 2PL so old and new binaries interoperate.
+  dist::wire::DistConfig decoded;
+  std::string error;
+  const std::string body =
+      " workload=mb8 n=8 sites=2 granules=3000 rpg=6 dm_pool=0 think_ms=0"
+      " seed=1 scale=0.1 users=1 probe_cpu=1 reprobe_ms=200 max_hops=64";
+  ASSERT_TRUE(dist::wire::DistConfig::Decode(body, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.cc, "2pl");
+  EXPECT_EQ(decoded.ToSpec().cc_backend, cc::BackendKind::k2PL);
+}
+
+TEST(Wire, DistConfigRejectsUnknownCcBackend) {
+  dist::wire::DistConfig config;
+  config.cc = "optimistic";
+  dist::wire::DistConfig decoded;
+  std::string error;
+  EXPECT_FALSE(dist::wire::DistConfig::Decode(config.Encode(), &decoded,
+                                              &error));
+  EXPECT_NE(error.find("unknown cc backend"), std::string::npos) << error;
+}
+
+TEST(Wire, CheckMeshBackendsRejectsMixedMeshes) {
+  EXPECT_EQ(dist::wire::CheckMeshBackends({"2pl", "2pl"}, "2pl"), "");
+  EXPECT_EQ(dist::wire::CheckMeshBackends({"queue", "queue"}, "queue"), "");
+  const std::string mixed =
+      dist::wire::CheckMeshBackends({"2pl", "queue"}, "2pl");
+  EXPECT_NE(mixed.find("mixed-backend mesh"), std::string::npos) << mixed;
+  EXPECT_NE(mixed.find("site 1"), std::string::npos) << mixed;
+  // A homogeneous mesh that disagrees with the coordinator's config is just
+  // as broken: the sites would execute a different protocol than CONFIG
+  // describes.
+  const std::string wrong =
+      dist::wire::CheckMeshBackends({"nowait", "nowait"}, "2pl");
+  EXPECT_NE(wrong.find("mixed-backend mesh"), std::string::npos) << wrong;
 }
 
 TEST(Wire, EngineReportSurvivesTheReportChannel) {

@@ -345,12 +345,13 @@ TEST(GeneratorClassMode, FiveThousandDrawsDeterministicAndValidAtN1024) {
     if (i % 100 == 0) {
       // Same seed, same bytes — and the solver recovers at most
       // `site_classes` classes from the replicated templates. The class ids
-      // live in the back half of the shape key (width 2 at 1024 sites).
+      // follow the presence bytes (width 2 at 1024 sites); a trailing byte
+      // carries the CC backend id.
       const fuzz::Scenario r = fuzz::GenerateScenario(&replay, gopts);
       ASSERT_EQ(fuzz::Serialize(s), fuzz::Serialize(r)) << "draw " << i;
       const std::string key = SolveShapeKey(s.input);
       const std::size_t n = s.input.sites.size();
-      ASSERT_EQ(key.size(), n * 3);
+      ASSERT_EQ(key.size(), n * 3 + 1);
       std::size_t max_id = 0;
       for (std::size_t j = 0; j < n; ++j) {
         std::uint16_t id;

@@ -35,6 +35,7 @@ struct Flags {
   int testbed_shards = 1;
   bool log_disk = false;
   std::string victim = "requester";
+  std::string cc = "2pl";
   bool verbose = false;
 };
 
@@ -59,6 +60,7 @@ void PrintHelp() {
       "                                byte-identical at any value)\n"
       "  --log-disk                    separate log disk per node\n"
       "  --victim <requester|youngest|oldest>  deadlock victim policy\n"
+      "  --cc <2pl|nowait|waitdie|queue>  concurrency-control backend\n"
       "  --verbose                     per-type details\n";
 }
 
@@ -117,6 +119,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->log_disk = true;
     } else if (arg == "--victim") {
       if (!next_str(&flags->victim)) return false;
+    } else if (arg == "--cc") {
+      if (!next_str(&flags->cc)) return false;
     } else if (arg == "--verbose") {
       flags->verbose = true;
     } else {
@@ -157,6 +161,11 @@ int main(int argc, char** argv) {
   wl.buffer_blocks = flags.buffer;
   wl.dm_pool_size = flags.dm_pool;
   wl.separate_log_disk = flags.log_disk;
+  if (!cc::ParseBackend(flags.cc, &wl.cc_backend)) {
+    std::cerr << "unknown cc backend: " << flags.cc
+              << " (want 2pl|nowait|waitdie|queue)\n";
+    return 2;
+  }
 
   const model::ModelInput input = wl.ToModelInput();
   const bool run_model = flags.mode == "model" || flags.mode == "both";
@@ -190,7 +199,7 @@ int main(int argc, char** argv) {
   }
 
   std::cout << wl.name << ", n = " << flags.n << ", " << flags.nodes
-            << " node(s)\n\n";
+            << " node(s), cc = " << cc::Name(wl.cc_backend) << "\n\n";
   util::TextTable table;
   std::vector<std::string> header = {"Node", "metric"};
   if (run_model) header.push_back("model");

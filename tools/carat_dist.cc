@@ -21,6 +21,9 @@
 //   --warmup-ms W      real warm-up window (default 1500)
 //   --measure-ms M     real measurement window (default 6000)
 //   --seed S           workload seed (default 1)
+//   --cc B             concurrency-control backend (default 2pl; only 2pl
+//                      runs distributed today — others are rejected up
+//                      front, and the coordinator refuses mixed meshes)
 //   --no-check         skip the in-process reference cross-check
 //   --json             machine-readable result on stdout
 //   --sited-bin PATH   carat_sited binary (default: auto-resolve)
@@ -30,6 +33,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "cc/cc.h"
 #include "dist/coordinator.h"
 
 namespace {
@@ -39,8 +43,8 @@ int Usage() {
       stderr,
       "usage: carat_dist [--sites N] [--workload lb8|mb4|mb8|ub6] [--n N]\n"
       "                  [--granules G] [--scale S] [--warmup-ms W]\n"
-      "                  [--measure-ms M] [--seed S] [--no-check] [--json]\n"
-      "                  [--sited-bin PATH]\n");
+      "                  [--measure-ms M] [--seed S] [--cc B] [--no-check]\n"
+      "                  [--json] [--sited-bin PATH]\n");
   return 2;
 }
 
@@ -117,6 +121,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--seed: expected an integer\n");
         return Usage();
       }
+    } else if (arg == "--cc" && i + 1 < argc) {
+      cc::BackendKind kind;
+      if (!cc::ParseBackend(argv[++i], &kind)) {
+        std::fprintf(stderr, "--cc: unknown backend '%s'\n", argv[i]);
+        return Usage();
+      }
+      options.config.cc = argv[i];
     } else if (arg == "--no-check") {
       options.check = false;
     } else if (arg == "--json") {
@@ -137,7 +148,7 @@ int main(int argc, char** argv) {
 
   if (json) {
     std::printf(
-        "{\"sites\":%d,\"workload\":\"%s\",\"n\":%d,\"scale\":%g,"
+        "{\"sites\":%d,\"workload\":\"%s\",\"n\":%d,\"cc\":\"%s\",\"scale\":%g,"
         "\"alpha_rtt_real_ms\":%.6f,\"alpha_virtual_ms\":%.6f,"
         "\"measured_vms\":%.3f,\"commits\":%llu,\"submissions\":%llu,"
         "\"aborts\":%llu,\"global_deadlocks\":%llu,\"messages\":%llu,"
@@ -148,8 +159,9 @@ int main(int argc, char** argv) {
         "\"response_rel_err\":%.6f,\"restart_abs_err\":%.6f,"
         "\"within_tolerance\":%s}\n",
         options.config.sites, options.config.workload.c_str(),
-        options.config.requests_per_txn, options.config.scale,
-        result.alpha_rtt_real_ms, result.alpha_virtual_ms, result.measured_vms,
+        options.config.requests_per_txn, options.config.cc.c_str(),
+        options.config.scale, result.alpha_rtt_real_ms, result.alpha_virtual_ms,
+        result.measured_vms,
         static_cast<unsigned long long>(result.commits),
         static_cast<unsigned long long>(result.submissions),
         static_cast<unsigned long long>(result.aborts),
@@ -164,11 +176,12 @@ int main(int argc, char** argv) {
         result.restart_abs_err, result.within_tolerance ? "true" : "false");
   } else {
     std::printf(
-        "sites=%d workload=%s n=%d scale=%.2f alpha=%.3fms (virtual "
+        "sites=%d workload=%s n=%d cc=%s scale=%.2f alpha=%.3fms (virtual "
         "%.3fms)\n",
         options.config.sites, options.config.workload.c_str(),
-        options.config.requests_per_txn, options.config.scale,
-        result.alpha_rtt_real_ms / 2.0, result.alpha_virtual_ms);
+        options.config.requests_per_txn, options.config.cc.c_str(),
+        options.config.scale, result.alpha_rtt_real_ms / 2.0,
+        result.alpha_virtual_ms);
     std::printf(
         "dist: %.2f txn/s  response %.1f ms  restart %.3f  (%llu commits, "
         "%llu msgs, %llu global deadlocks, drained=%s, audit=%s)\n",

@@ -11,19 +11,26 @@
 // Flags:
 //   --coordinator HOST:PORT  control endpoint to dial (required)
 //   --site N                 this process's site index (required)
+//   --cc BACKEND             concurrency-control backend this site runs
+//                            (2pl | nowait | waitdie | queue; default 2pl).
+//                            Reported in HELLO; the coordinator rejects a
+//                            mesh whose sites disagree on the backend.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "cc/cc.h"
 #include "dist/site_daemon.h"
 #include "util/cli.h"
 
 namespace {
 
 int Usage() {
-  std::fprintf(stderr, "usage: carat_sited --coordinator HOST:PORT --site N\n");
+  std::fprintf(stderr,
+               "usage: carat_sited --coordinator HOST:PORT --site N "
+               "[--cc 2pl|nowait|waitdie|queue]\n");
   return 2;
 }
 
@@ -56,6 +63,13 @@ int main(int argc, char** argv) {
         return Usage();
       }
       options.site = static_cast<int>(site);
+    } else if (arg == "--cc" && i + 1 < argc) {
+      cc::BackendKind kind;
+      if (!cc::ParseBackend(argv[++i], &kind)) {
+        std::fprintf(stderr, "--cc: unknown backend '%s'\n", argv[i]);
+        return Usage();
+      }
+      options.cc = argv[i];
     } else {
       return Usage();
     }

@@ -4,6 +4,11 @@
 //   carat_sweep --workload lb8 > lb8.csv
 //   carat_sweep --workload mb4 --sizes 2,4,6,8,10,12 --seed 7 > mb4.csv
 //   carat_sweep --workload mb8 --jobs 8 > mb8.csv   # parallel sweep points
+//   carat_sweep --workload mb8 --cc queue > mb8_queue.csv
+//
+// The first output line is a `# cc=<backend>` comment naming the
+// concurrency-control backend the sweep ran under, so a CSV is
+// self-describing; then:
 //
 // Columns: workload,n,node,source,xput_tps,records_ps,cpu_util,dio_ps,
 //          pa_lu,lockwait_ms,remotewait_ms,commitwait_ms
@@ -44,7 +49,12 @@ int Usage() {
   std::fprintf(stderr,
                "usage: carat_sweep [--workload lb8|mb4|mb8|ub6] "
                "[--sizes 4,8,...] [--seed N] [--measure-s S] [--jobs N] "
-               "[--warm] [--batch] [--nodes N] [--site-classes K] [--flat]\n"
+               "[--warm] [--batch] [--nodes N] [--site-classes K] [--flat] "
+               "[--cc 2pl|nowait|waitdie|queue]\n"
+               "  --cc <backend>    concurrency-control backend for every "
+               "sweep point (default 2pl);\n"
+               "                    named in the CSV's leading '# cc=' "
+               "comment line\n"
                "  --nodes N         sites per sweep point (default 2, the "
                "paper's testbed)\n"
                "  --site-classes K  distinct disk-speed classes cycled over "
@@ -82,6 +92,7 @@ int main(int argc, char** argv) {
   int nodes = 2;         // the paper's two-site testbed
   int site_classes = 2;  // distinct disk-speed classes among the nodes
   bool flat = false;     // --flat: disable hierarchical class collapse
+  cc::BackendKind cc_backend = cc::BackendKind::k2PL;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -124,6 +135,17 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--flat") {
       flat = true;
+    } else if (arg == "--cc" && i + 1 < argc) {
+      if (!cc::ParseBackend(argv[++i], &cc_backend)) {
+        std::fprintf(stderr, "--cc: unknown backend '%s'\n", argv[i]);
+        return Usage();
+      }
+    } else if (arg.rfind("--cc=", 0) == 0) {
+      if (!cc::ParseBackend(arg.substr(5), &cc_backend)) {
+        std::fprintf(stderr, "--cc: unknown backend '%s'\n",
+                     arg.substr(5).c_str());
+        return Usage();
+      }
     } else {
       return Usage();
     }
@@ -159,6 +181,7 @@ int main(int argc, char** argv) {
                                            3.0 * (c / 2));
       }
     }
+    specs.back().cc_backend = cc_backend;
     inputs.push_back(specs.back().ToModelInput());
   }
 
@@ -221,6 +244,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  const std::string cc_name(cc::Name(cc_backend));
+  std::printf("# cc=%s\n", cc_name.c_str());
   std::printf(
       "workload,n,node,source,xput_tps,records_ps,cpu_util,dio_ps,"
       "pa_lu,lockwait_ms,remotewait_ms,commitwait_ms\n");
